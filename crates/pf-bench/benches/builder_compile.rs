@@ -1,0 +1,55 @@
+//! Filter construction and binding cost.
+//!
+//! §3.1: filters are "compiled at run time by a library procedure", and a
+//! new filter can be bound "at a cost comparable to that of receiving a
+//! packet; in practice, filters are not replaced very often" — so compile
+//! and validation cost only has to be reasonable, not fast. These benches
+//! put numbers on the expression-DSL compile, bind-time validation, and
+//! micro-op lowering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_filter::builder::Expr;
+use pf_filter::compile::CompiledFilter;
+use pf_filter::samples;
+use pf_filter::validate::ValidatedProgram;
+use std::hint::black_box;
+
+fn socket_expr() -> Expr {
+    Expr::word(8)
+        .eq(35)
+        .and(Expr::word(7).eq(0))
+        .and(Expr::word(1).eq(2))
+}
+
+fn builder_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("builder_compile");
+
+    group.bench_function("expr_to_program", |b| {
+        let e = socket_expr();
+        b.iter(|| black_box(&e).compile(10).unwrap())
+    });
+
+    let program = samples::fig_3_9_pup_socket_35();
+    group.bench_function("validate", |b| {
+        b.iter(|| ValidatedProgram::new(black_box(program.clone())).unwrap())
+    });
+    group.bench_function("compile_micro_ops", |b| {
+        b.iter(|| CompiledFilter::compile(black_box(program.clone())).unwrap())
+    });
+
+    // Inserting into / removing from a live decision table (a bind).
+    group.bench_function("filter_set_insert_remove", |b| {
+        let mut set = pf_filter::dtree::FilterSet::new();
+        for i in 0..64u32 {
+            set.insert(i, samples::pup_socket_filter(10, 0, i as u16));
+        }
+        b.iter(|| {
+            set.insert(999, samples::pup_socket_filter(10, 0, 999));
+            set.remove(999);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, builder_compile);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Real wall-clock measurement of the §7 execution-engine ladder.
+//!
+//! The simulation charges *virtual* time for filter interpretation; this
+//! bench measures the *actual* Rust implementations, verifying the §7
+//! improvement claims with real numbers: hoisting per-instruction checks
+//! to bind time speeds evaluation, and pre-compiling filters speeds it
+//! further. Filter lengths mirror table 6-10 (0/1/9/21 instructions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_filter::compile::CompiledFilter;
+use pf_filter::interp::CheckedInterpreter;
+use pf_filter::packet::PacketView;
+use pf_filter::samples;
+use pf_filter::validate::ValidatedProgram;
+use std::hint::black_box;
+
+fn engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_exec");
+    let packet = samples::pup_packet_3mb(2, 0, 35, 50);
+    let interp = CheckedInterpreter::default();
+
+    for len in [0usize, 1, 9, 21] {
+        let program = samples::padded_accept_filter(10, len);
+        let validated = ValidatedProgram::new(program.clone()).unwrap();
+        let compiled = CompiledFilter::compile(program.clone()).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("checked", len), &len, |b, _| {
+            b.iter(|| interp.eval(black_box(&program), PacketView::new(black_box(&packet))))
+        });
+        group.bench_with_input(BenchmarkId::new("validated", len), &len, |b, _| {
+            b.iter(|| validated.eval(PacketView::new(black_box(&packet))))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", len), &len, |b, _| {
+            b.iter(|| compiled.eval(PacketView::new(black_box(&packet))))
+        });
+    }
+
+    // The paper's own workhorse filters.
+    for (name, program) in [
+        ("fig_3_8", samples::fig_3_8_pup_type_range()),
+        ("fig_3_9", samples::fig_3_9_pup_socket_35()),
+    ] {
+        let validated = ValidatedProgram::new(program.clone()).unwrap();
+        let compiled = CompiledFilter::compile(program.clone()).unwrap();
+        group.bench_function(BenchmarkId::new("checked", name), |b| {
+            b.iter(|| interp.eval(black_box(&program), PacketView::new(black_box(&packet))))
+        });
+        group.bench_function(BenchmarkId::new("validated", name), |b| {
+            b.iter(|| validated.eval(PacketView::new(black_box(&packet))))
+        });
+        group.bench_function(BenchmarkId::new("compiled", name), |b| {
+            b.iter(|| compiled.eval(PacketView::new(black_box(&packet))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! The short-circuit payoff (§3.1): figure 3-9's `CAND` filter exits after
+//! two instructions on the common mismatch, where a figure-3-8-style plain
+//! conjunction evaluates everything. "On a busy system several dozen
+//! filters may be applied to an incoming packet before it is accepted",
+//! so the mismatch path is the hot one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_filter::builder::{CompileOptions, Expr};
+use pf_filter::interp::CheckedInterpreter;
+use pf_filter::packet::PacketView;
+use pf_filter::samples;
+use std::hint::black_box;
+
+fn socket_expr() -> Expr {
+    Expr::word(8)
+        .eq(35)
+        .and(Expr::word(7).eq(0))
+        .and(Expr::word(1).eq(2))
+}
+
+fn short_circuit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("short_circuit");
+    let interp = CheckedInterpreter::default();
+    let with_sc = socket_expr().compile(10).unwrap();
+    let without_sc = socket_expr()
+        .compile_with(10, &CompileOptions { no_short_circuit: true, ..Default::default() })
+        .unwrap();
+
+    // The common case on a busy wire: the packet is for someone else.
+    let mismatch = samples::pup_packet_3mb(2, 0, 99, 1);
+    // The rare case: it is ours.
+    let matching = samples::pup_packet_3mb(2, 0, 35, 1);
+
+    for (case, pkt) in [("mismatch", &mismatch), ("match", &matching)] {
+        group.bench_with_input(BenchmarkId::new("cand_chain", case), pkt, |b, pkt| {
+            b.iter(|| interp.eval(black_box(&with_sc), PacketView::new(black_box(pkt))))
+        });
+        group.bench_with_input(BenchmarkId::new("plain_and", case), pkt, |b, pkt| {
+            b.iter(|| interp.eval(black_box(&without_sc), PacketView::new(black_box(pkt))))
+        });
+    }
+
+    // Paper vs historical continuation semantics (an ablation; verdicts
+    // are identical, only stack traffic differs).
+    use pf_filter::interp::{InterpConfig, ShortCircuitStyle};
+    let historical = CheckedInterpreter::new(InterpConfig {
+        short_circuit: ShortCircuitStyle::Historical,
+        ..Default::default()
+    });
+    group.bench_function("style/paper", |b| {
+        b.iter(|| interp.eval(black_box(&with_sc), PacketView::new(black_box(&mismatch))))
+    });
+    group.bench_function("style/historical", |b| {
+        b.iter(|| historical.eval(black_box(&with_sc), PacketView::new(black_box(&mismatch))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, short_circuit);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the design-choice ablations (§3.2 ordering, §7 batching).
+fn main() {
+    println!("{}", pf_bench::ablations::report_ablations());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §6.5 break-even sweep.
+fn main() {
+    println!("{}", pf_bench::breakeven::report_break_even());
+}

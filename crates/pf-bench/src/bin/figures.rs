@@ -1,0 +1,6 @@
+//! Regenerates figures 2-1/2-2, 2-3, and 3-4/3-5 as event-count tables.
+fn main() {
+    println!("{}", pf_bench::figures::report_fig_2_1_2_2());
+    println!("{}", pf_bench::figures::report_fig_2_3());
+    println!("{}", pf_bench::figures::report_fig_3_4_3_5());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §6.1 kernel per-packet processing profile.
+fn main() {
+    println!("{}", pf_bench::profile61::report_section_6_1());
+}

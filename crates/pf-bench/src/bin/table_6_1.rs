@@ -1,0 +1,4 @@
+//! Regenerates table 6-1: the cost of sending packets.
+fn main() {
+    println!("{}", pf_bench::sendcost::report());
+}

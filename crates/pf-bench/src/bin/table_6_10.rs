@@ -1,0 +1,4 @@
+//! Regenerates table 6-10: cost of interpreting packet filters.
+fn main() {
+    println!("{}", pf_bench::recvcost::report_table_6_10());
+}

@@ -1,0 +1,4 @@
+//! Regenerates table 6-2: VMTP minimal round-trip operation.
+fn main() {
+    println!("{}", pf_bench::vmtp_exp::report_table_6_2());
+}

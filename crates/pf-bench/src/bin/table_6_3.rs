@@ -1,0 +1,4 @@
+//! Regenerates table 6-3: VMTP bulk data transfer.
+fn main() {
+    println!("{}", pf_bench::vmtp_exp::report_table_6_3());
+}

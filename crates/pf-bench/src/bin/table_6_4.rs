@@ -1,0 +1,4 @@
+//! Regenerates table 6-4: effect of received-packet batching.
+fn main() {
+    println!("{}", pf_bench::vmtp_exp::report_table_6_4());
+}

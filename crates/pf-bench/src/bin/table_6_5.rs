@@ -1,0 +1,4 @@
+//! Regenerates table 6-5: effect of user-level demultiplexing.
+fn main() {
+    println!("{}", pf_bench::vmtp_exp::report_table_6_5());
+}

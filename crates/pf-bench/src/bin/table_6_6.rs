@@ -1,0 +1,4 @@
+//! Regenerates table 6-6: stream protocol implementations.
+fn main() {
+    println!("{}", pf_bench::streams::report_table_6_6());
+}

@@ -1,0 +1,4 @@
+//! Regenerates table 6-7: relative performance of Telnet.
+fn main() {
+    println!("{}", pf_bench::telnet_exp::report_table_6_7());
+}

@@ -1,0 +1,4 @@
+//! Regenerates table 6-8: per-packet cost of user-level demultiplexing.
+fn main() {
+    println!("{}", pf_bench::recvcost::report_table_6_8());
+}

@@ -1,0 +1,4 @@
+//! Regenerates table 6-9: user-level demultiplexing with batching.
+fn main() {
+    println!("{}", pf_bench::recvcost::report_table_6_9());
+}

@@ -1,0 +1,37 @@
+//! Experiment harness: regenerates every table and figure in §6 of
+//! *The Packet Filter: An Efficient Mechanism for User-level Network Code*
+//! (SOSP 1987).
+//!
+//! Each module owns one experiment family and exposes both raw
+//! measurement functions (used by the test suite to pin the paper's shape
+//! claims) and a `report_*` function that renders a paper-vs-measured
+//! table:
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`sendcost`] | table 6-1 (send cost, pf vs UDP) |
+//! | [`profile61`] | §6.1 (gprof-style kernel per-packet profile) |
+//! | [`vmtp_exp`] | tables 6-2, 6-3, 6-4, 6-5 (VMTP comparisons) |
+//! | [`streams`] | table 6-6 (BSP vs kernel TCP bulk streams) |
+//! | [`telnet_exp`] | table 6-7 (telnet output rates) |
+//! | [`recvcost`] | tables 6-8, 6-9, 6-10 (receive-path costs) |
+//! | [`figures`] | figures 2-1/2-2, 2-3, 3-4/3-5 (as event counts) |
+//! | [`breakeven`] | §6.5 (filter-count break-even sweep) |
+//!
+//! [`ablations`] additionally measures the §3.2/§7 design-choice knobs
+//! (adaptive reordering, priority assignment, write batching).
+//!
+//! Run `cargo run -p pf-bench --release --bin paper-report` for everything
+//! at once, or the individual `table_*` / `figures` / `section_6_1` /
+//! `break_even` / `ablations` binaries.
+
+pub mod ablations;
+pub mod breakeven;
+pub mod figures;
+pub mod profile61;
+pub mod recvcost;
+pub mod report;
+pub mod sendcost;
+pub mod streams;
+pub mod telnet_exp;
+pub mod vmtp_exp;

@@ -1,0 +1,116 @@
+//! 16-bit-word view of a received packet.
+//!
+//! The filter language addresses packets as a sequence of 16-bit words
+//! (the paper notes this "bias towards 16-bit fields" as an accident of the
+//! language's Alto/Pup history). Network byte order is big-endian, so word
+//! `n` is built from bytes `2n` (high) and `2n + 1` (low).
+
+/// A borrowed view of a packet as 16-bit big-endian words.
+///
+/// # Examples
+///
+/// ```
+/// use pf_filter::packet::PacketView;
+///
+/// let pkt = PacketView::new(&[0x12, 0x34, 0x56, 0x78]);
+/// assert_eq!(pkt.word(0), Some(0x1234));
+/// assert_eq!(pkt.word(1), Some(0x5678));
+/// assert_eq!(pkt.word(2), None);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PacketView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> PacketView<'a> {
+    /// Wraps a byte slice (a complete packet, including data-link header).
+    pub fn new(bytes: &'a [u8]) -> Self {
+        PacketView { bytes }
+    }
+
+    /// The underlying bytes.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the packet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Number of addressable 16-bit words.
+    ///
+    /// A trailing odd byte still forms an (incomplete) word — see
+    /// [`PacketView::word`] — matching a word-oriented data link where the
+    /// final byte occupies the high half of the last word.
+    pub fn word_len(&self) -> usize {
+        self.bytes.len().div_ceil(2)
+    }
+
+    /// The `n`th 16-bit word, big-endian, or `None` past the end.
+    ///
+    /// If the packet has odd length, its final byte is returned as the high
+    /// byte of the last word (low byte zero).
+    pub fn word(&self, n: usize) -> Option<u16> {
+        let hi = *self.bytes.get(n.checked_mul(2)?)?;
+        let lo = self.bytes.get(n * 2 + 1).copied().unwrap_or(0);
+        Some(u16::from(hi) << 8 | u16::from(lo))
+    }
+
+    /// The `n`th byte, or `None` past the end.
+    pub fn byte(&self, n: usize) -> Option<u8> {
+        self.bytes.get(n).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_words() {
+        let p = PacketView::new(&[0xAB, 0xCD, 0x00, 0x01]);
+        assert_eq!(p.word(0), Some(0xABCD));
+        assert_eq!(p.word(1), Some(0x0001));
+        assert_eq!(p.word(2), None);
+        assert_eq!(p.word_len(), 2);
+    }
+
+    #[test]
+    fn odd_length_final_byte_is_high_half() {
+        let p = PacketView::new(&[0x11, 0x22, 0x33]);
+        assert_eq!(p.word(0), Some(0x1122));
+        assert_eq!(p.word(1), Some(0x3300));
+        assert_eq!(p.word(2), None);
+        assert_eq!(p.word_len(), 2);
+    }
+
+    #[test]
+    fn empty_packet() {
+        let p = PacketView::new(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.word(0), None);
+        assert_eq!(p.word_len(), 0);
+        assert_eq!(p.byte(0), None);
+    }
+
+    #[test]
+    fn huge_index_does_not_overflow() {
+        let p = PacketView::new(&[0u8; 4]);
+        assert_eq!(p.word(usize::MAX), None);
+        assert_eq!(p.word(usize::MAX / 2), None);
+    }
+
+    #[test]
+    fn byte_access() {
+        let p = PacketView::new(&[9, 8, 7]);
+        assert_eq!(p.byte(0), Some(9));
+        assert_eq!(p.byte(2), Some(7));
+        assert_eq!(p.byte(3), None);
+    }
+}

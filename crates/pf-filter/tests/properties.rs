@@ -1,0 +1,327 @@
+//! Property-based tests for the filter language and its execution engines.
+//!
+//! The central invariant: every execution engine — checked interpreter,
+//! validated fast interpreter, compiled micro-ops, and the decision-table
+//! filter set — is observationally identical on *arbitrary* programs and
+//! packets, and none of them ever panics, even on garbage bytes.
+
+use pf_filter::compile::CompiledFilter;
+use pf_filter::dtree::FilterSet;
+use pf_filter::interp::{CheckedInterpreter, Dialect, InterpConfig, ShortCircuitStyle};
+use pf_filter::packet::PacketView;
+use pf_filter::program::FilterProgram;
+use pf_filter::validate::ValidatedProgram;
+use pf_filter::word::{BinaryOp, Instr, StackAction};
+use pf_filter::builder::Expr;
+use pf_filter::samples;
+use proptest::prelude::*;
+
+/// Strategy: any stack action, biased toward the common ones.
+fn any_stack_action() -> impl Strategy<Value = StackAction> {
+    prop_oneof![
+        Just(StackAction::NoPush),
+        Just(StackAction::PushLit),
+        Just(StackAction::PushZero),
+        Just(StackAction::PushOne),
+        Just(StackAction::PushFFFF),
+        Just(StackAction::PushFF00),
+        Just(StackAction::Push00FF),
+        Just(StackAction::PushInd),
+        (0u8..48).prop_map(StackAction::PushWord),
+    ]
+}
+
+fn any_binary_op() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Nop),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::Neq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::Le),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::Ge),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+        Just(BinaryOp::Xor),
+        Just(BinaryOp::Cor),
+        Just(BinaryOp::Cand),
+        Just(BinaryOp::Cnor),
+        Just(BinaryOp::Cnand),
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Mod),
+        Just(BinaryOp::Lsh),
+        Just(BinaryOp::Rsh),
+    ]
+}
+
+/// Strategy: program words built from real instructions and literals, so a
+/// useful fraction validates; plus raw-garbage cases below.
+fn structured_words() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any_stack_action(), any_binary_op())
+                .prop_map(|(a, o)| Instr::new(a, o).encode()),
+            any::<u16>(), // literals (and occasional garbage)
+        ],
+        0..40,
+    )
+}
+
+fn packet_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..128)
+}
+
+proptest! {
+    /// Instruction words round-trip through decode/encode.
+    #[test]
+    fn instr_decode_encode_round_trip(word in any::<u16>()) {
+        if let Some(i) = Instr::decode(word) {
+            prop_assert_eq!(i.encode(), word);
+        }
+    }
+
+    /// The checked interpreter never panics, in either dialect or
+    /// short-circuit style, on arbitrary program words and packets.
+    #[test]
+    fn checked_interpreter_total(words in structured_words(), pkt in packet_bytes()) {
+        for dialect in [Dialect::Classic, Dialect::Extended] {
+            for style in [ShortCircuitStyle::Paper, ShortCircuitStyle::Historical] {
+                let interp = CheckedInterpreter::new(InterpConfig {
+                    dialect,
+                    short_circuit: style,
+                });
+                let prog = FilterProgram::from_words(10, words.clone());
+                let _ = interp.eval_with_stats(&prog, PacketView::new(&pkt));
+            }
+        }
+    }
+
+    /// On raw garbage (not even instruction-shaped), nothing panics.
+    #[test]
+    fn checked_interpreter_total_on_garbage(
+        words in prop::collection::vec(any::<u16>(), 0..64),
+        pkt in packet_bytes(),
+    ) {
+        let prog = FilterProgram::from_words(0, words);
+        let _ = CheckedInterpreter::extended().eval(&prog, PacketView::new(&pkt));
+    }
+
+    /// If a program validates, the fast interpreter and the compiled filter
+    /// agree exactly with the checked interpreter on every packet.
+    #[test]
+    fn engines_agree(words in structured_words(), pkt in packet_bytes()) {
+        for dialect in [Dialect::Classic, Dialect::Extended] {
+            for style in [ShortCircuitStyle::Paper, ShortCircuitStyle::Historical] {
+                let cfg = InterpConfig { dialect, short_circuit: style };
+                let prog = FilterProgram::from_words(10, words.clone());
+                let Ok(validated) = ValidatedProgram::with_config(prog.clone(), cfg) else {
+                    continue;
+                };
+                let compiled = CompiledFilter::from_validated(validated.clone());
+                let checked = CheckedInterpreter::new(cfg).eval(&prog, PacketView::new(&pkt));
+                prop_assert_eq!(
+                    validated.eval(PacketView::new(&pkt)),
+                    checked,
+                    "validated vs checked"
+                );
+                prop_assert_eq!(
+                    compiled.eval(PacketView::new(&pkt)),
+                    checked,
+                    "compiled vs checked"
+                );
+            }
+        }
+    }
+
+    /// Validation is sound: a validated classic program never reports a
+    /// static-class runtime error (stack or decode faults) when evaluated.
+    #[test]
+    fn validation_soundness(words in structured_words(), pkt in packet_bytes()) {
+        let prog = FilterProgram::from_words(10, words);
+        if ValidatedProgram::new(prog.clone()).is_ok() {
+            let (_, stats) =
+                CheckedInterpreter::default().eval_with_stats(&prog, PacketView::new(&pkt));
+            if let Some(e) = stats.error {
+                // Only the dynamic packet-bounds fault may remain.
+                prop_assert!(
+                    matches!(e, pf_filter::RuntimeError::OutOfPacket { .. }),
+                    "unexpected post-validation fault: {e}"
+                );
+            }
+        }
+    }
+
+    /// The decision-table filter set is equivalent to sequential
+    /// priority-ordered interpretation, on mixed (tableable + residual +
+    /// garbage) filter populations.
+    #[test]
+    fn filter_set_equivalent_to_sequential(
+        sockets in prop::collection::vec((0u16..4, 30u16..40, 0u8..30), 0..8),
+        ethertypes in prop::collection::vec((0u16..6, 0u8..30), 0..4),
+        disjunctions in prop::collection::vec(
+            (prop::collection::vec(0u16..6, 1..4), 0u8..30),
+            0..3,
+        ),
+        garbage in prop::collection::vec(structured_words(), 0..4),
+        include_fig38 in any::<bool>(),
+        pkt_ethertype in 0u16..6,
+        pkt_sock in 28u16..42,
+        pkt_ptype in 0u8..120,
+    ) {
+        let mut filters: Vec<(u32, FilterProgram)> = Vec::new();
+        let mut id = 0u32;
+        for (hi, lo, prio) in sockets {
+            filters.push((id, samples::pup_socket_filter(prio, hi, lo)));
+            id += 1;
+        }
+        for (et, prio) in ethertypes {
+            filters.push((id, samples::ethertype_filter(prio, et)));
+            id += 1;
+        }
+        for (ets, prio) in disjunctions {
+            // A COR chain: ethertype ∈ {ets}.
+            let mut e = Expr::word(1).eq(ets[0]);
+            for &et in &ets[1..] {
+                e = e.or(Expr::word(1).eq(et));
+            }
+            filters.push((id, e.compile(prio).expect("compiles")));
+            id += 1;
+        }
+        for words in garbage {
+            filters.push((id, FilterProgram::from_words(7, words)));
+            id += 1;
+        }
+        if include_fig38 {
+            filters.push((id, samples::fig_3_8_pup_type_range()));
+        }
+
+        let mut set = FilterSet::new();
+        for (fid, f) in &filters {
+            set.insert(*fid, f.clone());
+        }
+
+        let interp = CheckedInterpreter::default();
+        let pkt = samples::pup_packet_3mb(pkt_ethertype, 0, pkt_sock, pkt_ptype);
+        let view = PacketView::new(&pkt);
+
+        let mut expected: Vec<(u8, usize, u32)> = filters
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, f))| interp.eval(f, view))
+            .map(|(seq, (fid, f))| (f.priority(), seq, *fid))
+            .collect();
+        expected.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let expected: Vec<u32> = expected.into_iter().map(|(_, _, fid)| fid).collect();
+
+        prop_assert_eq!(set.matches(view), expected);
+    }
+}
+
+/// A bounded random predicate-expression tree plus a direct semantic
+/// reference evaluator; compiled output must match the reference when run
+/// by the checked interpreter. Packets are long enough (≥ 96 bytes) that
+/// no out-of-packet faults can occur, keeping the reference simple.
+mod builder_semantics {
+    use super::*;
+
+    /// Value-producing expression of bounded depth.
+    fn value_expr(depth: u32) -> BoxedStrategy<Expr> {
+        if depth == 0 {
+            prop_oneof![
+                (0u16..48).prop_map(Expr::Word),
+                any::<u16>().prop_map(Expr::Lit),
+            ]
+            .boxed()
+        } else {
+            let sub = value_expr(depth - 1);
+            prop_oneof![
+                (0u16..48).prop_map(Expr::Word),
+                any::<u16>().prop_map(Expr::Lit),
+                (sub.clone(), sub.clone()).prop_map(|(a, b)| a.bitand(b)),
+                (sub.clone(), sub.clone()).prop_map(|(a, b)| a.bitor(b)),
+                (sub.clone(), sub).prop_map(|(a, b)| Expr::BitXor(Box::new(a), Box::new(b))),
+            ]
+            .boxed()
+        }
+    }
+
+    /// Predicate-producing expression of bounded depth.
+    fn pred_expr(depth: u32) -> BoxedStrategy<Expr> {
+        let vals = value_expr(1);
+        let cmp = (vals.clone(), vals, 0u8..6).prop_map(|(a, b, op)| match op {
+            0 => a.eq(b),
+            1 => a.ne(b),
+            2 => a.lt(b),
+            3 => a.le(b),
+            4 => a.gt(b),
+            _ => a.ge(b),
+        });
+        if depth == 0 {
+            cmp.boxed()
+        } else {
+            let sub = pred_expr(depth - 1);
+            prop_oneof![
+                cmp,
+                (sub.clone(), sub.clone()).prop_map(|(a, b)| a.and(b)),
+                (sub.clone(), sub.clone()).prop_map(|(a, b)| a.or(b)),
+                sub.prop_map(|a| a.not()),
+            ]
+            .boxed()
+        }
+    }
+
+    /// Direct evaluation of a value expression (no faults possible: the
+    /// packet covers every addressable word).
+    fn eval_value(e: &Expr, pkt: &PacketView<'_>) -> u16 {
+        match e {
+            Expr::Word(n) => pkt.word(usize::from(*n)).expect("packet long enough"),
+            Expr::Lit(v) => *v,
+            Expr::BitAnd(a, b) => eval_value(a, pkt) & eval_value(b, pkt),
+            Expr::BitOr(a, b) => eval_value(a, pkt) | eval_value(b, pkt),
+            Expr::BitXor(a, b) => eval_value(a, pkt) ^ eval_value(b, pkt),
+            Expr::Cmp(op, a, b) => {
+                let (x, y) = (eval_value(a, pkt), eval_value(b, pkt));
+                u16::from(match op {
+                    pf_filter::builder::CmpOp::Eq => x == y,
+                    pf_filter::builder::CmpOp::Ne => x != y,
+                    pf_filter::builder::CmpOp::Lt => x < y,
+                    pf_filter::builder::CmpOp::Le => x <= y,
+                    pf_filter::builder::CmpOp::Gt => x > y,
+                    pf_filter::builder::CmpOp::Ge => x >= y,
+                })
+            }
+            Expr::And(a, b) => {
+                u16::from(eval_value(a, pkt) != 0 && eval_value(b, pkt) != 0)
+            }
+            Expr::Or(a, b) => {
+                u16::from(eval_value(a, pkt) != 0 || eval_value(b, pkt) != 0)
+            }
+            Expr::Not(a) => u16::from(eval_value(a, pkt) == 0),
+            Expr::WordAt(_) | Expr::Arith(..) => unreachable!("not generated"),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn compiled_expression_matches_reference(
+            e in pred_expr(3),
+            pkt in prop::collection::vec(any::<u8>(), 96..160),
+            no_sc in any::<bool>(),
+        ) {
+            let opts = pf_filter::builder::CompileOptions {
+                no_short_circuit: no_sc,
+                ..Default::default()
+            };
+            // Deep random trees can exceed program or stack limits; those
+            // outcomes are legitimate errors, not semantic failures.
+            let Ok(prog) = e.compile_with(10, &opts) else { return Ok(()) };
+            let view = PacketView::new(&pkt);
+            let expected = eval_value(&e, &view) != 0;
+            let got = CheckedInterpreter::default().eval(&prog, view);
+            prop_assert_eq!(got, expected, "expr: {:?}\nprogram:\n{}", e, prog);
+        }
+    }
+}

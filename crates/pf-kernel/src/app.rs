@@ -1,0 +1,58 @@
+//! The user-process programming model.
+//!
+//! Simulated user processes are event-driven: the kernel invokes [`App`]
+//! callbacks (read completions, timeouts, signals, timers, pipe data,
+//! kernel-socket completions), and the app issues system calls through the
+//! [`crate::world::ProcCtx`] it is handed. Every system call and every
+//! delivery charges virtual CPU time and bumps the host's counters, so the
+//! "write; read with timeout; retry if necessary" programs of §3 cost what
+//! they cost on the paper's MicroVAX-II.
+//!
+//! Blocking calls are modeled by *arming* an operation and receiving its
+//! completion as a callback — the process is considered blocked in between,
+//! and waking it charges the scheduler and context-switch costs.
+
+use crate::types::{Fd, PipeId, ReadError, RecvPacket, SockId};
+use crate::world::ProcCtx;
+use std::any::Any;
+
+/// A simulated user process.
+///
+/// All callbacks except [`App::start`] have no-op defaults; implement the
+/// ones the process uses. Implementors must be `'static` so experiment
+/// harnesses can downcast and harvest results after a run.
+pub trait App: Any {
+    /// Invoked once when the process is scheduled for the first time.
+    fn start(&mut self, k: &mut ProcCtx<'_>);
+
+    /// A previously armed packet-filter read completed with packets.
+    fn on_packets(&mut self, fd: Fd, packets: Vec<RecvPacket>, k: &mut ProcCtx<'_>) {
+        let _ = (fd, packets, k);
+    }
+
+    /// A previously armed read failed (timeout or would-block).
+    fn on_read_error(&mut self, fd: Fd, err: ReadError, k: &mut ProcCtx<'_>) {
+        let _ = (fd, err, k);
+    }
+
+    /// A signal arrived for a port configured with `signal_on_input`.
+    fn on_signal(&mut self, fd: Fd, k: &mut ProcCtx<'_>) {
+        let _ = (fd, k);
+    }
+
+    /// A timer set with [`ProcCtx::set_timer`] fired.
+    fn on_timer(&mut self, token: u64, k: &mut ProcCtx<'_>) {
+        let _ = (token, k);
+    }
+
+    /// Data arrived on a pipe this process reads.
+    fn on_pipe_data(&mut self, pipe: PipeId, data: Vec<u8>, k: &mut ProcCtx<'_>) {
+        let _ = (pipe, data, k);
+    }
+
+    /// A kernel-protocol socket completed an operation (§ kernel-resident
+    /// baselines: UDP/TCP-lite/VMTP deliver results this way).
+    fn on_socket(&mut self, sock: SockId, op: u32, data: Vec<u8>, meta: [u64; 4], k: &mut ProcCtx<'_>) {
+        let _ = (sock, op, data, meta, k);
+    }
+}

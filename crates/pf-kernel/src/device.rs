@@ -1,0 +1,547 @@
+//! The packet-filter pseudo-device: ports, filters, and the
+//! priority-ordered demultiplexing loop of figure 4-1.
+//!
+//! ```text
+//! Accepted := false;
+//! for priority := MaxPriority downto MinPriority do
+//!     for i := FirstFilter[priority] to LastFilter[priority] do
+//!         if Apply(Filter[i], rcvd-pkt) = MATCH then
+//!             Deliver(Port[i], rcvd-pkt);
+//!             Accepted := true;
+//!         end;
+//!     end;
+//! end;
+//! if not Accepted then Drop(rcvd-pkt);
+//! ```
+//!
+//! (The published loop keeps testing after a match; §3.2 narrows this: a
+//! packet accepted by a port is *not* submitted to further filters unless
+//! the accepting port set the deliver-to-lower option. This module
+//! implements the §3.2 semantics.)
+//!
+//! Within one priority level the order is unspecified, and "the interpreter
+//! may occasionally reorder such filters to place the busier ones first" —
+//! implemented here as a periodic stable re-sort by acceptance count.
+//!
+//! This module is independent of the event loop: it decides *which* ports
+//! accept a packet and reports the interpretation work done, and the world
+//! model (`crate::world`) turns that into virtual time and queue activity.
+
+use crate::types::{Fd, PortConfig, ProcId, RecvPacket};
+use pf_filter::dtree::FilterSet;
+use pf_filter::interp::{CheckedInterpreter, EvalStats};
+use pf_filter::packet::PacketView;
+use pf_filter::program::FilterProgram;
+use std::collections::VecDeque;
+
+/// How the device matches received packets against the active filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DemuxEngine {
+    /// The paper's production loop (figure 4-1): interpret each filter in
+    /// priority order until one accepts.
+    #[default]
+    Sequential,
+    /// §7's proposal: "compile the set of active filters into a decision
+    /// table, which should provide the best possible performance" — one
+    /// hash probe per filter *shape*, with interpreted fallback for
+    /// filters the analyzer cannot convert.
+    DecisionTable,
+}
+
+/// How many demultiplex operations between adaptive re-sorts of
+/// equal-priority filters ("occasionally").
+pub const REORDER_INTERVAL: u64 = 256;
+
+/// Index of a port within the device.
+pub type PortIdx = usize;
+
+/// A pending blocked read on a port.
+#[derive(Debug)]
+pub struct PendingRead {
+    /// Monotonic generation, so a stale timeout cannot complete a newer
+    /// read.
+    pub generation: u64,
+    /// Handle of the scheduled timeout event, if any.
+    pub timeout: Option<pf_sim::queue::EventHandle>,
+}
+
+/// One packet-filter port (a minor device a process opened).
+#[derive(Debug)]
+pub struct Port {
+    /// The owning process and its descriptor for this port.
+    pub owner: (ProcId, Fd),
+    /// The bound filter; a port with no filter accepts nothing.
+    pub filter: Option<FilterProgram>,
+    /// Port configuration (§3.3).
+    pub config: PortConfig,
+    /// Queued packets awaiting a read.
+    pub queue: VecDeque<RecvPacket>,
+    /// The blocked read, if the owner is waiting.
+    pub pending: Option<PendingRead>,
+    /// Packets dropped because the queue was full (reported to readers).
+    pub drops: u64,
+    /// Packets this port's filter accepted (the adaptive-reorder "busyness").
+    pub accepts: u64,
+    /// Insertion sequence (stable tie-break within a priority).
+    pub insertion: u64,
+    /// Whether the port is open.
+    pub open: bool,
+    /// Read-generation counter.
+    pub next_generation: u64,
+}
+
+impl Port {
+    /// The filter's priority (ports with no filter sort last).
+    pub fn priority(&self) -> u8 {
+        self.filter.as_ref().map_or(0, |f| f.priority())
+    }
+
+    /// Tries to enqueue a packet; `false` (and a drop count) if full.
+    pub fn enqueue(&mut self, pkt: RecvPacket) -> bool {
+        if self.queue.len() >= self.config.max_queue {
+            self.drops += 1;
+            false
+        } else {
+            self.queue.push_back(pkt);
+            true
+        }
+    }
+}
+
+/// One filter application during a demultiplex.
+#[derive(Debug, Clone, Copy)]
+pub struct Application {
+    /// The port whose filter was applied.
+    pub port: PortIdx,
+    /// Whether the filter accepted the packet.
+    pub accepted: bool,
+    /// Interpreter counters for cost accounting.
+    pub stats: EvalStats,
+}
+
+/// The outcome of demultiplexing one received packet.
+#[derive(Debug, Clone, Default)]
+pub struct DemuxOutcome {
+    /// Ports that accepted the packet, in delivery order.
+    pub accepted: Vec<PortIdx>,
+    /// Every filter application performed, in order.
+    pub applied: Vec<Application>,
+}
+
+/// The packet-filter device of one host.
+#[derive(Debug)]
+pub struct PfDevice {
+    ports: Vec<Port>,
+    /// Demultiplex order: indices into `ports`, sorted by priority
+    /// descending, then (periodically) busyness, then insertion.
+    order: Vec<PortIdx>,
+    demux_ops: u64,
+    insertions: u64,
+    adaptive: bool,
+    engine: DemuxEngine,
+    /// The compiled filter set, maintained when the decision-table engine
+    /// is selected (keyed by port index).
+    table: Option<FilterSet>,
+    interp: CheckedInterpreter,
+}
+
+impl Default for PfDevice {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PfDevice {
+    /// A device with no open ports; adaptive reordering on, sequential
+    /// engine (the paper's production configuration).
+    pub fn new() -> Self {
+        PfDevice {
+            ports: Vec::new(),
+            order: Vec::new(),
+            demux_ops: 0,
+            insertions: 0,
+            adaptive: true,
+            engine: DemuxEngine::Sequential,
+            table: None,
+            interp: CheckedInterpreter::default(),
+        }
+    }
+
+    /// Selects the demultiplexing engine (§4's interpreter loop or §7's
+    /// decision table).
+    pub fn set_engine(&mut self, engine: DemuxEngine) {
+        self.engine = engine;
+        match engine {
+            DemuxEngine::Sequential => self.table = None,
+            DemuxEngine::DecisionTable => self.rebuild_table(),
+        }
+    }
+
+    /// The active demultiplexing engine.
+    pub fn engine(&self) -> DemuxEngine {
+        self.engine
+    }
+
+    /// Number of decision-table shapes (hash probes per packet), when the
+    /// decision-table engine is active.
+    pub fn table_shapes(&self) -> usize {
+        self.table.as_ref().map_or(0, |t| t.shape_count())
+    }
+
+    fn rebuild_table(&mut self) {
+        let mut set = FilterSet::new();
+        // Insert in demux order so same-priority insertion ties match the
+        // sequential loop's stable order.
+        for &idx in &self.order {
+            if let Some(f) = &self.ports[idx].filter {
+                set.insert(idx as u32, f.clone());
+            }
+        }
+        self.table = Some(set);
+    }
+
+    /// Enables or disables adaptive same-priority reordering (§3.2).
+    pub fn set_adaptive_reorder(&mut self, on: bool) {
+        self.adaptive = on;
+        if !on {
+            // Restore pure (priority, insertion) order.
+            let ports = &self.ports;
+            self.order.sort_by(|&a, &b| {
+                let (pa, pb) = (&ports[a], &ports[b]);
+                pb.priority().cmp(&pa.priority()).then(pa.insertion.cmp(&pb.insertion))
+            });
+        }
+    }
+
+    /// Opens a new port owned by `(proc, fd)` and returns its index.
+    pub fn open(&mut self, owner: (ProcId, Fd)) -> PortIdx {
+        let idx = self.ports.len();
+        self.ports.push(Port {
+            owner,
+            filter: None,
+            config: PortConfig::default(),
+            queue: VecDeque::new(),
+            pending: None,
+            drops: 0,
+            accepts: 0,
+            insertion: self.insertions,
+            open: true,
+            next_generation: 0,
+        });
+        self.insertions += 1;
+        self.order.push(idx);
+        self.resort();
+        if self.engine == DemuxEngine::DecisionTable {
+            self.rebuild_table();
+        }
+        idx
+    }
+
+    /// Closes a port; its queue is discarded.
+    pub fn close(&mut self, idx: PortIdx) {
+        if let Some(p) = self.ports.get_mut(idx) {
+            p.open = false;
+            p.queue.clear();
+            p.pending = None;
+            p.filter = None;
+        }
+        self.order.retain(|&o| o != idx);
+        if self.engine == DemuxEngine::DecisionTable {
+            self.rebuild_table();
+        }
+    }
+
+    /// Binds (replaces) the filter on a port. "A new filter can be bound at
+    /// any time" (§3.1).
+    pub fn set_filter(&mut self, idx: PortIdx, filter: FilterProgram) {
+        if let Some(p) = self.ports.get_mut(idx) {
+            p.filter = Some(filter);
+            p.accepts = 0;
+        }
+        self.resort();
+        if self.engine == DemuxEngine::DecisionTable {
+            self.rebuild_table();
+        }
+    }
+
+    /// Access a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown index.
+    pub fn port(&self, idx: PortIdx) -> &Port {
+        &self.ports[idx]
+    }
+
+    /// Mutable access to a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown index.
+    pub fn port_mut(&mut self, idx: PortIdx) -> &mut Port {
+        &mut self.ports[idx]
+    }
+
+    /// The port owned by `(proc, fd)`, if any.
+    pub fn port_of(&self, owner: (ProcId, Fd)) -> Option<PortIdx> {
+        self.ports.iter().position(|p| p.open && p.owner == owner)
+    }
+
+    /// Number of open ports.
+    pub fn open_ports(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The current demultiplex order (for tests and introspection).
+    pub fn order(&self) -> &[PortIdx] {
+        &self.order
+    }
+
+    /// Demultiplexes one received packet: applies filters in priority order
+    /// until one accepts (continuing past accepting ports that set
+    /// `deliver_to_lower`), recording every application.
+    ///
+    /// Queueing is *not* performed here — the world model enqueues to the
+    /// accepted ports so it can charge bookkeeping costs and handle wakeups.
+    pub fn demux(&mut self, packet: &[u8]) -> DemuxOutcome {
+        self.demux_ops += 1;
+        if self.engine == DemuxEngine::DecisionTable {
+            return self.demux_table(packet);
+        }
+        if self.adaptive && self.demux_ops.is_multiple_of(REORDER_INTERVAL) {
+            self.resort();
+        }
+        let view = PacketView::new(packet);
+        let mut out = DemuxOutcome::default();
+        for &idx in &self.order {
+            let port = &self.ports[idx];
+            let Some(filter) = port.filter.as_ref() else {
+                continue;
+            };
+            let (accepted, stats) = self.interp.eval_with_stats(filter, view);
+            out.applied.push(Application { port: idx, accepted, stats });
+            if accepted {
+                out.accepted.push(idx);
+                if !port.config.deliver_to_lower {
+                    break;
+                }
+            }
+        }
+        for &idx in &out.accepted {
+            self.ports[idx].accepts += 1;
+        }
+        out
+    }
+
+    /// Decision-table demultiplexing: probe the compiled set, then walk the
+    /// priority-ordered matches applying the §3.2 deliver-to-lower rule.
+    fn demux_table(&mut self, packet: &[u8]) -> DemuxOutcome {
+        let table = self.table.as_ref().expect("table engine selected");
+        let matches = table.matches(PacketView::new(packet));
+        let mut out = DemuxOutcome::default();
+        for id in matches {
+            let idx = id as PortIdx;
+            out.accepted.push(idx);
+            if !self.ports[idx].config.deliver_to_lower {
+                break;
+            }
+        }
+        for &idx in &out.accepted {
+            self.ports[idx].accepts += 1;
+        }
+        out
+    }
+
+    /// Re-sorts the demultiplex order: priority descending; within a
+    /// priority, busier filters first (when adaptive), then insertion
+    /// order.
+    fn resort(&mut self) {
+        let ports = &self.ports;
+        let adaptive = self.adaptive;
+        self.order.sort_by(|&a, &b| {
+            let (pa, pb) = (&ports[a], &ports[b]);
+            let busy = if adaptive {
+                pb.accepts.cmp(&pa.accepts)
+            } else {
+                core::cmp::Ordering::Equal
+            };
+            pb.priority()
+                .cmp(&pa.priority())
+                .then(busy)
+                .then(pa.insertion.cmp(&pb.insertion))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_filter::samples;
+    use pf_sim::time::SimTime;
+
+    fn pkt(sock: u16) -> Vec<u8> {
+        samples::pup_packet_3mb(2, 0, sock, 1)
+    }
+
+    fn recv(bytes: &[u8]) -> RecvPacket {
+        RecvPacket { bytes: bytes.to_vec(), stamp: None, dropped_before: 0 }
+    }
+
+    fn dev_with(filters: Vec<FilterProgram>) -> PfDevice {
+        let mut d = PfDevice::new();
+        for (i, f) in filters.into_iter().enumerate() {
+            let idx = d.open((ProcId(i), Fd(0)));
+            d.set_filter(idx, f);
+        }
+        d
+    }
+
+    #[test]
+    fn first_match_stops_by_default() {
+        let mut d = dev_with(vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::accept_all(5),
+        ]);
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![0], "higher priority wins, no fall-through");
+        assert_eq!(out.applied.len(), 1, "stopped at first match");
+    }
+
+    #[test]
+    fn falls_through_to_lower_priority_on_reject() {
+        let mut d = dev_with(vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::accept_all(5),
+        ]);
+        let out = d.demux(&pkt(99));
+        assert_eq!(out.accepted, vec![1]);
+        assert_eq!(out.applied.len(), 2);
+    }
+
+    #[test]
+    fn priority_decides_between_overlapping_filters() {
+        let mut d = dev_with(vec![
+            samples::accept_all(5),
+            samples::accept_all(20), // inserted later but higher priority
+        ]);
+        let out = d.demux(&pkt(1));
+        assert_eq!(out.accepted, vec![1]);
+    }
+
+    #[test]
+    fn equal_priority_insertion_order() {
+        let mut d = dev_with(vec![samples::accept_all(10), samples::accept_all(10)]);
+        let out = d.demux(&pkt(1));
+        assert_eq!(out.accepted, vec![0]);
+    }
+
+    #[test]
+    fn deliver_to_lower_produces_copies() {
+        let mut d = PfDevice::new();
+        let monitor = d.open((ProcId(0), Fd(0)));
+        d.set_filter(monitor, samples::accept_all(30));
+        d.port_mut(monitor).config.deliver_to_lower = true;
+        let consumer = d.open((ProcId(1), Fd(0)));
+        d.set_filter(consumer, samples::pup_socket_filter(10, 0, 35));
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![monitor, consumer], "both get a copy");
+    }
+
+    #[test]
+    fn no_match_accepts_nobody() {
+        let mut d = dev_with(vec![samples::pup_socket_filter(10, 0, 35)]);
+        let out = d.demux(&pkt(36));
+        assert!(out.accepted.is_empty());
+        assert_eq!(out.applied.len(), 1);
+        assert!(!out.applied[0].accepted);
+    }
+
+    #[test]
+    fn port_without_filter_accepts_nothing() {
+        let mut d = PfDevice::new();
+        d.open((ProcId(0), Fd(0)));
+        let out = d.demux(&pkt(1));
+        assert!(out.accepted.is_empty());
+        assert!(out.applied.is_empty(), "no filter, no interpretation work");
+    }
+
+    #[test]
+    fn closed_port_is_skipped() {
+        let mut d = dev_with(vec![samples::accept_all(10)]);
+        d.close(0);
+        assert_eq!(d.open_ports(), 0);
+        let out = d.demux(&pkt(1));
+        assert!(out.accepted.is_empty());
+    }
+
+    #[test]
+    fn queue_limit_drops_and_counts() {
+        let mut d = dev_with(vec![samples::accept_all(10)]);
+        d.port_mut(0).config.max_queue = 2;
+        assert!(d.port_mut(0).enqueue(recv(&pkt(1))));
+        assert!(d.port_mut(0).enqueue(recv(&pkt(2))));
+        assert!(!d.port_mut(0).enqueue(recv(&pkt(3))));
+        assert_eq!(d.port(0).drops, 1);
+        assert_eq!(d.port(0).queue.len(), 2);
+    }
+
+    #[test]
+    fn adaptive_reorder_moves_busy_filter_first() {
+        // Two equal-priority filters; the second one matches everything we
+        // send. After REORDER_INTERVAL demuxes it must be tested first.
+        let mut d = dev_with(vec![
+            samples::pup_socket_filter(10, 0, 1),  // never matches below
+            samples::pup_socket_filter(10, 0, 35), // always matches
+        ]);
+        assert_eq!(d.order(), &[0, 1]);
+        for _ in 0..=REORDER_INTERVAL {
+            let _ = d.demux(&pkt(35));
+        }
+        assert_eq!(d.order(), &[1, 0], "busier filter reordered to front");
+        // And now the busy filter is applied first: one application only.
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.applied.len(), 1);
+        assert_eq!(out.applied[0].port, 1);
+    }
+
+    #[test]
+    fn reorder_never_crosses_priority_levels() {
+        let mut d = dev_with(vec![
+            samples::pup_socket_filter(20, 0, 1), // high priority, never busy
+            samples::accept_all(10),              // low priority, always busy
+        ]);
+        for _ in 0..=REORDER_INTERVAL {
+            let _ = d.demux(&pkt(35));
+        }
+        assert_eq!(d.order(), &[0, 1], "priority dominates busyness");
+    }
+
+    #[test]
+    fn rebinding_a_filter_is_allowed_any_time() {
+        let mut d = dev_with(vec![samples::pup_socket_filter(10, 0, 35)]);
+        assert_eq!(d.demux(&pkt(44)).accepted.len(), 0);
+        d.set_filter(0, samples::pup_socket_filter(10, 0, 44));
+        assert_eq!(d.demux(&pkt(44)).accepted, vec![0]);
+    }
+
+    #[test]
+    fn port_lookup_by_owner() {
+        let mut d = PfDevice::new();
+        let a = d.open((ProcId(3), Fd(7)));
+        assert_eq!(d.port_of((ProcId(3), Fd(7))), Some(a));
+        assert_eq!(d.port_of((ProcId(3), Fd(8))), None);
+        d.close(a);
+        assert_eq!(d.port_of((ProcId(3), Fd(7))), None);
+    }
+
+    #[test]
+    fn recv_packet_metadata_fields() {
+        let p = RecvPacket {
+            bytes: vec![1, 2],
+            stamp: Some(SimTime(5)),
+            dropped_before: 3,
+        };
+        assert_eq!(p.stamp, Some(SimTime(5)));
+        assert_eq!(p.dropped_before, 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! The simulated 4.3BSD-like host and its packet-filter pseudo-device.
+//!
+//! This crate is the paper's §4 ("Implementation") plus the operating
+//! system around it, rebuilt on the `pf-sim` substrate:
+//!
+//! * [`device`] — the packet-filter character-special device: ports,
+//!   per-filter priorities, the figure 4-1 demultiplexing loop, adaptive
+//!   same-priority reordering, bounded per-port input queues, the
+//!   deliver-to-lower-priority option;
+//! * [`world`] — hosts, user processes, the event loop, and the system
+//!   call surface (open/close/read/write/ioctl on packet-filter ports,
+//!   pipes, timers, signals, kernel sockets), all charged against the
+//!   calibrated cost model;
+//! * [`app`] — the event-driven user-process trait;
+//! * [`kproto`] — the hook kernel-resident protocols (in `pf-proto`)
+//!   implement, so both networking models coexist as in figure 3-3.
+
+pub mod app;
+pub mod device;
+pub mod kproto;
+pub mod types;
+pub mod world;
+
+pub use app::App;
+pub use device::{PfDevice, PortIdx};
+pub use kproto::KernelProtocol;
+pub use types::{
+    BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket,
+    SockId, TimerId,
+};
+pub use world::{KernelCtx, ProcCtx, SendError, World, DEFAULT_NIC_CAPACITY};

@@ -1,0 +1,137 @@
+//! Identifiers and small value types shared across the simulated kernel.
+
+use pf_sim::time::{SimDuration, SimTime};
+
+/// A simulated host (one machine on the network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub usize);
+
+/// A simulated user process on some host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub usize);
+
+/// A file descriptor naming an open packet-filter port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(pub usize);
+
+/// A kernel-protocol socket descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SockId(pub usize);
+
+/// A pipe descriptor (the user-level demultiplexing experiments' IPC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipeId(pub usize);
+
+/// A pending-timer handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub u64);
+
+/// How a `read` on a packet-filter port behaves when packets are queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadMode {
+    /// Return the first queued packet only.
+    #[default]
+    Single,
+    /// Return all queued packets in one system call (§3: "this is useful
+    /// for high-volume communications because it can amortize the overhead
+    /// of performing a system call over several packets").
+    Batch,
+}
+
+/// How a `read` behaves when *no* packets are queued (§3.3: "the timeout
+/// duration for blocking reads (or optionally, immediate return or
+/// indefinite blocking)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockPolicy {
+    /// Block until a packet arrives.
+    #[default]
+    Blocking,
+    /// Block, but fail with a timeout error after this long.
+    Timeout(SimDuration),
+    /// Return a would-block error immediately.
+    NonBlocking,
+}
+
+/// Per-port configuration (§3.3's control information).
+#[derive(Debug, Clone, Copy)]
+pub struct PortConfig {
+    /// Read batching mode.
+    pub read_mode: ReadMode,
+    /// Behavior of reads on an empty queue.
+    pub block: BlockPolicy,
+    /// Maximum length of the per-port input queue.
+    pub max_queue: usize,
+    /// Deliver packets accepted by this port's filter to lower-priority
+    /// filters as well (§3.2's monitoring/multicast option).
+    pub deliver_to_lower: bool,
+    /// Deliver a signal to the owning process upon packet reception.
+    pub signal_on_input: bool,
+    /// Mark each received packet with a timestamp (costs `microtime`).
+    pub timestamp: bool,
+}
+
+impl Default for PortConfig {
+    fn default() -> Self {
+        PortConfig {
+            read_mode: ReadMode::Single,
+            block: BlockPolicy::Blocking,
+            max_queue: 32,
+            deliver_to_lower: false,
+            signal_on_input: false,
+            timestamp: false,
+        }
+    }
+}
+
+/// A packet as delivered to a user process (§3.3: optionally marked with a
+/// timestamp and a count of packets lost to queue overflows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvPacket {
+    /// The complete packet, including the data-link header.
+    pub bytes: Vec<u8>,
+    /// Arrival timestamp, if the port requested stamping.
+    pub stamp: Option<SimTime>,
+    /// Packets this port had dropped (queue overflow) before this one.
+    pub dropped_before: u64,
+}
+
+/// Why a read completed without data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// The configured timeout expired with no packet.
+    TimedOut,
+    /// The port is non-blocking and the queue was empty.
+    WouldBlock,
+}
+
+impl core::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReadError::TimedOut => write!(f, "read timed out"),
+            ReadError::WouldBlock => write!(f, "would block"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_defaults() {
+        let c = PortConfig::default();
+        assert_eq!(c.read_mode, ReadMode::Single);
+        assert_eq!(c.block, BlockPolicy::Blocking);
+        assert!(!c.deliver_to_lower);
+        assert!(!c.timestamp);
+        assert!(c.max_queue > 0);
+    }
+
+    #[test]
+    fn read_error_display() {
+        assert_eq!(ReadError::TimedOut.to_string(), "read timed out");
+        assert_eq!(ReadError::WouldBlock.to_string(), "would block");
+    }
+}

@@ -1,0 +1,1070 @@
+//! The simulated world: hosts, processes, the event loop, and the system
+//! call surface.
+//!
+//! A [`World`] owns the network, a set of hosts (each a single-CPU machine
+//! with a packet-filter device, optional kernel-resident protocols, user
+//! processes, pipes, and timers), and one deterministic event queue. All
+//! virtual time comes from two places: the network's transmission delays
+//! and each host's [`pf_sim::cpu::Cpu`] charged through its
+//! [`pf_sim::cost::CostModel`].
+//!
+//! User processes implement [`crate::app::App`] and talk to their kernel
+//! through [`ProcCtx`]; kernel-resident protocols implement
+//! [`crate::kproto::KernelProtocol`] and use [`KernelCtx`].
+
+use crate::app::App;
+use crate::device::{DemuxEngine, PendingRead, PfDevice, PortIdx};
+use crate::kproto::KernelProtocol;
+use crate::types::{
+    BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket,
+    SockId, TimerId,
+};
+use pf_filter::program::FilterProgram;
+use pf_net::frame;
+use pf_net::medium::Medium;
+use pf_net::segment::{FaultModel, Network, SegmentId, StationId};
+use pf_sim::cost::CostModel;
+use pf_sim::counters::Counters;
+use pf_sim::cpu::Cpu;
+use pf_sim::profile::Profiler;
+use pf_sim::queue::{EventHandle, EventQueue};
+use pf_sim::time::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Default NIC receive-ring capacity (frames buffered ahead of the driver).
+pub const DEFAULT_NIC_CAPACITY: usize = 32;
+
+/// Errors from the transmit path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The frame is shorter than the medium's data-link header.
+    FrameTooShort,
+    /// The frame exceeds the medium's maximum packet size.
+    FrameTooLong,
+    /// The descriptor does not name an open port.
+    BadDescriptor,
+}
+
+impl core::fmt::Display for SendError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SendError::FrameTooShort => write!(f, "frame shorter than data-link header"),
+            SendError::FrameTooLong => write!(f, "frame exceeds maximum packet size"),
+            SendError::BadDescriptor => write!(f, "bad descriptor"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Simulation events.
+enum Event {
+    /// First scheduling of a process.
+    Start { host: HostId, proc: ProcId },
+    /// A frame has fully arrived at a host's network interface.
+    FrameArrival { host: HostId, frame: Vec<u8> },
+    /// The driver finished receive processing for one frame (frees a NIC
+    /// ring slot).
+    DriverDone { host: HostId },
+    /// Completion of a packet-filter read.
+    DeliverPackets { host: HostId, proc: ProcId, fd: Fd, packets: Vec<RecvPacket> },
+    /// A read failed: timeout (validated by generation) or would-block.
+    ReadFail {
+        host: HostId,
+        proc: ProcId,
+        fd: Fd,
+        err: ReadError,
+        port: PortIdx,
+        generation: Option<u64>,
+    },
+    /// Signal delivery for a `signal_on_input` port.
+    Signal { host: HostId, proc: ProcId, fd: Fd },
+    /// A user timer fired.
+    Timer { host: HostId, proc: ProcId, token: u64, timer: u64 },
+    /// Pipe data reaching its reader.
+    PipeDeliver { host: HostId, proc: ProcId, pipe: PipeId, data: Vec<u8> },
+    /// A kernel-socket completion reaching its owner.
+    SocketDeliver {
+        host: HostId,
+        proc: ProcId,
+        sock: SockId,
+        op: u32,
+        data: Vec<u8>,
+        meta: [u64; 4],
+    },
+    /// A kernel-protocol timer fired.
+    KTimer { host: HostId, proto: usize, token: u64 },
+}
+
+struct ProcSlot {
+    app: Option<Box<dyn App>>,
+    next_fd: usize,
+}
+
+struct Sock {
+    owner: ProcId,
+    proto: usize,
+    open: bool,
+}
+
+struct Pipe {
+    reader: ProcId,
+    open: bool,
+}
+
+/// One simulated machine.
+pub(crate) struct Host {
+    pub(crate) name: String,
+    pub(crate) station: StationId,
+    pub(crate) costs: CostModel,
+    pub(crate) cpu: Cpu,
+    pub(crate) counters: Counters,
+    pub(crate) device: PfDevice,
+    procs: Vec<ProcSlot>,
+    /// The process the CPU last ran (context-switch accounting).
+    current: Option<ProcId>,
+    protocols: Vec<Option<Box<dyn KernelProtocol>>>,
+    socks: Vec<Sock>,
+    pipes: Vec<Pipe>,
+    nic_inflight: usize,
+    pub(crate) nic_capacity: usize,
+    /// Model "other active processes" (§6.5.1): every wakeup of a blocked
+    /// process costs two context switches (in, and later out) instead of
+    /// depending on which process last ran.
+    contended: bool,
+    tx_free_at: SimTime,
+    next_timer: u64,
+    timer_events: HashMap<u64, EventHandle>,
+}
+
+impl Host {
+    /// Charges the context-switch cost of waking `proc` from a blocked
+    /// state at `now`; returns the completion time of the charged work.
+    ///
+    /// On a contended host (other active processes, §6.5.1) a wakeup costs
+    /// two switches — one to the woken process and one away when it blocks
+    /// again; otherwise a switch is charged only when another process held
+    /// the CPU.
+    fn charge_wakeup_switch(&mut self, now: SimTime, proc: ProcId) -> SimTime {
+        let switches = if self.contended {
+            2
+        } else {
+            usize::from(self.current != Some(proc))
+        };
+        let mut t = now;
+        for _ in 0..switches {
+            self.counters.context_switches += 1;
+            let cs = self.costs.context_switch;
+            t = self.cpu.charge("kern:swtch", now, cs);
+        }
+        self.current = Some(proc);
+        t
+    }
+}
+
+/// The simulation: network, hosts, processes, and the event loop.
+pub struct World {
+    events: EventQueue<Event>,
+    net: Network,
+    hosts: Vec<Host>,
+    /// `StationId.0` → host index.
+    station_host: Vec<usize>,
+}
+
+impl World {
+    /// Creates an empty world with a deterministic network seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            events: EventQueue::new(),
+            net: Network::new(seed),
+            hosts: Vec::new(),
+            station_host: Vec::new(),
+        }
+    }
+
+    /// Adds a network segment.
+    pub fn add_segment(&mut self, medium: Medium, faults: FaultModel) -> SegmentId {
+        self.net.add_segment(medium, faults)
+    }
+
+    /// Adds a host attached to `segment` with link address `addr`.
+    pub fn add_host(
+        &mut self,
+        name: impl Into<String>,
+        segment: SegmentId,
+        addr: u64,
+        costs: CostModel,
+    ) -> HostId {
+        let station = self.net.attach(segment, addr);
+        debug_assert_eq!(station.0, self.station_host.len());
+        let id = HostId(self.hosts.len());
+        self.station_host.push(id.0);
+        self.hosts.push(Host {
+            name: name.into(),
+            station,
+            costs,
+            cpu: Cpu::new(),
+            counters: Counters::new(),
+            device: PfDevice::new(),
+            procs: Vec::new(),
+            current: None,
+            protocols: Vec::new(),
+            socks: Vec::new(),
+            pipes: Vec::new(),
+            nic_inflight: 0,
+            nic_capacity: DEFAULT_NIC_CAPACITY,
+            contended: false,
+            tx_free_at: SimTime::ZERO,
+            next_timer: 0,
+            timer_events: HashMap::new(),
+        });
+        id
+    }
+
+    /// Spawns a process on a host; its [`App::start`] runs at the current
+    /// virtual time.
+    pub fn spawn(&mut self, host: HostId, app: Box<dyn App>) -> ProcId {
+        let h = &mut self.hosts[host.0];
+        let proc = ProcId(h.procs.len());
+        h.procs.push(ProcSlot { app: Some(app), next_fd: 3 });
+        let now = self.events.now();
+        self.events.schedule(now, Event::Start { host, proc });
+        proc
+    }
+
+    /// Registers a kernel-resident protocol on a host (figure 3-3's
+    /// coexistence model).
+    pub fn register_protocol(&mut self, host: HostId, proto: Box<dyn KernelProtocol>) {
+        self.hosts[host.0].protocols.push(Some(proto));
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// A host's event counters.
+    pub fn counters(&self, host: HostId) -> &Counters {
+        &self.hosts[host.0].counters
+    }
+
+    /// A host's gprof-style profiler.
+    pub fn profiler(&self, host: HostId) -> &Profiler {
+        self.hosts[host.0].cpu.profiler()
+    }
+
+    /// A host's CPU (for utilization queries).
+    pub fn cpu(&self, host: HostId) -> &Cpu {
+        &self.hosts[host.0].cpu
+    }
+
+    /// A host's packet-filter device (introspection for tests/monitors).
+    pub fn device(&self, host: HostId) -> &PfDevice {
+        &self.hosts[host.0].device
+    }
+
+    /// A host's configured name.
+    pub fn host_name(&self, host: HostId) -> &str {
+        &self.hosts[host.0].name
+    }
+
+    /// Sets a host's NIC receive-ring capacity.
+    pub fn set_nic_capacity(&mut self, host: HostId, frames: usize) {
+        self.hosts[host.0].nic_capacity = frames;
+    }
+
+    /// Models other active processes on the host (§6.5.1): every wakeup of
+    /// a blocked process then costs two context switches.
+    pub fn set_contended(&mut self, host: HostId, on: bool) {
+        self.hosts[host.0].contended = on;
+    }
+
+    /// Enables or disables the §3.2 adaptive reordering of equal-priority
+    /// filters on a host's packet-filter device (an ablation knob; on by
+    /// default).
+    pub fn set_adaptive_reorder(&mut self, host: HostId, on: bool) {
+        self.hosts[host.0].device.set_adaptive_reorder(on);
+    }
+
+    /// Selects a host's demultiplexing engine: the paper's sequential
+    /// interpreter loop (the default) or §7's compiled decision table.
+    pub fn set_demux_engine(&mut self, host: HostId, engine: DemuxEngine) {
+        self.hosts[host.0].device.set_engine(engine);
+    }
+
+    /// The network (e.g. for segment statistics).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Downcasts a process's [`App`] to its concrete type, for harvesting
+    /// results after a run.
+    pub fn app_ref<T: App>(&self, host: HostId, proc: ProcId) -> Option<&T> {
+        let app = self.hosts[host.0].procs[proc.0].app.as_deref()?;
+        (app as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Downcasts a host's registered kernel protocol by concrete type.
+    pub fn protocol_ref<T: KernelProtocol>(&self, host: HostId) -> Option<&T> {
+        self.hosts[host.0]
+            .protocols
+            .iter()
+            .filter_map(|p| p.as_deref())
+            .find_map(|p| (p as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// Injects a frame as if it arrived from the wire at time `at` (test
+    /// and trace-replay hook).
+    pub fn inject_frame(&mut self, host: HostId, frame: Vec<u8>, at: SimTime) {
+        self.events.schedule(at, Event::FrameArrival { host, frame });
+    }
+
+    /// Runs until the event queue is empty; returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while let Some((t, ev)) = self.events.pop() {
+            self.dispatch(t, ev);
+        }
+        self.events.now()
+    }
+
+    /// Runs until the queue is empty or the next event is after `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            self.dispatch(t, ev);
+        }
+        self.events.now()
+    }
+
+    fn dispatch(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Start { host, proc } => {
+                self.invoke_app(host, proc, |app, k| app.start(k));
+            }
+            Event::FrameArrival { host, frame } => self.frame_arrival(host, frame, now),
+            Event::DriverDone { host } => {
+                let h = &mut self.hosts[host.0];
+                h.nic_inflight = h.nic_inflight.saturating_sub(1);
+            }
+            Event::DeliverPackets { host, proc, fd, packets } => {
+                self.invoke_app(host, proc, |app, k| app.on_packets(fd, packets, k));
+            }
+            Event::ReadFail { host, proc, fd, err, port, generation } => {
+                if let Some(generation) = generation {
+                    // A timeout: only valid if that exact read is still
+                    // pending (completions cancel the event, but be safe).
+                    let p = self.hosts[host.0].device.port_mut(port);
+                    match &p.pending {
+                        Some(pr) if pr.generation == generation => {
+                            p.pending = None;
+                        }
+                        _ => return,
+                    }
+                }
+                self.invoke_app(host, proc, |app, k| app.on_read_error(fd, err, k));
+            }
+            Event::Signal { host, proc, fd } => {
+                self.invoke_app(host, proc, |app, k| app.on_signal(fd, k));
+            }
+            Event::Timer { host, proc, token, timer } => {
+                self.hosts[host.0].timer_events.remove(&timer);
+                self.invoke_app(host, proc, |app, k| app.on_timer(token, k));
+            }
+            Event::PipeDeliver { host, proc, pipe, data } => {
+                self.invoke_app(host, proc, |app, k| app.on_pipe_data(pipe, data, k));
+            }
+            Event::SocketDeliver { host, proc, sock, op, data, meta } => {
+                self.invoke_app(host, proc, |app, k| {
+                    app.on_socket(sock, op, data, meta, k)
+                });
+            }
+            Event::KTimer { host, proto, token } => {
+                self.invoke_proto(host, proto, |p, k| p.on_timer(token, k));
+            }
+        }
+    }
+
+    /// Runs an app callback with the syscall context, using the take/put
+    /// pattern so the app and the world can be borrowed simultaneously.
+    fn invoke_app(
+        &mut self,
+        host: HostId,
+        proc: ProcId,
+        f: impl FnOnce(&mut dyn App, &mut ProcCtx<'_>),
+    ) {
+        let Some(mut app) = self.hosts[host.0].procs[proc.0].app.take() else {
+            return;
+        };
+        {
+            let mut ctx = ProcCtx { world: self, host, proc };
+            f(app.as_mut(), &mut ctx);
+        }
+        self.hosts[host.0].procs[proc.0].app = Some(app);
+    }
+
+    /// Runs a kernel-protocol callback with the kernel context.
+    fn invoke_proto(
+        &mut self,
+        host: HostId,
+        proto: usize,
+        f: impl FnOnce(&mut dyn KernelProtocol, &mut KernelCtx<'_>),
+    ) {
+        let Some(mut p) = self.hosts[host.0].protocols[proto].take() else {
+            return;
+        };
+        {
+            let mut ctx = KernelCtx { world: self, host, proto };
+            f(p.as_mut(), &mut ctx);
+        }
+        self.hosts[host.0].protocols[proto] = Some(p);
+    }
+
+    /// The receive path: driver → kernel protocol or packet filter.
+    fn frame_arrival(&mut self, host: HostId, frame: Vec<u8>, now: SimTime) {
+        {
+            let h = &mut self.hosts[host.0];
+            h.counters.packets_received += 1;
+            if h.nic_inflight >= h.nic_capacity {
+                h.counters.drops_interface += 1;
+                return;
+            }
+            h.nic_inflight += 1;
+            let cost = h.costs.driver_rx_cost(frame.len());
+            let done = h.cpu.charge("driver:rx", now, cost);
+            self.events.schedule(done, Event::DriverDone { host });
+        }
+
+        // Kernel-resident protocols get first claim on the Ethernet type
+        // (figure 3-3); everything else goes to the packet filter.
+        let medium = *self.net.medium_of(self.hosts[host.0].station);
+        if let Ok(h) = frame::parse(&medium, &frame) {
+            let claimed = self.hosts[host.0]
+                .protocols
+                .iter()
+                .position(|p| p.as_deref().is_some_and(|p| p.claims(h.ethertype)));
+            if let Some(pi) = claimed {
+                self.invoke_proto(host, pi, |p, k| p.input(frame, k));
+                return;
+            }
+        }
+
+        self.pf_demux(host, frame, now);
+    }
+
+    /// The packet-filter demultiplexing path (figure 4-1 + §3.2).
+    fn pf_demux(&mut self, host: HostId, frame: Vec<u8>, now: SimTime) {
+        let outcome = self.hosts[host.0].device.demux(&frame);
+        {
+            let h = &mut self.hosts[host.0];
+            match h.device.engine() {
+                DemuxEngine::Sequential => {
+                    for a in &outcome.applied {
+                        h.counters.filters_applied += 1;
+                        h.counters.filter_instructions += u64::from(a.stats.instructions);
+                        let cost = h.costs.filter_cost(a.stats.instructions);
+                        h.cpu.charge("pf:filter", now, cost);
+                    }
+                }
+                DemuxEngine::DecisionTable => {
+                    // One hash probe per shape, independent of population.
+                    let shapes = h.device.table_shapes() as u32;
+                    let cost = h.costs.dtree_probe.times(u64::from(shapes.max(1)));
+                    h.cpu.charge("pf:dtree", now, cost);
+                }
+            }
+        }
+        if outcome.accepted.is_empty() {
+            self.hosts[host.0].counters.drops_no_match += 1;
+            return;
+        }
+        for idx in outcome.accepted {
+            let (stamp, enqueued) = {
+                let h = &mut self.hosts[host.0];
+                let cost = h.costs.pf_bookkeeping;
+                h.cpu.charge("pf:input", now, cost);
+                let stamp = if h.device.port(idx).config.timestamp {
+                    let c = h.costs.microtime;
+                    h.cpu.charge("kern:microtime", now, c);
+                    h.counters.timestamps += 1;
+                    Some(now)
+                } else {
+                    None
+                };
+                let dropped_before = h.device.port(idx).drops;
+                let pkt = RecvPacket { bytes: frame.clone(), stamp, dropped_before };
+                let ok = h.device.port_mut(idx).enqueue(pkt);
+                if ok {
+                    h.counters.packets_delivered += 1;
+                } else {
+                    h.counters.drops_queue_full += 1;
+                }
+                (stamp, ok)
+            };
+            let _ = stamp;
+            if !enqueued {
+                continue;
+            }
+            let port = self.hosts[host.0].device.port(idx);
+            if port.pending.is_some() {
+                self.complete_read(host, idx, true);
+            } else if port.config.signal_on_input {
+                let (proc, fd) = port.owner;
+                let h = &mut self.hosts[host.0];
+                h.counters.signals_delivered += 1;
+                h.counters.domain_crossings += 1;
+                let cost = h.costs.wakeup + h.costs.context_switch;
+                h.counters.context_switches += 1;
+                h.current = Some(proc);
+                let t = h.cpu.charge("kern:psignal", now, cost);
+                self.events.schedule(t, Event::Signal { host, proc, fd });
+            }
+        }
+    }
+
+    /// Completes a read on `port`: drains packets per the read mode,
+    /// charges wakeup/switch/copy costs, and schedules the delivery.
+    ///
+    /// `was_blocked` selects whether wakeup and context-switch costs apply
+    /// (they do not when a read finds data already queued).
+    fn complete_read(&mut self, host: HostId, idx: PortIdx, was_blocked: bool) {
+        let now = self.events.now();
+        let h = &mut self.hosts[host.0];
+        let port = h.device.port_mut(idx);
+        if let Some(pending) = port.pending.take() {
+            if let Some(t) = pending.timeout {
+                self.events.cancel(t);
+            }
+        }
+        let (proc, fd) = port.owner;
+        let n = match port.config.read_mode {
+            ReadMode::Single => 1,
+            ReadMode::Batch => port.queue.len().max(1),
+        };
+        let packets: Vec<RecvPacket> = port.queue.drain(..n.min(port.queue.len())).collect();
+        debug_assert!(!packets.is_empty(), "complete_read requires queued data");
+
+        let mut t = now;
+        if was_blocked {
+            let wake = h.costs.wakeup;
+            t = h.cpu.charge("kern:wakeup", now, wake);
+        }
+        // On a contended host the reader was preempted between packets even
+        // if its read found data queued, so dispatch costs apply either way.
+        if was_blocked || h.contended {
+            t = t.max(h.charge_wakeup_switch(now, proc));
+        }
+        for p in &packets {
+            h.counters.copies += 1;
+            h.counters.bytes_copied += p.bytes.len() as u64;
+            let c = h.costs.copy(p.bytes.len());
+            t = h.cpu.charge("pf:read-copyout", now, c);
+        }
+        self.events.schedule(t, Event::DeliverPackets { host, proc, fd, packets });
+    }
+
+    /// Shared transmit path: serializes on the host's NIC and fans the
+    /// frame out as arrival events at the receiving hosts.
+    fn transmit_frame(&mut self, host: HostId, frame: &[u8], earliest: SimTime) {
+        let h = &mut self.hosts[host.0];
+        let start = earliest.max(h.tx_free_at);
+        let (done, deliveries) = self.net.transmit(h.station, frame, start);
+        h.tx_free_at = done;
+        h.counters.packets_sent += 1;
+        for d in deliveries {
+            let target = HostId(self.station_host[d.station.0]);
+            self.events
+                .schedule(d.arrival, Event::FrameArrival { host: target, frame: d.frame });
+        }
+    }
+}
+
+/// The system-call surface handed to a user process during a callback.
+///
+/// Every method charges the costs a 4.3BSD kernel would: system-call
+/// overhead, kernel↔user copies, context switches on wakeups, and the
+/// packet-filter device's own bookkeeping — all per the host's
+/// [`CostModel`].
+pub struct ProcCtx<'a> {
+    world: &'a mut World,
+    host: HostId,
+    proc: ProcId,
+}
+
+impl ProcCtx<'_> {
+    fn h(&mut self) -> &mut Host {
+        &mut self.world.hosts[self.host.0]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.events.now()
+    }
+
+    /// This process's id.
+    pub fn proc_id(&self) -> ProcId {
+        self.proc
+    }
+
+    /// This host's id.
+    pub fn host_id(&self) -> HostId {
+        self.host
+    }
+
+    /// The data-link description and this host's link address (§3.3's
+    /// status information).
+    pub fn link_info(&self) -> (Medium, u64) {
+        let station = self.world.hosts[self.host.0].station;
+        (*self.world.net.medium_of(station), self.world.net.addr_of(station))
+    }
+
+    /// Charges one system call's entry/exit overhead.
+    fn charge_syscall(&mut self, routine: &'static str) -> SimTime {
+        let now = self.world.events.now();
+        let h = self.h();
+        h.counters.syscalls += 1;
+        h.counters.domain_crossings += 2;
+        let c = h.costs.syscall;
+        h.cpu.charge(routine, now, c)
+    }
+
+    /// Charges user-level computation (protocol processing in the process,
+    /// display work, etc.) against this host's CPU; returns the completion
+    /// time. No domain crossing is involved.
+    pub fn compute(&mut self, routine: &'static str, cost: SimDuration) -> SimTime {
+        let now = self.world.events.now();
+        self.h().cpu.charge(routine, now, cost)
+    }
+
+    /// The host's cost model (so user-level protocol code can scale its
+    /// own processing costs to the machine it runs on).
+    pub fn costs(&self) -> &CostModel {
+        &self.world.hosts[self.host.0].costs
+    }
+
+    /// Opens a packet-filter port; returns its descriptor.
+    pub fn pf_open(&mut self) -> Fd {
+        self.charge_syscall("pf:open");
+        let proc = self.proc;
+        let h = self.h();
+        let fd = Fd(h.procs[proc.0].next_fd);
+        h.procs[proc.0].next_fd += 1;
+        h.device.open((proc, fd));
+        fd
+    }
+
+    /// Closes a packet-filter port.
+    pub fn pf_close(&mut self, fd: Fd) {
+        self.charge_syscall("pf:close");
+        let proc = self.proc;
+        let h = self.h();
+        if let Some(idx) = h.device.port_of((proc, fd)) {
+            h.device.close(idx);
+        }
+    }
+
+    /// Binds a filter to a port — "at a cost comparable to that of
+    /// receiving a packet" (§3.1).
+    pub fn pf_set_filter(&mut self, fd: Fd, filter: FilterProgram) {
+        self.charge_syscall("pf:ioctl");
+        let now = self.world.events.now();
+        let proc = self.proc;
+        let h = self.h();
+        let cost = h.costs.pf_bookkeeping;
+        h.cpu.charge("pf:ioctl", now, cost);
+        if let Some(idx) = h.device.port_of((proc, fd)) {
+            h.device.set_filter(idx, filter);
+        }
+    }
+
+    /// Updates a port's configuration (§3.3's `ioctl` controls).
+    pub fn pf_configure(&mut self, fd: Fd, config: PortConfig) {
+        self.charge_syscall("pf:ioctl");
+        let proc = self.proc;
+        let h = self.h();
+        if let Some(idx) = h.device.port_of((proc, fd)) {
+            h.device.port_mut(idx).config = config;
+        }
+    }
+
+    /// Dropped-packet count for a port (§3.3 status information).
+    pub fn pf_drops(&mut self, fd: Fd) -> u64 {
+        let proc = self.proc;
+        let h = self.h();
+        h.device.port_of((proc, fd)).map_or(0, |idx| h.device.port(idx).drops)
+    }
+
+    /// Transmits a complete frame (data-link header included) — §3's
+    /// packet transmission: "control returns to the user once the packet is
+    /// queued for transmission"; delivery is unreliable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SendError`] if the frame violates the medium's size
+    /// limits.
+    pub fn pf_write(&mut self, _fd: Fd, frame_bytes: &[u8]) -> Result<(), SendError> {
+        let (medium, _) = self.link_info();
+        if frame_bytes.len() < medium.header_len {
+            return Err(SendError::FrameTooShort);
+        }
+        if frame_bytes.len() > medium.max_packet {
+            return Err(SendError::FrameTooLong);
+        }
+        self.charge_syscall("pf:write");
+        let now = self.world.events.now();
+        let h = self.h();
+        h.counters.copies += 1;
+        h.counters.bytes_copied += frame_bytes.len() as u64;
+        let c_copy = h.costs.copy(frame_bytes.len());
+        h.cpu.charge("pf:write-copyin", now, c_copy);
+        let c_out = h.costs.pf_send_fixed;
+        h.cpu.charge("pf:output", now, c_out);
+        let c_tx = h.costs.driver_tx_cost(frame_bytes.len());
+        let done = h.cpu.charge("driver:tx", now, c_tx);
+        let host = self.host;
+        self.world.transmit_frame(host, frame_bytes, done);
+        Ok(())
+    }
+
+    /// Transmits several complete frames in one system call — §7's
+    /// proposed *write-batching* option ("a write-batching option (to send
+    /// several packets in one system call) might also improve
+    /// performance"). One syscall's entry/exit overhead covers the whole
+    /// batch; per-frame copy, output, and driver costs still apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frame's size violation, if any; frames before it
+    /// are already queued (matching `writev` semantics).
+    pub fn pf_write_batch(
+        &mut self,
+        _fd: Fd,
+        frames: &[Vec<u8>],
+    ) -> Result<(), SendError> {
+        let (medium, _) = self.link_info();
+        self.charge_syscall("pf:writev");
+        for frame_bytes in frames {
+            if frame_bytes.len() < medium.header_len {
+                return Err(SendError::FrameTooShort);
+            }
+            if frame_bytes.len() > medium.max_packet {
+                return Err(SendError::FrameTooLong);
+            }
+            let now = self.world.events.now();
+            let h = self.h();
+            h.counters.copies += 1;
+            h.counters.bytes_copied += frame_bytes.len() as u64;
+            let c_copy = h.costs.copy(frame_bytes.len());
+            h.cpu.charge("pf:write-copyin", now, c_copy);
+            let c_out = h.costs.pf_send_fixed;
+            h.cpu.charge("pf:output", now, c_out);
+            let c_tx = h.costs.driver_tx_cost(frame_bytes.len());
+            let done = h.cpu.charge("driver:tx", now, c_tx);
+            let host = self.host;
+            self.world.transmit_frame(host, frame_bytes, done);
+        }
+        Ok(())
+    }
+
+    /// Arms a read on a packet-filter port. Completion arrives as
+    /// [`App::on_packets`] (or [`App::on_read_error`] on timeout /
+    /// would-block), per the port's configuration.
+    pub fn pf_read(&mut self, fd: Fd) {
+        self.charge_syscall("pf:read");
+        let proc = self.proc;
+        let host = self.host;
+        let Some(idx) = self.world.hosts[host.0].device.port_of((proc, fd)) else {
+            return;
+        };
+        let has_data = !self.world.hosts[host.0].device.port(idx).queue.is_empty();
+        if has_data {
+            self.world.complete_read(host, idx, false);
+            return;
+        }
+        let block = self.world.hosts[host.0].device.port(idx).config.block;
+        match block {
+            BlockPolicy::NonBlocking => {
+                let now = self.world.events.now();
+                self.world.events.schedule(
+                    now,
+                    Event::ReadFail {
+                        host,
+                        proc,
+                        fd,
+                        err: ReadError::WouldBlock,
+                        port: idx,
+                        generation: None,
+                    },
+                );
+            }
+            BlockPolicy::Blocking | BlockPolicy::Timeout(_) => {
+                let generation = {
+                    let port = self.world.hosts[host.0].device.port_mut(idx);
+                    let g = port.next_generation;
+                    port.next_generation += 1;
+                    g
+                };
+                let timeout = if let BlockPolicy::Timeout(d) = block {
+                    let at = self.world.events.now() + d;
+                    Some(self.world.events.schedule(
+                        at,
+                        Event::ReadFail {
+                            host,
+                            proc,
+                            fd,
+                            err: ReadError::TimedOut,
+                            port: idx,
+                            generation: Some(generation),
+                        },
+                    ))
+                } else {
+                    None
+                };
+                self.world.hosts[host.0].device.port_mut(idx).pending =
+                    Some(PendingRead { generation, timeout });
+            }
+        }
+    }
+
+    /// Puts this host's interface in promiscuous mode (network monitors).
+    pub fn set_promiscuous(&mut self, on: bool) {
+        let station = self.world.hosts[self.host.0].station;
+        self.world.net.set_promiscuous(station, on);
+    }
+
+    /// Joins an Ethernet multicast group (the V-system's group IPC).
+    pub fn join_multicast(&mut self, group: u64) {
+        let station = self.world.hosts[self.host.0].station;
+        self.world.net.join_multicast(station, group);
+    }
+
+    /// Sets a one-shot timer; [`App::on_timer`] fires with `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let host = self.host;
+        let proc = self.proc;
+        let at = self.world.events.now() + delay;
+        let h = &mut self.world.hosts[host.0];
+        let timer = h.next_timer;
+        h.next_timer += 1;
+        let handle = self
+            .world
+            .events
+            .schedule(at, Event::Timer { host, proc, token, timer });
+        self.world.hosts[host.0].timer_events.insert(timer, handle);
+        TimerId(timer)
+    }
+
+    /// Cancels a pending timer; `false` if it already fired.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        let h = &mut self.world.hosts[self.host.0];
+        match h.timer_events.remove(&id.0) {
+            Some(handle) => self.world.events.cancel(handle),
+            None => false,
+        }
+    }
+
+    /// Creates a pipe whose read end belongs to `reader`.
+    pub fn pipe_to(&mut self, reader: ProcId) -> PipeId {
+        let h = self.h();
+        let id = PipeId(h.pipes.len());
+        h.pipes.push(Pipe { reader, open: true });
+        id
+    }
+
+    /// Writes `data` into a pipe. Unix has no shared memory here (§6.5.1):
+    /// the data is copied in on write and out on the reader's read, with a
+    /// wakeup and context switch in between. Both ends' system calls are
+    /// charged.
+    pub fn pipe_write(&mut self, pipe: PipeId, data: Vec<u8>) {
+        let host = self.host;
+        self.charge_syscall("pipe:write");
+        let now = self.world.events.now();
+        let h = self.h();
+        if !h.pipes.get(pipe.0).is_some_and(|p| p.open) {
+            return;
+        }
+        let reader = h.pipes[pipe.0].reader;
+        h.counters.copies += 2;
+        h.counters.bytes_copied += 2 * data.len() as u64;
+        let c_in = h.costs.copy(data.len());
+        h.cpu.charge("pipe:copyin", now, c_in);
+        let c_ovh = h.costs.pipe_overhead + h.costs.wakeup;
+        h.cpu.charge("pipe:overhead", now, c_ovh);
+        h.charge_wakeup_switch(now, reader);
+        // The reader's read(2): syscall + copy out.
+        h.counters.syscalls += 1;
+        h.counters.domain_crossings += 2;
+        let c_sys = h.costs.syscall;
+        h.cpu.charge("pipe:read", now, c_sys);
+        let c_out = h.costs.copy(data.len());
+        let t = h.cpu.charge("pipe:copyout", now, c_out);
+        self.world
+            .events
+            .schedule(t, Event::PipeDeliver { host, proc: reader, pipe, data });
+    }
+
+    /// Opens a kernel-protocol socket by protocol name; `None` if no such
+    /// protocol is registered on this host.
+    pub fn ksock_open(&mut self, proto_name: &str) -> Option<SockId> {
+        self.charge_syscall("sock:open");
+        let proc = self.proc;
+        let h = self.h();
+        let proto = h
+            .protocols
+            .iter()
+            .position(|p| p.as_deref().is_some_and(|p| p.name() == proto_name))?;
+        let id = SockId(h.socks.len());
+        h.socks.push(Sock { owner: proc, proto, open: true });
+        Some(id)
+    }
+
+    /// Closes a kernel socket.
+    pub fn ksock_close(&mut self, sock: SockId) {
+        self.charge_syscall("sock:close");
+        let host = self.host;
+        let Some(s) = self.world.hosts[host.0].socks.get_mut(sock.0) else {
+            return;
+        };
+        if !s.open {
+            return;
+        }
+        s.open = false;
+        let proto = s.proto;
+        self.world.invoke_proto(host, proto, |p, k| p.sock_closed(sock, k));
+    }
+
+    /// Issues a protocol-defined request on a kernel socket, transferring
+    /// `data` into the kernel. Completions arrive via [`App::on_socket`].
+    pub fn ksock_request(&mut self, sock: SockId, op: u32, data: Vec<u8>, meta: [u64; 4]) {
+        self.charge_syscall("sock:request");
+        let host = self.host;
+        let proc = self.proc;
+        let now = self.world.events.now();
+        let Some(s) = self.world.hosts[host.0].socks.get(sock.0) else {
+            return;
+        };
+        if !s.open {
+            return;
+        }
+        let proto = s.proto;
+        if !data.is_empty() {
+            let h = &mut self.world.hosts[host.0];
+            h.counters.copies += 1;
+            h.counters.bytes_copied += data.len() as u64;
+            let c = h.costs.copy(data.len());
+            h.cpu.charge("sock:copyin", now, c);
+        }
+        self.world
+            .invoke_proto(host, proto, |p, k| p.user_request(proc, sock, op, data, meta, k));
+    }
+}
+
+/// The facilities the kernel gives a kernel-resident protocol.
+pub struct KernelCtx<'a> {
+    world: &'a mut World,
+    host: HostId,
+    proto: usize,
+}
+
+impl KernelCtx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.events.now()
+    }
+
+    /// This host's id.
+    pub fn host_id(&self) -> HostId {
+        self.host
+    }
+
+    /// The host's cost model.
+    pub fn costs(&self) -> &CostModel {
+        &self.world.hosts[self.host.0].costs
+    }
+
+    /// The data-link description and this host's link address.
+    pub fn link_info(&self) -> (Medium, u64) {
+        let station = self.world.hosts[self.host.0].station;
+        (*self.world.net.medium_of(station), self.world.net.addr_of(station))
+    }
+
+    /// Charges protocol processing time under `routine`; returns the
+    /// completion time.
+    pub fn charge(&mut self, routine: &'static str, cost: SimDuration) -> SimTime {
+        let now = self.world.events.now();
+        let h = &mut self.world.hosts[self.host.0];
+        h.cpu.charge(routine, now, cost)
+    }
+
+    /// Mutable access to the host's counters.
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.world.hosts[self.host.0].counters
+    }
+
+    /// Transmits a frame from kernel context (charges driver costs).
+    pub fn transmit(&mut self, frame_bytes: &[u8]) {
+        let now = self.world.events.now();
+        let host = self.host;
+        let h = &mut self.world.hosts[host.0];
+        let c = h.costs.driver_tx_cost(frame_bytes.len());
+        let done = h.cpu.charge("driver:tx", now, c);
+        self.world.transmit_frame(host, frame_bytes, done);
+    }
+
+    /// Sets a kernel timer; [`KernelProtocol::on_timer`] fires with `token`.
+    ///
+    /// [`KernelProtocol::on_timer`]: crate::kproto::KernelProtocol::on_timer
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> EventHandle {
+        let at = self.world.events.now() + delay;
+        let host = self.host;
+        let proto = self.proto;
+        self.world.events.schedule(at, Event::KTimer { host, proto, token })
+    }
+
+    /// Cancels a kernel timer scheduled with [`KernelCtx::set_timer`].
+    pub fn cancel_timer(&mut self, handle: EventHandle) -> bool {
+        self.world.events.cancel(handle)
+    }
+
+    /// Completes a user operation on `sock`: wakes the owner (context
+    /// switch), copies `data` out, and delivers [`App::on_socket`].
+    ///
+    /// [`App::on_socket`]: crate::app::App::on_socket
+    pub fn complete(&mut self, sock: SockId, op: u32, data: Vec<u8>, meta: [u64; 4]) {
+        let now = self.world.events.now();
+        let host = self.host;
+        let Some(s) = self.world.hosts[host.0].socks.get(sock.0) else {
+            return;
+        };
+        if !s.open {
+            return;
+        }
+        let proc = s.owner;
+        let h = &mut self.world.hosts[host.0];
+        let wake = h.costs.wakeup;
+        let mut t = h.cpu.charge("kern:wakeup", now, wake);
+        t = t.max(h.charge_wakeup_switch(now, proc));
+        h.counters.domain_crossings += 1;
+        if !data.is_empty() {
+            h.counters.copies += 1;
+            h.counters.bytes_copied += data.len() as u64;
+            let c = h.costs.copy(data.len());
+            t = h.cpu.charge("sock:copyout", now, c);
+        }
+        self.world
+            .events
+            .schedule(t, Event::SocketDeliver { host, proc, sock, op, data, meta });
+    }
+
+    /// The owner of a socket.
+    pub fn sock_owner(&self, sock: SockId) -> Option<ProcId> {
+        self.world.hosts[self.host.0]
+            .socks
+            .get(sock.0)
+            .filter(|s| s.open)
+            .map(|s| s.owner)
+    }
+}

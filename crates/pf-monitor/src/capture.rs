@@ -1,0 +1,207 @@
+//! Packet capture over the packet filter (§5.4).
+//!
+//! "One of us has been using the packet filter, on a MicroVAX-II
+//! workstation, as the basis for a variety of experimental network
+//! monitoring tools." The capture process puts its interface in
+//! promiscuous mode, binds a high-priority filter with the
+//! deliver-to-lower option set — so monitored processes still receive
+//! their packets undisturbed (§3.2) — enables timestamping and batched
+//! reads, and accumulates a bounded trace.
+
+use pf_filter::program::FilterProgram;
+use pf_filter::samples;
+use pf_kernel::app::App;
+use pf_kernel::types::{Fd, PortConfig, ReadError, ReadMode, RecvPacket};
+use pf_kernel::world::ProcCtx;
+use pf_sim::time::SimTime;
+
+/// One captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Captured {
+    /// Kernel arrival timestamp (§3.3's per-packet marking).
+    pub stamp: Option<SimTime>,
+    /// The complete frame.
+    pub bytes: Vec<u8>,
+    /// Packets the capture port had dropped before this one.
+    pub dropped_before: u64,
+}
+
+/// A capture process.
+///
+/// By default it captures everything ("sufficient performance to record
+/// all packets flowing on a moderately busy Ethernet"); pass a narrower
+/// filter to watch one conversation ("more than sufficient performance to
+/// capture all packets between a pair of communicating hosts").
+pub struct CaptureApp {
+    filter: FilterProgram,
+    max_packets: usize,
+    queue_len: usize,
+    fd: Option<Fd>,
+    /// The accumulated trace.
+    pub trace: Vec<Captured>,
+    /// Packets seen but not stored (trace full).
+    pub overflowed: u64,
+}
+
+impl CaptureApp {
+    /// Captures every packet on the segment, storing at most
+    /// `max_packets`.
+    pub fn promiscuous(max_packets: usize) -> Self {
+        // High priority + deliver-to-lower: the monitor sees the packet
+        // first but never diverts it.
+        Self::with_filter(samples::accept_all(200), max_packets)
+    }
+
+    /// Captures packets matching `filter` (still non-diverting).
+    pub fn with_filter(filter: FilterProgram, max_packets: usize) -> Self {
+        CaptureApp {
+            filter,
+            max_packets,
+            queue_len: 64,
+            fd: None,
+            trace: Vec::new(),
+            overflowed: 0,
+        }
+    }
+
+    /// Sets the kernel-side input-queue bound for the capture port.
+    pub fn with_queue_len(mut self, frames: usize) -> Self {
+        self.queue_len = frames;
+        self
+    }
+
+    /// Number of packets captured.
+    pub fn captured(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+impl App for CaptureApp {
+    fn start(&mut self, k: &mut ProcCtx<'_>) {
+        k.set_promiscuous(true);
+        let fd = k.pf_open();
+        k.pf_set_filter(fd, self.filter.clone());
+        k.pf_configure(
+            fd,
+            PortConfig {
+                read_mode: ReadMode::Batch,
+                deliver_to_lower: true,
+                timestamp: true,
+                max_queue: self.queue_len,
+                ..Default::default()
+            },
+        );
+        self.fd = Some(fd);
+        k.pf_read(fd);
+    }
+
+    fn on_packets(&mut self, fd: Fd, packets: Vec<RecvPacket>, k: &mut ProcCtx<'_>) {
+        for p in packets {
+            if self.trace.len() >= self.max_packets {
+                self.overflowed += 1;
+                continue;
+            }
+            self.trace.push(Captured {
+                stamp: p.stamp,
+                bytes: p.bytes,
+                dropped_before: p.dropped_before,
+            });
+        }
+        k.pf_read(fd);
+    }
+
+    fn on_read_error(&mut self, fd: Fd, _err: ReadError, k: &mut ProcCtx<'_>) {
+        k.pf_read(fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_kernel::world::World;
+    use pf_net::medium::Medium;
+    use pf_net::segment::FaultModel;
+    use pf_proto::bsp::BspConfig;
+    use pf_proto::bsp_app::{BspReceiverApp, BspSenderApp};
+    use pf_proto::pup::PupAddr;
+    use pf_sim::cost::CostModel;
+
+    /// A BSP transfer between two hosts, with a monitor on a third.
+    fn monitored_transfer() -> (World, pf_kernel::types::HostId, pf_kernel::types::ProcId, u64) {
+        let mut w = World::new(21);
+        let seg = w.add_segment(Medium::experimental_3mb(), FaultModel::default());
+        let a = w.add_host("sender", seg, 0x0A, CostModel::microvax_ii());
+        let b = w.add_host("receiver", seg, 0x0B, CostModel::microvax_ii());
+        let m = w.add_host("monitor", seg, 0x0C, CostModel::microvax_ii());
+        let src = PupAddr::new(1, 0x0A, 0x300);
+        let dst = PupAddr::new(1, 0x0B, 0x400);
+        let cfg = BspConfig::default();
+        let rx = w.spawn(b, Box::new(BspReceiverApp::new(dst, cfg.clone())));
+        w.spawn(a, Box::new(BspSenderApp::new(src, dst, vec![5u8; 10_000], cfg)));
+        let cap = w.spawn(m, Box::new(CaptureApp::promiscuous(10_000)));
+        w.run();
+        let bytes = w.app_ref::<BspReceiverApp>(b, rx).unwrap().bytes;
+        (w, m, cap, bytes)
+    }
+
+    #[test]
+    fn monitor_captures_whole_conversation_without_disturbing_it() {
+        let (w, m, cap, bytes) = monitored_transfer();
+        assert_eq!(bytes, 10_000, "transfer unaffected by the monitor");
+        let app = w.app_ref::<CaptureApp>(m, cap).unwrap();
+        // RFC, OPEN, ~19 data packets, acks, END, END_REPLY.
+        assert!(app.captured() > 20, "captured {}", app.captured());
+        assert!(app.trace.iter().all(|c| c.stamp.is_some()), "all stamped");
+        // Timestamps are monotonically non-decreasing.
+        let stamps: Vec<_> = app.trace.iter().map(|c| c.stamp.unwrap()).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn trace_cap_is_respected() {
+        let mut w = World::new(22);
+        let seg = w.add_segment(Medium::experimental_3mb(), FaultModel::default());
+        let a = w.add_host("sender", seg, 0x0A, CostModel::microvax_ii());
+        let m = w.add_host("monitor", seg, 0x0C, CostModel::microvax_ii());
+        let cap = w.spawn(m, Box::new(CaptureApp::promiscuous(5)));
+        struct Blast;
+        impl App for Blast {
+            fn start(&mut self, k: &mut ProcCtx<'_>) {
+                let fd = k.pf_open();
+                for i in 0..10u8 {
+                    let p = pf_filter::samples::pup_packet_3mb(2, 0, u16::from(i), 1);
+                    let _ = k.pf_write(fd, &p);
+                }
+            }
+        }
+        w.spawn(a, Box::new(Blast));
+        w.run();
+        let app = w.app_ref::<CaptureApp>(m, cap).unwrap();
+        assert_eq!(app.captured(), 5);
+        assert_eq!(app.overflowed, 5);
+    }
+
+    #[test]
+    fn filtered_capture_sees_only_matching_packets() {
+        let mut w = World::new(23);
+        let seg = w.add_segment(Medium::experimental_3mb(), FaultModel::default());
+        let a = w.add_host("sender", seg, 0x0A, CostModel::microvax_ii());
+        let m = w.add_host("monitor", seg, 0x0C, CostModel::microvax_ii());
+        // Only Pups to socket 35.
+        let filt = pf_filter::samples::pup_socket_filter(200, 0, 35);
+        let cap = w.spawn(m, Box::new(CaptureApp::with_filter(filt, 100)));
+        struct Mixed;
+        impl App for Mixed {
+            fn start(&mut self, k: &mut ProcCtx<'_>) {
+                let fd = k.pf_open();
+                for sock in [35u16, 36, 35, 37, 35] {
+                    let p = pf_filter::samples::pup_packet_3mb(2, 0, sock, 1);
+                    let _ = k.pf_write(fd, &p);
+                }
+            }
+        }
+        w.spawn(a, Box::new(Mixed));
+        w.run();
+        assert_eq!(w.app_ref::<CaptureApp>(m, cap).unwrap().captured(), 3);
+    }
+}

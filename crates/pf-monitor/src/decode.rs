@@ -1,0 +1,281 @@
+//! Protocol decoders: one-line summaries of captured frames.
+//!
+//! "A user can write new monitoring programs to display data in novel
+//! ways, or to monitor new or unusual protocols" (§5.4) — this is the
+//! display half: given a frame, produce a human-readable trace line, in
+//! the spirit of Sun's `etherfind` (and everything descended from it).
+
+use core::fmt;
+use pf_net::frame;
+use pf_net::medium::Medium;
+use pf_proto::arp::{oper, ArpPacket, ARP_ETHERTYPE, RARP_ETHERTYPE};
+use pf_proto::ip::{decode_ip, decode_udp, IP_ETHERTYPE, PROTO_TCP, PROTO_UDP};
+use pf_proto::pup::{Pup, PUP_ETHERTYPE};
+use pf_proto::tcp::Segment;
+use pf_proto::vmtp::{VmtpPacket, VmtpType, VMTP_ETHERTYPE};
+
+/// A decoded frame summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// A Pup datagram (possibly BSP).
+    Pup {
+        /// Source `net.host.socket`.
+        src: String,
+        /// Destination `net.host.socket`.
+        dst: String,
+        /// Pup type code.
+        ptype: u8,
+        /// Payload bytes.
+        len: usize,
+    },
+    /// A VMTP packet.
+    Vmtp {
+        /// Source entity.
+        src: u32,
+        /// Destination entity.
+        dst: u32,
+        /// Packet kind.
+        kind: VmtpType,
+        /// Transaction id.
+        trans: u32,
+        /// Payload bytes.
+        len: usize,
+    },
+    /// A UDP datagram inside IP.
+    Udp {
+        /// `ip.port` source.
+        src: String,
+        /// `ip.port` destination.
+        dst: String,
+        /// Payload bytes.
+        len: usize,
+    },
+    /// A TCP segment inside IP.
+    Tcp {
+        /// `ip.port` source.
+        src: String,
+        /// `ip.port` destination.
+        dst: String,
+        /// Sequence number.
+        seq: u32,
+        /// Acknowledgment number.
+        ack: u32,
+        /// Flag summary like `S`, `A`, `FA`.
+        flags: String,
+        /// Payload bytes.
+        len: usize,
+    },
+    /// An ARP or RARP packet.
+    Arp {
+        /// Operation code.
+        oper: u16,
+        /// Human name ("arp-request", "rarp-reply", …).
+        what: &'static str,
+    },
+    /// Recognized nothing beyond the Ethernet header.
+    Other {
+        /// The Ethernet type.
+        ethertype: u16,
+        /// Frame length.
+        len: usize,
+    },
+    /// Not even a valid frame for the medium.
+    Malformed,
+}
+
+impl fmt::Display for Decoded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decoded::Pup { src, dst, ptype, len } => {
+                write!(f, "pup {src} > {dst}: type {ptype} len {len}")
+            }
+            Decoded::Vmtp { src, dst, kind, trans, len } => {
+                write!(f, "vmtp {src:#x} > {dst:#x}: {kind:?} trans {trans} len {len}")
+            }
+            Decoded::Udp { src, dst, len } => write!(f, "udp {src} > {dst}: len {len}"),
+            Decoded::Tcp { src, dst, seq, ack, flags, len } => {
+                write!(f, "tcp {src} > {dst}: {flags} seq {seq} ack {ack} len {len}")
+            }
+            Decoded::Arp { what, .. } => write!(f, "{what}"),
+            Decoded::Other { ethertype, len } => {
+                write!(f, "ether type {ethertype:#06x} len {len}")
+            }
+            Decoded::Malformed => write!(f, "malformed frame"),
+        }
+    }
+}
+
+/// Decodes one frame captured on `medium`.
+pub fn decode(medium: &Medium, bytes: &[u8]) -> Decoded {
+    let Ok(h) = frame::parse(medium, bytes) else {
+        return Decoded::Malformed;
+    };
+    match h.ethertype {
+        PUP_ETHERTYPE => match Pup::decode_frame(medium, bytes) {
+            Ok(p) => Decoded::Pup {
+                src: format!("{}.{}.{}", p.src.net, p.src.host, p.src.socket),
+                dst: format!("{}.{}.{}", p.dst.net, p.dst.host, p.dst.socket),
+                ptype: p.ptype,
+                len: p.data.len(),
+            },
+            Err(_) => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+        },
+        VMTP_ETHERTYPE => match VmtpPacket::decode_frame(medium, bytes) {
+            Some((p, _)) => Decoded::Vmtp {
+                src: p.src_entity,
+                dst: p.dst_entity,
+                kind: p.ptype,
+                trans: p.trans,
+                len: p.data.len(),
+            },
+            None => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+        },
+        IP_ETHERTYPE => {
+            let Ok(body) = frame::payload(medium, bytes) else {
+                return Decoded::Malformed;
+            };
+            let Some((ih, l4)) = decode_ip(body) else {
+                return Decoded::Other { ethertype: h.ethertype, len: bytes.len() };
+            };
+            match ih.proto {
+                PROTO_UDP => match decode_udp(l4) {
+                    Some((sp, dp, data)) => Decoded::Udp {
+                        src: format!("{}.{}", ih.src, sp),
+                        dst: format!("{}.{}", ih.dst, dp),
+                        len: data.len(),
+                    },
+                    None => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+                },
+                PROTO_TCP => match Segment::decode(l4) {
+                    Some(s) => {
+                        let mut flags = String::new();
+                        if s.flags & pf_proto::tcp::flags::SYN != 0 {
+                            flags.push('S');
+                        }
+                        if s.flags & pf_proto::tcp::flags::FIN != 0 {
+                            flags.push('F');
+                        }
+                        if s.flags & pf_proto::tcp::flags::ACK != 0 {
+                            flags.push('A');
+                        }
+                        Decoded::Tcp {
+                            src: format!("{}.{}", ih.src, s.src_port),
+                            dst: format!("{}.{}", ih.dst, s.dst_port),
+                            seq: s.seq,
+                            ack: s.ack,
+                            flags,
+                            len: s.data.len(),
+                        }
+                    }
+                    None => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+                },
+                _ => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+            }
+        }
+        ARP_ETHERTYPE | RARP_ETHERTYPE => {
+            let Ok(body) = frame::payload(medium, bytes) else {
+                return Decoded::Malformed;
+            };
+            match ArpPacket::decode_body(body) {
+                Some(p) => Decoded::Arp {
+                    oper: p.oper,
+                    what: match p.oper {
+                        oper::ARP_REQUEST => "arp-request",
+                        oper::ARP_REPLY => "arp-reply",
+                        oper::RARP_REQUEST => "rarp-request",
+                        oper::RARP_REPLY => "rarp-reply",
+                        _ => "arp-unknown",
+                    },
+                },
+                None => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+            }
+        }
+        other => Decoded::Other { ethertype: other, len: bytes.len() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_proto::pup::PupAddr;
+
+    #[test]
+    fn decodes_pup() {
+        let m = Medium::experimental_3mb();
+        let p = Pup::new(16, 1, PupAddr::new(1, 0x0B, 35), PupAddr::new(1, 0x0A, 9), vec![1, 2]);
+        let d = decode(&m, &p.encode_frame(&m, false));
+        assert_eq!(
+            d,
+            Decoded::Pup { src: "1.10.9".into(), dst: "1.11.35".into(), ptype: 16, len: 2 }
+        );
+        assert!(d.to_string().contains("pup 1.10.9 > 1.11.35"));
+    }
+
+    #[test]
+    fn decodes_vmtp() {
+        let m = Medium::standard_10mb();
+        let p = VmtpPacket {
+            dst_entity: 0x20,
+            src_entity: 0x10,
+            trans: 7,
+            ptype: VmtpType::Request,
+            index: 0,
+            count: 1,
+            opcode: 0,
+            data: vec![],
+        };
+        let d = decode(&m, &p.encode_frame(&m, 0x0B, 0x0A));
+        assert!(matches!(d, Decoded::Vmtp { trans: 7, .. }));
+    }
+
+    #[test]
+    fn decodes_udp_and_tcp() {
+        use pf_proto::ip::{encode_ip, encode_udp, IpHeader};
+        let m = Medium::standard_10mb();
+        let udp = encode_ip(
+            &IpHeader { proto: PROTO_UDP, ttl: 9, src: 1, dst: 2, total_len: 0 },
+            &encode_udp(100, 200, b"xyz"),
+        );
+        let f = frame::build(&m, 0x0B, 0x0A, IP_ETHERTYPE, &udp).unwrap();
+        assert_eq!(
+            decode(&m, &f),
+            Decoded::Udp { src: "1.100".into(), dst: "2.200".into(), len: 3 }
+        );
+
+        let seg = Segment {
+            src_port: 5,
+            dst_port: 6,
+            seq: 1,
+            ack: 2,
+            flags: pf_proto::tcp::flags::SYN | pf_proto::tcp::flags::ACK,
+            window: 100,
+            data: vec![],
+        };
+        let tcp = encode_ip(
+            &IpHeader { proto: PROTO_TCP, ttl: 9, src: 1, dst: 2, total_len: 0 },
+            &seg.encode(),
+        );
+        let f = frame::build(&m, 0x0B, 0x0A, IP_ETHERTYPE, &tcp).unwrap();
+        let d = decode(&m, &f);
+        assert!(matches!(&d, Decoded::Tcp { flags, .. } if flags == "SA"), "{d}");
+    }
+
+    #[test]
+    fn decodes_arp_family() {
+        let m = Medium::standard_10mb();
+        let p = ArpPacket { oper: oper::RARP_REQUEST, sha: 1, spa: 0, tha: 1, tpa: 0 };
+        let f = p.encode_frame(&m, RARP_ETHERTYPE, m.broadcast, 1);
+        assert_eq!(
+            decode(&m, &f),
+            Decoded::Arp { oper: oper::RARP_REQUEST, what: "rarp-request" }
+        );
+    }
+
+    #[test]
+    fn unknown_and_malformed() {
+        let m = Medium::experimental_3mb();
+        let f = frame::build(&m, 1, 2, 0x7777, &[1, 2, 3]).unwrap();
+        assert_eq!(decode(&m, &f), Decoded::Other { ethertype: 0x7777, len: 7 });
+        assert_eq!(decode(&m, &[1]), Decoded::Malformed);
+    }
+}

@@ -1,0 +1,17 @@
+//! Simulated Ethernet data links.
+//!
+//! The paper's packet filter "provides a raw interface to Ethernets and
+//! similar network data link layers"; its measurements use both the
+//! 3 Mbit/s Experimental Ethernet and the 10 Mbit/s standard Ethernet.
+//! This crate simulates those links: medium descriptions ([`medium`]),
+//! frame encode/decode ([`frame`]), and shared-bus segments with address
+//! filtering, broadcast/multicast, promiscuous mode, bandwidth-accurate
+//! timing, and deterministic fault injection ([`segment`]).
+
+pub mod frame;
+pub mod medium;
+pub mod segment;
+
+pub use frame::{FrameError, Header};
+pub use medium::{Medium, MediumKind};
+pub use segment::{Delivery, FaultModel, Network, SegmentId, StationId};

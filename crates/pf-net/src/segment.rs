@@ -1,0 +1,369 @@
+//! Shared-bus segments and attached stations.
+//!
+//! A [`Network`] holds one or more Ethernet segments. Transmitting a frame
+//! computes its time on the wire from the medium's bandwidth and produces a
+//! [`Delivery`] for every station whose address filter would accept it
+//! (unicast match, broadcast, subscribed multicast, or promiscuous mode).
+//! Deterministic fault injection — loss and duplication — is per segment.
+//!
+//! The network layer is passive: the host simulation (in `pf-kernel`)
+//! schedules the returned deliveries on its event queue. That keeps this
+//! crate free of any event-loop coupling.
+
+use crate::frame;
+use crate::medium::Medium;
+use pf_sim::rng::SplitMix64;
+use pf_sim::time::{SimDuration, SimTime};
+
+/// Identifies a segment within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentId(pub usize);
+
+/// Identifies a station (an attached network interface) within a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StationId(pub usize);
+
+/// Deterministic fault-injection knobs for a segment.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultModel {
+    /// Probability a given delivery is silently lost.
+    pub loss: f64,
+    /// Probability a given delivery is duplicated (the duplicate arrives
+    /// one propagation delay later).
+    pub duplication: f64,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel { loss: 0.0, duplication: 0.0 }
+    }
+}
+
+/// One frame arriving at one station.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The receiving station.
+    pub station: StationId,
+    /// When the frame has fully arrived.
+    pub arrival: SimTime,
+    /// The frame bytes (complete, with data-link header).
+    pub frame: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Station {
+    segment: SegmentId,
+    addr: u64,
+    promiscuous: bool,
+    multicast: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct Segment {
+    medium: Medium,
+    faults: FaultModel,
+    /// Station propagation delay (end-to-end cable time; tiny vs. the
+    /// transmission delay, but nonzero keeps causality strict).
+    propagation: SimDuration,
+    stations: Vec<StationId>,
+}
+
+/// A collection of Ethernet segments and the stations attached to them.
+#[derive(Debug)]
+pub struct Network {
+    segments: Vec<Segment>,
+    stations: Vec<Station>,
+    rng: SplitMix64,
+    /// Frames transmitted per segment (for monitor-style statistics).
+    transmitted: Vec<u64>,
+    /// Deliveries suppressed by injected loss, per segment.
+    lost: Vec<u64>,
+}
+
+impl Network {
+    /// Creates an empty network with a deterministic fault-injection seed.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            segments: Vec::new(),
+            stations: Vec::new(),
+            rng: SplitMix64::new(seed),
+            transmitted: Vec::new(),
+            lost: Vec::new(),
+        }
+    }
+
+    /// Adds a segment with the given medium and fault model.
+    pub fn add_segment(&mut self, medium: Medium, faults: FaultModel) -> SegmentId {
+        let id = SegmentId(self.segments.len());
+        self.segments.push(Segment {
+            medium,
+            faults,
+            propagation: SimDuration::from_micros(5),
+            stations: Vec::new(),
+        });
+        self.transmitted.push(0);
+        self.lost.push(0);
+        id
+    }
+
+    /// Attaches a station with link address `addr` to a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment id is unknown.
+    pub fn attach(&mut self, segment: SegmentId, addr: u64) -> StationId {
+        assert!(segment.0 < self.segments.len(), "unknown segment");
+        let id = StationId(self.stations.len());
+        self.stations.push(Station {
+            segment,
+            addr,
+            promiscuous: false,
+            multicast: Vec::new(),
+        });
+        self.segments[segment.0].stations.push(id);
+        id
+    }
+
+    /// The medium of the segment a station is attached to.
+    pub fn medium_of(&self, station: StationId) -> &Medium {
+        &self.segments[self.stations[station.0].segment.0].medium
+    }
+
+    /// The link address of a station.
+    pub fn addr_of(&self, station: StationId) -> u64 {
+        self.stations[station.0].addr
+    }
+
+    /// Puts a station in (or out of) promiscuous mode — it then receives
+    /// every frame on its segment, as a network monitor's interface does.
+    pub fn set_promiscuous(&mut self, station: StationId, on: bool) {
+        self.stations[station.0].promiscuous = on;
+    }
+
+    /// Subscribes a station to a multicast group address.
+    pub fn join_multicast(&mut self, station: StationId, group: u64) {
+        let s = &mut self.stations[station.0];
+        if !s.multicast.contains(&group) {
+            s.multicast.push(group);
+        }
+    }
+
+    /// Leaves a multicast group.
+    pub fn leave_multicast(&mut self, station: StationId, group: u64) {
+        self.stations[station.0].multicast.retain(|g| *g != group);
+    }
+
+    /// Frames transmitted on a segment so far.
+    pub fn transmitted_on(&self, segment: SegmentId) -> u64 {
+        self.transmitted[segment.0]
+    }
+
+    /// Deliveries suppressed by injected loss on a segment so far.
+    pub fn lost_on(&self, segment: SegmentId) -> u64 {
+        self.lost[segment.0]
+    }
+
+    /// Transmits `frame` from `station` starting at `now`.
+    ///
+    /// Returns the time the transmitter finishes (sender side busy until
+    /// then) and the resulting deliveries. The sender never receives its
+    /// own frame (Ethernet interfaces do not loop back).
+    pub fn transmit(
+        &mut self,
+        station: StationId,
+        frame_bytes: &[u8],
+        now: SimTime,
+    ) -> (SimTime, Vec<Delivery>) {
+        let seg_id = self.stations[station.0].segment;
+        let seg = &self.segments[seg_id.0];
+        let medium = seg.medium;
+        let tx_done = now + medium.transmission_delay(frame_bytes.len());
+        let arrival = tx_done + seg.propagation;
+        self.transmitted[seg_id.0] += 1;
+
+        let header = frame::parse(&medium, frame_bytes).ok();
+        let mut out = Vec::new();
+        let receivers: Vec<StationId> = seg.stations.clone();
+        let faults = seg.faults;
+        for rcv in receivers {
+            if rcv == station {
+                continue;
+            }
+            let wants = {
+                let r = &self.stations[rcv.0];
+                r.promiscuous
+                    || header.is_some_and(|h| {
+                        h.dst == r.addr
+                            || medium.is_broadcast(h.dst)
+                            || (medium.is_multicast(h.dst) && r.multicast.contains(&h.dst))
+                    })
+            };
+            if !wants {
+                continue;
+            }
+            if self.rng.chance(faults.loss) {
+                self.lost[seg_id.0] += 1;
+                continue;
+            }
+            out.push(Delivery { station: rcv, arrival, frame: frame_bytes.to_vec() });
+            if self.rng.chance(faults.duplication) {
+                out.push(Delivery {
+                    station: rcv,
+                    arrival: arrival + self.segments[seg_id.0].propagation,
+                    frame: frame_bytes.to_vec(),
+                });
+            }
+        }
+        (tx_done, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::build;
+
+    fn net_with_three_stations() -> (Network, SegmentId, StationId, StationId, StationId) {
+        let mut net = Network::new(1);
+        let seg = net.add_segment(Medium::experimental_3mb(), FaultModel::default());
+        let a = net.attach(seg, 0x0A);
+        let b = net.attach(seg, 0x0B);
+        let c = net.attach(seg, 0x0C);
+        (net, seg, a, b, c)
+    }
+
+    #[test]
+    fn unicast_reaches_only_destination() {
+        let (mut net, _, a, b, _c) = net_with_three_stations();
+        let m = *net.medium_of(a);
+        let f = build(&m, 0x0B, 0x0A, 2, &[1, 2]).unwrap();
+        let (_done, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].station, b);
+        assert_eq!(deliveries[0].frame, f);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let (mut net, _, a, b, c) = net_with_three_stations();
+        let m = *net.medium_of(a);
+        let f = build(&m, m.broadcast, 0x0A, 2, &[]).unwrap();
+        let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        let mut stations: Vec<_> = deliveries.iter().map(|d| d.station).collect();
+        stations.sort_by_key(|s| s.0);
+        assert_eq!(stations, vec![b, c]);
+    }
+
+    #[test]
+    fn promiscuous_station_sees_everything() {
+        let (mut net, _, a, b, c) = net_with_three_stations();
+        net.set_promiscuous(c, true);
+        let m = *net.medium_of(a);
+        let f = build(&m, 0x0B, 0x0A, 2, &[]).unwrap();
+        let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        let mut stations: Vec<_> = deliveries.iter().map(|d| d.station).collect();
+        stations.sort_by_key(|s| s.0);
+        assert_eq!(stations, vec![b, c]);
+    }
+
+    #[test]
+    fn timing_follows_bandwidth() {
+        let (mut net, _, a, _b, _c) = net_with_three_stations();
+        let m = *net.medium_of(a);
+        let f = build(&m, 0x0B, 0x0A, 2, &vec![0u8; 371]).unwrap(); // 375 bytes
+        let (done, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        // 375 B × 8 / 3 Mb/s = 1 ms.
+        assert_eq!(done, SimTime(1_000_000));
+        assert_eq!(deliveries[0].arrival, SimTime(1_005_000)); // + 5 µs propagation
+    }
+
+    #[test]
+    fn multicast_on_10mb() {
+        let mut net = Network::new(1);
+        let seg = net.add_segment(Medium::standard_10mb(), FaultModel::default());
+        let a = net.attach(seg, 0x0200_0000_000A);
+        let b = net.attach(seg, 0x0200_0000_000B);
+        let c = net.attach(seg, 0x0200_0000_000C);
+        let group = 0x0100_0000_0077u64;
+        net.join_multicast(b, group);
+        let m = *net.medium_of(a);
+        let f = build(&m, group, net.addr_of(a), 0x0800, &[]).unwrap();
+        let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].station, b);
+        let _ = c;
+        // After leaving, nobody receives.
+        net.leave_multicast(b, group);
+        let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        assert!(deliveries.is_empty());
+    }
+
+    #[test]
+    fn loss_injection_suppresses_deliveries() {
+        let mut net = Network::new(7);
+        let seg = net.add_segment(
+            Medium::experimental_3mb(),
+            FaultModel { loss: 1.0, duplication: 0.0 },
+        );
+        let a = net.attach(seg, 1);
+        let _b = net.attach(seg, 2);
+        let m = *net.medium_of(a);
+        let f = build(&m, 2, 1, 2, &[]).unwrap();
+        let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        assert!(deliveries.is_empty());
+        assert_eq!(net.lost_on(seg), 1);
+        assert_eq!(net.transmitted_on(seg), 1);
+    }
+
+    #[test]
+    fn duplication_injection() {
+        let mut net = Network::new(7);
+        let seg = net.add_segment(
+            Medium::experimental_3mb(),
+            FaultModel { loss: 0.0, duplication: 1.0 },
+        );
+        let a = net.attach(seg, 1);
+        let b = net.attach(seg, 2);
+        let m = *net.medium_of(a);
+        let f = build(&m, 2, 1, 2, &[]).unwrap();
+        let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        assert_eq!(deliveries.len(), 2);
+        assert!(deliveries.iter().all(|d| d.station == b));
+        assert!(deliveries[1].arrival > deliveries[0].arrival);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut net = Network::new(99);
+            let seg = net.add_segment(
+                Medium::experimental_3mb(),
+                FaultModel { loss: 0.3, duplication: 0.1 },
+            );
+            let a = net.attach(seg, 1);
+            let _b = net.attach(seg, 2);
+            let m = *net.medium_of(a);
+            let f = build(&m, 2, 1, 2, &[0; 32]).unwrap();
+            let mut pattern = Vec::new();
+            for _ in 0..50 {
+                let (_, d) = net.transmit(a, &f, SimTime::ZERO);
+                pattern.push(d.len());
+            }
+            pattern
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn separate_segments_are_isolated() {
+        let mut net = Network::new(1);
+        let s1 = net.add_segment(Medium::experimental_3mb(), FaultModel::default());
+        let s2 = net.add_segment(Medium::experimental_3mb(), FaultModel::default());
+        let a = net.attach(s1, 1);
+        let _b = net.attach(s2, 1); // same address, different wire
+        let m = *net.medium_of(a);
+        let f = build(&m, 1, 1, 2, &[]).unwrap();
+        let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        assert!(deliveries.is_empty(), "no cross-segment delivery");
+    }
+}

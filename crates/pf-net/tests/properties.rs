@@ -1,0 +1,97 @@
+//! Property-based tests for the simulated data links.
+
+use pf_net::frame;
+use pf_net::medium::Medium;
+use pf_net::segment::{FaultModel, Network};
+use pf_sim::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn frame_round_trips_3mb(
+        dst in 0u64..256, src in 0u64..256, ethertype in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..596),
+    ) {
+        let m = Medium::experimental_3mb();
+        let f = frame::build(&m, dst, src, ethertype, &payload).unwrap();
+        let h = frame::parse(&m, &f).unwrap();
+        prop_assert_eq!(h.dst, dst);
+        prop_assert_eq!(h.src, src);
+        prop_assert_eq!(h.ethertype, ethertype);
+        prop_assert_eq!(frame::payload(&m, &f).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn frame_round_trips_10mb(
+        dst in 0u64..(1 << 48), src in 0u64..(1 << 48), ethertype in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let m = Medium::standard_10mb();
+        let f = frame::build(&m, dst, src, ethertype, &payload).unwrap();
+        let h = frame::parse(&m, &f).unwrap();
+        prop_assert_eq!(h.dst, dst);
+        prop_assert_eq!(h.src, src);
+        prop_assert_eq!(h.ethertype, ethertype);
+    }
+
+    #[test]
+    fn parse_is_total(bytes in prop::collection::vec(any::<u8>(), 0..1600)) {
+        for m in [Medium::experimental_3mb(), Medium::standard_10mb()] {
+            let _ = frame::parse(&m, &bytes);
+            let _ = frame::payload(&m, &bytes);
+        }
+    }
+
+    #[test]
+    fn transmission_delay_is_monotonic(a in 0usize..2000, b in 0usize..2000) {
+        for m in [Medium::experimental_3mb(), Medium::standard_10mb()] {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.transmission_delay(lo) <= m.transmission_delay(hi));
+        }
+        // And the 3 Mb wire is strictly slower for any non-empty frame.
+        prop_assume!(a > 0);
+        prop_assert!(
+            Medium::experimental_3mb().transmission_delay(a)
+                > Medium::standard_10mb().transmission_delay(a)
+        );
+    }
+
+    #[test]
+    fn unicast_never_leaks_to_third_parties(
+        n_hosts in 3usize..8,
+        dst_idx in 1usize..8,
+        loss in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let dst_idx = dst_idx % n_hosts;
+        prop_assume!(dst_idx != 0);
+        let mut net = Network::new(seed);
+        let seg = net.add_segment(
+            Medium::experimental_3mb(),
+            FaultModel { loss, duplication: 0.0 },
+        );
+        let stations: Vec<_> = (0..n_hosts).map(|i| net.attach(seg, i as u64 + 1)).collect();
+        let m = Medium::experimental_3mb();
+        let f = frame::build(&m, dst_idx as u64 + 1, 1, 2, &[0; 10]).unwrap();
+        let (_, deliveries) = net.transmit(stations[0], &f, SimTime::ZERO);
+        // With loss, 0 or 1 delivery — but never to anyone but the target.
+        prop_assert!(deliveries.len() <= 1);
+        for d in deliveries {
+            prop_assert_eq!(d.station, stations[dst_idx]);
+        }
+    }
+
+    #[test]
+    fn fault_free_broadcast_reaches_everyone_else(
+        n_hosts in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut net = Network::new(seed);
+        let seg = net.add_segment(Medium::experimental_3mb(), FaultModel::default());
+        let stations: Vec<_> = (0..n_hosts).map(|i| net.attach(seg, i as u64 + 1)).collect();
+        let m = Medium::experimental_3mb();
+        let f = frame::build(&m, m.broadcast, 1, 2, &[]).unwrap();
+        let (_, deliveries) = net.transmit(stations[0], &f, SimTime::ZERO);
+        prop_assert_eq!(deliveries.len(), n_hosts - 1);
+    }
+}

@@ -1,0 +1,733 @@
+//! BSP — the Pup Byte Stream Protocol, implemented at user level over the
+//! packet filter (§5.1, measured in §6.4).
+//!
+//! The protocol proper is implemented as *pure state machines*
+//! ([`SenderMachine`], [`ReceiverMachine`]) that consume Pups and timer
+//! ticks and emit [`Effect`]s; thin adapters
+//! ([`BspSenderApp`](crate::bsp_app::BspSenderApp),
+//! [`BspReceiverApp`](crate::bsp_app::BspReceiverApp)) bind those machines
+//! to the simulated kernel's
+//! packet-filter system calls. This keeps the protocol unit-testable
+//! without the simulator and lets the telnet experiment reuse the same
+//! machines in streaming mode.
+//!
+//! Protocol shape (go-back-N, packet-sequenced):
+//!
+//! * connection: `RFC` → `OPEN` (retransmitted on timeout);
+//! * data: `DATA`/`ADATA` packets carry a sequence number in the Pup id;
+//!   `ADATA` ("acknowledgment requested") marks the last packet of a
+//!   window burst, and the receiver answers it — these acks are exactly
+//!   the "overhead packets" of figure 2-3 that a user-level implementation
+//!   pays domain crossings for;
+//! * acks are cumulative: the id is the next expected sequence number;
+//!   out-of-order data is dropped and re-acked (go-back-N);
+//! * close: `END` → `END_REPLY`, both retransmittable.
+//!
+//! "Pup (hence BSP) allows a maximum packet size of 568 bytes" (§6.4):
+//! segments default to [`crate::pup::MAX_PUP_DATA`].
+
+use crate::pup::{types, Pup, PupAddr, MAX_PUP_DATA};
+use pf_sim::time::SimDuration;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// The sender's retransmission-timer token.
+pub const RTO_TOKEN: u64 = 0xB59;
+
+/// BSP tuning parameters.
+#[derive(Debug, Clone)]
+pub struct BspConfig {
+    /// Window size in packets.
+    pub window: usize,
+    /// Data bytes per packet.
+    pub segment: usize,
+    /// Retransmission timeout.
+    pub rto: SimDuration,
+    /// Whether to compute real Pup checksums (the paper's implementations
+    /// did not — §6.3: "TCP checksums all data, whereas these
+    /// implementations of VMTP do not", likewise BSP).
+    pub checksummed: bool,
+    /// In push mode, partial segments are sent as soon as the window
+    /// allows (character streams); otherwise only full segments are sent
+    /// until the stream is finished (bulk transfer).
+    pub push: bool,
+    /// Whether the endpoint uses received-packet batching. The original
+    /// Stanford BSP code predates the batching feature (§3), so the table
+    /// 6-6 measurements run with this off.
+    pub batch: bool,
+}
+
+impl Default for BspConfig {
+    fn default() -> Self {
+        BspConfig {
+            window: 4,
+            segment: MAX_PUP_DATA,
+            rto: SimDuration::from_millis(200),
+            checksummed: false,
+            push: false,
+            batch: true,
+        }
+    }
+}
+
+/// An action a machine asks its host environment to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// Transmit this Pup.
+    Send(Pup),
+    /// (Re)arm the retransmission timer.
+    SetTimer(SimDuration, u64),
+    /// Cancel the retransmission timer.
+    CancelTimer(u64),
+    /// In-order payload bytes for the application (receiver only).
+    Deliver(Vec<u8>),
+    /// The connection is established (sender only).
+    Connected,
+    /// The stream is fully closed.
+    Closed,
+}
+
+/// Sender connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendState {
+    Idle,
+    Connecting,
+    Established,
+    Ending,
+    Closed,
+}
+
+/// Counters the experiments harvest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// Data packets transmitted (including retransmissions).
+    pub data_packets: u64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+    /// Cumulative acks processed.
+    pub acks: u64,
+    /// Payload bytes acknowledged.
+    pub bytes_acked: u64,
+}
+
+/// The BSP sending endpoint as a pure state machine.
+#[derive(Debug)]
+pub struct SenderMachine {
+    cfg: BspConfig,
+    local: PupAddr,
+    remote: PupAddr,
+    state: SendState,
+    /// Next sequence number to assign.
+    next_seq: u32,
+    /// Lowest unacknowledged sequence number.
+    base: u32,
+    /// Sent, unacknowledged segments.
+    inflight: BTreeMap<u32, Vec<u8>>,
+    /// Bytes offered but not yet packetized.
+    buffer: VecDeque<u8>,
+    /// The application has finished offering data.
+    eof: bool,
+    end_seq: Option<u32>,
+    timer_armed: bool,
+    /// Consecutive stale (non-advancing) acks seen; the third triggers a
+    /// go-back retransmission. Reacting to *every* stale ack amplifies:
+    /// each retransmitted duplicate provokes another stale ack, which
+    /// would trigger another full-window resend, and so on without bound.
+    dup_acks: u32,
+    /// Statistics.
+    pub stats: SenderStats,
+}
+
+impl SenderMachine {
+    /// Creates a sender for `local` → `remote`.
+    pub fn new(local: PupAddr, remote: PupAddr, cfg: BspConfig) -> Self {
+        SenderMachine {
+            cfg,
+            local,
+            remote,
+            state: SendState::Idle,
+            next_seq: 1,
+            base: 1,
+            inflight: BTreeMap::new(),
+            buffer: VecDeque::new(),
+            eof: false,
+            end_seq: None,
+            timer_armed: false,
+            dup_acks: 0,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Whether the stream is fully closed.
+    pub fn is_closed(&self) -> bool {
+        self.state == SendState::Closed
+    }
+
+    /// Whether the connection is established.
+    pub fn is_established(&self) -> bool {
+        matches!(self.state, SendState::Established | SendState::Ending)
+    }
+
+    /// Packets currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Bytes offered but not yet packetized.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Initiates the connection.
+    pub fn connect(&mut self) -> Vec<Effect> {
+        assert_eq!(self.state, SendState::Idle, "connect() once");
+        self.state = SendState::Connecting;
+        let mut fx = vec![Effect::Send(self.rfc())];
+        self.arm(&mut fx);
+        fx
+    }
+
+    /// Offers payload bytes to the stream.
+    pub fn offer(&mut self, data: &[u8]) -> Vec<Effect> {
+        assert!(!self.eof, "offer() after finish()");
+        self.buffer.extend(data.iter().copied());
+        let mut fx = Vec::new();
+        self.pump(&mut fx);
+        fx
+    }
+
+    /// Declares end of stream; the machine closes once everything is
+    /// acknowledged.
+    pub fn finish(&mut self) -> Vec<Effect> {
+        self.eof = true;
+        let mut fx = Vec::new();
+        self.pump(&mut fx);
+        self.maybe_end(&mut fx);
+        fx
+    }
+
+    /// Handles a received Pup addressed to this endpoint.
+    pub fn on_pup(&mut self, pup: &Pup) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        match (self.state, pup.ptype) {
+            (SendState::Connecting, types::BSP_OPEN) => {
+                self.state = SendState::Established;
+                self.disarm(&mut fx);
+                fx.push(Effect::Connected);
+                self.pump(&mut fx);
+                self.maybe_end(&mut fx);
+            }
+            (SendState::Established | SendState::Ending, types::BSP_ACK) => {
+                self.stats.acks += 1;
+                let acked_to = pup.id;
+                if acked_to > self.base {
+                    while let Some((&seq, _)) = self.inflight.first_key_value() {
+                        if seq < acked_to {
+                            let (_, seg) =
+                                self.inflight.pop_first().expect("first_key_value saw it");
+                            self.stats.bytes_acked += seg.len() as u64;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.base = acked_to;
+                    self.dup_acks = 0;
+                    // Fresh progress: restart (or clear) the timer.
+                    self.disarm(&mut fx);
+                    if !self.inflight.is_empty() || self.end_seq.is_some() {
+                        self.arm(&mut fx);
+                    }
+                } else if acked_to < self.next_seq {
+                    // A re-ack of old data: the receiver may be missing
+                    // something, or this may be the echo of a duplicate we
+                    // ourselves retransmitted. Only a *third* consecutive
+                    // stale ack goes back and resends — reacting to every
+                    // one amplifies without bound.
+                    self.dup_acks += 1;
+                    if self.dup_acks >= 3 {
+                        self.dup_acks = 0;
+                        self.retransmit(&mut fx);
+                    }
+                }
+                self.pump(&mut fx);
+                self.maybe_end(&mut fx);
+            }
+            (SendState::Ending, types::BSP_END_REPLY) => {
+                self.state = SendState::Closed;
+                self.disarm(&mut fx);
+                fx.push(Effect::Closed);
+            }
+            _ => {} // stray or duplicate control traffic
+        }
+        fx
+    }
+
+    /// Handles the retransmission timer.
+    pub fn on_timer(&mut self, token: u64) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if token != RTO_TOKEN {
+            return fx;
+        }
+        self.timer_armed = false;
+        match self.state {
+            SendState::Connecting => {
+                self.stats.retransmits += 1;
+                fx.push(Effect::Send(self.rfc()));
+                self.arm(&mut fx);
+            }
+            SendState::Established => {
+                self.retransmit(&mut fx);
+            }
+            SendState::Ending => {
+                self.stats.retransmits += 1;
+                fx.push(Effect::Send(self.end_pup()));
+                self.arm(&mut fx);
+            }
+            _ => {}
+        }
+        fx
+    }
+
+    fn rfc(&self) -> Pup {
+        Pup::new(types::BSP_RFC, 0, self.remote, self.local, Vec::new())
+    }
+
+    fn end_pup(&self) -> Pup {
+        Pup::new(
+            types::BSP_END,
+            self.end_seq.expect("END sent"),
+            self.remote,
+            self.local,
+            Vec::new(),
+        )
+    }
+
+    /// Sends as much of the buffer as the window allows.
+    fn pump(&mut self, fx: &mut Vec<Effect>) {
+        if self.state != SendState::Established {
+            return;
+        }
+        loop {
+            let window_open =
+                (self.next_seq - self.base) < self.cfg.window as u32;
+            let full = self.buffer.len() >= self.cfg.segment;
+            let flushable = !self.buffer.is_empty() && (self.eof || self.cfg.push);
+            if !window_open || !(full || flushable) {
+                break;
+            }
+            let n = self.buffer.len().min(self.cfg.segment);
+            let chunk: Vec<u8> = self.buffer.drain(..n).collect();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            // Ask for an ack when this fills the window or drains the
+            // buffer — the end of a burst either way.
+            let burst_end = (self.next_seq - self.base) >= self.cfg.window as u32
+                || self.buffer.is_empty();
+            let ptype = if burst_end { types::BSP_ADATA } else { types::BSP_DATA };
+            let pup = Pup::new(ptype, seq, self.remote, self.local, chunk.clone());
+            self.inflight.insert(seq, chunk);
+            self.stats.data_packets += 1;
+            fx.push(Effect::Send(pup));
+            if !self.timer_armed {
+                self.arm(fx);
+            }
+        }
+    }
+
+    /// Go-back-N: resend everything in flight, last packet asking for ack.
+    fn retransmit(&mut self, fx: &mut Vec<Effect>) {
+        if self.inflight.is_empty() {
+            return;
+        }
+        let last = *self.inflight.keys().next_back().expect("non-empty");
+        let packets: Vec<Pup> = self
+            .inflight
+            .iter()
+            .map(|(&seq, seg)| {
+                let ptype = if seq == last { types::BSP_ADATA } else { types::BSP_DATA };
+                Pup::new(ptype, seq, self.remote, self.local, seg.clone())
+            })
+            .collect();
+        for p in packets {
+            self.stats.retransmits += 1;
+            self.stats.data_packets += 1;
+            fx.push(Effect::Send(p));
+        }
+        self.disarm(fx);
+        self.arm(fx);
+    }
+
+    /// Sends END once everything is delivered and acknowledged.
+    fn maybe_end(&mut self, fx: &mut Vec<Effect>) {
+        if self.state == SendState::Established
+            && self.eof
+            && self.buffer.is_empty()
+            && self.inflight.is_empty()
+            && self.end_seq.is_none()
+        {
+            self.end_seq = Some(self.next_seq);
+            self.state = SendState::Ending;
+            fx.push(Effect::Send(self.end_pup()));
+            self.disarm(fx);
+            self.arm(fx);
+        }
+    }
+
+    fn arm(&mut self, fx: &mut Vec<Effect>) {
+        self.timer_armed = true;
+        fx.push(Effect::SetTimer(self.cfg.rto, RTO_TOKEN));
+    }
+
+    fn disarm(&mut self, fx: &mut Vec<Effect>) {
+        if self.timer_armed {
+            self.timer_armed = false;
+            fx.push(Effect::CancelTimer(RTO_TOKEN));
+        }
+    }
+}
+
+/// Receiver statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// In-order data packets delivered.
+    pub delivered_packets: u64,
+    /// Payload bytes delivered in order.
+    pub delivered_bytes: u64,
+    /// Duplicate packets discarded.
+    pub duplicates: u64,
+    /// Out-of-order packets discarded (go-back-N).
+    pub out_of_order: u64,
+    /// Acks sent.
+    pub acks_sent: u64,
+}
+
+/// The BSP receiving endpoint as a pure state machine.
+#[derive(Debug)]
+pub struct ReceiverMachine {
+    local: PupAddr,
+    /// Next expected sequence number.
+    expected: u32,
+    /// Whether the stream has closed.
+    closed: bool,
+    /// Statistics.
+    pub stats: ReceiverStats,
+}
+
+impl ReceiverMachine {
+    /// Creates a receiver listening on `local`.
+    pub fn new(local: PupAddr) -> Self {
+        ReceiverMachine { local, expected: 1, closed: false, stats: ReceiverStats::default() }
+    }
+
+    /// Whether the stream has closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Handles a received Pup addressed to this endpoint.
+    pub fn on_pup(&mut self, pup: &Pup) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        match pup.ptype {
+            types::BSP_RFC => {
+                fx.push(Effect::Send(Pup::new(
+                    types::BSP_OPEN,
+                    0,
+                    pup.src,
+                    self.local,
+                    Vec::new(),
+                )));
+            }
+            types::BSP_DATA | types::BSP_ADATA => {
+                if pup.id == self.expected {
+                    self.expected += 1;
+                    self.stats.delivered_packets += 1;
+                    self.stats.delivered_bytes += pup.data.len() as u64;
+                    fx.push(Effect::Deliver(pup.data.clone()));
+                    if pup.ptype == types::BSP_ADATA {
+                        self.ack(pup.src, &mut fx);
+                    }
+                } else if pup.id < self.expected {
+                    self.stats.duplicates += 1;
+                    self.ack(pup.src, &mut fx);
+                } else {
+                    // A gap: drop and re-ack what we expect (go-back-N).
+                    self.stats.out_of_order += 1;
+                    self.ack(pup.src, &mut fx);
+                }
+            }
+            types::BSP_END => {
+                if pup.id == self.expected && !self.closed {
+                    self.closed = true;
+                    fx.push(Effect::Closed);
+                }
+                // Always answer (covers a lost END_REPLY).
+                if pup.id <= self.expected {
+                    fx.push(Effect::Send(Pup::new(
+                        types::BSP_END_REPLY,
+                        pup.id,
+                        pup.src,
+                        self.local,
+                        Vec::new(),
+                    )));
+                }
+            }
+            _ => {}
+        }
+        fx
+    }
+
+    fn ack(&mut self, to: PupAddr, fx: &mut Vec<Effect>) {
+        self.stats.acks_sent += 1;
+        fx.push(Effect::Send(Pup::new(
+            types::BSP_ACK,
+            self.expected,
+            to,
+            self.local,
+            Vec::new(),
+        )));
+    }
+}
+
+#[cfg(test)]
+mod machine_tests {
+    use super::*;
+
+    fn addrs() -> (PupAddr, PupAddr) {
+        (PupAddr::new(1, 0x0A, 0x100), PupAddr::new(1, 0x0B, 0x200))
+    }
+
+    /// Runs sender and receiver to completion over a perfect in-order
+    /// channel, returning delivered bytes.
+    fn run_lossless(payload: &[u8], cfg: BspConfig) -> Vec<u8> {
+        let (sa, ra) = addrs();
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let mut r = ReceiverMachine::new(ra);
+        let mut delivered = Vec::new();
+        let mut to_recv: VecDeque<Pup> = VecDeque::new();
+        let mut to_send: VecDeque<Pup> = VecDeque::new();
+
+        let handle = |fx: Vec<Effect>,
+                          to_other: &mut VecDeque<Pup>,
+                          delivered: &mut Vec<u8>| {
+            for e in fx {
+                match e {
+                    Effect::Send(p) => to_other.push_back(p),
+                    Effect::Deliver(d) => delivered.extend(d),
+                    _ => {}
+                }
+            }
+        };
+
+        handle(s.connect(), &mut to_recv, &mut delivered);
+        handle(s.offer(payload), &mut to_recv, &mut delivered);
+        handle(s.finish(), &mut to_recv, &mut delivered);
+        let mut steps = 0;
+        while !(s.is_closed() && to_recv.is_empty() && to_send.is_empty()) {
+            steps += 1;
+            assert!(steps < 100_000, "machine livelock");
+            if let Some(p) = to_recv.pop_front() {
+                handle(r.on_pup(&p), &mut to_send, &mut delivered);
+            }
+            if let Some(p) = to_send.pop_front() {
+                handle(s.on_pup(&p), &mut to_recv, &mut delivered);
+            }
+        }
+        assert!(r.is_closed());
+        delivered
+    }
+
+    #[test]
+    fn lossless_transfer_delivers_exact_stream() {
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let got = run_lossless(&payload, BspConfig::default());
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn empty_stream_closes() {
+        let got = run_lossless(&[], BspConfig::default());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn single_byte_stream() {
+        let got = run_lossless(&[42], BspConfig { push: true, ..Default::default() });
+        assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    fn segments_respect_max_size() {
+        let (sa, ra) = addrs();
+        let mut s = SenderMachine::new(sa, ra, BspConfig::default());
+        let _ = s.connect();
+        let open = Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new());
+        let _ = s.on_pup(&open);
+        let fx = s.offer(&vec![0u8; 5000]);
+        for e in fx {
+            if let Effect::Send(p) = e {
+                assert!(p.data.len() <= MAX_PUP_DATA);
+            }
+        }
+    }
+
+    #[test]
+    fn window_limits_inflight() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig { window: 3, segment: 100, ..Default::default() };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        let fx = s.offer(&vec![0u8; 10_000]);
+        let sent = fx.iter().filter(|e| matches!(e, Effect::Send(_))).count();
+        assert_eq!(sent, 3, "window of 3 caps the burst");
+        assert_eq!(s.inflight(), 3);
+    }
+
+    #[test]
+    fn burst_end_requests_ack() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig { window: 3, segment: 100, ..Default::default() };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        let fx = s.offer(&vec![0u8; 10_000]);
+        let types_sent: Vec<u8> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send(p) => Some(p.ptype),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            types_sent,
+            vec![types::BSP_DATA, types::BSP_DATA, types::BSP_ADATA],
+            "only the last packet of the burst demands an ack"
+        );
+    }
+
+    #[test]
+    fn retransmit_on_timeout_is_go_back_n() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig { window: 2, segment: 10, ..Default::default() };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        let _ = s.offer(&[1u8; 20]);
+        assert_eq!(s.inflight(), 2);
+        let fx = s.on_timer(RTO_TOKEN);
+        let resent: Vec<u32> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send(p) => Some(p.id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resent, vec![1, 2]);
+        assert_eq!(s.stats.retransmits, 2);
+    }
+
+    #[test]
+    fn receiver_drops_out_of_order_and_reacks() {
+        let (sa, ra) = addrs();
+        let mut r = ReceiverMachine::new(ra);
+        // Sequence 2 arrives before 1.
+        let fx = r.on_pup(&Pup::new(types::BSP_ADATA, 2, ra, sa, vec![2]));
+        assert!(fx.iter().any(
+            |e| matches!(e, Effect::Send(p) if p.ptype == types::BSP_ACK && p.id == 1)
+        ));
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Deliver(_))));
+        assert_eq!(r.stats.out_of_order, 1);
+        // Now 1 arrives: delivered; 2 must be retransmitted by the sender.
+        let fx = r.on_pup(&Pup::new(types::BSP_DATA, 1, ra, sa, vec![1]));
+        assert!(fx.iter().any(|e| matches!(e, Effect::Deliver(d) if d == &vec![1u8])));
+    }
+
+    #[test]
+    fn receiver_discards_duplicates() {
+        let (sa, ra) = addrs();
+        let mut r = ReceiverMachine::new(ra);
+        let p = Pup::new(types::BSP_ADATA, 1, ra, sa, vec![7]);
+        let _ = r.on_pup(&p);
+        let fx = r.on_pup(&p);
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Deliver(_))));
+        assert_eq!(r.stats.duplicates, 1);
+        assert_eq!(r.stats.delivered_bytes, 1);
+    }
+
+    #[test]
+    fn third_stale_ack_triggers_fast_retransmit() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig { window: 4, segment: 10, ..Default::default() };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        let _ = s.offer(&[1u8; 40]);
+        // Two stale acks: patience (duplicates may just be echoes).
+        let stale = Pup::new(types::BSP_ACK, 1, sa, ra, Vec::new());
+        assert!(!s.on_pup(&stale).iter().any(|e| matches!(e, Effect::Send(_))));
+        assert!(!s.on_pup(&stale).iter().any(|e| matches!(e, Effect::Send(_))));
+        // The third goes back and resends the window.
+        let fx = s.on_pup(&stale);
+        let resent = fx.iter().filter(|e| matches!(e, Effect::Send(_))).count();
+        assert_eq!(resent, 4, "whole window resent on the third stale ack");
+    }
+
+    #[test]
+    fn end_reply_lost_is_recovered() {
+        let (sa, ra) = addrs();
+        let mut r = ReceiverMachine::new(ra);
+        let end = Pup::new(types::BSP_END, 1, ra, sa, Vec::new());
+        let fx1 = r.on_pup(&end);
+        assert!(fx1.iter().any(|e| matches!(e, Effect::Closed)));
+        // The sender never got END_REPLY and retransmits END: the closed
+        // receiver must answer again, without a second Closed.
+        let fx2 = r.on_pup(&end);
+        assert!(fx2
+            .iter()
+            .any(|e| matches!(e, Effect::Send(p) if p.ptype == types::BSP_END_REPLY)));
+        assert!(!fx2.iter().any(|e| matches!(e, Effect::Closed)));
+    }
+
+    #[test]
+    fn rfc_retransmitted_until_open() {
+        let (sa, ra) = addrs();
+        let mut s = SenderMachine::new(sa, ra, BspConfig::default());
+        let _ = s.connect();
+        let fx = s.on_timer(RTO_TOKEN);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Send(p) if p.ptype == types::BSP_RFC)));
+        assert!(!s.is_established());
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        assert!(s.is_established());
+    }
+
+    #[test]
+    fn push_mode_sends_partial_segments() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig { push: true, segment: 100, ..Default::default() };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        let fx = s.offer(b"abc");
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Send(p) if p.data == b"abc".to_vec())));
+    }
+
+    #[test]
+    fn bulk_mode_waits_for_full_segments() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig { push: false, segment: 100, ..Default::default() };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        let fx = s.offer(b"abc");
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Send(_))));
+        // finish() flushes the remainder.
+        let fx = s.finish();
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Send(p) if p.data == b"abc".to_vec())));
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for every wire format in the protocol suite:
+//! encode/decode round-trips on arbitrary field values, decoder totality
+//! on arbitrary bytes, and checksum error detection.
+
+use pf_net::medium::Medium;
+use pf_proto::arp::ArpPacket;
+use pf_proto::group::GroupMessage;
+use pf_proto::ip::{decode_ip, decode_udp, encode_ip, encode_udp, IpHeader};
+use pf_proto::pup::{Pup, PupAddr, PupError, MAX_PUP_DATA};
+use pf_proto::tcp::Segment;
+use pf_proto::vmtp::{VmtpPacket, VmtpType};
+use proptest::prelude::*;
+
+fn medium3() -> Medium {
+    Medium::experimental_3mb()
+}
+
+fn medium10() -> Medium {
+    Medium::standard_10mb()
+}
+
+prop_compose! {
+    fn any_pup()(
+        ptype in any::<u8>(),
+        id in any::<u32>(),
+        dnet in any::<u8>(), dhost in any::<u8>(), dsock in any::<u32>(),
+        snet in any::<u8>(), shost in any::<u8>(), ssock in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..MAX_PUP_DATA),
+    ) -> Pup {
+        Pup::new(
+            ptype,
+            id,
+            PupAddr::new(dnet, dhost, dsock),
+            PupAddr::new(snet, shost, ssock),
+            data,
+        )
+    }
+}
+
+proptest! {
+    #[test]
+    fn pup_round_trips(p in any_pup(), checksummed in any::<bool>()) {
+        let f = p.encode_frame(&medium3(), checksummed);
+        let q = Pup::decode_frame(&medium3(), &f).expect("own encoding decodes");
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn pup_checksum_catches_any_single_bit_flip_in_data(
+        p in any_pup(),
+        bit in 0usize..8,
+        pos_seed in any::<usize>(),
+    ) {
+        prop_assume!(!p.data.is_empty());
+        let mut f = p.encode_frame(&medium3(), true);
+        // Flip one bit inside the data region (after the 4-byte Ethernet
+        // header + 20-byte Pup header, before the 2-byte checksum).
+        let lo = 24;
+        let hi = f.len() - 2;
+        let pos = lo + pos_seed % (hi - lo);
+        f[pos] ^= 1 << bit;
+        let corrupted = matches!(
+            Pup::decode_frame(&medium3(), &f),
+            Err(PupError::BadChecksum { got: _, want: _ })
+        );
+        prop_assert!(corrupted, "flip at byte {} bit {} went undetected", pos, bit);
+    }
+
+    #[test]
+    fn pup_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..700)) {
+        let _ = Pup::decode_frame(&medium3(), &bytes);
+        let _ = Pup::decode_body(&bytes);
+    }
+
+    #[test]
+    fn vmtp_round_trips(
+        dst in any::<u32>(), src in any::<u32>(), trans in any::<u32>(),
+        kind in 1u8..=4, index in any::<u8>(), count in any::<u8>(),
+        opcode in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let p = VmtpPacket {
+            dst_entity: dst,
+            src_entity: src,
+            trans,
+            ptype: match kind {
+                1 => VmtpType::Request,
+                2 => VmtpType::Response,
+                3 => VmtpType::Ack,
+                _ => VmtpType::Retry,
+            },
+            index,
+            count,
+            opcode,
+            data,
+        };
+        let f = p.encode_frame(&medium10(), 0x0B, 0x0A);
+        let (q, eth_src) = VmtpPacket::decode_frame(&medium10(), &f).expect("decodes");
+        prop_assert_eq!(p, q);
+        prop_assert_eq!(eth_src, 0x0A);
+    }
+
+    #[test]
+    fn vmtp_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..1514)) {
+        let _ = VmtpPacket::decode_frame(&medium10(), &bytes);
+        let _ = VmtpPacket::decode_body(&bytes);
+    }
+
+    #[test]
+    fn tcp_segment_round_trips(
+        src_port in any::<u16>(), dst_port in any::<u16>(),
+        seq in any::<u32>(), ack in any::<u32>(),
+        flags in any::<u8>(), window in any::<u16>(),
+        data in prop::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let s = Segment { src_port, dst_port, seq, ack, flags, window, data };
+        prop_assert_eq!(Segment::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn tcp_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..1500)) {
+        let _ = Segment::decode(&bytes);
+    }
+
+    #[test]
+    fn ip_udp_round_trips(
+        proto in any::<u8>(), ttl in any::<u8>(),
+        src in any::<u32>(), dst in any::<u32>(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        data in prop::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let udp = encode_udp(sp, dp, &data);
+        let ip = encode_ip(&IpHeader { proto, ttl, src, dst, total_len: 0 }, &udp);
+        let (h, body) = decode_ip(&ip).expect("own encoding decodes");
+        prop_assert_eq!(h.proto, proto);
+        prop_assert_eq!(h.src, src);
+        prop_assert_eq!(h.dst, dst);
+        let (s, d, got) = decode_udp(body).expect("udp decodes");
+        prop_assert_eq!((s, d), (sp, dp));
+        prop_assert_eq!(got, &data[..]);
+    }
+
+    #[test]
+    fn ip_udp_decoders_are_total(bytes in prop::collection::vec(any::<u8>(), 0..1500)) {
+        if let Some((_, body)) = decode_ip(&bytes) {
+            let _ = decode_udp(body);
+        }
+        let _ = decode_udp(&bytes);
+    }
+
+    #[test]
+    fn arp_round_trips(
+        oper in any::<u16>(),
+        sha in 0u64..(1 << 48), spa in any::<u32>(),
+        tha in 0u64..(1 << 48), tpa in any::<u32>(),
+    ) {
+        let p = ArpPacket { oper, sha, spa, tha, tpa };
+        prop_assert_eq!(ArpPacket::decode_body(&p.encode_body()), Some(p));
+    }
+
+    #[test]
+    fn arp_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = ArpPacket::decode_body(&bytes);
+    }
+
+    #[test]
+    fn group_message_round_trips(
+        group in any::<u32>(), seq in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let m = GroupMessage { group, seq, data };
+        let f = m.encode_frame(&medium10(), 0x0A);
+        prop_assert_eq!(GroupMessage::decode_frame(&medium10(), &f), Some(m));
+    }
+
+    #[test]
+    fn monitor_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..1514)) {
+        // The monitor's dispatcher must survive anything on the wire.
+        let _ = pf_monitor::decode::decode(&medium3(), &bytes);
+        let _ = pf_monitor::decode::decode(&medium10(), &bytes);
+    }
+}

@@ -1,0 +1,148 @@
+//! Event counters for the quantities the paper's figures are about.
+//!
+//! Figures 2-1/2-2/2-3 and 3-4/3-5 are cost diagrams counting context
+//! switches, system calls, domain crossings, and data copies per packet;
+//! [`Counters`] tracks exactly those, and the `figures` experiment prints
+//! them.
+
+use core::fmt;
+use core::ops::Sub;
+
+/// Cumulative event counts for one simulated host.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Process-to-process context switches.
+    pub context_switches: u64,
+    /// System calls issued by user processes.
+    pub syscalls: u64,
+    /// Kernel↔user domain crossings (two per system call, plus signal
+    /// deliveries; figure 2-3's currency).
+    pub domain_crossings: u64,
+    /// Kernel↔user (or pipe) data copies.
+    pub copies: u64,
+    /// Bytes moved by those copies.
+    pub bytes_copied: u64,
+    /// Frames handed to a network interface for transmission.
+    pub packets_sent: u64,
+    /// Frames received from the network by the host.
+    pub packets_received: u64,
+    /// Packets accepted by some filter and queued to a port.
+    pub packets_delivered: u64,
+    /// Packets dropped because a port's input queue was full.
+    pub drops_queue_full: u64,
+    /// Packets rejected by every filter.
+    pub drops_no_match: u64,
+    /// Packets dropped by the network interface itself (overrun).
+    pub drops_interface: u64,
+    /// Filter predicates applied (§6.1: "the average packet is tested
+    /// against 6.3 predicates").
+    pub filters_applied: u64,
+    /// Filter instructions interpreted.
+    pub filter_instructions: u64,
+    /// Signals delivered to processes.
+    pub signals_delivered: u64,
+    /// Received-packet timestamps taken (each costs `microtime`).
+    pub timestamps: u64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average filter predicates applied per received packet.
+    pub fn filters_per_packet(&self) -> f64 {
+        if self.packets_received == 0 {
+            0.0
+        } else {
+            self.filters_applied as f64 / self.packets_received as f64
+        }
+    }
+}
+
+impl Sub for Counters {
+    type Output = Counters;
+
+    /// Element-wise difference: `end - start` gives the counts for an
+    /// interval.
+    fn sub(self, rhs: Counters) -> Counters {
+        Counters {
+            context_switches: self.context_switches - rhs.context_switches,
+            syscalls: self.syscalls - rhs.syscalls,
+            domain_crossings: self.domain_crossings - rhs.domain_crossings,
+            copies: self.copies - rhs.copies,
+            bytes_copied: self.bytes_copied - rhs.bytes_copied,
+            packets_sent: self.packets_sent - rhs.packets_sent,
+            packets_received: self.packets_received - rhs.packets_received,
+            packets_delivered: self.packets_delivered - rhs.packets_delivered,
+            drops_queue_full: self.drops_queue_full - rhs.drops_queue_full,
+            drops_no_match: self.drops_no_match - rhs.drops_no_match,
+            drops_interface: self.drops_interface - rhs.drops_interface,
+            filters_applied: self.filters_applied - rhs.filters_applied,
+            filter_instructions: self.filter_instructions - rhs.filter_instructions,
+            signals_delivered: self.signals_delivered - rhs.signals_delivered,
+            timestamps: self.timestamps - rhs.timestamps,
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "context switches:    {}", self.context_switches)?;
+        writeln!(f, "system calls:        {}", self.syscalls)?;
+        writeln!(f, "domain crossings:    {}", self.domain_crossings)?;
+        writeln!(f, "data copies:         {} ({} bytes)", self.copies, self.bytes_copied)?;
+        writeln!(f, "packets sent:        {}", self.packets_sent)?;
+        writeln!(f, "packets received:    {}", self.packets_received)?;
+        writeln!(f, "packets delivered:   {}", self.packets_delivered)?;
+        writeln!(
+            f,
+            "packets dropped:     {} queue-full, {} no-match, {} interface",
+            self.drops_queue_full, self.drops_no_match, self.drops_interface
+        )?;
+        writeln!(
+            f,
+            "filters applied:     {} ({} instructions)",
+            self.filters_applied, self.filter_instructions
+        )?;
+        writeln!(f, "signals delivered:   {}", self.signals_delivered)?;
+        write!(f, "timestamps taken:    {}", self.timestamps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference() {
+        let mut a = Counters::new();
+        a.syscalls = 10;
+        a.copies = 4;
+        let mut b = a;
+        b.syscalls = 25;
+        b.copies = 9;
+        let d = b - a;
+        assert_eq!(d.syscalls, 15);
+        assert_eq!(d.copies, 5);
+        assert_eq!(d.context_switches, 0);
+    }
+
+    #[test]
+    fn filters_per_packet() {
+        let mut c = Counters::new();
+        assert_eq!(c.filters_per_packet(), 0.0);
+        c.packets_received = 10;
+        c.filters_applied = 63;
+        assert!((c.filters_per_packet() - 6.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let c = Counters::new();
+        let s = c.to_string();
+        assert!(s.contains("context switches"));
+        assert!(s.contains("domain crossings"));
+    }
+}

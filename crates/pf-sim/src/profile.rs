@@ -1,0 +1,191 @@
+//! A gprof-style profiler for virtual CPU time.
+//!
+//! §6.1 of the paper configured a 4.3BSD kernel "to collect the CPU time
+//! spent in and number of calls made to each kernel subroutine" and
+//! formatted the result with `gprof`. [`Profiler`] collects the same two
+//! quantities per named routine of the simulated kernel, and its report is
+//! what the `section_6_1` experiment prints.
+
+use crate::time::SimDuration;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-routine call counts and cumulative virtual CPU time.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    routines: HashMap<&'static str, RoutineStats>,
+}
+
+/// Statistics for one profiled routine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutineStats {
+    /// Number of calls recorded.
+    pub calls: u64,
+    /// Total virtual CPU time.
+    pub time: SimDuration,
+}
+
+impl RoutineStats {
+    /// Mean time per call (zero if never called).
+    pub fn per_call(&self) -> SimDuration {
+        match self.time.as_nanos().checked_div(self.calls) {
+            Some(ns) => SimDuration::from_nanos(ns),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one call to `routine` costing `time`.
+    pub fn record(&mut self, routine: &'static str, time: SimDuration) {
+        let s = self.routines.entry(routine).or_default();
+        s.calls += 1;
+        s.time += time;
+    }
+
+    /// Statistics for one routine (zeroes if never recorded).
+    pub fn stats(&self, routine: &str) -> RoutineStats {
+        self.routines.get(routine).copied().unwrap_or_default()
+    }
+
+    /// Total time across routines whose name starts with `prefix`.
+    pub fn time_with_prefix(&self, prefix: &str) -> SimDuration {
+        let ns = self
+            .routines
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, s)| s.time.as_nanos())
+            .sum();
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Total calls across routines whose name starts with `prefix`.
+    pub fn calls_with_prefix(&self, prefix: &str) -> u64 {
+        self.routines
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, s)| s.calls)
+            .sum()
+    }
+
+    /// Total recorded virtual CPU time.
+    pub fn total_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.routines.values().map(|s| s.time.as_nanos()).sum())
+    }
+
+    /// All routines, sorted by descending cumulative time (the gprof flat
+    /// profile ordering).
+    pub fn flat_profile(&self) -> Vec<(&'static str, RoutineStats)> {
+        let mut v: Vec<_> = self.routines.iter().map(|(n, s)| (*n, *s)).collect();
+        v.sort_by(|a, b| b.1.time.cmp(&a.1.time).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Merges another profiler's samples into this one.
+    pub fn merge(&mut self, other: &Profiler) {
+        for (name, s) in &other.routines {
+            let e = self.routines.entry(name).or_default();
+            e.calls += s.calls;
+            e.time += s.time;
+        }
+    }
+}
+
+impl fmt::Display for Profiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_time();
+        writeln!(
+            f,
+            "{:>6}  {:>12}  {:>10}  {:>10}  routine",
+            "%time", "cumulative", "calls", "ms/call"
+        )?;
+        for (name, s) in self.flat_profile() {
+            let pct = if total.as_nanos() == 0 {
+                0.0
+            } else {
+                100.0 * s.time.as_nanos() as f64 / total.as_nanos() as f64
+            };
+            writeln!(
+                f,
+                "{:>5.1}%  {:>9.3} ms  {:>10}  {:>10.3}  {}",
+                pct,
+                s.time.as_millis_f64(),
+                s.calls,
+                s.per_call().as_millis_f64(),
+                name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut p = Profiler::new();
+        p.record("pf:filter", SimDuration::from_micros(100));
+        p.record("pf:filter", SimDuration::from_micros(50));
+        p.record("ip:input", SimDuration::from_micros(490));
+        let s = p.stats("pf:filter");
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.time, SimDuration::from_micros(150));
+        assert_eq!(s.per_call(), SimDuration::from_micros(75));
+        assert_eq!(p.total_time(), SimDuration::from_micros(640));
+    }
+
+    #[test]
+    fn prefix_aggregation() {
+        let mut p = Profiler::new();
+        p.record("pf:filter", SimDuration::from_micros(10));
+        p.record("pf:input", SimDuration::from_micros(20));
+        p.record("ip:input", SimDuration::from_micros(40));
+        assert_eq!(p.time_with_prefix("pf:"), SimDuration::from_micros(30));
+        assert_eq!(p.calls_with_prefix("pf:"), 2);
+    }
+
+    #[test]
+    fn flat_profile_sorted_by_time() {
+        let mut p = Profiler::new();
+        p.record("small", SimDuration::from_micros(1));
+        p.record("big", SimDuration::from_micros(100));
+        let flat = p.flat_profile();
+        assert_eq!(flat[0].0, "big");
+        assert_eq!(flat[1].0, "small");
+    }
+
+    #[test]
+    fn unknown_routine_is_zero() {
+        let p = Profiler::new();
+        assert_eq!(p.stats("nothing"), RoutineStats::default());
+        assert_eq!(p.stats("nothing").per_call(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Profiler::new();
+        a.record("x", SimDuration::from_micros(5));
+        let mut b = Profiler::new();
+        b.record("x", SimDuration::from_micros(7));
+        b.record("y", SimDuration::from_micros(1));
+        a.merge(&b);
+        assert_eq!(a.stats("x").time, SimDuration::from_micros(12));
+        assert_eq!(a.stats("y").calls, 1);
+    }
+
+    #[test]
+    fn display_contains_headers() {
+        let mut p = Profiler::new();
+        p.record("pf:filter", SimDuration::from_micros(100));
+        let s = p.to_string();
+        assert!(s.contains("%time"));
+        assert!(s.contains("pf:filter"));
+    }
+}

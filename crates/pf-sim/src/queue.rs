@@ -1,0 +1,219 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events fire in timestamp order; events with equal timestamps fire in the
+//! order they were scheduled (a monotonic sequence number breaks ties), so
+//! every simulation run is exactly reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+    cancelled: bool,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue over event payloads of type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use pf_sim::queue::EventQueue;
+/// use pf_sim::time::{SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimTime(2_000), "late");
+/// q.schedule(SimTime(1_000), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime(1_000), "early"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    /// Sequence numbers scheduled but not yet fired or cancelled.
+    pending: std::collections::HashSet<u64>,
+    /// Sequence numbers lazily cancelled (skipped at pop time).
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (the current virtual
+    /// time).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to the current time: the event
+    /// fires next, preserving determinism rather than panicking (callers
+    /// computing `now + cost` never hit this; it guards direct misuse).
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.heap.push(Scheduled { at, seq, event, cancelled: false });
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// had not yet fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        // Lazy cancellation: the heap entry is skipped at pop time.
+        if self.pending.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if s.cancelled || self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            self.pending.remove(&s.seq);
+            self.now = s.at;
+            return Some((s.at, s.event));
+        }
+        None
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Pop lazily-cancelled entries off the top first.
+        while let Some(s) = self.heap.peek() {
+            if self.cancelled.contains(&s.seq) {
+                let s = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&s.seq);
+                continue;
+            }
+            return Some(s.at);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), 3);
+        q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(20), 2);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(42));
+    }
+
+    #[test]
+    fn past_events_are_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), "a");
+        q.pop();
+        q.schedule(SimTime(50), "late"); // in the past
+        assert_eq!(q.pop(), Some((SimTime(100), "late")));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime(10), 1);
+        let h2 = q.schedule(SimTime(20), 2);
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime(20)));
+        assert_eq!(q.pop(), Some((SimTime(20), 2)));
+        assert!(!q.cancel(h2), "already fired");
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), 1);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        q.schedule(q.now() + SimDuration::from_nanos(5), 2);
+        assert_eq!(q.pop(), Some((SimTime(15), 2)));
+    }
+}

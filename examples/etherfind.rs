@@ -1,0 +1,96 @@
+//! An `etherfind`-style trace tool (§5.4) with a user-supplied filter.
+//!
+//! "Sun Microsystems' etherfind program is another example of an
+//! integrated network monitor. It is based on Sun's Network Interface Tap
+//! (NIT) facility, which is similar to the packet filter but only allows
+//! filtering on a single packet field!" — this one takes a *full* filter
+//! program, written in the mnemonic assembly of the paper's figures, from
+//! the command line.
+//!
+//! Run with, e.g.:
+//!
+//! ```sh
+//! cargo run --example etherfind                                 # capture all
+//! cargo run --example etherfind -- 'PUSHWORD+8, PUSHLIT|CAND, 35,
+//!                                   PUSHWORD+7, PUSHZERO|CAND,
+//!                                   PUSHWORD+1, PUSHLIT|EQ, 2'  # fig 3-9
+//! ```
+//!
+//! The traffic is a canned world: a BSP transfer between two hosts plus a
+//! few echo exchanges, watched by a promiscuous monitor host whose filter
+//! is yours.
+
+use packet_filter::filter::asm;
+use packet_filter::filter::samples;
+use packet_filter::kernel::world::World;
+use packet_filter::monitor::capture::CaptureApp;
+use packet_filter::monitor::decode;
+use packet_filter::net::medium::Medium;
+use packet_filter::net::segment::FaultModel;
+use packet_filter::proto::bsp::BspConfig;
+use packet_filter::proto::bsp_app::{BspReceiverApp, BspSenderApp};
+use packet_filter::proto::echo::{EchoClient, EchoServer};
+use packet_filter::proto::pup::PupAddr;
+use packet_filter::sim::cost::CostModel;
+
+fn main() {
+    // Parse the filter from argv (default: capture everything). The
+    // monitor's filter runs at high priority with deliver-to-lower, so it
+    // never diverts the traffic it watches.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = if args.is_empty() {
+        samples::accept_all(200)
+    } else {
+        match asm::parse(200, &args.join(" ")) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("filter parse error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    println!("capturing with filter:\n{filter}");
+
+    let mut w = World::new(1);
+    let seg = w.add_segment(Medium::experimental_3mb(), FaultModel::default());
+    let alice = w.add_host("alice", seg, 0x0A, CostModel::microvax_ii());
+    let bob = w.add_host("bob", seg, 0x0B, CostModel::microvax_ii());
+    let mon = w.add_host("monitor", seg, 0x0C, CostModel::microvax_ii());
+
+    // Traffic: a BSP transfer on socket 0x400 and echoes on socket 5.
+    let cfg = BspConfig::default();
+    w.spawn(
+        bob,
+        Box::new(BspReceiverApp::new(PupAddr::new(1, 0x0B, 0x400), cfg.clone())),
+    );
+    w.spawn(
+        alice,
+        Box::new(BspSenderApp::new(
+            PupAddr::new(1, 0x0A, 0x300),
+            PupAddr::new(1, 0x0B, 0x400),
+            vec![0x55; 4096],
+            cfg,
+        )),
+    );
+    w.spawn(bob, Box::new(EchoServer::new(PupAddr::new(1, 0x0B, 0x5))));
+    w.spawn(
+        alice,
+        Box::new(EchoClient::new(
+            PupAddr::new(1, 0x0A, 0x111),
+            PupAddr::new(1, 0x0B, 0x5),
+            5,
+            b"etherfind".to_vec(),
+        )),
+    );
+
+    let cap = w.spawn(mon, Box::new(CaptureApp::with_filter(filter, 10_000)));
+    w.run();
+
+    let capture = w.app_ref::<CaptureApp>(mon, cap).expect("capture");
+    let medium = Medium::experimental_3mb();
+    println!("== {} matching frames ==", capture.captured());
+    for c in &capture.trace {
+        let stamp = c.stamp.map(|t| t.to_string()).unwrap_or_default();
+        println!("{stamp:>12}  {}", decode::decode(&medium, &c.bytes));
+    }
+}

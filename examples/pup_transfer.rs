@@ -1,0 +1,61 @@
+//! A Pup/BSP file transfer between two simulated hosts (§5.1).
+//!
+//! This is the paper's flagship use case: "At Stanford, almost all of the
+//! Pup protocols were implemented for Unix, based entirely on the packet
+//! filter." Two MicroVAX-II-class hosts on a 3 Mbit/s Experimental
+//! Ethernet move 100 KB through the user-level BSP implementation; the
+//! run prints throughput, protocol statistics, and the receiving host's
+//! kernel counters and gprof-style profile.
+//!
+//! Run with: `cargo run --release --example pup_transfer`
+
+use packet_filter::kernel::world::World;
+use packet_filter::net::medium::Medium;
+use packet_filter::net::segment::FaultModel;
+use packet_filter::proto::bsp::BspConfig;
+use packet_filter::proto::bsp_app::{BspReceiverApp, BspSenderApp};
+use packet_filter::proto::pup::PupAddr;
+use packet_filter::sim::cost::CostModel;
+
+const TOTAL: usize = 100 * 1024;
+
+fn main() {
+    let mut w = World::new(2026);
+    // A slightly lossy wire, to show the protocol recovering.
+    let seg = w.add_segment(
+        Medium::experimental_3mb(),
+        FaultModel { loss: 0.01, duplication: 0.0 },
+    );
+    let alice = w.add_host("alice", seg, 0x0A, CostModel::microvax_ii());
+    let bob = w.add_host("bob", seg, 0x0B, CostModel::microvax_ii());
+
+    let src = PupAddr::new(1, 0x0A, 0x0300);
+    let dst = PupAddr::new(1, 0x0B, 0x0400);
+    let cfg = BspConfig::default();
+    let payload: Vec<u8> = (0..TOTAL).map(|i| (i % 251) as u8).collect();
+
+    let rx = w.spawn(bob, Box::new(BspReceiverApp::new(dst, cfg.clone())));
+    let tx = w.spawn(alice, Box::new(BspSenderApp::new(src, dst, payload, cfg)));
+
+    let end = w.run();
+
+    let sender = w.app_ref::<BspSenderApp>(alice, tx).expect("sender");
+    let receiver = w.app_ref::<BspReceiverApp>(bob, rx).expect("receiver");
+    assert!(receiver.is_done(), "transfer completed");
+
+    println!("== Pup/BSP transfer: alice -> bob, {TOTAL} bytes ==");
+    println!("virtual time elapsed: {end}");
+    println!(
+        "throughput: {:.1} KB/s (the paper measured 38 KB/s for the 1982 code)",
+        receiver.throughput_bps().unwrap_or(0.0) / 1024.0
+    );
+    println!("\nsender stats:    {:?}", sender.stats());
+    println!("receiver stats:  {:?}", receiver.stats());
+    println!(
+        "\nwire: {} frames transmitted, {} lost to injected noise",
+        w.network().transmitted_on(seg),
+        w.network().lost_on(seg)
+    );
+    println!("\nbob's kernel counters:\n{}", w.counters(bob));
+    println!("\nbob's kernel profile (gprof style):\n{}", w.profiler(bob));
+}

@@ -1,0 +1,59 @@
+//! A diskless workstation determines its IP address via RARP (§5.3).
+//!
+//! "With the packet filter, a RARP implementation was easy; the work was
+//! done in a few weeks by a student who had no experience with network
+//! programming." The client follows §3's "write; read with timeout; retry
+//! if necessary" paradigm verbatim, here against a lossy wire, while a
+//! user-level RARP server answers from its address table.
+//!
+//! Run with: `cargo run --example rarp_boot`
+
+use packet_filter::kernel::world::World;
+use packet_filter::net::medium::Medium;
+use packet_filter::net::segment::FaultModel;
+use packet_filter::proto::rarp::{RarpClient, RarpServer};
+use packet_filter::sim::cost::CostModel;
+use packet_filter::sim::time::SimTime;
+use std::collections::HashMap;
+
+fn main() {
+    let mut w = World::new(99);
+    // Four out of ten frames vanish: the retry loop earns its keep.
+    let seg = w.add_segment(
+        Medium::standard_10mb(),
+        FaultModel { loss: 0.4, duplication: 0.0 },
+    );
+    let station = w.add_host("diskless", seg, 0x0A, CostModel::microvax_ii());
+    let server_host = w.add_host("rarpd", seg, 0x0B, CostModel::microvax_ii());
+
+    let mut table = HashMap::new();
+    table.insert(0x0Au64, 0xC0A8_000A_u32); // 192.168.0.10
+    table.insert(0x0Du64, 0xC0A8_000D_u32); // another known station
+    let server = w.spawn(server_host, Box::new(RarpServer::new(table)));
+    let client = w.spawn(station, Box::new(RarpClient::new(20)));
+
+    w.run_until(SimTime(60 * 1_000_000_000));
+
+    let c = w.app_ref::<RarpClient>(station, client).expect("client");
+    let s = w.app_ref::<RarpServer>(server_host, server).expect("server");
+
+    println!("== RARP boot on a lossy wire (40% loss) ==");
+    match c.my_ip {
+        Some(ip) => println!(
+            "station 0x0A learned its address: {}.{}.{}.{} after {} request(s), at {}",
+            ip >> 24,
+            (ip >> 16) & 0xFF,
+            (ip >> 8) & 0xFF,
+            ip & 0xFF,
+            c.requests_sent,
+            c.resolved_at.expect("resolved")
+        ),
+        None => println!("station gave up after {} requests", c.requests_sent),
+    }
+    println!("server answered {} request(s), ignored {} unknown", s.answered, s.unknown);
+    println!(
+        "wire: {} frames sent, {} eaten by the noise",
+        w.network().transmitted_on(seg),
+        w.network().lost_on(seg)
+    );
+}

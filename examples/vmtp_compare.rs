@@ -1,0 +1,89 @@
+//! The paper's headline comparison, live: the *same* VMTP transaction
+//! machines running user-level over the packet filter and kernel-resident
+//! (§6.3, tables 6-2/6-3), on identical simulated MicroVAX-IIs.
+//!
+//! Run with: `cargo run --release --example vmtp_compare`
+
+use packet_filter::kernel::world::World;
+use packet_filter::net::medium::Medium;
+use packet_filter::net::segment::FaultModel;
+use packet_filter::proto::vmtp::SEGMENT_BYTES;
+use packet_filter::proto::vmtp_kernel::{KVmtpClient, KVmtpServer, KernelVmtp};
+use packet_filter::proto::vmtp_user::{VmtpUserClient, VmtpUserServer, Workload};
+use packet_filter::sim::cost::CostModel;
+use packet_filter::sim::time::SimTime;
+
+const SERVER_ENTITY: u32 = 0x20;
+const CLIENT_ENTITY: u32 = 0x10;
+const SERVER_ETH: u64 = 0x0B;
+const CAP: SimTime = SimTime(600 * 1_000_000_000);
+
+fn user_level(ops: u64, bytes: u32) -> (f64, f64) {
+    let mut w = World::new(5);
+    let seg = w.add_segment(Medium::standard_10mb(), FaultModel::default());
+    let c = w.add_host("client", seg, 0x0A, CostModel::microvax_ii());
+    let s = w.add_host("server", seg, SERVER_ETH, CostModel::microvax_ii());
+    w.spawn(s, Box::new(VmtpUserServer::new(SERVER_ENTITY)));
+    let p = w.spawn(
+        c,
+        Box::new(VmtpUserClient::new(CLIENT_ENTITY, SERVER_ENTITY, SERVER_ETH, Workload {
+            ops,
+            response_bytes: bytes,
+        })),
+    );
+    w.run_until(CAP);
+    let app = w.app_ref::<VmtpUserClient>(c, p).expect("client");
+    assert!(app.is_done());
+    (
+        app.per_op().unwrap().as_millis_f64(),
+        app.throughput_bps().unwrap_or(0.0) / 1024.0,
+    )
+}
+
+fn kernel_resident(ops: u64, bytes: u32) -> (f64, f64) {
+    let mut w = World::new(5);
+    let seg = w.add_segment(Medium::standard_10mb(), FaultModel::default());
+    let c = w.add_host("client", seg, 0x0A, CostModel::microvax_ii());
+    let s = w.add_host("server", seg, SERVER_ETH, CostModel::microvax_ii());
+    w.register_protocol(c, Box::new(KernelVmtp::new()));
+    w.register_protocol(s, Box::new(KernelVmtp::new()));
+    w.spawn(s, Box::new(KVmtpServer::new(SERVER_ENTITY)));
+    let p = w.spawn(
+        c,
+        Box::new(KVmtpClient::new(CLIENT_ENTITY, SERVER_ENTITY, SERVER_ETH, Workload {
+            ops,
+            response_bytes: bytes,
+        })),
+    );
+    w.run_until(CAP);
+    let app = w.app_ref::<KVmtpClient>(c, p).expect("client");
+    assert!(app.is_done());
+    (
+        app.per_op().unwrap().as_millis_f64(),
+        app.throughput_bps().unwrap_or(0.0) / 1024.0,
+    )
+}
+
+fn main() {
+    println!("== VMTP: user-level (packet filter) vs kernel-resident ==\n");
+
+    let (u_rtt, _) = user_level(30, 0);
+    let (k_rtt, _) = kernel_resident(30, 0);
+    println!("minimal operation (read 0 bytes from a file):");
+    println!("  packet filter: {u_rtt:6.2} ms   (paper: 14.7 ms)");
+    println!("  Unix kernel:   {k_rtt:6.2} ms   (paper:  7.44 ms)");
+    println!("  penalty:       {:.2}x       (paper: ~2x)\n", u_rtt / k_rtt);
+
+    let (_, u_bulk) = user_level(32, SEGMENT_BYTES as u32);
+    let (_, k_bulk) = kernel_resident(32, SEGMENT_BYTES as u32);
+    println!("bulk transfer (repeated 16 KB file-segment reads):");
+    println!("  packet filter: {u_bulk:6.0} KB/s (paper: 112 KB/s)");
+    println!("  Unix kernel:   {k_bulk:6.0} KB/s (paper: 336 KB/s)");
+    println!("  penalty:       {:.2}x       (paper: ~3x)\n", k_bulk / u_bulk);
+
+    println!(
+        "Both variants run the *same* pure transaction machines \
+         (pf_proto::vmtp); only\nthe domain boundary moves — which is the \
+         paper's entire point."
+    );
+}

@@ -1,0 +1,162 @@
+//! The capstone scenario: "a moderately busy Ethernet" (§5.4) with
+//! everything this repository implements running at once — BSP bulk
+//! transfer, VMTP transactions, kernel TCP, Pup echoes, RARP boot, group
+//! multicast, ARP chatter, and a promiscuous monitor watching it all —
+//! under packet loss, on one wire.
+
+use packet_filter::kernel::world::World;
+use packet_filter::monitor::capture::CaptureApp;
+use packet_filter::monitor::stats::TraceStats;
+use packet_filter::net::medium::Medium;
+use packet_filter::net::segment::FaultModel;
+use packet_filter::proto::bsp::BspConfig;
+use packet_filter::proto::bsp_app::{BspReceiverApp, BspSenderApp};
+use packet_filter::proto::echo::{EchoClient, EchoServer};
+use packet_filter::proto::group::{GroupMember, GroupSender};
+use packet_filter::proto::ip::KernelIp;
+use packet_filter::proto::pup::{PupAddr, PUP_ETHERTYPE};
+use packet_filter::proto::rarp::{RarpClient, RarpServer};
+use packet_filter::proto::stream::{TcpBulkReceiver, TcpBulkSender};
+use packet_filter::proto::vmtp::VMTP_ETHERTYPE;
+use packet_filter::proto::vmtp_kernel::KernelVmtp;
+use packet_filter::proto::vmtp_kernel::{KVmtpClient, KVmtpServer};
+use packet_filter::proto::vmtp_user::Workload;
+use packet_filter::sim::cost::CostModel;
+use packet_filter::sim::time::SimTime;
+use std::collections::HashMap;
+
+#[test]
+fn everything_at_once_on_one_wire() {
+    let mut w = World::new(2026);
+    // The 10 Mb Ethernet (Pup runs fine over it in the simulation: the
+    // encapsulation is per-frame, and these Pup apps use the 3 Mb layout
+    // only for their own filters — so give the Pup pair its own segment).
+    let eth10 = w.add_segment(
+        Medium::standard_10mb(),
+        FaultModel { loss: 0.01, duplication: 0.005 },
+    );
+    let eth3 = w.add_segment(
+        Medium::experimental_3mb(),
+        FaultModel { loss: 0.01, duplication: 0.005 },
+    );
+
+    // --- the 10 Mb population -----------------------------------------
+    let srv = w.add_host("server", eth10, 0x0B, CostModel::microvax_ii());
+    let cli = w.add_host("client", eth10, 0x0A, CostModel::microvax_ii());
+    let ws1 = w.add_host("ws1", eth10, 0x0C, CostModel::microvax_ii());
+    let ws2 = w.add_host("ws2", eth10, 0x0D, CostModel::microvax_ii());
+    for h in [srv, cli, ws1, ws2] {
+        w.register_protocol(h, Box::new(KernelIp::new(h.0 as u32 + 100)));
+        w.register_protocol(h, Box::new(KernelVmtp::new()));
+    }
+
+    // A promiscuous monitor on the 10 Mb wire, started before any traffic
+    // source (a capture that starts late misses the frames already sent —
+    // as on a real wire). A busy segment also overruns the default
+    // 32-frame NIC ring (the paper's "rare lapses"), so the monitor gets
+    // deep buffers to let this test assert on complete capture.
+    let mon10 = w.add_host("monitor10", eth10, 0x0E, CostModel::microvax_ii());
+    w.set_nic_capacity(mon10, 1 << 20);
+    let cap10 =
+        w.spawn(mon10, Box::new(CaptureApp::promiscuous(100_000).with_queue_len(1 << 20)));
+
+    // Kernel TCP bulk stream client → server.
+    let tcp_rx = w.spawn(srv, Box::new(TcpBulkReceiver::new(5000)));
+    w.spawn(cli, Box::new(TcpBulkSender::new(100 + srv.0 as u32, 5000, 0x0B, 60_000, 0)));
+
+    // Kernel VMTP transactions ws1 → server.
+    w.spawn(srv, Box::new(KVmtpServer::new(0x20)));
+    let vmtp_cli = w.spawn(
+        ws1,
+        Box::new(KVmtpClient::new(0x10, 0x20, 0x0B, Workload { ops: 10, response_bytes: 4096 })),
+    );
+
+    // RARP: ws2 boots, the server answers.
+    let mut table = HashMap::new();
+    table.insert(0x0Du64, 0xC0A8_0002_u32);
+    w.spawn(srv, Box::new(RarpServer::new(table)));
+    let rarp_cli = w.spawn(ws2, Box::new(RarpClient::new(30)));
+
+    // Group multicast from the server to members on ws1 and ws2 (two on
+    // ws1, exercising same-host copies).
+    let g1 = w.spawn(ws1, Box::new(GroupMember::new(0x31)));
+    let g2 = w.spawn(ws1, Box::new(GroupMember::new(0x31)));
+    let g3 = w.spawn(ws2, Box::new(GroupMember::new(0x31)));
+    w.spawn(
+        srv,
+        Box::new(GroupSender::new(0x31, vec![b"tick".to_vec(), b"tock".to_vec()])),
+    );
+
+    // --- the 3 Mb population (the Pup world) ---------------------------
+    let alice = w.add_host("alice", eth3, 0x0A, CostModel::microvax_ii());
+    let bob = w.add_host("bob", eth3, 0x0B, CostModel::microvax_ii());
+    let cfg = BspConfig::default();
+    let bsp_rx = w.spawn(
+        bob,
+        Box::new(BspReceiverApp::new(PupAddr::new(1, 0x0B, 0x400), cfg.clone())),
+    );
+    w.spawn(
+        alice,
+        Box::new(BspSenderApp::new(
+            PupAddr::new(1, 0x0A, 0x300),
+            PupAddr::new(1, 0x0B, 0x400),
+            vec![0xA5; 40_000],
+            cfg,
+        )),
+    );
+    w.spawn(bob, Box::new(EchoServer::new(PupAddr::new(1, 0x0B, 0x5))));
+    let echo_cli = w.spawn(
+        alice,
+        Box::new(EchoClient::new(
+            PupAddr::new(1, 0x0A, 0x111),
+            PupAddr::new(1, 0x0B, 0x5),
+            10,
+            b"hello".to_vec(),
+        )),
+    );
+
+    w.run_until(SimTime(600 * 1_000_000_000));
+
+    // Everyone finished, exactly.
+    let tcp = w.app_ref::<TcpBulkReceiver>(srv, tcp_rx).unwrap();
+    assert!(tcp.is_done(), "TCP bulk finished ({} bytes)", tcp.bytes);
+    assert_eq!(tcp.bytes, 60_000);
+
+    let vmtp = w.app_ref::<KVmtpClient>(ws1, vmtp_cli).unwrap();
+    assert!(vmtp.is_done(), "VMTP finished ({} ops)", vmtp.completed);
+    assert_eq!(vmtp.bytes, 10 * 4096);
+
+    let rarp = w.app_ref::<RarpClient>(ws2, rarp_cli).unwrap();
+    assert_eq!(rarp.my_ip, Some(0xC0A8_0002), "ws2 learned its address");
+
+    for (h, p, label) in [(ws1, g1, "g1"), (ws1, g2, "g2"), (ws2, g3, "g3")] {
+        let m = w.app_ref::<GroupMember>(h, p).unwrap();
+        // Multicast is unreliable datagram: with 1% loss a member may
+        // miss a message, but duplicates must not double-deliver beyond
+        // the wire's duplication.
+        assert!(m.received.len() <= 4, "{label}: {} messages", m.received.len());
+        assert!(!m.received.is_empty(), "{label} heard the group");
+    }
+
+    let bsp = w.app_ref::<BspReceiverApp>(bob, bsp_rx).unwrap();
+    assert!(bsp.is_done(), "BSP finished ({} bytes)", bsp.bytes);
+    assert_eq!(bsp.bytes, 40_000);
+
+    let echo = w.app_ref::<EchoClient>(alice, echo_cli).unwrap();
+    assert!(echo.is_done(), "echoes finished ({}/10)", echo.rtts.len());
+
+    // The monitor saw a busy, mixed wire and survived it.
+    let cap = w.app_ref::<CaptureApp>(mon10, cap10).unwrap();
+    let stats = TraceStats::analyze(&Medium::standard_10mb(), &cap.trace);
+    assert!(stats.packets > 100, "busy wire: {} frames", stats.packets);
+    assert_eq!(stats.malformed, 0);
+    assert!(stats.packets_of_type(0x0800) > 0, "saw IP");
+    assert!(stats.packets_of_type(VMTP_ETHERTYPE) > 0, "saw VMTP");
+    assert!(stats.packets_of_type(0x8035) > 0, "saw RARP");
+    assert!(
+        stats.packets_of_type(packet_filter::proto::group::GROUP_ETHERTYPE) > 0,
+        "saw group multicast"
+    );
+    // And no Pup leaked across segments.
+    assert_eq!(stats.packets_of_type(PUP_ETHERTYPE), 0, "segments isolated");
+}

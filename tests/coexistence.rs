@@ -1,0 +1,144 @@
+//! Figure 3-3: the packet filter coexisting with kernel-resident
+//! protocols on one host — "some programs may even use both means to
+//! access the network" — plus the §6 note that the packet filter
+//! "coexists with kernel-resident protocol implementations, without
+//! affecting their performance."
+
+use packet_filter::filter::samples;
+use packet_filter::kernel::app::App;
+use packet_filter::kernel::types::{Fd, RecvPacket, SockId};
+use packet_filter::kernel::world::{ProcCtx, World};
+use packet_filter::net::frame;
+use packet_filter::net::medium::Medium;
+use packet_filter::net::segment::FaultModel;
+use packet_filter::proto::ip::{encode_ip, encode_udp, IpHeader, KernelIp, IP_ETHERTYPE, PROTO_UDP};
+use packet_filter::proto::pup::PupAddr;
+use packet_filter::proto::bsp::BspConfig;
+use packet_filter::proto::bsp_app::{BspReceiverApp, BspSenderApp};
+use packet_filter::proto::stream::{TcpBulkReceiver, TcpBulkSender};
+use packet_filter::sim::cost::CostModel;
+use packet_filter::sim::time::SimTime;
+
+/// A process that uses *both* access paths: a UDP kernel socket and a
+/// packet-filter port, on the same host.
+struct DualStack {
+    udp_got: u64,
+    pf_got: u64,
+    fd: Option<Fd>,
+}
+
+impl App for DualStack {
+    fn start(&mut self, k: &mut ProcCtx<'_>) {
+        let sock = k.ksock_open("ip").expect("ip registered");
+        k.ksock_request(sock, packet_filter::proto::ip::ops::UDP_BIND, Vec::new(), [77, 0, 0, 0]);
+        let fd = k.pf_open();
+        k.pf_set_filter(fd, samples::pup_socket_filter(10, 0, 35));
+        self.fd = Some(fd);
+        k.pf_read(fd);
+    }
+    fn on_socket(&mut self, _s: SockId, op: u32, _d: Vec<u8>, _m: [u64; 4], _k: &mut ProcCtx<'_>) {
+        if op == packet_filter::proto::ip::ops::UDP_RECV {
+            self.udp_got += 1;
+        }
+    }
+    fn on_packets(&mut self, fd: Fd, packets: Vec<RecvPacket>, k: &mut ProcCtx<'_>) {
+        self.pf_got += packets.len() as u64;
+        k.pf_read(fd);
+    }
+}
+
+#[test]
+fn one_process_uses_both_models() {
+    let medium = Medium::experimental_3mb();
+    let mut w = World::new(3);
+    let seg = w.add_segment(medium, FaultModel::default());
+    let h = w.add_host("dual", seg, 0x0B, CostModel::microvax_ii());
+    w.register_protocol(h, Box::new(KernelIp::new(11)));
+    let p = w.spawn(h, Box::new(DualStack { udp_got: 0, pf_got: 0, fd: None }));
+
+    // One UDP datagram and one Pup, interleaved.
+    let udp = encode_ip(
+        &IpHeader { proto: PROTO_UDP, ttl: 30, src: 10, dst: 11, total_len: 0 },
+        &encode_udp(9, 77, b"hello"),
+    );
+    let udp_frame = frame::build(&medium, 0x0B, 0x0A, IP_ETHERTYPE, &udp).unwrap();
+    w.inject_frame(h, udp_frame, SimTime(1_000_000));
+    w.inject_frame(h, samples::pup_packet_3mb(2, 0, 35, 1), SimTime(2_000_000));
+    // And one Pup nobody wants.
+    w.inject_frame(h, samples::pup_packet_3mb(2, 0, 99, 1), SimTime(3_000_000));
+    w.run();
+
+    let app = w.app_ref::<DualStack>(h, p).unwrap();
+    assert_eq!(app.udp_got, 1, "UDP went through the kernel stack");
+    assert_eq!(app.pf_got, 1, "the Pup went through the packet filter");
+    assert_eq!(w.counters(h).drops_no_match, 1, "the stray Pup was dropped");
+    // The kernel protocol never saw the Pups, and vice versa.
+    assert_eq!(w.protocol_ref::<KernelIp>(h).unwrap().packets_in, 1);
+}
+
+#[test]
+fn pf_traffic_does_not_slow_kernel_tcp() {
+    // "The packet filter coexists with kernel-resident protocol
+    // implementations, without affecting their performance" (§6): a TCP
+    // bulk transfer runs at the same rate whether or not unrelated Pup
+    // traffic is being demultiplexed... here the Pup traffic is light
+    // enough not to saturate the shared CPU.
+    let run = |with_pup_noise: bool| {
+        let mut w = World::new(9);
+        let seg = w.add_segment(Medium::standard_10mb(), FaultModel::default());
+        let a = w.add_host("sender", seg, 0x0A, CostModel::microvax_ii());
+        let b = w.add_host("receiver", seg, 0x0B, CostModel::microvax_ii());
+        w.register_protocol(a, Box::new(KernelIp::new(10)));
+        w.register_protocol(b, Box::new(KernelIp::new(11)));
+        let rx = w.spawn(b, Box::new(TcpBulkReceiver::new(5000)));
+        w.spawn(a, Box::new(TcpBulkSender::new(11, 5000, 0x0B, 64 * 1024, 0)));
+        if with_pup_noise {
+            // A stray Pup every 20 ms that no filter wants.
+            for i in 0..100u64 {
+                let mut p = samples::pup_packet_3mb(2, 0, 9, 1);
+                p[0] = 0x0B;
+                w.inject_frame(b, p, SimTime(i * 20_000_000));
+            }
+        }
+        w.run_until(SimTime(300 * 1_000_000_000));
+        let r = w.app_ref::<TcpBulkReceiver>(b, rx).unwrap();
+        assert!(r.is_done());
+        r.throughput_bps().unwrap()
+    };
+    let clean = run(false);
+    let noisy = run(true);
+    let slowdown = clean / noisy;
+    assert!(
+        slowdown < 1.10,
+        "light pf traffic must not materially slow kernel TCP: {slowdown:.3}"
+    );
+}
+
+#[test]
+fn pup_and_tcp_share_a_wire() {
+    // A BSP stream (user-level, over the packet filter) and a TCP stream
+    // (kernel) between the same pair of hosts, concurrently; both finish
+    // and deliver intact.
+    let mut w = World::new(12);
+    let seg = w.add_segment(Medium::experimental_3mb(), FaultModel::default());
+    let a = w.add_host("alice", seg, 0x0A, CostModel::microvax_ii());
+    let b = w.add_host("bob", seg, 0x0B, CostModel::microvax_ii());
+    w.register_protocol(a, Box::new(KernelIp::new(10)));
+    w.register_protocol(b, Box::new(KernelIp::new(11)));
+
+    let cfg = BspConfig::default();
+    let src = PupAddr::new(1, 0x0A, 0x300);
+    let dst = PupAddr::new(1, 0x0B, 0x400);
+    let bsp_rx = w.spawn(b, Box::new(BspReceiverApp::new(dst, cfg.clone())));
+    w.spawn(a, Box::new(BspSenderApp::new(src, dst, vec![1u8; 20_000], cfg)));
+
+    let tcp_rx = w.spawn(b, Box::new(TcpBulkReceiver::new(5000)));
+    w.spawn(a, Box::new(TcpBulkSender::new(11, 5000, 0x0B, 20_000, 512)));
+
+    w.run_until(SimTime(300 * 1_000_000_000));
+    let bsp = w.app_ref::<BspReceiverApp>(b, bsp_rx).unwrap();
+    let tcp = w.app_ref::<TcpBulkReceiver>(b, tcp_rx).unwrap();
+    assert!(bsp.is_done() && tcp.is_done());
+    assert_eq!(bsp.bytes, 20_000);
+    assert_eq!(tcp.bytes, 20_000);
+}
