@@ -20,7 +20,10 @@ fn sequential_first_match(
     filters: &[(u32, FilterProgram)],
     packet: PacketView<'_>,
 ) -> Option<u32> {
-    filters.iter().find(|(_, f)| interp.eval(f, packet)).map(|(id, _)| *id)
+    filters
+        .iter()
+        .find(|(_, f)| interp.eval(f, packet))
+        .map(|(id, _)| *id)
 }
 
 fn demux_scaling(c: &mut Criterion) {

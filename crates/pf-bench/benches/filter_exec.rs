@@ -3,8 +3,10 @@
 //! The simulation charges *virtual* time for filter interpretation; this
 //! bench measures the *actual* Rust implementations, verifying the §7
 //! improvement claims with real numbers: hoisting per-instruction checks
-//! to bind time speeds evaluation, and pre-compiling filters speeds it
-//! further. Filter lengths mirror table 6-10 (0/1/9/21 instructions).
+//! to bind time speeds evaluation, pre-compiling filters speeds it
+//! further, and the pf-ir CFG pipeline compiles the short-circuit chains
+//! down to straight-line guards. Filter lengths mirror table 6-10
+//! (0/1/9/21 instructions).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pf_filter::compile::CompiledFilter;
@@ -12,6 +14,7 @@ use pf_filter::interp::CheckedInterpreter;
 use pf_filter::packet::PacketView;
 use pf_filter::samples;
 use pf_filter::validate::ValidatedProgram;
+use pf_ir::{IrFilter, IrFilterSet};
 use std::hint::black_box;
 
 fn engines(c: &mut Criterion) {
@@ -19,31 +22,22 @@ fn engines(c: &mut Criterion) {
     let packet = samples::pup_packet_3mb(2, 0, 35, 50);
     let interp = CheckedInterpreter::default();
 
-    for len in [0usize, 1, 9, 21] {
-        let program = samples::padded_accept_filter(10, len);
-        let validated = ValidatedProgram::new(program.clone()).unwrap();
-        let compiled = CompiledFilter::compile(program.clone()).unwrap();
+    let shapes: Vec<(String, pf_filter::program::FilterProgram)> = [0usize, 1, 9, 21]
+        .iter()
+        .map(|&len| (len.to_string(), samples::padded_accept_filter(10, len)))
+        .chain([
+            ("fig_3_8".to_string(), samples::fig_3_8_pup_type_range()),
+            ("fig_3_9".to_string(), samples::fig_3_9_pup_socket_35()),
+        ])
+        .collect();
 
-        group.bench_with_input(BenchmarkId::new("checked", len), &len, |b, _| {
-            b.iter(|| interp.eval(black_box(&program), PacketView::new(black_box(&packet))))
-        });
-        group.bench_with_input(BenchmarkId::new("validated", len), &len, |b, _| {
-            b.iter(|| validated.eval(PacketView::new(black_box(&packet))))
-        });
-        group.bench_with_input(BenchmarkId::new("compiled", len), &len, |b, _| {
-            b.iter(|| compiled.eval(PacketView::new(black_box(&packet))))
-        });
-    }
-
-    // The paper's own workhorse filters.
-    for (name, program) in [
-        ("fig_3_8", samples::fig_3_8_pup_type_range()),
-        ("fig_3_9", samples::fig_3_9_pup_socket_35()),
-    ] {
+    for (name, program) in &shapes {
         let validated = ValidatedProgram::new(program.clone()).unwrap();
-        let compiled = CompiledFilter::compile(program.clone()).unwrap();
+        let compiled = CompiledFilter::from_validated(validated.clone());
+        let ir = IrFilter::from_validated(&validated);
+
         group.bench_function(BenchmarkId::new("checked", name), |b| {
-            b.iter(|| interp.eval(black_box(&program), PacketView::new(black_box(&packet))))
+            b.iter(|| interp.eval(black_box(program), PacketView::new(black_box(&packet))))
         });
         group.bench_function(BenchmarkId::new("validated", name), |b| {
             b.iter(|| validated.eval(PacketView::new(black_box(&packet))))
@@ -51,7 +45,33 @@ fn engines(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("compiled", name), |b| {
             b.iter(|| compiled.eval(PacketView::new(black_box(&packet))))
         });
+        group.bench_function(BenchmarkId::new("ir", name), |b| {
+            b.iter(|| ir.eval(PacketView::new(black_box(&packet))))
+        });
     }
+    group.finish();
+
+    // Set-level: 16 socket filters sharing their guard prefixes, against
+    // evaluating the same 16 IR filters independently.
+    let mut group = c.benchmark_group("filter_exec_set");
+    let filters: Vec<IrFilter> = (0..16)
+        .map(|i| IrFilter::compile(samples::pup_socket_filter(10, 0, i)).unwrap())
+        .collect();
+    let mut set = IrFilterSet::new();
+    for (i, _) in filters.iter().enumerate() {
+        set.insert(i as u32, samples::pup_socket_filter(10, 0, i as u16));
+    }
+    group.bench_function("independent_16", |b| {
+        b.iter(|| {
+            filters
+                .iter()
+                .filter(|f| f.eval(PacketView::new(black_box(&packet))))
+                .count()
+        })
+    });
+    group.bench_function("shared_prefix_16", |b| {
+        b.iter(|| set.matches(PacketView::new(black_box(&packet))).len())
+    });
     group.finish();
 }
 

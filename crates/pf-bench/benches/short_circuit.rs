@@ -23,7 +23,13 @@ fn short_circuit(c: &mut Criterion) {
     let interp = CheckedInterpreter::default();
     let with_sc = socket_expr().compile(10).unwrap();
     let without_sc = socket_expr()
-        .compile_with(10, &CompileOptions { no_short_circuit: true, ..Default::default() })
+        .compile_with(
+            10,
+            &CompileOptions {
+                no_short_circuit: true,
+                ..Default::default()
+            },
+        )
         .unwrap();
 
     // The common case on a busy wire: the packet is for someone else.

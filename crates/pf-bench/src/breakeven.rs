@@ -57,8 +57,7 @@ pub fn user_cost_ms() -> f64 {
 /// The sweep: (filters, kernel ms/packet) pairs plus the flat user cost.
 pub fn sweep() -> (Vec<(usize, f64)>, f64) {
     let filters = [1usize, 2, 4, 8, 16, 24, 32, 48];
-    let kernel: Vec<(usize, f64)> =
-        filters.iter().map(|&f| (f, kernel_cost_ms(f))).collect();
+    let kernel: Vec<(usize, f64)> = filters.iter().map(|&f| (f, kernel_cost_ms(f))).collect();
     (kernel, user_cost_ms())
 }
 
@@ -119,8 +118,7 @@ mod tests {
         // …and stays cheaper than user demux well into the teens.
         let at_8 = kernel.iter().find(|(f, _)| *f == 8).unwrap().1;
         assert!(at_8 < user, "8 filters: kernel {at_8:.2} vs user {user:.2}");
-        let be = break_even(&kernel, user)
-            .expect("the sweep must cross the user-demux cost");
+        let be = break_even(&kernel, user).expect("the sweep must cross the user-demux cost");
         assert!(
             (10.0..45.0).contains(&be),
             "break-even at {be:.0} filters (paper: >20)"

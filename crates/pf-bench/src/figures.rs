@@ -37,7 +37,11 @@ pub fn demux_events(mode: DemuxMode) -> DemuxEvents {
     let r = recvcost::run(&RecvConfig {
         mode,
         count: 300,
-        spacing_us: if mode == DemuxMode::Kernel { 900 } else { 1_900 },
+        spacing_us: if mode == DemuxMode::Kernel {
+            900
+        } else {
+            1_900
+        },
         ..Default::default()
     });
     DemuxEvents {
@@ -55,7 +59,12 @@ pub fn report_fig_2_1_2_2() -> Report {
         "Figures 2-1/2-2",
         "Per-packet overhead events: user-process vs kernel demultiplexing",
     )
-    .headers(&["demultiplexing in", "ctx switches/pkt", "syscalls/pkt", "copies/pkt"]);
+    .headers(&[
+        "demultiplexing in",
+        "ctx switches/pkt",
+        "syscalls/pkt",
+        "copies/pkt",
+    ]);
     r.row(&[
         "kernel (fig 2-2)".into(),
         format!("{:.2}", kernel.switches),
@@ -100,8 +109,7 @@ pub fn crossings() -> CrossingCounts {
     w.run_until(SimTime(900 * 1_000_000_000));
     assert!(w.app_ref::<BspReceiverApp>(b, rx).expect("rx").is_done());
     let user: Counters = *w.counters(b);
-    let user_bsp_per_kb =
-        user.domain_crossings as f64 / (TOTAL as f64 / 1024.0);
+    let user_bsp_per_kb = user.domain_crossings as f64 / (TOTAL as f64 / 1024.0);
 
     // Kernel TCP: acks and control stay in the kernel.
     let mut w = World::new(17);
@@ -115,10 +123,12 @@ pub fn crossings() -> CrossingCounts {
     w.run_until(SimTime(900 * 1_000_000_000));
     assert!(w.app_ref::<TcpBulkReceiver>(b, rx).expect("rx").is_done());
     let kernel: Counters = *w.counters(b);
-    let kernel_tcp_per_kb =
-        kernel.domain_crossings as f64 / (TOTAL as f64 / 1024.0);
+    let kernel_tcp_per_kb = kernel.domain_crossings as f64 / (TOTAL as f64 / 1024.0);
 
-    CrossingCounts { user_bsp_per_kb, kernel_tcp_per_kb }
+    CrossingCounts {
+        user_bsp_per_kb,
+        kernel_tcp_per_kb,
+    }
 }
 
 /// Figure 2-3 report.
@@ -137,7 +147,11 @@ pub fn report_fig_2_3() -> Report {
 
 /// Figures 3-4/3-5: system calls per packet with and without batching.
 pub fn report_fig_3_4_3_5() -> Report {
-    let plain = recvcost::run(&RecvConfig { count: 300, spacing_us: 400, ..Default::default() });
+    let plain = recvcost::run(&RecvConfig {
+        count: 300,
+        spacing_us: 400,
+        ..Default::default()
+    });
     let batched = recvcost::run(&RecvConfig {
         count: 300,
         batching: true,
@@ -148,7 +162,12 @@ pub fn report_fig_3_4_3_5() -> Report {
         "Figures 3-4/3-5",
         "Received-packet batching amortizes per-packet overheads",
     )
-    .headers(&["mode", "syscalls/pkt", "ctx switches/pkt", "per-packet time"]);
+    .headers(&[
+        "mode",
+        "syscalls/pkt",
+        "ctx switches/pkt",
+        "per-packet time",
+    ]);
     r.row(&[
         "one packet per read (fig 3-4)".into(),
         format!("{:.2}", plain.syscalls_per_packet),
@@ -194,7 +213,11 @@ mod tests {
 
     #[test]
     fn fig_3_4_3_5_batching_cuts_syscalls() {
-        let plain = recvcost::run(&RecvConfig { count: 200, spacing_us: 400, ..Default::default() });
+        let plain = recvcost::run(&RecvConfig {
+            count: 200,
+            spacing_us: 400,
+            ..Default::default()
+        });
         let batched = recvcost::run(&RecvConfig {
             count: 200,
             batching: true,

@@ -22,9 +22,7 @@ use pf_net::frame;
 use pf_net::medium::Medium;
 use pf_net::segment::FaultModel;
 use pf_proto::arp::{oper, ArpPacket, KernelArp, ARP_ETHERTYPE};
-use pf_proto::ip::{
-    encode_ip, encode_udp, IpHeader, KernelIp, IP_ETHERTYPE, PROTO_TCP, PROTO_UDP,
-};
+use pf_proto::ip::{encode_ip, encode_udp, IpHeader, KernelIp, IP_ETHERTYPE, PROTO_TCP, PROTO_UDP};
 use pf_proto::tcp::Segment;
 use pf_sim::cost::CostModel;
 use pf_sim::rng::SplitMix64;
@@ -69,10 +67,17 @@ struct PupSink {
 impl App for PupSink {
     fn start(&mut self, k: &mut ProcCtx<'_>) {
         let fd = k.pf_open();
-        k.pf_set_filter(fd, pf_filter::samples::pup_socket_filter(10, 0, self.socket));
+        k.pf_set_filter(
+            fd,
+            pf_filter::samples::pup_socket_filter(10, 0, self.socket),
+        );
         k.pf_configure(
             fd,
-            PortConfig { read_mode: ReadMode::Batch, max_queue: 4096, ..Default::default() },
+            PortConfig {
+                read_mode: ReadMode::Batch,
+                max_queue: 4096,
+                ..Default::default()
+            },
         );
         self.fd = Some(fd);
         k.pf_read(fd);
@@ -114,7 +119,14 @@ pub fn run(ports: usize) -> ProfileResult {
     w.register_protocol(h, Box::new(KernelIp::new(11)));
     w.register_protocol(h, Box::new(KernelArp::new(11)));
     for i in 0..ports {
-        w.spawn(h, Box::new(PupSink { socket: i as u16, fd: None, got: 0 }));
+        w.spawn(
+            h,
+            Box::new(PupSink {
+                socket: i as u16,
+                fd: None,
+                got: 0,
+            }),
+        );
     }
     w.spawn(h, Box::new(UdpSink { got: 0 }));
 
@@ -185,9 +197,7 @@ pub fn run(ports: usize) -> ProfileResult {
     let prof = w.profiler(h).clone();
     // Subtract the setup baseline.
     let delta = |name: &str| {
-        SimDuration::from_nanos(
-            prof.stats(name).time.as_nanos() - base.stats(name).time.as_nanos(),
-        )
+        SimDuration::from_nanos(prof.stats(name).time.as_nanos() - base.stats(name).time.as_nanos())
     };
     let counters = *w.counters(h) - base_counters;
 
@@ -236,11 +246,8 @@ pub fn fit_model() -> (f64, f64) {
 pub fn report_section_6_1() -> Report {
     let r12 = run(PORTS);
     let (a, b) = fit_model();
-    let mut r = Report::new("Section 6.1", "Kernel per-packet processing time").headers(&[
-        "quantity",
-        "paper",
-        "measured",
-    ]);
+    let mut r = Report::new("Section 6.1", "Kernel per-packet processing time")
+        .headers(&["quantity", "paper", "measured"]);
     r.row(&[
         "pf time per packet".into(),
         "1.57 ms".into(),
@@ -271,7 +278,11 @@ pub fn report_section_6_1() -> Report {
         "1.77 ms".into(),
         format!("{:.2} ms", r12.transport_ms),
     ]);
-    r.row(&["ARP time per packet".into(), "(profiled)".into(), format!("{:.2} ms", r12.arp_ms)]);
+    r.row(&[
+        "ARP time per packet".into(),
+        "(profiled)".into(),
+        format!("{:.2} ms", r12.arp_ms),
+    ]);
     r.note("traffic mix 21% pf / 69% IP / 10% ARP, as in the paper's trace");
     r.note("IP traffic is half UDP datagrams, half checksummed TCP segments");
     r
@@ -312,7 +323,10 @@ mod tests {
         // packet ("the kernel-resident IP layer is about three times
         // faster than the packet filter at processing an average packet").
         let ratio = r.pf_ms_per_packet / r.ip_layer_ms;
-        assert!((2.0..4.5).contains(&ratio), "pf/IP-layer ratio {ratio:.1} (paper ~3.2)");
+        assert!(
+            (2.0..4.5).contains(&ratio),
+            "pf/IP-layer ratio {ratio:.1} (paper ~3.2)"
+        );
     }
 
     #[test]

@@ -92,7 +92,13 @@ struct Sink {
 
 impl Sink {
     fn new(filter: pf_filter::program::FilterProgram, batching: bool) -> Self {
-        Sink { filter, batching, fd: None, got: 0, last_at: SimTime::ZERO }
+        Sink {
+            filter,
+            batching,
+            fd: None,
+            got: 0,
+            last_at: SimTime::ZERO,
+        }
     }
 }
 
@@ -103,7 +109,11 @@ impl App for Sink {
         k.pf_configure(
             fd,
             PortConfig {
-                read_mode: if self.batching { ReadMode::Batch } else { ReadMode::Single },
+                read_mode: if self.batching {
+                    ReadMode::Batch
+                } else {
+                    ReadMode::Single
+                },
                 max_queue: 100_000,
                 ..Default::default()
             },
@@ -174,9 +184,7 @@ pub fn run(cfg: &RecvConfig) -> RecvResult {
                         assert_eq!(cfg.active_filters, 1, "padded filters are single-port");
                         samples::padded_accept_filter(10, n)
                     }
-                    None if cfg.active_filters == 1 => {
-                        pf_filter::program::FilterProgram::empty(10)
-                    }
+                    None if cfg.active_filters == 1 => pf_filter::program::FilterProgram::empty(10),
                     None => samples::pup_socket_filter(10, 0, i as u16),
                 };
                 sinks.push(w.spawn(h, Box::new(Sink::new(filter, cfg.batching))));
@@ -184,10 +192,20 @@ pub fn run(cfg: &RecvConfig) -> RecvResult {
             Target::Sinks(sinks)
         }
         DemuxMode::UserProcess => {
-            let fin = w.spawn(h, Box::new(PipeSink { got: 0, last_at: SimTime::ZERO }));
+            let fin = w.spawn(
+                h,
+                Box::new(PipeSink {
+                    got: 0,
+                    last_at: SimTime::ZERO,
+                }),
+            );
             let demux = DemuxProcess::new(pf_filter::program::FilterProgram::empty(10), fin)
                 .with_queue(cfg.count + 10);
-            let demux = if cfg.batching { demux } else { demux.without_batching() };
+            let demux = if cfg.batching {
+                demux
+            } else {
+                demux.without_batching()
+            };
             w.spawn(h, Box::new(demux));
             Target::Pipe(fin)
         }
@@ -244,8 +262,8 @@ pub fn run(cfg: &RecvConfig) -> RecvResult {
 /// Table 6-8: per-packet receive cost without batching.
 pub fn report_table_6_8() -> Report {
     let paper = [(128usize, 2.3, 5.0), (1500, 4.0, 9.0)];
-    let mut r = Report::new("Table 6-8", "Per-packet cost of user-level demultiplexing")
-        .headers(&[
+    let mut r =
+        Report::new("Table 6-8", "Per-packet cost of user-level demultiplexing").headers(&[
             "packet size",
             "kernel (paper)",
             "kernel (measured)",
@@ -358,7 +376,10 @@ mod tests {
 
     #[test]
     fn kernel_demux_cost_matches_table_6_8() {
-        let r = quick(RecvConfig { spacing_us: 900, ..Default::default() });
+        let r = quick(RecvConfig {
+            spacing_us: 900,
+            ..Default::default()
+        });
         assert!(
             (1.7..3.0).contains(&r.per_packet_ms),
             "kernel 128B: {:.2} ms (paper 2.3)",
@@ -368,7 +389,10 @@ mod tests {
 
     #[test]
     fn user_demux_roughly_doubles_cost() {
-        let k = quick(RecvConfig { spacing_us: 900, ..Default::default() });
+        let k = quick(RecvConfig {
+            spacing_us: 900,
+            ..Default::default()
+        });
         let u = quick(RecvConfig {
             mode: DemuxMode::UserProcess,
             spacing_us: 1_800,
@@ -380,7 +404,10 @@ mod tests {
 
     #[test]
     fn larger_packets_cost_more() {
-        let small = quick(RecvConfig { spacing_us: 900, ..Default::default() });
+        let small = quick(RecvConfig {
+            spacing_us: 900,
+            ..Default::default()
+        });
         let big = quick(RecvConfig {
             frame_bytes: 1500,
             spacing_us: 2_000,
@@ -388,12 +415,18 @@ mod tests {
         });
         // Paper: 2.3 → 4.0 ms; the delta is dominated by 1 µs/byte copying.
         let delta = big.per_packet_ms - small.per_packet_ms;
-        assert!((1.0..2.6).contains(&delta), "delta {delta:.2} ms (paper 1.7)");
+        assert!(
+            (1.0..2.6).contains(&delta),
+            "delta {delta:.2} ms (paper 1.7)"
+        );
     }
 
     #[test]
     fn batching_amortizes_wakeups() {
-        let plain = quick(RecvConfig { spacing_us: 400, ..Default::default() });
+        let plain = quick(RecvConfig {
+            spacing_us: 400,
+            ..Default::default()
+        });
         let batched = quick(RecvConfig {
             batching: true,
             spacing_us: 400,
@@ -430,7 +463,10 @@ mod tests {
     fn figure_2_counters_kernel_vs_user() {
         // Figures 2-1/2-2: the user-level demultiplexer pays extra context
         // switches, system calls, and copies on every packet.
-        let k = quick(RecvConfig { spacing_us: 900, ..Default::default() });
+        let k = quick(RecvConfig {
+            spacing_us: 900,
+            ..Default::default()
+        });
         let u = quick(RecvConfig {
             mode: DemuxMode::UserProcess,
             spacing_us: 1_800,

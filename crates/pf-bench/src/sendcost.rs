@@ -89,14 +89,17 @@ pub fn run() -> Vec<SendCost> {
         .into_iter()
         .map(|size| {
             let payload = vec![0xA5u8; size - medium.header_len];
-            let pf_frame =
-                frame::build(&medium, 0x0B, 0x0A, 0x7777, &payload).expect("fits");
+            let pf_frame = frame::build(&medium, 0x0B, 0x0A, 0x7777, &payload).expect("fits");
             assert_eq!(pf_frame.len(), size);
             let via_pf_ms = measure(Box::new(PfBlaster { frame: pf_frame }));
             // A UDP datagram whose whole frame is `size` bytes.
             let data = vec![0x5Au8; size - medium.header_len - IP_HEADER - UDP_HEADER];
             let via_udp_ms = measure(Box::new(UdpBlaster { data }));
-            SendCost { frame_bytes: size, via_pf_ms, via_udp_ms }
+            SendCost {
+                frame_bytes: size,
+                via_pf_ms,
+                via_udp_ms,
+            }
         })
         .collect()
 }

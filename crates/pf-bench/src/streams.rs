@@ -43,7 +43,12 @@ pub fn bsp_bulk_kbs(disk_source: bool) -> f64 {
     // The Stanford BSP implementation (1982) predates received-packet
     // batching, checksums its Pups in software, and runs a small window —
     // the configuration behind table 6-6's 38 KB/s.
-    let cfg = BspConfig { window: 2, checksummed: true, batch: false, ..Default::default() };
+    let cfg = BspConfig {
+        window: 2,
+        checksummed: true,
+        batch: false,
+        ..Default::default()
+    };
     let payload: Vec<u8> = (0..TOTAL).map(|i| (i % 251) as u8).collect();
     let rx = w.spawn(b, Box::new(BspReceiverApp::new(dst, cfg.clone())));
     let mut sender = BspSenderApp::new(src, dst, payload, cfg);
@@ -93,8 +98,16 @@ pub fn report_table_6_6() -> Report {
         "paper",
         "measured",
     ]);
-    r.row(&["Packet filter BSP".into(), "38 KB/s".into(), format!("{bsp:.0} KB/s")]);
-    r.row(&["Unix kernel TCP".into(), "222 KB/s".into(), format!("{tcp:.0} KB/s")]);
+    r.row(&[
+        "Packet filter BSP".into(),
+        "38 KB/s".into(),
+        format!("{bsp:.0} KB/s"),
+    ]);
+    r.row(&[
+        "Unix kernel TCP".into(),
+        "222 KB/s".into(),
+        format!("{tcp:.0} KB/s"),
+    ]);
     r.row(&[
         "TCP, 568-byte packets".into(),
         "~111 KB/s (half)".into(),
@@ -124,10 +137,16 @@ mod tests {
         let tcp = tcp_bulk_kbs(0, false);
         // Bands around the paper's absolute numbers.
         assert!((20.0..90.0).contains(&bsp), "BSP {bsp:.0} KB/s (paper 38)");
-        assert!((130.0..330.0).contains(&tcp), "TCP {tcp:.0} KB/s (paper 222)");
+        assert!(
+            (130.0..330.0).contains(&tcp),
+            "TCP {tcp:.0} KB/s (paper 222)"
+        );
         // The headline: kernel TCP is severalfold faster than user BSP.
         let ratio = tcp / bsp;
-        assert!((2.5..9.0).contains(&ratio), "TCP/BSP ratio {ratio:.1} (paper ~5.8)");
+        assert!(
+            (2.5..9.0).contains(&ratio),
+            "TCP/BSP ratio {ratio:.1} (paper ~5.8)"
+        );
     }
 
     #[test]
@@ -135,7 +154,10 @@ mod tests {
         let tcp = tcp_bulk_kbs(0, false);
         let small = tcp_bulk_kbs(514, false);
         let ratio = tcp / small;
-        assert!((1.5..2.8).contains(&ratio), "small-packet ratio {ratio:.2} (paper ~2)");
+        assert!(
+            (1.5..2.8).contains(&ratio),
+            "small-packet ratio {ratio:.2} (paper ~2)"
+        );
     }
 
     #[test]
@@ -143,7 +165,10 @@ mod tests {
         let tcp = tcp_bulk_kbs(0, false);
         let tcp_disk = tcp_bulk_kbs(0, true);
         let tcp_ratio = tcp / tcp_disk;
-        assert!((1.4..2.8).contains(&tcp_ratio), "TCP disk ratio {tcp_ratio:.2} (paper ~2)");
+        assert!(
+            (1.4..2.8).contains(&tcp_ratio),
+            "TCP disk ratio {tcp_ratio:.2} (paper ~2)"
+        );
 
         let bsp = bsp_bulk_kbs(false);
         let bsp_disk = bsp_bulk_kbs(true);

@@ -43,7 +43,11 @@ pub fn bsp_rate(char_cost: SimDuration) -> f64 {
     w.spawn(server, Box::new(TelnetBspServer::new(src, dst, CHARS)));
     w.run_until(RUN_CAP);
     let r = w.app_ref::<BspReceiverApp>(user, rx).expect("client");
-    assert!(r.is_done(), "telnet/BSP stream finished ({} chars)", r.bytes);
+    assert!(
+        r.is_done(),
+        "telnet/BSP stream finished ({} chars)",
+        r.bytes
+    );
     r.throughput_bps().expect("done")
 }
 
@@ -62,17 +66,41 @@ pub fn tcp_rate(char_cost: SimDuration) -> f64 {
     w.spawn(server, Box::new(TelnetTcpServer::new(11, 23, 0x0B, CHARS)));
     w.run_until(RUN_CAP);
     let r = w.app_ref::<TcpBulkReceiver>(user, rx).expect("client");
-    assert!(r.is_done(), "telnet/TCP stream finished ({} chars)", r.bytes);
+    assert!(
+        r.is_done(),
+        "telnet/TCP stream finished ({} chars)",
+        r.bytes
+    );
     r.throughput_bps().expect("done")
 }
 
 /// Builds the table 6-7 report.
 pub fn report_table_6_7() -> Report {
     let rows = [
-        ("Pup/BSP, workstation display", WORKSTATION_CHAR_COST, 1635.0, true),
-        ("IP/TCP, workstation display", WORKSTATION_CHAR_COST, 1757.0, false),
-        ("Pup/BSP, 9600-baud terminal", TERMINAL_9600_CHAR_COST, 878.0, true),
-        ("IP/TCP, 9600-baud terminal", TERMINAL_9600_CHAR_COST, 933.0, false),
+        (
+            "Pup/BSP, workstation display",
+            WORKSTATION_CHAR_COST,
+            1635.0,
+            true,
+        ),
+        (
+            "IP/TCP, workstation display",
+            WORKSTATION_CHAR_COST,
+            1757.0,
+            false,
+        ),
+        (
+            "Pup/BSP, 9600-baud terminal",
+            TERMINAL_9600_CHAR_COST,
+            878.0,
+            true,
+        ),
+        (
+            "IP/TCP, 9600-baud terminal",
+            TERMINAL_9600_CHAR_COST,
+            933.0,
+            false,
+        ),
     ];
     let mut r = Report::new("Table 6-7", "Relative performance of Telnet").headers(&[
         "configuration",
@@ -80,7 +108,11 @@ pub fn report_table_6_7() -> Report {
         "measured",
     ]);
     for (name, cost, paper, is_bsp) in rows {
-        let rate = if is_bsp { bsp_rate(cost) } else { tcp_rate(cost) };
+        let rate = if is_bsp {
+            bsp_rate(cost)
+        } else {
+            tcp_rate(cost)
+        };
         r.row(&[
             name.to_string(),
             format!("{paper:.0} c/s"),

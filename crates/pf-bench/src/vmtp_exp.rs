@@ -66,11 +66,7 @@ fn world_for(costs: &CostModel, kernel_vmtp: bool) -> (World, HostId, HostId) {
     (w, c, s)
 }
 
-fn run_user(
-    variant: Variant,
-    ops: u64,
-    response_bytes: u32,
-) -> (World, HostId, ProcId) {
+fn run_user(variant: Variant, ops: u64, response_bytes: u32) -> (World, HostId, ProcId) {
     let (mut w, c, s) = world_for(&CostModel::microvax_ii(), false);
     // The measured machines were timesharing systems with other active
     // processes (§6.5.1): wakeups cost two context switches.
@@ -81,11 +77,15 @@ fn run_user(
         _ => VmtpUserServer::new(SERVER_ENTITY),
     };
     w.spawn(s, Box::new(server));
-    let mut client =
-        VmtpUserClient::new(CLIENT_ENTITY, SERVER_ENTITY, SERVER_ETH, Workload {
+    let mut client = VmtpUserClient::new(
+        CLIENT_ENTITY,
+        SERVER_ENTITY,
+        SERVER_ETH,
+        Workload {
             ops,
             response_bytes,
-        });
+        },
+    );
     client = match variant {
         Variant::PacketFilterNoBatch => client.without_batching(),
         Variant::PacketFilterViaDemux => client.via_pipe(),
@@ -105,10 +105,15 @@ fn run_kernel(costs: CostModel, ops: u64, response_bytes: u32) -> (World, HostId
     w.spawn(s, Box::new(KVmtpServer::new(SERVER_ENTITY)));
     let p = w.spawn(
         c,
-        Box::new(KVmtpClient::new(CLIENT_ENTITY, SERVER_ENTITY, SERVER_ETH, Workload {
-            ops,
-            response_bytes,
-        })),
+        Box::new(KVmtpClient::new(
+            CLIENT_ENTITY,
+            SERVER_ENTITY,
+            SERVER_ETH,
+            Workload {
+                ops,
+                response_bytes,
+            },
+        )),
     );
     w.run_until(RUN_CAP);
     (w, c, p)
@@ -149,7 +154,10 @@ pub fn measure(variant: Variant) -> VmtpMeasurement {
         _ => {
             let (w, c, p) = run_user(variant, MINIMAL_OPS, 0);
             let app = w.app_ref::<VmtpUserClient>(c, p).expect("client");
-            assert!(app.is_done(), "user minimal workload finished ({variant:?})");
+            assert!(
+                app.is_done(),
+                "user minimal workload finished ({variant:?})"
+            );
             per_op_ms = app.per_op().expect("done").as_millis_f64();
             let (w, c, p) = run_user(variant, BULK_OPS, SEGMENT_BYTES as u32);
             let app = w.app_ref::<VmtpUserClient>(c, p).expect("client");
@@ -157,7 +165,10 @@ pub fn measure(variant: Variant) -> VmtpMeasurement {
             bulk_kbs = app.throughput_bps().expect("done") / 1024.0;
         }
     }
-    VmtpMeasurement { per_op_ms, bulk_kbs }
+    VmtpMeasurement {
+        per_op_ms,
+        bulk_kbs,
+    }
 }
 
 /// Table 6-2: relative performance of VMTP for small messages.
@@ -223,7 +234,10 @@ pub fn measure_kernel_tcp_bulk() -> f64 {
     w.register_protocol(a, Box::new(KernelIp::new(10)));
     w.register_protocol(b, Box::new(KernelIp::new(11)));
     let rx = w.spawn(b, Box::new(TcpBulkReceiver::new(5000)));
-    w.spawn(a, Box::new(TcpBulkSender::new(11, 5000, 0x0B, 1024 * 1024, 0)));
+    w.spawn(
+        a,
+        Box::new(TcpBulkSender::new(11, 5000, 0x0B, 1024 * 1024, 0)),
+    );
     w.run_until(RUN_CAP);
     let r = w.app_ref::<TcpBulkReceiver>(b, rx).expect("receiver");
     assert!(r.is_done(), "TCP bulk finished");
@@ -234,13 +248,18 @@ pub fn measure_kernel_tcp_bulk() -> f64 {
 pub fn report_table_6_4() -> Report {
     let with = measure(Variant::PacketFilter);
     let without = measure(Variant::PacketFilterNoBatch);
-    let mut r = Report::new("Table 6-4", "Effect of received-packet batching").headers(&[
-        "batching",
-        "paper",
-        "measured",
+    let mut r = Report::new("Table 6-4", "Effect of received-packet batching")
+        .headers(&["batching", "paper", "measured"]);
+    r.row(&[
+        "yes".into(),
+        "112 KB/s".into(),
+        format!("{:.0} KB/s", with.bulk_kbs),
     ]);
-    r.row(&["yes".into(), "112 KB/s".into(), format!("{:.0} KB/s", with.bulk_kbs)]);
-    r.row(&["no".into(), "64 KB/s".into(), format!("{:.0} KB/s", without.bulk_kbs)]);
+    r.row(&[
+        "no".into(),
+        "64 KB/s".into(),
+        format!("{:.0} KB/s", without.bulk_kbs),
+    ]);
     r.note(format!(
         "batching improves throughput by {:.0}% (paper: ~75%)",
         100.0 * (with.bulk_kbs / without.bulk_kbs - 1.0)
@@ -287,8 +306,14 @@ mod tests {
         let unix = measure(Variant::UnixKernel).per_op_ms;
         let v = measure(Variant::VKernel).per_op_ms;
         // Bands around the paper's absolute numbers…
-        assert!((9.0..22.0).contains(&pf), "pf per-op {pf:.2} ms (paper 14.7)");
-        assert!((4.5..11.0).contains(&unix), "unix per-op {unix:.2} ms (paper 7.44)");
+        assert!(
+            (9.0..22.0).contains(&pf),
+            "pf per-op {pf:.2} ms (paper 14.7)"
+        );
+        assert!(
+            (4.5..11.0).contains(&unix),
+            "unix per-op {unix:.2} ms (paper 7.44)"
+        );
         // …and the headline ratio: "almost exactly a factor of two".
         let ratio = pf / unix;
         assert!((1.5..2.8).contains(&ratio), "pf/unix ratio {ratio:.2}");
@@ -301,9 +326,18 @@ mod tests {
         let pf = measure(Variant::PacketFilter).bulk_kbs;
         let unix = measure(Variant::UnixKernel).bulk_kbs;
         let tcp = measure_kernel_tcp_bulk();
-        assert!((60.0..200.0).contains(&pf), "pf bulk {pf:.0} KB/s (paper 112)");
-        assert!((200.0..500.0).contains(&unix), "unix bulk {unix:.0} (paper 336)");
-        assert!((130.0..330.0).contains(&tcp), "tcp bulk {tcp:.0} (paper 222)");
+        assert!(
+            (60.0..200.0).contains(&pf),
+            "pf bulk {pf:.0} KB/s (paper 112)"
+        );
+        assert!(
+            (200.0..500.0).contains(&unix),
+            "unix bulk {unix:.0} (paper 336)"
+        );
+        assert!(
+            (130.0..330.0).contains(&tcp),
+            "tcp bulk {tcp:.0} (paper 222)"
+        );
         // Kernel VMTP beats kernel TCP (no checksums), which beats user pf.
         assert!(unix > tcp, "unchecksummed kernel VMTP beats TCP");
         assert!(tcp > pf, "kernel TCP beats user-level VMTP");
@@ -311,7 +345,10 @@ mod tests {
         // the two hosts' CPUs more than the 1987 system did, landing
         // nearer 1.5x — the ordering and direction are what we pin.
         let ratio = unix / pf;
-        assert!((1.3..4.5).contains(&ratio), "kernel/user bulk ratio {ratio:.2}");
+        assert!(
+            (1.3..4.5).contains(&ratio),
+            "kernel/user bulk ratio {ratio:.2}"
+        );
     }
 
     #[test]
@@ -330,8 +367,14 @@ mod tests {
         let latency_penalty = demux.per_op_ms / direct.per_op_ms;
         let bulk_penalty = direct.bulk_kbs / demux.bulk_kbs;
         // Paper: 1.23x latency, 4.5x bulk.
-        assert!((1.02..1.8).contains(&latency_penalty), "latency {latency_penalty:.2}x");
-        assert!(bulk_penalty > 1.8, "bulk penalty {bulk_penalty:.2}x (paper ~4.5x)");
+        assert!(
+            (1.02..1.8).contains(&latency_penalty),
+            "latency {latency_penalty:.2}x"
+        );
+        assert!(
+            bulk_penalty > 1.8,
+            "bulk penalty {bulk_penalty:.2}x (paper ~4.5x)"
+        );
         assert!(
             bulk_penalty > latency_penalty * 1.5,
             "bulk suffers much more than latency"

@@ -34,7 +34,10 @@ impl core::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_action(tok: &str, line: usize) -> Result<StackAction, ParseError> {
@@ -44,7 +47,10 @@ fn parse_action(tok: &str, line: usize) -> Result<StackAction, ParseError> {
             .parse()
             .map_err(|_| err(line, format!("bad PUSHWORD index `{n}`")))?;
         if n > MAX_PUSHWORD_INDEX {
-            return Err(err(line, format!("PUSHWORD index {n} exceeds {MAX_PUSHWORD_INDEX}")));
+            return Err(err(
+                line,
+                format!("PUSHWORD index {n} exceeds {MAX_PUSHWORD_INDEX}"),
+            ));
         }
         return Ok(StackAction::PushWord(n as u8));
     }
@@ -126,7 +132,10 @@ pub fn parse(priority: u8, text: &str) -> Result<FilterProgram, ParseError> {
             .split_once('#')
             .map_or(raw_line, |(c, _)| c)
             .split_once("//")
-            .map_or_else(|| raw_line.split_once('#').map_or(raw_line, |(c, _)| c), |(c, _)| c);
+            .map_or_else(
+                || raw_line.split_once('#').map_or(raw_line, |(c, _)| c),
+                |(c, _)| c,
+            );
         for tok in code.split(',').map(str::trim).filter(|t| !t.is_empty()) {
             if expect_literal_from.is_some() {
                 words.push(parse_literal(tok, line)?);

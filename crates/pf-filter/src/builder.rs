@@ -287,7 +287,10 @@ impl Expr {
     pub fn compile_extended(&self, priority: u8) -> Result<FilterProgram, BuildError> {
         self.compile_with(
             priority,
-            &CompileOptions { extended: true, ..Default::default() },
+            &CompileOptions {
+                extended: true,
+                ..Default::default()
+            },
         )
     }
 
@@ -301,7 +304,10 @@ impl Expr {
         priority: u8,
         opts: &CompileOptions,
     ) -> Result<FilterProgram, BuildError> {
-        let mut c = Compiler { words: Vec::new(), opts };
+        let mut c = Compiler {
+            words: Vec::new(),
+            opts,
+        };
         c.emit_top(self)?;
         if c.words.len() > MAX_PROGRAM_WORDS {
             return Err(BuildError::Validate(ValidateError::TooLong {
@@ -356,7 +362,9 @@ impl Compiler<'_> {
                 let last = conjuncts.len() - 1;
                 let leading = count_leading_eqs(&conjuncts[..last]);
                 for c in &conjuncts[..leading] {
-                    let Expr::Cmp(CmpOp::Eq, a, b) = c else { unreachable!() };
+                    let Expr::Cmp(CmpOp::Eq, a, b) = c else {
+                        unreachable!()
+                    };
                     self.emit_value(a)?;
                     self.emit_with_op(b, BinaryOp::Cand)?;
                 }
@@ -380,7 +388,9 @@ impl Compiler<'_> {
                 let last = disjuncts.len() - 1;
                 let leading = count_leading_eqs(&disjuncts[..last]);
                 for d in &disjuncts[..leading] {
-                    let Expr::Cmp(CmpOp::Eq, a, b) = d else { unreachable!() };
+                    let Expr::Cmp(CmpOp::Eq, a, b) = d else {
+                        unreachable!()
+                    };
                     self.emit_value(a)?;
                     self.emit_with_op(b, BinaryOp::Cor)?;
                 }
@@ -603,15 +613,19 @@ mod tests {
 
     #[test]
     fn short_circuit_can_be_disabled() {
-        let opts = CompileOptions { no_short_circuit: true, ..Default::default() };
+        let opts = CompileOptions {
+            no_short_circuit: true,
+            ..Default::default()
+        };
         let f = Expr::word(8)
             .eq(35)
             .and(Expr::word(1).eq(2))
             .compile_with(10, &opts)
             .unwrap();
-        let any_sc = f.disassemble().iter().any(|i| {
-            matches!(i, crate::program::DisasmItem::Instr(x) if x.op.is_short_circuit())
-        });
+        let any_sc = f
+            .disassemble()
+            .iter()
+            .any(|i| matches!(i, crate::program::DisasmItem::Instr(x) if x.op.is_short_circuit()));
         assert!(!any_sc, "{f}");
         assert!(accepts(&f, &samples::pup_packet_3mb(2, 0, 35, 1)));
         assert!(!accepts(&f, &samples::pup_packet_3mb(2, 0, 36, 1)));
@@ -731,7 +745,10 @@ mod tests {
     #[test]
     fn indirect_expression() {
         // word[word[0]] == 0xCAFE — the §7 variable-offset-header use case.
-        let f = Expr::word_at(Expr::word(0)).eq(0xCAFE).compile_extended(0).unwrap();
+        let f = Expr::word_at(Expr::word(0))
+            .eq(0xCAFE)
+            .compile_extended(0)
+            .unwrap();
         assert!(accepts_ext(&f, &[0x00, 0x02, 0x00, 0x00, 0xCA, 0xFE]));
         assert!(!accepts_ext(&f, &[0x00, 0x01, 0x00, 0x00, 0xCA, 0xFE]));
     }
@@ -740,8 +757,14 @@ mod tests {
     fn compiled_programs_validate() {
         let exprs = [
             Expr::word(1).eq(2),
-            Expr::word(8).eq(35).and(Expr::word(7).eq(0)).and(Expr::word(1).eq(2)),
-            Expr::word(3).mask(0xFF).gt(0).and(Expr::word(3).mask(0xFF).le(100)),
+            Expr::word(8)
+                .eq(35)
+                .and(Expr::word(7).eq(0))
+                .and(Expr::word(1).eq(2)),
+            Expr::word(3)
+                .mask(0xFF)
+                .gt(0)
+                .and(Expr::word(3).mask(0xFF).le(100)),
             Expr::word(1).eq(2).or(Expr::word(1).eq(6)),
             Expr::word(1).eq(2).not(),
         ];

@@ -97,7 +97,10 @@ impl core::fmt::Display for CompatError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CompatError::BadWord { offset, word } => {
-                write!(f, "undecodable historical word {word:#06x} at offset {offset}")
+                write!(
+                    f,
+                    "undecodable historical word {word:#06x} at offset {offset}"
+                )
             }
             CompatError::Invalid(e) => write!(f, "translated filter invalid: {e}"),
         }
@@ -120,10 +123,9 @@ pub fn import_enfilter(priority: u8, words: &[u16]) -> Result<FilterProgram, Com
         let w = words[i];
         let action_code = w & STACK_ACTION_MASK;
         let op_code = w >> STACK_ACTION_BITS;
-        let action = historical_to_action(action_code)
-            .ok_or(CompatError::BadWord { offset: i, word: w })?;
-        let op =
-            historical_to_op(op_code).ok_or(CompatError::BadWord { offset: i, word: w })?;
+        let action =
+            historical_to_action(action_code).ok_or(CompatError::BadWord { offset: i, word: w })?;
+        let op = historical_to_op(op_code).ok_or(CompatError::BadWord { offset: i, word: w })?;
         out.push(Instr::new(action, op).encode());
         i += 1;
         if action.takes_literal() {
@@ -309,7 +311,11 @@ mod tests {
     fn extended_programs_do_not_export() {
         use crate::program::Assembler;
         use crate::word::BinaryOp;
-        let p = Assembler::new(0).pushone().pushone().op(BinaryOp::Add).finish();
+        let p = Assembler::new(0)
+            .pushone()
+            .pushone()
+            .op(BinaryOp::Add)
+            .finish();
         assert_eq!(export_enfilter(&p), None);
     }
 

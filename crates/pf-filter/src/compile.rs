@@ -233,7 +233,11 @@ impl CompiledFilter {
                     let (t2, t1) = pop2!();
                     push!(t2 ^ t1);
                 }
-                MicroOp::Sc { when, verdict, push } => {
+                MicroOp::Sc {
+                    when,
+                    verdict,
+                    push,
+                } => {
                     let (t2, t1) = pop2!();
                     let r = t2 == t1;
                     if r == when {
@@ -247,7 +251,13 @@ impl CompiledFilter {
                     let v = packet.word(usize::from(word)).unwrap_or(0);
                     push!(u16::from(cmp.apply(v, lit)));
                 }
-                MicroOp::WordScConst { word, lit, when, verdict, push } => {
+                MicroOp::WordScConst {
+                    word,
+                    lit,
+                    when,
+                    verdict,
+                    push,
+                } => {
                     let v = packet.word(usize::from(word)).unwrap_or(0);
                     let r = v == lit;
                     if r == when {
@@ -301,8 +311,7 @@ impl CompiledFilter {
 /// `PUSHWORD; PUSHLIT|op` idiom.
 fn lower(validated: &ValidatedProgram) -> Vec<MicroOp> {
     let words = validated.program().words();
-    let paper_style =
-        validated.config().short_circuit == crate::interp::ShortCircuitStyle::Paper;
+    let paper_style = validated.config().short_circuit == crate::interp::ShortCircuitStyle::Paper;
     let mut ops: Vec<MicroOp> = Vec::new();
     let mut pc = 0usize;
 
@@ -338,16 +347,18 @@ fn lower(validated: &ValidatedProgram) -> Vec<MicroOp> {
                     | BinaryOp::Lt
                     | BinaryOp::Le
                     | BinaryOp::Gt
-                    | BinaryOp::Ge => {
-                        MicroOp::Cmp(Cmp::from_op(instr.op).expect("comparison op"))
-                    }
+                    | BinaryOp::Ge => MicroOp::Cmp(Cmp::from_op(instr.op).expect("comparison op")),
                     BinaryOp::And => MicroOp::BitAnd,
                     BinaryOp::Or => MicroOp::BitOr,
                     BinaryOp::Xor => MicroOp::BitXor,
                     BinaryOp::Cor | BinaryOp::Cand | BinaryOp::Cnor | BinaryOp::Cnand => {
                         let (when, verdict) =
                             instr.op.short_circuit_rule().expect("short-circuit op");
-                        MicroOp::Sc { when, verdict, push: paper_style }
+                        MicroOp::Sc {
+                            when,
+                            verdict,
+                            push: paper_style,
+                        }
                     }
                     BinaryOp::Add => MicroOp::Add,
                     BinaryOp::Sub => MicroOp::Sub,
@@ -381,7 +392,13 @@ fn try_fuse(ops: &mut Vec<MicroOp>, op: BinaryOp, paper_style: bool) -> bool {
     }
     if let Some((when, verdict)) = op.short_circuit_rule() {
         ops.truncate(n - 2);
-        ops.push(MicroOp::WordScConst { word, lit, when, verdict, push: paper_style });
+        ops.push(MicroOp::WordScConst {
+            word,
+            lit,
+            when,
+            verdict,
+            push: paper_style,
+        });
         return true;
     }
     false
@@ -427,7 +444,10 @@ mod tests {
 
     #[test]
     fn fusion_handles_comparisons() {
-        let f = Assembler::new(0).pushword(0).pushlit_op(BinaryOp::Gt, 5).finish();
+        let f = Assembler::new(0)
+            .pushword(0)
+            .pushlit_op(BinaryOp::Gt, 5)
+            .finish();
         let c = CompiledFilter::compile(f).unwrap();
         assert_eq!(c.micro_ops(), 1);
         assert!(c.eval(PacketView::new(&[0x00, 0x06])));
@@ -456,7 +476,10 @@ mod tests {
 
     #[test]
     fn extended_dialect_compiles() {
-        let cfg = InterpConfig { dialect: Dialect::Extended, ..Default::default() };
+        let cfg = InterpConfig {
+            dialect: Dialect::Extended,
+            ..Default::default()
+        };
         let f = Assembler::new(0)
             .pushword(0)
             .pushlit_op(BinaryOp::Add, 1)

@@ -167,7 +167,12 @@ impl FilterSet {
             }
             Analysis::NeverMatches => MemberKind::NeverMatches,
             Analysis::Opaque => {
-                self.residual.push(Residual { id, priority, seq, program });
+                self.residual.push(Residual {
+                    id,
+                    priority,
+                    seq,
+                    program,
+                });
                 MemberKind::Residual
             }
         };
@@ -201,7 +206,10 @@ impl FilterSet {
         let shape = match self.shapes.iter_mut().find(|s| s.words == words) {
             Some(s) => s,
             None => {
-                self.shapes.push(Shape { words, table: HashMap::new() });
+                self.shapes.push(Shape {
+                    words,
+                    table: HashMap::new(),
+                });
                 self.shapes.last_mut().expect("just pushed")
             }
         };
@@ -314,7 +322,9 @@ fn analyze(program: &FilterProgram) -> Analysis {
         match instr.action {
             StackAction::NoPush => {}
             StackAction::PushLit => {
-                let Some(&lit) = words.get(pc) else { return Analysis::Opaque };
+                let Some(&lit) = words.get(pc) else {
+                    return Analysis::Opaque;
+                };
                 pc += 1;
                 stack.push(Sym::Const(lit));
             }
@@ -373,9 +383,7 @@ fn analyze(program: &FilterProgram) -> Analysis {
                             stack.push(Sym::Const(0));
                         }
                         // A constant-TRUE COR accepts everything.
-                        Some(Sym::Const(c)) if c != 0 => {
-                            return Analysis::Conjunction(Vec::new())
-                        }
+                        Some(Sym::Const(c)) if c != 0 => return Analysis::Conjunction(Vec::new()),
                         Some(Sym::Const(_)) => stack.push(Sym::Const(0)),
                         _ => return Analysis::Opaque,
                     }
@@ -415,9 +423,7 @@ fn analyze(program: &FilterProgram) -> Analysis {
 /// Symbolic `EQ`: word-vs-constant gives a `Conj`, constants fold.
 fn eq_test(t2: &Sym, t1: &Sym) -> Option<Sym> {
     Some(match (t2, t1) {
-        (Sym::Word(n), Sym::Const(c)) | (Sym::Const(c), Sym::Word(n)) => {
-            Sym::Conj(vec![(*n, *c)])
-        }
+        (Sym::Word(n), Sym::Const(c)) | (Sym::Const(c), Sym::Word(n)) => Sym::Conj(vec![(*n, *c)]),
         (Sym::Const(a), Sym::Const(b)) => Sym::Const(u16::from(a == b)),
         _ => return None,
     })
@@ -647,7 +653,11 @@ mod tests {
         // word0 == 1 || word1 == 2: a packet matching both branches still
         // reaches the filter exactly once.
         use crate::builder::Expr;
-        let f = Expr::word(0).eq(0x0102).or(Expr::word(1).eq(2)).compile(10).unwrap();
+        let f = Expr::word(0)
+            .eq(0x0102)
+            .or(Expr::word(1).eq(2))
+            .compile(10)
+            .unwrap();
         let mut set = FilterSet::new();
         set.insert(1, f);
         let both = [0x01u8, 0x02, 0x00, 0x02];

@@ -162,10 +162,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ValidateError::BadInstruction { offset: 3, word: 0x3FF0 };
+        let e = ValidateError::BadInstruction {
+            offset: 3,
+            word: 0x3FF0,
+        };
         assert!(e.to_string().contains("0x3ff0"));
         assert!(e.to_string().contains("word 3"));
-        let e = RuntimeError::OutOfPacket { offset: 1, index: 99 };
+        let e = RuntimeError::OutOfPacket {
+            offset: 1,
+            index: 99,
+        };
         assert!(e.to_string().contains("99"));
     }
 }

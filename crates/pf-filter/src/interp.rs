@@ -120,7 +120,10 @@ impl CheckedInterpreter {
     /// Creates an interpreter accepting the extended (§7) dialect.
     pub fn extended() -> Self {
         CheckedInterpreter {
-            config: InterpConfig { dialect: Dialect::Extended, ..Default::default() },
+            config: InterpConfig {
+                dialect: Dialect::Extended,
+                ..Default::default()
+            },
         }
     }
 
@@ -303,8 +306,7 @@ fn apply_op(
         BinaryOp::Xor => OpOutcome::Push(t2 ^ t1),
         BinaryOp::Cor | BinaryOp::Cand | BinaryOp::Cnor | BinaryOp::Cnand => {
             let r = t2 == t1;
-            let (terminate_when, verdict) =
-                op.short_circuit_rule().expect("short-circuit op");
+            let (terminate_when, verdict) = op.short_circuit_rule().expect("short-circuit op");
             if r == terminate_when {
                 OpOutcome::Terminate(verdict)
             } else {
@@ -379,7 +381,10 @@ mod tests {
     #[test]
     fn comparisons_are_unsigned() {
         // 0x8000 > 0x0001 unsigned (would be negative signed).
-        let f = Assembler::new(10).pushlit(0x8000).pushlit_op(BinaryOp::Gt, 1).finish();
+        let f = Assembler::new(10)
+            .pushlit(0x8000)
+            .pushlit_op(BinaryOp::Gt, 1)
+            .finish();
         assert!(eval_on(&f, &[]));
     }
 
@@ -420,10 +425,16 @@ mod tests {
             .finish();
         assert!(!eval_on(&f, &[]));
         // XOR of equal values = 0.
-        let f = Assembler::new(0).pushlit(0xAAAA).pushlit_op(BinaryOp::Xor, 0xAAAA).finish();
+        let f = Assembler::new(0)
+            .pushlit(0xAAAA)
+            .pushlit_op(BinaryOp::Xor, 0xAAAA)
+            .finish();
         assert!(!eval_on(&f, &[]));
         // OR.
-        let f = Assembler::new(0).pushzero().pushlit_op(BinaryOp::Or, 0x10).finish();
+        let f = Assembler::new(0)
+            .pushzero()
+            .pushlit_op(BinaryOp::Or, 0x10)
+            .finish();
         assert!(eval_on(&f, &[]));
     }
 
@@ -441,7 +452,10 @@ mod tests {
 
     #[test]
     fn pushword_reads_packet() {
-        let f = Assembler::new(0).pushword(1).pushlit_op(BinaryOp::Eq, 0x0203).finish();
+        let f = Assembler::new(0)
+            .pushword(1)
+            .pushlit_op(BinaryOp::Eq, 0x0203)
+            .finish();
         assert!(eval_on(&f, &[0x00, 0x01, 0x02, 0x03]));
         assert!(!eval_on(&f, &[0x00, 0x01, 0x02, 0x04]));
     }
@@ -451,7 +465,13 @@ mod tests {
         let f = Assembler::new(0).pushword(5).finish();
         let (accept, stats) = interp().eval_with_stats(&f, PacketView::new(&[0; 4]));
         assert!(!accept);
-        assert_eq!(stats.error, Some(RuntimeError::OutOfPacket { offset: 0, index: 5 }));
+        assert_eq!(
+            stats.error,
+            Some(RuntimeError::OutOfPacket {
+                offset: 0,
+                index: 5
+            })
+        );
     }
 
     #[test]
@@ -459,7 +479,10 @@ mod tests {
         let f = Assembler::new(0).op(BinaryOp::And).finish();
         let (accept, stats) = interp().eval_with_stats(&f, PacketView::new(&[]));
         assert!(!accept);
-        assert!(matches!(stats.error, Some(RuntimeError::StackUnderflow { .. })));
+        assert!(matches!(
+            stats.error,
+            Some(RuntimeError::StackUnderflow { .. })
+        ));
     }
 
     #[test]
@@ -470,7 +493,10 @@ mod tests {
         }
         let (accept, stats) = interp().eval_with_stats(&a.finish(), PacketView::new(&[]));
         assert!(!accept);
-        assert!(matches!(stats.error, Some(RuntimeError::StackOverflow { .. })));
+        assert!(matches!(
+            stats.error,
+            Some(RuntimeError::StackOverflow { .. })
+        ));
     }
 
     #[test]
@@ -478,7 +504,10 @@ mod tests {
         let f = Assembler::new(0).push(StackAction::PushLit).finish();
         let (accept, stats) = interp().eval_with_stats(&f, PacketView::new(&[]));
         assert!(!accept);
-        assert!(matches!(stats.error, Some(RuntimeError::MissingLiteral { offset: 0 })));
+        assert!(matches!(
+            stats.error,
+            Some(RuntimeError::MissingLiteral { offset: 0 })
+        ));
     }
 
     #[test]
@@ -486,7 +515,10 @@ mod tests {
         let f = FilterProgram::from_words(0, vec![15 << 6]);
         let (accept, stats) = interp().eval_with_stats(&f, PacketView::new(&[]));
         assert!(!accept);
-        assert!(matches!(stats.error, Some(RuntimeError::BadInstruction { .. })));
+        assert!(matches!(
+            stats.error,
+            Some(RuntimeError::BadInstruction { .. })
+        ));
     }
 
     #[test]
@@ -592,10 +624,16 @@ mod tests {
 
     #[test]
     fn extended_rejected_in_classic_dialect() {
-        let f = Assembler::new(0).pushlit(2).pushlit_op(BinaryOp::Add, 3).finish();
+        let f = Assembler::new(0)
+            .pushlit(2)
+            .pushlit_op(BinaryOp::Add, 3)
+            .finish();
         let (accept, stats) = interp().eval_with_stats(&f, PacketView::new(&[]));
         assert!(!accept);
-        assert!(matches!(stats.error, Some(RuntimeError::ExtendedInstruction { .. })));
+        assert!(matches!(
+            stats.error,
+            Some(RuntimeError::ExtendedInstruction { .. })
+        ));
         assert!(CheckedInterpreter::extended().eval(&f, PacketView::new(&[])));
     }
 
@@ -625,10 +663,16 @@ mod tests {
     #[test]
     fn divide_by_zero_rejects() {
         let x = CheckedInterpreter::extended();
-        let f = Assembler::new(0).pushlit(4).pushzero_op(BinaryOp::Div).finish();
+        let f = Assembler::new(0)
+            .pushlit(4)
+            .pushzero_op(BinaryOp::Div)
+            .finish();
         let (accept, stats) = x.eval_with_stats(&f, PacketView::new(&[]));
         assert!(!accept);
-        assert!(matches!(stats.error, Some(RuntimeError::DivideByZero { .. })));
+        assert!(matches!(
+            stats.error,
+            Some(RuntimeError::DivideByZero { .. })
+        ));
     }
 
     #[test]
@@ -653,7 +697,10 @@ mod tests {
         let f = Assembler::new(0).push(StackAction::PushInd).finish();
         let (accept, stats) = x.eval_with_stats(&f, PacketView::new(&[0, 0]));
         assert!(!accept);
-        assert!(matches!(stats.error, Some(RuntimeError::StackUnderflow { .. })));
+        assert!(matches!(
+            stats.error,
+            Some(RuntimeError::StackUnderflow { .. })
+        ));
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl FilterProgram {
 
     /// An empty program. Evaluates to *reject* (empty stack at exit).
     pub fn empty(priority: u8) -> Self {
-        FilterProgram { priority, words: Vec::new() }
+        FilterProgram {
+            priority,
+            words: Vec::new(),
+        }
     }
 
     /// The filter's priority (larger = applied earlier; §3.2).
@@ -135,9 +138,10 @@ impl FilterProgram {
         self.disassemble()
             .iter()
             .filter_map(|item| match item {
-                DisasmItem::Instr(Instr { action: StackAction::PushWord(n), .. }) => {
-                    Some(usize::from(*n))
-                }
+                DisasmItem::Instr(Instr {
+                    action: StackAction::PushWord(n),
+                    ..
+                }) => Some(usize::from(*n)),
                 _ => None,
             })
             .max()
@@ -219,7 +223,10 @@ pub struct Assembler {
 impl Assembler {
     /// Starts a program with the given priority.
     pub fn new(priority: u8) -> Self {
-        Assembler { priority, words: Vec::new() }
+        Assembler {
+            priority,
+            words: Vec::new(),
+        }
     }
 
     /// Appends a raw word.
@@ -253,7 +260,8 @@ impl Assembler {
 
     /// `PUSHLIT | op, lit` — push the literal, then apply `op`.
     pub fn pushlit_op(mut self, op: BinaryOp, lit: u16) -> Self {
-        self.words.push(Instr::new(StackAction::PushLit, op).encode());
+        self.words
+            .push(Instr::new(StackAction::PushLit, op).encode());
         self.words.push(lit);
         self
     }
@@ -306,7 +314,9 @@ impl Assembler {
     /// [`MAX_PROGRAM_WORDS`].
     pub fn try_finish(self) -> Result<FilterProgram, ValidateError> {
         if self.words.len() > MAX_PROGRAM_WORDS {
-            return Err(ValidateError::TooLong { words: self.words.len() });
+            return Err(ValidateError::TooLong {
+                words: self.words.len(),
+            });
         }
         Ok(self.finish())
     }
@@ -356,7 +366,11 @@ mod tests {
         assert_eq!(f.max_word_index(), Some(8));
         let empty = FilterProgram::empty(0);
         assert_eq!(empty.max_word_index(), None);
-        let no_pkt = Assembler::new(0).pushzero().pushone().op(BinaryOp::And).finish();
+        let no_pkt = Assembler::new(0)
+            .pushzero()
+            .pushone()
+            .op(BinaryOp::And)
+            .finish();
         assert_eq!(no_pkt.max_word_index(), None);
     }
 

@@ -176,7 +176,14 @@ pub fn pup_packet_3mb(
     dst_socket_lo: u16,
     pup_type: u8,
 ) -> Vec<u8> {
-    pup_packet_3mb_with_data(ethertype, pup_type, dst_socket_hi, dst_socket_lo, 1, &[0xDD, 0xDD])
+    pup_packet_3mb_with_data(
+        ethertype,
+        pup_type,
+        dst_socket_hi,
+        dst_socket_lo,
+        1,
+        &[0xDD, 0xDD],
+    )
 }
 
 /// Convenience form with the Pup type listed before the socket, used where
@@ -209,7 +216,10 @@ mod tests {
         let p = pup_packet_3mb(2, 7, 35, 42);
         let v = PacketView::new(&p);
         assert_eq!(v.word(usize::from(WORD_ETHERTYPE)), Some(2));
-        assert_eq!(v.word(usize::from(WORD_PUPTYPE)).map(|w| w & 0xFF), Some(42));
+        assert_eq!(
+            v.word(usize::from(WORD_PUPTYPE)).map(|w| w & 0xFF),
+            Some(42)
+        );
         assert_eq!(v.word(usize::from(WORD_DSTSOCKET_HI)), Some(7));
         assert_eq!(v.word(usize::from(WORD_DSTSOCKET_LO)), Some(35));
     }

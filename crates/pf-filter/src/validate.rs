@@ -95,8 +95,8 @@ impl ValidatedProgram {
             let offset = pc;
             let raw = words[pc];
             pc += 1;
-            let instr = Instr::decode(raw)
-                .ok_or(ValidateError::BadInstruction { offset, word: raw })?;
+            let instr =
+                Instr::decode(raw).ok_or(ValidateError::BadInstruction { offset, word: raw })?;
             instructions += 1;
             if config.dialect == Dialect::Classic && instr.is_extended() {
                 return Err(ValidateError::ExtendedInstruction { offset });
@@ -394,7 +394,10 @@ mod tests {
         let p = Assembler::new(0).pushone().op(BinaryOp::And).finish();
         assert!(matches!(
             ValidatedProgram::new(p),
-            Err(ValidateError::StackUnderflow { offset: 1, depth: 1 })
+            Err(ValidateError::StackUnderflow {
+                offset: 1,
+                depth: 1
+            })
         ));
     }
 
@@ -421,12 +424,19 @@ mod tests {
 
     #[test]
     fn rejects_extended_in_classic() {
-        let p = Assembler::new(0).pushone().pushone().op(BinaryOp::Add).finish();
+        let p = Assembler::new(0)
+            .pushone()
+            .pushone()
+            .op(BinaryOp::Add)
+            .finish();
         assert!(matches!(
             ValidatedProgram::new(p.clone()),
             Err(ValidateError::ExtendedInstruction { offset: 2 })
         ));
-        let cfg = InterpConfig { dialect: Dialect::Extended, ..Default::default() };
+        let cfg = InterpConfig {
+            dialect: Dialect::Extended,
+            ..Default::default()
+        };
         assert!(ValidatedProgram::with_config(p, cfg).is_ok());
     }
 
@@ -510,7 +520,10 @@ mod tests {
 
     #[test]
     fn indirect_is_flagged_and_checked_dynamically() {
-        let cfg = InterpConfig { dialect: Dialect::Extended, ..Default::default() };
+        let cfg = InterpConfig {
+            dialect: Dialect::Extended,
+            ..Default::default()
+        };
         let p = Assembler::new(0)
             .pushword(0)
             .push(StackAction::PushInd)

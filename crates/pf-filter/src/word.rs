@@ -537,7 +537,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Instr::push(StackAction::PushWord(3)).to_string(), "PUSHWORD+3");
+        assert_eq!(
+            Instr::push(StackAction::PushWord(3)).to_string(),
+            "PUSHWORD+3"
+        );
         assert_eq!(Instr::op(BinaryOp::And).to_string(), "AND");
         assert_eq!(
             Instr::new(StackAction::PushLit, BinaryOp::Eq).to_string(),

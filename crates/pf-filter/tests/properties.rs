@@ -1,3 +1,8 @@
+// Property suites need the external `proptest` crate; the default build is
+// hermetic (offline), so this whole file is gated behind a feature. See the
+// crate manifest for how to restore the dev-dependency.
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests for the filter language and its execution engines.
 //!
 //! The central invariant: every execution engine — checked interpreter,
@@ -5,15 +10,15 @@
 //! filter set — is observationally identical on *arbitrary* programs and
 //! packets, and none of them ever panics, even on garbage bytes.
 
+use pf_filter::builder::Expr;
 use pf_filter::compile::CompiledFilter;
 use pf_filter::dtree::FilterSet;
 use pf_filter::interp::{CheckedInterpreter, Dialect, InterpConfig, ShortCircuitStyle};
 use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
+use pf_filter::samples;
 use pf_filter::validate::ValidatedProgram;
 use pf_filter::word::{BinaryOp, Instr, StackAction};
-use pf_filter::builder::Expr;
-use pf_filter::samples;
 use proptest::prelude::*;
 
 /// Strategy: any stack action, biased toward the common ones.
@@ -62,8 +67,7 @@ fn any_binary_op() -> impl Strategy<Value = BinaryOp> {
 fn structured_words() -> impl Strategy<Value = Vec<u16>> {
     prop::collection::vec(
         prop_oneof![
-            (any_stack_action(), any_binary_op())
-                .prop_map(|(a, o)| Instr::new(a, o).encode()),
+            (any_stack_action(), any_binary_op()).prop_map(|(a, o)| Instr::new(a, o).encode()),
             any::<u16>(), // literals (and occasional garbage)
         ],
         0..40,
@@ -293,12 +297,8 @@ mod builder_semantics {
                     pf_filter::builder::CmpOp::Ge => x >= y,
                 })
             }
-            Expr::And(a, b) => {
-                u16::from(eval_value(a, pkt) != 0 && eval_value(b, pkt) != 0)
-            }
-            Expr::Or(a, b) => {
-                u16::from(eval_value(a, pkt) != 0 || eval_value(b, pkt) != 0)
-            }
+            Expr::And(a, b) => u16::from(eval_value(a, pkt) != 0 && eval_value(b, pkt) != 0),
+            Expr::Or(a, b) => u16::from(eval_value(a, pkt) != 0 || eval_value(b, pkt) != 0),
             Expr::Not(a) => u16::from(eval_value(a, pkt) == 0),
             Expr::WordAt(_) | Expr::Arith(..) => unreachable!("not generated"),
         }

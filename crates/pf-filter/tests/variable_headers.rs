@@ -38,7 +38,7 @@ fn ip_tcp_frame(opt_words: usize, dst_port: u16) -> Vec<u8> {
     f.extend_from_slice(&10u32.to_be_bytes()); // src ip
     f.extend_from_slice(&11u32.to_be_bytes()); // dst ip
     f.extend_from_slice(&vec![0u8; opt_words * 4]); // options
-    // TCP header: src port, dst port, ...
+                                                    // TCP header: src port, dst port, ...
     f.extend_from_slice(&4321u16.to_be_bytes());
     f.extend_from_slice(&dst_port.to_be_bytes());
     f.extend_from_slice(&[0u8; 16]);
@@ -65,9 +65,7 @@ fn classic_port_filter(port: u16) -> FilterProgram {
 fn extended_port_filter(port: u16) -> FilterProgram {
     // IHL = word 2's high byte, low nibble.
     let ihl = Expr::word(2).arith(ArithOp::Rsh, 8).mask(0x0F);
-    let port_word = ihl
-        .arith(ArithOp::Mul, 2)
-        .arith(ArithOp::Add, 3);
+    let port_word = ihl.arith(ArithOp::Mul, 2).arith(ArithOp::Add, 3);
     Expr::word(1)
         .eq(0x0800)
         .and(Expr::word_at(port_word).eq(port))
@@ -126,7 +124,10 @@ fn all_engines_agree_on_the_extended_filter() {
     use pf_filter::compile::CompiledFilter;
     use pf_filter::interp::{Dialect, InterpConfig};
     use pf_filter::validate::ValidatedProgram;
-    let cfg = InterpConfig { dialect: Dialect::Extended, ..Default::default() };
+    let cfg = InterpConfig {
+        dialect: Dialect::Extended,
+        ..Default::default()
+    };
     let f = extended_port_filter(23);
     let checked = CheckedInterpreter::new(cfg);
     let validated = ValidatedProgram::with_config(f.clone(), cfg).unwrap();

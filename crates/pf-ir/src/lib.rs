@@ -1,0 +1,46 @@
+//! pf-ir: a control-flow-graph IR for packet filters, with optimizing
+//! passes and a flat threaded-code execution engine.
+//!
+//! The paper's CSPF language (§3) is a stack machine: compact, trivially
+//! safe, and — as §6 measures — expensive to interpret, because every
+//! boolean connective pushes and pops intermediate truth values that a
+//! conventional compiler would keep in registers or branch on directly.
+//! This crate is the fifth rung of the workspace's execution ladder: it
+//! *compiles* validated stack programs into a small SSA-ish register IR
+//! ([`ir`]), optimizes the result ([`opt`]), and flattens it into threaded
+//! code that evaluates with no operand stack at all ([`exec`]).
+//!
+//! The pipeline:
+//!
+//! 1. **Translate** ([`translate::translate`]) — stack traffic becomes
+//!    virtual registers (exact depths are statically known, courtesy of
+//!    [`pf_filter::validate::ValidatedProgram`]); short-circuit operators
+//!    become conditional branches to shared accept/reject blocks.
+//! 2. **Optimize** ([`opt::optimize`]) — constant folding, redundant-load
+//!    and common-subexpression elimination, branch threading, dead-block
+//!    and dead-code removal, dense register renumbering.
+//! 3. **Lower** ([`exec::IrFilter`]) — blocks flatten into one threaded
+//!    opcode vector; compare-and-branch sequences fuse into single
+//!    `guard` opcodes, whose leading run doubles as the filter's
+//!    *guard prefix* for cross-filter sharing.
+//! 4. **Share** ([`set::IrFilterSet`]) — a demultiplexing set interns the
+//!    guard prefixes of all members so each distinct `(word, literal)`
+//!    test is evaluated once per packet, the same work-sharing the
+//!    paper's §7 decision-table proposal targets, without restricting
+//!    the filter language.
+//!
+//! Semantics are pinned to the checked interpreter: translation consumes
+//! only validated programs, runtime faults (out-of-bounds indirect loads,
+//! zero divisors) reject exactly as the interpreter does, and packets
+//! shorter than the validator's static minimum fall back to
+//! [`pf_filter::interp::CheckedInterpreter`] verbatim. The differential
+//! suites in `tests/` hold all five engines to one verdict.
+
+pub mod exec;
+pub mod ir;
+pub mod opt;
+pub mod set;
+pub mod translate;
+
+pub use exec::{IrEvalStats, IrFilter};
+pub use set::{IrFilterSet, IrSetStats};

@@ -1,0 +1,318 @@
+//! Deterministic differential verification: every execution engine in the
+//! workspace — checked interpreter, validated fast interpreter, compiled
+//! micro-ops, the IR threaded-code engine, and the IR filter *set* — must
+//! be observationally identical.
+//!
+//! Unlike the proptest suites (feature-gated because the default build is
+//! hermetic), this loop runs in every `cargo test`: programs and packets
+//! come from the workspace's own [`pf_sim::rng::SplitMix64`], so the cases
+//! are reproducible from the printed seed and need no external crates.
+
+use pf_filter::compile::CompiledFilter;
+use pf_filter::dtree::FilterSet;
+use pf_filter::interp::{CheckedInterpreter, Dialect, InterpConfig, ShortCircuitStyle};
+use pf_filter::packet::PacketView;
+use pf_filter::program::FilterProgram;
+use pf_filter::samples;
+use pf_filter::validate::ValidatedProgram;
+use pf_filter::word::{BinaryOp, Instr, StackAction};
+use pf_ir::set::IrFilterSet;
+use pf_ir::IrFilter;
+use pf_sim::rng::SplitMix64;
+
+const ACTIONS: [StackAction; 8] = [
+    StackAction::NoPush,
+    StackAction::PushLit,
+    StackAction::PushZero,
+    StackAction::PushOne,
+    StackAction::PushFFFF,
+    StackAction::PushFF00,
+    StackAction::Push00FF,
+    StackAction::PushInd,
+];
+
+const OPS: [BinaryOp; 21] = [
+    BinaryOp::Nop,
+    BinaryOp::Eq,
+    BinaryOp::Neq,
+    BinaryOp::Lt,
+    BinaryOp::Le,
+    BinaryOp::Gt,
+    BinaryOp::Ge,
+    BinaryOp::And,
+    BinaryOp::Or,
+    BinaryOp::Xor,
+    BinaryOp::Cor,
+    BinaryOp::Cand,
+    BinaryOp::Cnor,
+    BinaryOp::Cnand,
+    BinaryOp::Add,
+    BinaryOp::Sub,
+    BinaryOp::Mul,
+    BinaryOp::Div,
+    BinaryOp::Mod,
+    BinaryOp::Lsh,
+    BinaryOp::Rsh,
+];
+
+const CONFIGS: [InterpConfig; 4] = [
+    InterpConfig {
+        dialect: Dialect::Classic,
+        short_circuit: ShortCircuitStyle::Paper,
+    },
+    InterpConfig {
+        dialect: Dialect::Classic,
+        short_circuit: ShortCircuitStyle::Historical,
+    },
+    InterpConfig {
+        dialect: Dialect::Extended,
+        short_circuit: ShortCircuitStyle::Paper,
+    },
+    InterpConfig {
+        dialect: Dialect::Extended,
+        short_circuit: ShortCircuitStyle::Historical,
+    },
+];
+
+/// Random program words: mostly well-formed instructions (so a useful
+/// fraction validates), some raw garbage.
+fn random_words(rng: &mut SplitMix64) -> Vec<u16> {
+    let len = rng.below(40) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.chance(0.15) {
+                rng.next_u64() as u16 // literal or garbage
+            } else {
+                let action = if rng.chance(0.25) {
+                    StackAction::PushWord(rng.below(48) as u8)
+                } else {
+                    ACTIONS[rng.below(ACTIONS.len() as u64) as usize]
+                };
+                let op = OPS[rng.below(OPS.len() as u64) as usize];
+                Instr::new(action, op).encode()
+            }
+        })
+        .collect()
+}
+
+/// Random *stack-balanced* program: depth is tracked so pops never
+/// underflow, which makes most outputs validate (under the paper
+/// short-circuit style's depth accounting at least) and gives the compiled
+/// engines real work. Classic-dialect operators dominate; short-circuit
+/// and extended operators are mixed in.
+fn random_balanced_words(rng: &mut SplitMix64) -> Vec<u16> {
+    let n = 1 + rng.below(14);
+    let mut depth = 0u64;
+    let mut words = Vec::new();
+    for _ in 0..n {
+        let action = if depth == 0 || rng.chance(0.6) {
+            match rng.below(6) {
+                0 => StackAction::PushLit,
+                1 => StackAction::PushZero,
+                2 => StackAction::PushOne,
+                3 => StackAction::PushFFFF,
+                _ => StackAction::PushWord(rng.below(10) as u8),
+            }
+        } else {
+            StackAction::NoPush
+        };
+        let mut d = depth + u64::from(action != StackAction::NoPush);
+        let op = if d >= 2 && rng.chance(0.7) {
+            d -= 1;
+            let r = rng.next_f64();
+            if r < 0.70 {
+                const CLASSIC: [BinaryOp; 9] = [
+                    BinaryOp::Eq,
+                    BinaryOp::Neq,
+                    BinaryOp::Lt,
+                    BinaryOp::Le,
+                    BinaryOp::Gt,
+                    BinaryOp::Ge,
+                    BinaryOp::And,
+                    BinaryOp::Or,
+                    BinaryOp::Xor,
+                ];
+                CLASSIC[rng.below(9) as usize]
+            } else if r < 0.90 {
+                const SC: [BinaryOp; 4] = [
+                    BinaryOp::Cor,
+                    BinaryOp::Cand,
+                    BinaryOp::Cnor,
+                    BinaryOp::Cnand,
+                ];
+                SC[rng.below(4) as usize]
+            } else {
+                const EXT: [BinaryOp; 7] = [
+                    BinaryOp::Add,
+                    BinaryOp::Sub,
+                    BinaryOp::Mul,
+                    BinaryOp::Div,
+                    BinaryOp::Mod,
+                    BinaryOp::Lsh,
+                    BinaryOp::Rsh,
+                ];
+                EXT[rng.below(7) as usize]
+            }
+        } else {
+            BinaryOp::Nop
+        };
+        words.push(Instr::new(action, op).encode());
+        if action == StackAction::PushLit {
+            words.push(rng.next_u64() as u16);
+        }
+        depth = d;
+    }
+    words
+}
+
+fn random_packet(rng: &mut SplitMix64) -> Vec<u8> {
+    // Bias short so the fallback path is exercised, but cover full frames.
+    let len = if rng.chance(0.3) {
+        rng.below(24) as usize
+    } else {
+        rng.below(128) as usize
+    };
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// The core pin: for every seeded (program, packet) pair, in all four
+/// dialect × short-circuit configurations, the IR engine (and every other
+/// engine) agrees with the checked interpreter.
+#[test]
+fn five_engines_agree_on_seeded_pairs() {
+    let mut rng = SplitMix64::new(0x5eed_0087);
+    let mut validated_cases = 0u32;
+    for case in 0..600 {
+        // Half balanced (mostly validating), half unconstrained soup
+        // (mostly exercising the must-also-reject path).
+        let words = if case % 2 == 0 {
+            random_balanced_words(&mut rng)
+        } else {
+            random_words(&mut rng)
+        };
+        let packets: Vec<Vec<u8>> = (0..3).map(|_| random_packet(&mut rng)).collect();
+        for cfg in CONFIGS {
+            let prog = FilterProgram::from_words(10, words.clone());
+            let Ok(validated) = ValidatedProgram::with_config(prog.clone(), cfg) else {
+                // IrFilter must reject exactly the programs validation
+                // rejects.
+                assert!(
+                    IrFilter::compile_with_config(prog, cfg).is_err(),
+                    "case {case}: IR compiled a program validation rejects"
+                );
+                continue;
+            };
+            validated_cases += 1;
+            let compiled = CompiledFilter::from_validated(validated.clone());
+            let ir = IrFilter::from_validated(&validated);
+            let checked = CheckedInterpreter::new(cfg);
+            for (pi, pkt) in packets.iter().enumerate() {
+                let view = PacketView::new(pkt);
+                let expect = checked.eval(validated.program(), view);
+                let ctx = format!("case {case} packet {pi} cfg {cfg:?}");
+                assert_eq!(validated.eval(view), expect, "validated vs checked: {ctx}");
+                assert_eq!(compiled.eval(view), expect, "compiled vs checked: {ctx}");
+                assert_eq!(ir.eval(view), expect, "ir vs checked: {ctx}");
+            }
+        }
+    }
+    // The generator must actually exercise the compiled paths.
+    assert!(
+        validated_cases > 200,
+        "only {validated_cases} validated cases"
+    );
+}
+
+/// Set-level pin (default configuration, which both set engines hardcode):
+/// the IR filter set and the decision-table set agree with a sequential
+/// priority-ordered walk over mixed filter populations, including programs
+/// that fail validation.
+#[test]
+fn set_engines_agree_on_seeded_populations() {
+    let mut rng = SplitMix64::new(0xdeca_f00d);
+    let checked = CheckedInterpreter::default();
+    for case in 0..150 {
+        // A population of well-known shapes plus random programs.
+        let mut filters: Vec<(u32, FilterProgram)> = Vec::new();
+        let mut id = 0u32;
+        for _ in 0..rng.below(4) {
+            let prio = rng.below(30) as u8;
+            let sock = 30 + rng.below(8) as u16;
+            filters.push((id, samples::pup_socket_filter(prio, 0, sock)));
+            id += 1;
+        }
+        for _ in 0..rng.below(3) {
+            let prio = rng.below(30) as u8;
+            let et = rng.below(6) as u16;
+            filters.push((id, samples::ethertype_filter(prio, et)));
+            id += 1;
+        }
+        for _ in 0..rng.below(3) {
+            filters.push((id, FilterProgram::from_words(7, random_words(&mut rng))));
+            id += 1;
+        }
+        let mut ir_set = IrFilterSet::new();
+        let mut table = FilterSet::new();
+        for (fid, f) in &filters {
+            ir_set.insert(*fid, f.clone());
+            table.insert(*fid, f.clone());
+        }
+        for pi in 0..4 {
+            let pkt = if rng.chance(0.7) {
+                let et = rng.below(6) as u16;
+                let sock = 28 + rng.below(12) as u16;
+                samples::pup_packet_3mb(et, 0, sock, 1)
+            } else {
+                random_packet(&mut rng)
+            };
+            let view = PacketView::new(&pkt);
+            // Reference: priority-descending, insertion-stable walk.
+            let mut order: Vec<usize> = (0..filters.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(filters[i].1.priority()));
+            let expect: Vec<u32> = order
+                .iter()
+                .filter(|&&i| checked.eval(&filters[i].1, view))
+                .map(|&i| filters[i].0)
+                .collect();
+            let ctx = format!("case {case} packet {pi}");
+            assert_eq!(ir_set.matches(view), expect, "ir set vs sequential: {ctx}");
+            assert_eq!(table.matches(view), expect, "table vs sequential: {ctx}");
+        }
+    }
+}
+
+/// Seeded churn: inserts and removals keep the IR set equivalent to a
+/// from-scratch rebuild (interned tests and memo state never leak between
+/// generations).
+#[test]
+fn ir_set_survives_churn() {
+    let mut rng = SplitMix64::new(0xc0ffee);
+    let mut live: Vec<(u32, FilterProgram)> = Vec::new();
+    let mut set = IrFilterSet::new();
+    for step in 0..200 {
+        if !live.is_empty() && rng.chance(0.4) {
+            let at = rng.below(live.len() as u64) as usize;
+            let (fid, _) = live.remove(at);
+            assert!(set.remove(fid));
+        } else {
+            let fid = step as u32;
+            let f = match rng.below(3) {
+                0 => samples::pup_socket_filter(rng.below(30) as u8, 0, 30 + rng.below(8) as u16),
+                1 => samples::ethertype_filter(rng.below(30) as u8, rng.below(6) as u16),
+                _ => FilterProgram::from_words(7, random_words(&mut rng)),
+            };
+            set.insert(fid, f.clone());
+            live.push((fid, f));
+        }
+        if step % 20 != 0 {
+            continue;
+        }
+        let mut fresh = IrFilterSet::new();
+        for (fid, f) in &live {
+            fresh.insert(*fid, f.clone());
+        }
+        let pkt = samples::pup_packet_3mb(rng.below(6) as u16, 0, 28 + rng.below(12) as u16, 1);
+        let view = PacketView::new(&pkt);
+        assert_eq!(set.matches(view), fresh.matches(view), "step {step}");
+    }
+}

@@ -52,7 +52,14 @@ pub trait App: Any {
 
     /// A kernel-protocol socket completed an operation (§ kernel-resident
     /// baselines: UDP/TCP-lite/VMTP deliver results this way).
-    fn on_socket(&mut self, sock: SockId, op: u32, data: Vec<u8>, meta: [u64; 4], k: &mut ProcCtx<'_>) {
+    fn on_socket(
+        &mut self,
+        sock: SockId,
+        op: u32,
+        data: Vec<u8>,
+        meta: [u64; 4],
+        k: &mut ProcCtx<'_>,
+    ) {
         let _ = (sock, op, data, meta, k);
     }
 }

@@ -32,6 +32,7 @@ use pf_filter::dtree::FilterSet;
 use pf_filter::interp::{CheckedInterpreter, EvalStats};
 use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
+use pf_ir::set::IrFilterSet;
 use std::collections::VecDeque;
 
 /// How the device matches received packets against the active filters.
@@ -46,6 +47,10 @@ pub enum DemuxEngine {
     /// hash probe per filter *shape*, with interpreted fallback for
     /// filters the analyzer cannot convert.
     DecisionTable,
+    /// Filters compiled through the `pf-ir` CFG pipeline to threaded code,
+    /// with guard-prefix tests shared (and memoized) across the set. Unlike
+    /// the decision table this accepts *every* filter program.
+    Ir,
 }
 
 /// How many demultiplex operations between adaptive re-sorts of
@@ -124,8 +129,14 @@ pub struct Application {
 pub struct DemuxOutcome {
     /// Ports that accepted the packet, in delivery order.
     pub accepted: Vec<PortIdx>,
-    /// Every filter application performed, in order.
+    /// Every filter application performed, in order. Empty under the
+    /// decision-table and IR engines, which do not apply filters one at a
+    /// time.
     pub applied: Vec<Application>,
+    /// Threaded-code operations executed, when the IR engine handled the
+    /// packet (the cost-accounting analogue of `applied`'s instruction
+    /// counters).
+    pub ir_ops: u32,
 }
 
 /// The packet-filter device of one host.
@@ -142,6 +153,9 @@ pub struct PfDevice {
     /// The compiled filter set, maintained when the decision-table engine
     /// is selected (keyed by port index).
     table: Option<FilterSet>,
+    /// The IR-compiled filter set, maintained when the IR engine is
+    /// selected (keyed by port index).
+    ir_set: Option<IrFilterSet>,
     interp: CheckedInterpreter,
 }
 
@@ -163,17 +177,28 @@ impl PfDevice {
             adaptive: true,
             engine: DemuxEngine::Sequential,
             table: None,
+            ir_set: None,
             interp: CheckedInterpreter::default(),
         }
     }
 
-    /// Selects the demultiplexing engine (§4's interpreter loop or §7's
-    /// decision table).
+    /// Selects the demultiplexing engine (§4's interpreter loop, §7's
+    /// decision table, or the pf-ir threaded-code compiler).
     pub fn set_engine(&mut self, engine: DemuxEngine) {
         self.engine = engine;
         match engine {
-            DemuxEngine::Sequential => self.table = None,
-            DemuxEngine::DecisionTable => self.rebuild_table(),
+            DemuxEngine::Sequential => {
+                self.table = None;
+                self.ir_set = None;
+            }
+            DemuxEngine::DecisionTable => {
+                self.ir_set = None;
+                self.rebuild_table();
+            }
+            DemuxEngine::Ir => {
+                self.table = None;
+                self.rebuild_ir_set();
+            }
         }
     }
 
@@ -200,6 +225,32 @@ impl PfDevice {
         self.table = Some(set);
     }
 
+    /// Number of guard-prefix tests the IR engine shares between filters,
+    /// when the IR engine is active.
+    pub fn ir_shared_tests(&self) -> usize {
+        self.ir_set.as_ref().map_or(0, |s| s.shared_tests())
+    }
+
+    fn rebuild_ir_set(&mut self) {
+        let mut set = IrFilterSet::new();
+        // Same demux-order insertion as `rebuild_table`.
+        for &idx in &self.order {
+            if let Some(f) = &self.ports[idx].filter {
+                set.insert(idx as u32, f.clone());
+            }
+        }
+        self.ir_set = Some(set);
+    }
+
+    /// Rebuilds whichever compiled set the active engine maintains.
+    fn rebuild_engine_state(&mut self) {
+        match self.engine {
+            DemuxEngine::Sequential => {}
+            DemuxEngine::DecisionTable => self.rebuild_table(),
+            DemuxEngine::Ir => self.rebuild_ir_set(),
+        }
+    }
+
     /// Enables or disables adaptive same-priority reordering (§3.2).
     pub fn set_adaptive_reorder(&mut self, on: bool) {
         self.adaptive = on;
@@ -208,7 +259,9 @@ impl PfDevice {
             let ports = &self.ports;
             self.order.sort_by(|&a, &b| {
                 let (pa, pb) = (&ports[a], &ports[b]);
-                pb.priority().cmp(&pa.priority()).then(pa.insertion.cmp(&pb.insertion))
+                pb.priority()
+                    .cmp(&pa.priority())
+                    .then(pa.insertion.cmp(&pb.insertion))
             });
         }
     }
@@ -231,9 +284,7 @@ impl PfDevice {
         self.insertions += 1;
         self.order.push(idx);
         self.resort();
-        if self.engine == DemuxEngine::DecisionTable {
-            self.rebuild_table();
-        }
+        self.rebuild_engine_state();
         idx
     }
 
@@ -246,9 +297,7 @@ impl PfDevice {
             p.filter = None;
         }
         self.order.retain(|&o| o != idx);
-        if self.engine == DemuxEngine::DecisionTable {
-            self.rebuild_table();
-        }
+        self.rebuild_engine_state();
     }
 
     /// Binds (replaces) the filter on a port. "A new filter can be bound at
@@ -259,9 +308,7 @@ impl PfDevice {
             p.accepts = 0;
         }
         self.resort();
-        if self.engine == DemuxEngine::DecisionTable {
-            self.rebuild_table();
-        }
+        self.rebuild_engine_state();
     }
 
     /// Access a port.
@@ -305,8 +352,10 @@ impl PfDevice {
     /// accepted ports so it can charge bookkeeping costs and handle wakeups.
     pub fn demux(&mut self, packet: &[u8]) -> DemuxOutcome {
         self.demux_ops += 1;
-        if self.engine == DemuxEngine::DecisionTable {
-            return self.demux_table(packet);
+        match self.engine {
+            DemuxEngine::Sequential => {}
+            DemuxEngine::DecisionTable => return self.demux_table(packet),
+            DemuxEngine::Ir => return self.demux_ir(packet),
         }
         if self.adaptive && self.demux_ops.is_multiple_of(REORDER_INTERVAL) {
             self.resort();
@@ -319,7 +368,11 @@ impl PfDevice {
                 continue;
             };
             let (accepted, stats) = self.interp.eval_with_stats(filter, view);
-            out.applied.push(Application { port: idx, accepted, stats });
+            out.applied.push(Application {
+                port: idx,
+                accepted,
+                stats,
+            });
             if accepted {
                 out.accepted.push(idx);
                 if !port.config.deliver_to_lower {
@@ -339,6 +392,29 @@ impl PfDevice {
         let table = self.table.as_ref().expect("table engine selected");
         let matches = table.matches(PacketView::new(packet));
         let mut out = DemuxOutcome::default();
+        for id in matches {
+            let idx = id as PortIdx;
+            out.accepted.push(idx);
+            if !self.ports[idx].config.deliver_to_lower {
+                break;
+            }
+        }
+        for &idx in &out.accepted {
+            self.ports[idx].accepts += 1;
+        }
+        out
+    }
+
+    /// IR demultiplexing: evaluate the threaded-code set (sharing guard
+    /// prefixes between members), then walk the priority-ordered matches
+    /// applying the §3.2 deliver-to-lower rule.
+    fn demux_ir(&mut self, packet: &[u8]) -> DemuxOutcome {
+        let set = self.ir_set.as_mut().expect("IR engine selected");
+        let (matches, stats) = set.matches_with_stats(PacketView::new(packet));
+        let mut out = DemuxOutcome {
+            ir_ops: stats.ops_executed,
+            ..Default::default()
+        };
         for id in matches {
             let idx = id as PortIdx;
             out.accepted.push(idx);
@@ -384,7 +460,11 @@ mod tests {
     }
 
     fn recv(bytes: &[u8]) -> RecvPacket {
-        RecvPacket { bytes: bytes.to_vec(), stamp: None, dropped_before: 0 }
+        RecvPacket {
+            bytes: bytes.to_vec(),
+            stamp: None,
+            dropped_before: 0,
+        }
     }
 
     fn dev_with(filters: Vec<FilterProgram>) -> PfDevice {
@@ -403,7 +483,11 @@ mod tests {
             samples::accept_all(5),
         ]);
         let out = d.demux(&pkt(35));
-        assert_eq!(out.accepted, vec![0], "higher priority wins, no fall-through");
+        assert_eq!(
+            out.accepted,
+            vec![0],
+            "higher priority wins, no fall-through"
+        );
         assert_eq!(out.applied.len(), 1, "stopped at first match");
     }
 
@@ -532,6 +616,66 @@ mod tests {
         assert_eq!(d.port_of((ProcId(3), Fd(8))), None);
         d.close(a);
         assert_eq!(d.port_of((ProcId(3), Fd(7))), None);
+    }
+
+    #[test]
+    fn ir_engine_agrees_with_sequential() {
+        let filters = vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::pup_socket_filter(10, 0, 44),
+            samples::accept_all(5),
+            samples::fig_3_8_pup_type_range(),
+        ];
+        for sock in [35u16, 44, 99] {
+            let mut seq = dev_with(filters.clone());
+            seq.set_adaptive_reorder(false);
+            let mut ir = dev_with(filters.clone());
+            ir.set_adaptive_reorder(false);
+            ir.set_engine(DemuxEngine::Ir);
+            let p = pkt(sock);
+            assert_eq!(seq.demux(&p).accepted, ir.demux(&p).accepted, "sock={sock}");
+        }
+    }
+
+    #[test]
+    fn ir_engine_reports_ops_and_shares_guards() {
+        let mut d = dev_with(vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::pup_socket_filter(10, 0, 44),
+        ]);
+        d.set_engine(DemuxEngine::Ir);
+        assert_eq!(d.ir_shared_tests(), 1, "DstSocketHi == 0 guard shared");
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![0]);
+        assert!(
+            out.applied.is_empty(),
+            "IR engine does not itemize applications"
+        );
+        assert!(out.ir_ops > 0, "threaded-code work is accounted");
+    }
+
+    #[test]
+    fn ir_engine_tracks_filter_rebinding_and_close() {
+        let mut d = dev_with(vec![samples::pup_socket_filter(10, 0, 35)]);
+        d.set_engine(DemuxEngine::Ir);
+        assert!(d.demux(&pkt(44)).accepted.is_empty());
+        d.set_filter(0, samples::pup_socket_filter(10, 0, 44));
+        assert_eq!(d.demux(&pkt(44)).accepted, vec![0]);
+        d.close(0);
+        assert!(d.demux(&pkt(44)).accepted.is_empty());
+    }
+
+    #[test]
+    fn ir_engine_respects_deliver_to_lower() {
+        let mut d = PfDevice::new();
+        let monitor = d.open((ProcId(0), Fd(0)));
+        d.set_filter(monitor, samples::accept_all(30));
+        d.port_mut(monitor).config.deliver_to_lower = true;
+        let consumer = d.open((ProcId(1), Fd(0)));
+        d.set_filter(consumer, samples::pup_socket_filter(10, 0, 35));
+        d.set_engine(DemuxEngine::Ir);
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![monitor, consumer]);
     }
 
     #[test]

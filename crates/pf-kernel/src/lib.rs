@@ -25,7 +25,7 @@ pub use app::App;
 pub use device::{PfDevice, PortIdx};
 pub use kproto::KernelProtocol;
 pub use types::{
-    BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket,
-    SockId, TimerId,
+    BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket, SockId,
+    TimerId,
 };
 pub use world::{KernelCtx, ProcCtx, SendError, World, DEFAULT_NIC_CAPACITY};

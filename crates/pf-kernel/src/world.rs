@@ -16,8 +16,8 @@ use crate::app::App;
 use crate::device::{DemuxEngine, PendingRead, PfDevice, PortIdx};
 use crate::kproto::KernelProtocol;
 use crate::types::{
-    BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket,
-    SockId, TimerId,
+    BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket, SockId,
+    TimerId,
 };
 use pf_filter::program::FilterProgram;
 use pf_net::frame;
@@ -68,7 +68,12 @@ enum Event {
     /// ring slot).
     DriverDone { host: HostId },
     /// Completion of a packet-filter read.
-    DeliverPackets { host: HostId, proc: ProcId, fd: Fd, packets: Vec<RecvPacket> },
+    DeliverPackets {
+        host: HostId,
+        proc: ProcId,
+        fd: Fd,
+        packets: Vec<RecvPacket>,
+    },
     /// A read failed: timeout (validated by generation) or would-block.
     ReadFail {
         host: HostId,
@@ -81,9 +86,19 @@ enum Event {
     /// Signal delivery for a `signal_on_input` port.
     Signal { host: HostId, proc: ProcId, fd: Fd },
     /// A user timer fired.
-    Timer { host: HostId, proc: ProcId, token: u64, timer: u64 },
+    Timer {
+        host: HostId,
+        proc: ProcId,
+        token: u64,
+        timer: u64,
+    },
     /// Pipe data reaching its reader.
-    PipeDeliver { host: HostId, proc: ProcId, pipe: PipeId, data: Vec<u8> },
+    PipeDeliver {
+        host: HostId,
+        proc: ProcId,
+        pipe: PipeId,
+        data: Vec<u8>,
+    },
     /// A kernel-socket completion reaching its owner.
     SocketDeliver {
         host: HostId,
@@ -94,7 +109,11 @@ enum Event {
         meta: [u64; 4],
     },
     /// A kernel-protocol timer fired.
-    KTimer { host: HostId, proto: usize, token: u64 },
+    KTimer {
+        host: HostId,
+        proto: usize,
+        token: u64,
+    },
 }
 
 struct ProcSlot {
@@ -227,7 +246,10 @@ impl World {
     pub fn spawn(&mut self, host: HostId, app: Box<dyn App>) -> ProcId {
         let h = &mut self.hosts[host.0];
         let proc = ProcId(h.procs.len());
-        h.procs.push(ProcSlot { app: Some(app), next_fd: 3 });
+        h.procs.push(ProcSlot {
+            app: Some(app),
+            next_fd: 3,
+        });
         let now = self.events.now();
         self.events.schedule(now, Event::Start { host, proc });
         proc
@@ -317,7 +339,8 @@ impl World {
     /// Injects a frame as if it arrived from the wire at time `at` (test
     /// and trace-replay hook).
     pub fn inject_frame(&mut self, host: HostId, frame: Vec<u8>, at: SimTime) {
-        self.events.schedule(at, Event::FrameArrival { host, frame });
+        self.events
+            .schedule(at, Event::FrameArrival { host, frame });
     }
 
     /// Runs until the event queue is empty; returns the final time.
@@ -350,10 +373,22 @@ impl World {
                 let h = &mut self.hosts[host.0];
                 h.nic_inflight = h.nic_inflight.saturating_sub(1);
             }
-            Event::DeliverPackets { host, proc, fd, packets } => {
+            Event::DeliverPackets {
+                host,
+                proc,
+                fd,
+                packets,
+            } => {
                 self.invoke_app(host, proc, |app, k| app.on_packets(fd, packets, k));
             }
-            Event::ReadFail { host, proc, fd, err, port, generation } => {
+            Event::ReadFail {
+                host,
+                proc,
+                fd,
+                err,
+                port,
+                generation,
+            } => {
                 if let Some(generation) = generation {
                     // A timeout: only valid if that exact read is still
                     // pending (completions cancel the event, but be safe).
@@ -370,17 +405,32 @@ impl World {
             Event::Signal { host, proc, fd } => {
                 self.invoke_app(host, proc, |app, k| app.on_signal(fd, k));
             }
-            Event::Timer { host, proc, token, timer } => {
+            Event::Timer {
+                host,
+                proc,
+                token,
+                timer,
+            } => {
                 self.hosts[host.0].timer_events.remove(&timer);
                 self.invoke_app(host, proc, |app, k| app.on_timer(token, k));
             }
-            Event::PipeDeliver { host, proc, pipe, data } => {
+            Event::PipeDeliver {
+                host,
+                proc,
+                pipe,
+                data,
+            } => {
                 self.invoke_app(host, proc, |app, k| app.on_pipe_data(pipe, data, k));
             }
-            Event::SocketDeliver { host, proc, sock, op, data, meta } => {
-                self.invoke_app(host, proc, |app, k| {
-                    app.on_socket(sock, op, data, meta, k)
-                });
+            Event::SocketDeliver {
+                host,
+                proc,
+                sock,
+                op,
+                data,
+                meta,
+            } => {
+                self.invoke_app(host, proc, |app, k| app.on_socket(sock, op, data, meta, k));
             }
             Event::KTimer { host, proto, token } => {
                 self.invoke_proto(host, proto, |p, k| p.on_timer(token, k));
@@ -400,7 +450,11 @@ impl World {
             return;
         };
         {
-            let mut ctx = ProcCtx { world: self, host, proc };
+            let mut ctx = ProcCtx {
+                world: self,
+                host,
+                proc,
+            };
             f(app.as_mut(), &mut ctx);
         }
         self.hosts[host.0].procs[proc.0].app = Some(app);
@@ -417,7 +471,11 @@ impl World {
             return;
         };
         {
-            let mut ctx = KernelCtx { world: self, host, proto };
+            let mut ctx = KernelCtx {
+                world: self,
+                host,
+                proto,
+            };
             f(p.as_mut(), &mut ctx);
         }
         self.hosts[host.0].protocols[proto] = Some(p);
@@ -475,6 +533,13 @@ impl World {
                     let cost = h.costs.dtree_probe.times(u64::from(shapes.max(1)));
                     h.cpu.charge("pf:dtree", now, cost);
                 }
+                DemuxEngine::Ir => {
+                    // Threaded-code operations are comparable to interpreter
+                    // instructions; charge them on the same cost curve.
+                    h.counters.filter_instructions += u64::from(outcome.ir_ops);
+                    let cost = h.costs.filter_cost(outcome.ir_ops);
+                    h.cpu.charge("pf:ir", now, cost);
+                }
             }
         }
         if outcome.accepted.is_empty() {
@@ -495,7 +560,11 @@ impl World {
                     None
                 };
                 let dropped_before = h.device.port(idx).drops;
-                let pkt = RecvPacket { bytes: frame.clone(), stamp, dropped_before };
+                let pkt = RecvPacket {
+                    bytes: frame.clone(),
+                    stamp,
+                    dropped_before,
+                };
                 let ok = h.device.port_mut(idx).enqueue(pkt);
                 if ok {
                     h.counters.packets_delivered += 1;
@@ -563,7 +632,15 @@ impl World {
             let c = h.costs.copy(p.bytes.len());
             t = h.cpu.charge("pf:read-copyout", now, c);
         }
-        self.events.schedule(t, Event::DeliverPackets { host, proc, fd, packets });
+        self.events.schedule(
+            t,
+            Event::DeliverPackets {
+                host,
+                proc,
+                fd,
+                packets,
+            },
+        );
     }
 
     /// Shared transmit path: serializes on the host's NIC and fans the
@@ -576,8 +653,13 @@ impl World {
         h.counters.packets_sent += 1;
         for d in deliveries {
             let target = HostId(self.station_host[d.station.0]);
-            self.events
-                .schedule(d.arrival, Event::FrameArrival { host: target, frame: d.frame });
+            self.events.schedule(
+                d.arrival,
+                Event::FrameArrival {
+                    host: target,
+                    frame: d.frame,
+                },
+            );
         }
     }
 }
@@ -618,7 +700,10 @@ impl ProcCtx<'_> {
     /// status information).
     pub fn link_info(&self) -> (Medium, u64) {
         let station = self.world.hosts[self.host.0].station;
-        (*self.world.net.medium_of(station), self.world.net.addr_of(station))
+        (
+            *self.world.net.medium_of(station),
+            self.world.net.addr_of(station),
+        )
     }
 
     /// Charges one system call's entry/exit overhead.
@@ -694,7 +779,9 @@ impl ProcCtx<'_> {
     pub fn pf_drops(&mut self, fd: Fd) -> u64 {
         let proc = self.proc;
         let h = self.h();
-        h.device.port_of((proc, fd)).map_or(0, |idx| h.device.port(idx).drops)
+        h.device
+            .port_of((proc, fd))
+            .map_or(0, |idx| h.device.port(idx).drops)
     }
 
     /// Transmits a complete frame (data-link header included) — §3's
@@ -739,11 +826,7 @@ impl ProcCtx<'_> {
     ///
     /// Returns the first frame's size violation, if any; frames before it
     /// are already queued (matching `writev` semantics).
-    pub fn pf_write_batch(
-        &mut self,
-        _fd: Fd,
-        frames: &[Vec<u8>],
-    ) -> Result<(), SendError> {
+    pub fn pf_write_batch(&mut self, _fd: Fd, frames: &[Vec<u8>]) -> Result<(), SendError> {
         let (medium, _) = self.link_info();
         self.charge_syscall("pf:writev");
         for frame_bytes in frames {
@@ -823,8 +906,10 @@ impl ProcCtx<'_> {
                 } else {
                     None
                 };
-                self.world.hosts[host.0].device.port_mut(idx).pending =
-                    Some(PendingRead { generation, timeout });
+                self.world.hosts[host.0].device.port_mut(idx).pending = Some(PendingRead {
+                    generation,
+                    timeout,
+                });
             }
         }
     }
@@ -849,10 +934,15 @@ impl ProcCtx<'_> {
         let h = &mut self.world.hosts[host.0];
         let timer = h.next_timer;
         h.next_timer += 1;
-        let handle = self
-            .world
-            .events
-            .schedule(at, Event::Timer { host, proc, token, timer });
+        let handle = self.world.events.schedule(
+            at,
+            Event::Timer {
+                host,
+                proc,
+                token,
+                timer,
+            },
+        );
         self.world.hosts[host.0].timer_events.insert(timer, handle);
         TimerId(timer)
     }
@@ -901,9 +991,15 @@ impl ProcCtx<'_> {
         h.cpu.charge("pipe:read", now, c_sys);
         let c_out = h.costs.copy(data.len());
         let t = h.cpu.charge("pipe:copyout", now, c_out);
-        self.world
-            .events
-            .schedule(t, Event::PipeDeliver { host, proc: reader, pipe, data });
+        self.world.events.schedule(
+            t,
+            Event::PipeDeliver {
+                host,
+                proc: reader,
+                pipe,
+                data,
+            },
+        );
     }
 
     /// Opens a kernel-protocol socket by protocol name; `None` if no such
@@ -917,7 +1013,11 @@ impl ProcCtx<'_> {
             .iter()
             .position(|p| p.as_deref().is_some_and(|p| p.name() == proto_name))?;
         let id = SockId(h.socks.len());
-        h.socks.push(Sock { owner: proc, proto, open: true });
+        h.socks.push(Sock {
+            owner: proc,
+            proto,
+            open: true,
+        });
         Some(id)
     }
 
@@ -933,7 +1033,8 @@ impl ProcCtx<'_> {
         }
         s.open = false;
         let proto = s.proto;
-        self.world.invoke_proto(host, proto, |p, k| p.sock_closed(sock, k));
+        self.world
+            .invoke_proto(host, proto, |p, k| p.sock_closed(sock, k));
     }
 
     /// Issues a protocol-defined request on a kernel socket, transferring
@@ -957,8 +1058,9 @@ impl ProcCtx<'_> {
             let c = h.costs.copy(data.len());
             h.cpu.charge("sock:copyin", now, c);
         }
-        self.world
-            .invoke_proto(host, proto, |p, k| p.user_request(proc, sock, op, data, meta, k));
+        self.world.invoke_proto(host, proto, |p, k| {
+            p.user_request(proc, sock, op, data, meta, k)
+        });
     }
 }
 
@@ -988,7 +1090,10 @@ impl KernelCtx<'_> {
     /// The data-link description and this host's link address.
     pub fn link_info(&self) -> (Medium, u64) {
         let station = self.world.hosts[self.host.0].station;
-        (*self.world.net.medium_of(station), self.world.net.addr_of(station))
+        (
+            *self.world.net.medium_of(station),
+            self.world.net.addr_of(station),
+        )
     }
 
     /// Charges protocol processing time under `routine`; returns the
@@ -1021,7 +1126,9 @@ impl KernelCtx<'_> {
         let at = self.world.events.now() + delay;
         let host = self.host;
         let proto = self.proto;
-        self.world.events.schedule(at, Event::KTimer { host, proto, token })
+        self.world
+            .events
+            .schedule(at, Event::KTimer { host, proto, token })
     }
 
     /// Cancels a kernel timer scheduled with [`KernelCtx::set_timer`].
@@ -1054,9 +1161,17 @@ impl KernelCtx<'_> {
             let c = h.costs.copy(data.len());
             t = h.cpu.charge("sock:copyout", now, c);
         }
-        self.world
-            .events
-            .schedule(t, Event::SocketDeliver { host, proc, sock, op, data, meta });
+        self.world.events.schedule(
+            t,
+            Event::SocketDeliver {
+                host,
+                proc,
+                sock,
+                op,
+                data,
+                meta,
+            },
+        );
     }
 
     /// The owner of a socket.

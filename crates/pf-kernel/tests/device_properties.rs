@@ -1,3 +1,8 @@
+// Property suites need the external `proptest` crate; the default build is
+// hermetic (offline), so this whole file is gated behind a feature. See the
+// crate manifest for how to restore the dev-dependency.
+#![cfg(feature = "proptest-tests")]
+
 //! Property tests for the packet-filter device: the figure 4-1 demux loop
 //! is equivalent to the §7 decision-table engine on arbitrary filter
 //! populations, and queue bounds hold under arbitrary churn.
@@ -136,12 +141,19 @@ proptest! {
         };
         let mut seq = build(DemuxEngine::Sequential);
         let mut tab = build(DemuxEngine::DecisionTable);
+        let mut ir = build(DemuxEngine::Ir);
         for (et, sock, ptype) in traffic {
             let pkt = samples::pup_packet_3mb(et, 0, sock, ptype);
+            let expect = seq.demux(&pkt).accepted;
             prop_assert_eq!(
-                seq.demux(&pkt).accepted,
                 tab.demux(&pkt).accepted,
-                "et={} sock={} type={}", et, sock, ptype
+                expect.clone(),
+                "table: et={} sock={} type={}", et, sock, ptype
+            );
+            prop_assert_eq!(
+                ir.demux(&pkt).accepted,
+                expect,
+                "ir: et={} sock={} type={}", et, sock, ptype
             );
         }
     }

@@ -114,8 +114,16 @@ fn pup_to_bob(sock: u16) -> Vec<u8> {
 #[test]
 fn end_to_end_delivery() {
     let (mut w, a, b) = two_host_world();
-    let rx = w.spawn(b, Box::new(Receiver::new(samples::pup_socket_filter(10, 0, 35))));
-    w.spawn(a, Box::new(Blaster { packets: vec![pup_to_bob(35)] }));
+    let rx = w.spawn(
+        b,
+        Box::new(Receiver::new(samples::pup_socket_filter(10, 0, 35))),
+    );
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: vec![pup_to_bob(35)],
+        }),
+    );
     let end = w.run();
     let app = w.app_ref::<Receiver>(b, rx).unwrap();
     assert_eq!(app.got.len(), 1);
@@ -133,8 +141,16 @@ fn end_to_end_delivery() {
 #[test]
 fn unmatched_packets_are_dropped() {
     let (mut w, a, b) = two_host_world();
-    let rx = w.spawn(b, Box::new(Receiver::new(samples::pup_socket_filter(10, 0, 35))));
-    w.spawn(a, Box::new(Blaster { packets: vec![pup_to_bob(99)] }));
+    let rx = w.spawn(
+        b,
+        Box::new(Receiver::new(samples::pup_socket_filter(10, 0, 35))),
+    );
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: vec![pup_to_bob(99)],
+        }),
+    );
     w.run();
     assert!(w.app_ref::<Receiver>(b, rx).unwrap().got.is_empty());
     assert_eq!(w.counters(b).drops_no_match, 1);
@@ -161,7 +177,10 @@ fn read_timeout_reports_error() {
 #[test]
 fn nonblocking_read_would_block() {
     let (mut w, _a, b) = two_host_world();
-    let cfg = PortConfig { block: BlockPolicy::NonBlocking, ..Default::default() };
+    let cfg = PortConfig {
+        block: BlockPolicy::NonBlocking,
+        ..Default::default()
+    };
     // rearm=false via errors: Receiver re-arms only from on_packets.
     let rx = w.spawn(
         b,
@@ -187,7 +206,10 @@ fn batch_read_returns_all_queued() {
             k.pf_set_filter(fd, samples::accept_all(10));
             k.pf_configure(
                 fd,
-                PortConfig { read_mode: ReadMode::Batch, ..Default::default() },
+                PortConfig {
+                    read_mode: ReadMode::Batch,
+                    ..Default::default()
+                },
             );
             self.fd = Some(fd);
             k.set_timer(SimDuration::from_millis(100), 1);
@@ -199,8 +221,19 @@ fn batch_read_returns_all_queued() {
             self.batches.push(packets.len());
         }
     }
-    let rx = w.spawn(b, Box::new(LazyBatch { fd: None, batches: Vec::new() }));
-    w.spawn(a, Box::new(Blaster { packets: (0..5).map(|_| pup_to_bob(35)).collect() }));
+    let rx = w.spawn(
+        b,
+        Box::new(LazyBatch {
+            fd: None,
+            batches: Vec::new(),
+        }),
+    );
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: (0..5).map(|_| pup_to_bob(35)).collect(),
+        }),
+    );
     w.run();
     let app = w.app_ref::<LazyBatch>(b, rx).unwrap();
     assert_eq!(app.batches, vec![5], "all five packets in one batch");
@@ -210,28 +243,52 @@ fn batch_read_returns_all_queued() {
 fn priority_chooses_destination() {
     let (mut w, a, b) = two_host_world();
     let low = w.spawn(b, Box::new(Receiver::new(samples::accept_all(5))));
-    let high = w.spawn(b, Box::new(Receiver::new(samples::pup_socket_filter(20, 0, 35))));
+    let high = w.spawn(
+        b,
+        Box::new(Receiver::new(samples::pup_socket_filter(20, 0, 35))),
+    );
     w.spawn(
         a,
-        Box::new(Blaster { packets: vec![pup_to_bob(35), pup_to_bob(99)] }),
+        Box::new(Blaster {
+            packets: vec![pup_to_bob(35), pup_to_bob(99)],
+        }),
     );
     w.run();
     let high_app = w.app_ref::<Receiver>(b, high).unwrap();
     let low_app = w.app_ref::<Receiver>(b, low).unwrap();
-    assert_eq!(high_app.got.len(), 1, "socket 35 went to the high-priority port");
-    assert_eq!(low_app.got.len(), 1, "socket 99 fell through to the catch-all");
+    assert_eq!(
+        high_app.got.len(),
+        1,
+        "socket 35 went to the high-priority port"
+    );
+    assert_eq!(
+        low_app.got.len(),
+        1,
+        "socket 99 fell through to the catch-all"
+    );
 }
 
 #[test]
 fn deliver_to_lower_duplicates_to_monitor() {
     let (mut w, a, b) = two_host_world();
-    let monitor_cfg = PortConfig { deliver_to_lower: true, ..Default::default() };
+    let monitor_cfg = PortConfig {
+        deliver_to_lower: true,
+        ..Default::default()
+    };
     let monitor = w.spawn(
         b,
         Box::new(Receiver::new(samples::accept_all(30)).with_config(monitor_cfg)),
     );
-    let consumer = w.spawn(b, Box::new(Receiver::new(samples::pup_socket_filter(10, 0, 35))));
-    w.spawn(a, Box::new(Blaster { packets: vec![pup_to_bob(35)] }));
+    let consumer = w.spawn(
+        b,
+        Box::new(Receiver::new(samples::pup_socket_filter(10, 0, 35))),
+    );
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: vec![pup_to_bob(35)],
+        }),
+    );
     w.run();
     assert_eq!(w.app_ref::<Receiver>(b, monitor).unwrap().got.len(), 1);
     assert_eq!(w.app_ref::<Receiver>(b, consumer).unwrap().got.len(), 1);
@@ -250,7 +307,13 @@ fn queue_overflow_drops_and_reports() {
         fn start(&mut self, k: &mut ProcCtx<'_>) {
             let fd = k.pf_open();
             k.pf_set_filter(fd, samples::accept_all(10));
-            k.pf_configure(fd, PortConfig { max_queue: 2, ..Default::default() });
+            k.pf_configure(
+                fd,
+                PortConfig {
+                    max_queue: 2,
+                    ..Default::default()
+                },
+            );
             self.fd = Some(fd);
             k.set_timer(SimDuration::from_millis(200), 1);
         }
@@ -261,19 +324,36 @@ fn queue_overflow_drops_and_reports() {
             self.got.extend(packets);
         }
     }
-    let rx = w.spawn(b, Box::new(SlowReader { fd: None, got: Vec::new() }));
-    w.spawn(a, Box::new(Blaster { packets: (0..6).map(|_| pup_to_bob(35)).collect() }));
+    let rx = w.spawn(
+        b,
+        Box::new(SlowReader {
+            fd: None,
+            got: Vec::new(),
+        }),
+    );
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: (0..6).map(|_| pup_to_bob(35)).collect(),
+        }),
+    );
     w.run();
     assert_eq!(w.counters(b).drops_queue_full, 4, "queue of 2, six packets");
     let app = w.app_ref::<SlowReader>(b, rx).unwrap();
     assert_eq!(app.got.len(), 1, "single-packet read mode");
-    assert_eq!(app.got[0].dropped_before, 0, "first queued packet predates drops");
+    assert_eq!(
+        app.got[0].dropped_before, 0,
+        "first queued packet predates drops"
+    );
 }
 
 #[test]
 fn signal_on_input_fires() {
     let (mut w, a, b) = two_host_world();
-    let cfg = PortConfig { signal_on_input: true, ..Default::default() };
+    let cfg = PortConfig {
+        signal_on_input: true,
+        ..Default::default()
+    };
     let rx = w.spawn(
         b,
         Box::new(
@@ -282,7 +362,12 @@ fn signal_on_input_fires() {
                 .without_initial_read(),
         ),
     );
-    w.spawn(a, Box::new(Blaster { packets: vec![pup_to_bob(35)] }));
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: vec![pup_to_bob(35)],
+        }),
+    );
     w.run();
     let app = w.app_ref::<Receiver>(b, rx).unwrap();
     assert_eq!(app.signals, 1);
@@ -293,12 +378,20 @@ fn signal_on_input_fires() {
 #[test]
 fn timestamping_marks_packets_and_costs() {
     let (mut w, a, b) = two_host_world();
-    let cfg = PortConfig { timestamp: true, ..Default::default() };
+    let cfg = PortConfig {
+        timestamp: true,
+        ..Default::default()
+    };
     let rx = w.spawn(
         b,
         Box::new(Receiver::new(samples::accept_all(10)).with_config(cfg)),
     );
-    w.spawn(a, Box::new(Blaster { packets: vec![pup_to_bob(35)] }));
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: vec![pup_to_bob(35)],
+        }),
+    );
     w.run();
     let app = w.app_ref::<Receiver>(b, rx).unwrap();
     assert!(app.got[0].stamp.is_some());
@@ -344,8 +437,20 @@ fn pipe_relay_demultiplexing() {
     }
 
     let fin = w.spawn(b, Box::new(FinalReceiver { data: Vec::new() }));
-    w.spawn(b, Box::new(Demux { fd: None, pipe: None, target: fin }));
-    w.spawn(a, Box::new(Blaster { packets: vec![pup_to_bob(35), pup_to_bob(36)] }));
+    w.spawn(
+        b,
+        Box::new(Demux {
+            fd: None,
+            pipe: None,
+            target: fin,
+        }),
+    );
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: vec![pup_to_bob(35), pup_to_bob(36)],
+        }),
+    );
     w.run();
     let app = w.app_ref::<FinalReceiver>(b, fin).unwrap();
     assert_eq!(app.data.len(), 2);
@@ -417,7 +522,12 @@ fn kernel_protocol_claims_frames_before_the_packet_filter() {
     let mut claimed = pup_to_bob(35);
     claimed[2] = 0x09;
     claimed[3] = 0x00;
-    w.spawn(a, Box::new(Blaster { packets: vec![claimed, pup_to_bob(35)] }));
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: vec![claimed, pup_to_bob(35)],
+        }),
+    );
     w.run();
     assert_eq!(w.protocol_ref::<ToyProto>(b).unwrap().inputs, 1);
     assert_eq!(w.app_ref::<Receiver>(b, rx).unwrap().got.len(), 1);
@@ -489,7 +599,12 @@ fn send_errors_on_bad_frames() {
             self.results.push(k.pf_write(fd, &pup_to_bob(1)));
         }
     }
-    let p = w.spawn(a, Box::new(BadSender { results: Vec::new() }));
+    let p = w.spawn(
+        a,
+        Box::new(BadSender {
+            results: Vec::new(),
+        }),
+    );
     w.run();
     let app = w.app_ref::<BadSender>(a, p).unwrap();
     assert_eq!(
@@ -506,7 +621,12 @@ fn send_errors_on_bad_frames() {
 fn counters_track_syscalls_and_crossings() {
     let (mut w, a, b) = two_host_world();
     w.spawn(b, Box::new(Receiver::new(samples::accept_all(10))));
-    w.spawn(a, Box::new(Blaster { packets: vec![pup_to_bob(35)] }));
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: vec![pup_to_bob(35)],
+        }),
+    );
     w.run();
     let cb = w.counters(b);
     // open + ioctl(filter) + ioctl(config) + 2 reads (initial + re-arm).
@@ -524,10 +644,16 @@ fn runs_are_deterministic() {
         let rx = w.spawn(b, Box::new(Receiver::new(samples::accept_all(10))));
         w.spawn(
             a,
-            Box::new(Blaster { packets: (0..10).map(|i| pup_to_bob(30 + i)).collect() }),
+            Box::new(Blaster {
+                packets: (0..10).map(|i| pup_to_bob(30 + i)).collect(),
+            }),
         );
         let end = w.run();
-        (end, *w.counters(b), w.app_ref::<Receiver>(b, rx).unwrap().got.len())
+        (
+            end,
+            *w.counters(b),
+            w.app_ref::<Receiver>(b, rx).unwrap().got.len(),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -555,7 +681,12 @@ fn frames_parse_on_the_receive_side() {
     let (mut w, a, b) = two_host_world();
     let rx = w.spawn(b, Box::new(Receiver::new(samples::accept_all(10))));
     let sent = pup_to_bob(44);
-    w.spawn(a, Box::new(Blaster { packets: vec![sent.clone()] }));
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: vec![sent.clone()],
+        }),
+    );
     w.run();
     let got = &w.app_ref::<Receiver>(b, rx).unwrap().got[0].bytes;
     assert_eq!(got, &sent);

@@ -127,7 +127,12 @@ mod tests {
     use pf_sim::cost::CostModel;
 
     /// A BSP transfer between two hosts, with a monitor on a third.
-    fn monitored_transfer() -> (World, pf_kernel::types::HostId, pf_kernel::types::ProcId, u64) {
+    fn monitored_transfer() -> (
+        World,
+        pf_kernel::types::HostId,
+        pf_kernel::types::ProcId,
+        u64,
+    ) {
         let mut w = World::new(21);
         let seg = w.add_segment(Medium::experimental_3mb(), FaultModel::default());
         let a = w.add_host("sender", seg, 0x0A, CostModel::microvax_ii());
@@ -137,7 +142,10 @@ mod tests {
         let dst = PupAddr::new(1, 0x0B, 0x400);
         let cfg = BspConfig::default();
         let rx = w.spawn(b, Box::new(BspReceiverApp::new(dst, cfg.clone())));
-        w.spawn(a, Box::new(BspSenderApp::new(src, dst, vec![5u8; 10_000], cfg)));
+        w.spawn(
+            a,
+            Box::new(BspSenderApp::new(src, dst, vec![5u8; 10_000], cfg)),
+        );
         let cap = w.spawn(m, Box::new(CaptureApp::promiscuous(10_000)));
         w.run();
         let bytes = w.app_ref::<BspReceiverApp>(b, rx).unwrap().bytes;

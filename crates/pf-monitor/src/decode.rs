@@ -86,15 +86,39 @@ pub enum Decoded {
 impl fmt::Display for Decoded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Decoded::Pup { src, dst, ptype, len } => {
+            Decoded::Pup {
+                src,
+                dst,
+                ptype,
+                len,
+            } => {
                 write!(f, "pup {src} > {dst}: type {ptype} len {len}")
             }
-            Decoded::Vmtp { src, dst, kind, trans, len } => {
-                write!(f, "vmtp {src:#x} > {dst:#x}: {kind:?} trans {trans} len {len}")
+            Decoded::Vmtp {
+                src,
+                dst,
+                kind,
+                trans,
+                len,
+            } => {
+                write!(
+                    f,
+                    "vmtp {src:#x} > {dst:#x}: {kind:?} trans {trans} len {len}"
+                )
             }
             Decoded::Udp { src, dst, len } => write!(f, "udp {src} > {dst}: len {len}"),
-            Decoded::Tcp { src, dst, seq, ack, flags, len } => {
-                write!(f, "tcp {src} > {dst}: {flags} seq {seq} ack {ack} len {len}")
+            Decoded::Tcp {
+                src,
+                dst,
+                seq,
+                ack,
+                flags,
+                len,
+            } => {
+                write!(
+                    f,
+                    "tcp {src} > {dst}: {flags} seq {seq} ack {ack} len {len}"
+                )
             }
             Decoded::Arp { what, .. } => write!(f, "{what}"),
             Decoded::Other { ethertype, len } => {
@@ -118,7 +142,10 @@ pub fn decode(medium: &Medium, bytes: &[u8]) -> Decoded {
                 ptype: p.ptype,
                 len: p.data.len(),
             },
-            Err(_) => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+            Err(_) => Decoded::Other {
+                ethertype: h.ethertype,
+                len: bytes.len(),
+            },
         },
         VMTP_ETHERTYPE => match VmtpPacket::decode_frame(medium, bytes) {
             Some((p, _)) => Decoded::Vmtp {
@@ -128,14 +155,20 @@ pub fn decode(medium: &Medium, bytes: &[u8]) -> Decoded {
                 trans: p.trans,
                 len: p.data.len(),
             },
-            None => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+            None => Decoded::Other {
+                ethertype: h.ethertype,
+                len: bytes.len(),
+            },
         },
         IP_ETHERTYPE => {
             let Ok(body) = frame::payload(medium, bytes) else {
                 return Decoded::Malformed;
             };
             let Some((ih, l4)) = decode_ip(body) else {
-                return Decoded::Other { ethertype: h.ethertype, len: bytes.len() };
+                return Decoded::Other {
+                    ethertype: h.ethertype,
+                    len: bytes.len(),
+                };
             };
             match ih.proto {
                 PROTO_UDP => match decode_udp(l4) {
@@ -144,7 +177,10 @@ pub fn decode(medium: &Medium, bytes: &[u8]) -> Decoded {
                         dst: format!("{}.{}", ih.dst, dp),
                         len: data.len(),
                     },
-                    None => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+                    None => Decoded::Other {
+                        ethertype: h.ethertype,
+                        len: bytes.len(),
+                    },
                 },
                 PROTO_TCP => match Segment::decode(l4) {
                     Some(s) => {
@@ -167,9 +203,15 @@ pub fn decode(medium: &Medium, bytes: &[u8]) -> Decoded {
                             len: s.data.len(),
                         }
                     }
-                    None => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+                    None => Decoded::Other {
+                        ethertype: h.ethertype,
+                        len: bytes.len(),
+                    },
                 },
-                _ => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+                _ => Decoded::Other {
+                    ethertype: h.ethertype,
+                    len: bytes.len(),
+                },
             }
         }
         ARP_ETHERTYPE | RARP_ETHERTYPE => {
@@ -187,10 +229,16 @@ pub fn decode(medium: &Medium, bytes: &[u8]) -> Decoded {
                         _ => "arp-unknown",
                     },
                 },
-                None => Decoded::Other { ethertype: h.ethertype, len: bytes.len() },
+                None => Decoded::Other {
+                    ethertype: h.ethertype,
+                    len: bytes.len(),
+                },
             }
         }
-        other => Decoded::Other { ethertype: other, len: bytes.len() },
+        other => Decoded::Other {
+            ethertype: other,
+            len: bytes.len(),
+        },
     }
 }
 
@@ -202,11 +250,22 @@ mod tests {
     #[test]
     fn decodes_pup() {
         let m = Medium::experimental_3mb();
-        let p = Pup::new(16, 1, PupAddr::new(1, 0x0B, 35), PupAddr::new(1, 0x0A, 9), vec![1, 2]);
+        let p = Pup::new(
+            16,
+            1,
+            PupAddr::new(1, 0x0B, 35),
+            PupAddr::new(1, 0x0A, 9),
+            vec![1, 2],
+        );
         let d = decode(&m, &p.encode_frame(&m, false));
         assert_eq!(
             d,
-            Decoded::Pup { src: "1.10.9".into(), dst: "1.11.35".into(), ptype: 16, len: 2 }
+            Decoded::Pup {
+                src: "1.10.9".into(),
+                dst: "1.11.35".into(),
+                ptype: 16,
+                len: 2
+            }
         );
         assert!(d.to_string().contains("pup 1.10.9 > 1.11.35"));
     }
@@ -233,13 +292,23 @@ mod tests {
         use pf_proto::ip::{encode_ip, encode_udp, IpHeader};
         let m = Medium::standard_10mb();
         let udp = encode_ip(
-            &IpHeader { proto: PROTO_UDP, ttl: 9, src: 1, dst: 2, total_len: 0 },
+            &IpHeader {
+                proto: PROTO_UDP,
+                ttl: 9,
+                src: 1,
+                dst: 2,
+                total_len: 0,
+            },
             &encode_udp(100, 200, b"xyz"),
         );
         let f = frame::build(&m, 0x0B, 0x0A, IP_ETHERTYPE, &udp).unwrap();
         assert_eq!(
             decode(&m, &f),
-            Decoded::Udp { src: "1.100".into(), dst: "2.200".into(), len: 3 }
+            Decoded::Udp {
+                src: "1.100".into(),
+                dst: "2.200".into(),
+                len: 3
+            }
         );
 
         let seg = Segment {
@@ -252,22 +321,40 @@ mod tests {
             data: vec![],
         };
         let tcp = encode_ip(
-            &IpHeader { proto: PROTO_TCP, ttl: 9, src: 1, dst: 2, total_len: 0 },
+            &IpHeader {
+                proto: PROTO_TCP,
+                ttl: 9,
+                src: 1,
+                dst: 2,
+                total_len: 0,
+            },
             &seg.encode(),
         );
         let f = frame::build(&m, 0x0B, 0x0A, IP_ETHERTYPE, &tcp).unwrap();
         let d = decode(&m, &f);
-        assert!(matches!(&d, Decoded::Tcp { flags, .. } if flags == "SA"), "{d}");
+        assert!(
+            matches!(&d, Decoded::Tcp { flags, .. } if flags == "SA"),
+            "{d}"
+        );
     }
 
     #[test]
     fn decodes_arp_family() {
         let m = Medium::standard_10mb();
-        let p = ArpPacket { oper: oper::RARP_REQUEST, sha: 1, spa: 0, tha: 1, tpa: 0 };
+        let p = ArpPacket {
+            oper: oper::RARP_REQUEST,
+            sha: 1,
+            spa: 0,
+            tha: 1,
+            tpa: 0,
+        };
         let f = p.encode_frame(&m, RARP_ETHERTYPE, m.broadcast, 1);
         assert_eq!(
             decode(&m, &f),
-            Decoded::Arp { oper: oper::RARP_REQUEST, what: "rarp-request" }
+            Decoded::Arp {
+                oper: oper::RARP_REQUEST,
+                what: "rarp-request"
+            }
         );
     }
 
@@ -275,7 +362,13 @@ mod tests {
     fn unknown_and_malformed() {
         let m = Medium::experimental_3mb();
         let f = frame::build(&m, 1, 2, 0x7777, &[1, 2, 3]).unwrap();
-        assert_eq!(decode(&m, &f), Decoded::Other { ethertype: 0x7777, len: 7 });
+        assert_eq!(
+            decode(&m, &f),
+            Decoded::Other {
+                ethertype: 0x7777,
+                len: 7
+            }
+        );
         assert_eq!(decode(&m, &[1]), Decoded::Malformed);
     }
 }

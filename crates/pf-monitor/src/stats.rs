@@ -36,7 +36,10 @@ pub struct TraceStats {
 impl TraceStats {
     /// Analyzes a trace captured on `medium`.
     pub fn analyze(medium: &Medium, trace: &[Captured]) -> Self {
-        let mut s = TraceStats { size_histogram: vec![0; 13], ..Default::default() };
+        let mut s = TraceStats {
+            size_histogram: vec![0; 13],
+            ..Default::default()
+        };
         let mut prev_stamp = None;
         let mut gap_total: u64 = 0;
         let mut gap_count: u64 = 0;
@@ -97,7 +100,11 @@ mod tests {
     use pf_sim::time::SimTime;
 
     fn cap(bytes: Vec<u8>, at: u64) -> Captured {
-        Captured { stamp: Some(SimTime(at)), bytes, dropped_before: 0 }
+        Captured {
+            stamp: Some(SimTime(at)),
+            bytes,
+            dropped_before: 0,
+        }
     }
 
     fn pup_frame(src: u64, dst: u64, len: usize) -> Vec<u8> {
@@ -138,8 +145,8 @@ mod tests {
     #[test]
     fn size_histogram_buckets() {
         let trace = vec![
-            cap(pup_frame(1, 2, 10), 0),   // 14 bytes → bucket 0
-            cap(pup_frame(1, 2, 300), 0),  // 304 bytes → bucket 2
+            cap(pup_frame(1, 2, 10), 0),  // 14 bytes → bucket 0
+            cap(pup_frame(1, 2, 300), 0), // 304 bytes → bucket 2
         ];
         let s = TraceStats::analyze(&Medium::experimental_3mb(), &trace);
         assert_eq!(s.size_histogram[0], 1);
@@ -149,7 +156,11 @@ mod tests {
 
     #[test]
     fn malformed_frames_counted() {
-        let trace = vec![Captured { stamp: None, bytes: vec![1], dropped_before: 0 }];
+        let trace = vec![Captured {
+            stamp: None,
+            bytes: vec![1],
+            dropped_before: 0,
+        }];
         let s = TraceStats::analyze(&Medium::experimental_3mb(), &trace);
         assert_eq!(s.malformed, 1);
     }

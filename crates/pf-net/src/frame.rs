@@ -42,7 +42,10 @@ impl core::fmt::Display for FrameError {
                 write!(f, "frame of {len} bytes exceeds medium maximum {max}")
             }
             FrameError::BadAddress { addr } => {
-                write!(f, "address {addr:#x} does not fit the medium's address width")
+                write!(
+                    f,
+                    "address {addr:#x} does not fit the medium's address width"
+                )
             }
         }
     }
@@ -85,7 +88,10 @@ pub fn build(
     }
     let len = medium.header_len + payload.len();
     if len > medium.max_packet {
-        return Err(FrameError::TooLong { len, max: medium.max_packet });
+        return Err(FrameError::TooLong {
+            len,
+            max: medium.max_packet,
+        });
     }
     let mut f = Vec::with_capacity(len);
     match medium.kind {
@@ -110,7 +116,10 @@ pub fn build(
 /// Returns [`FrameError::TooShort`] if the frame cannot hold the header.
 pub fn parse(medium: &Medium, frame: &[u8]) -> Result<Header, FrameError> {
     if frame.len() < medium.header_len {
-        return Err(FrameError::TooShort { len: frame.len(), need: medium.header_len });
+        return Err(FrameError::TooShort {
+            len: frame.len(),
+            need: medium.header_len,
+        });
     }
     Ok(match medium.kind {
         MediumKind::Experimental3Mb => Header {
@@ -139,7 +148,10 @@ pub fn parse(medium: &Medium, frame: &[u8]) -> Result<Header, FrameError> {
 /// Returns [`FrameError::TooShort`] if the frame cannot hold the header.
 pub fn payload<'a>(medium: &Medium, frame: &'a [u8]) -> Result<&'a [u8], FrameError> {
     if frame.len() < medium.header_len {
-        return Err(FrameError::TooShort { len: frame.len(), need: medium.header_len });
+        return Err(FrameError::TooShort {
+            len: frame.len(),
+            need: medium.header_len,
+        });
     }
     Ok(&frame[medium.header_len..])
 }
@@ -154,7 +166,14 @@ mod tests {
         let f = build(&m, 0x0B, 0x0C, 2, &[1, 2, 3]).unwrap();
         assert_eq!(f.len(), 7);
         let h = parse(&m, &f).unwrap();
-        assert_eq!(h, Header { dst: 0x0B, src: 0x0C, ethertype: 2 });
+        assert_eq!(
+            h,
+            Header {
+                dst: 0x0B,
+                src: 0x0C,
+                ethertype: 2
+            }
+        );
         assert_eq!(payload(&m, &f).unwrap(), &[1, 2, 3]);
     }
 
@@ -186,7 +205,10 @@ mod tests {
     fn max_packet_enforced() {
         let m = Medium::experimental_3mb();
         let too_big = vec![0u8; m.max_packet]; // + 4-byte header exceeds
-        assert!(matches!(build(&m, 1, 2, 2, &too_big), Err(FrameError::TooLong { .. })));
+        assert!(matches!(
+            build(&m, 1, 2, 2, &too_big),
+            Err(FrameError::TooLong { .. })
+        ));
         let ok = vec![0u8; m.max_packet - m.header_len];
         assert!(build(&m, 1, 2, 2, &ok).is_ok());
     }
@@ -194,8 +216,14 @@ mod tests {
     #[test]
     fn short_frame_rejected() {
         let m = Medium::standard_10mb();
-        assert!(matches!(parse(&m, &[0; 13]), Err(FrameError::TooShort { .. })));
-        assert!(matches!(payload(&m, &[0; 5]), Err(FrameError::TooShort { .. })));
+        assert!(matches!(
+            parse(&m, &[0; 13]),
+            Err(FrameError::TooShort { .. })
+        ));
+        assert!(matches!(
+            payload(&m, &[0; 5]),
+            Err(FrameError::TooShort { .. })
+        ));
     }
 
     #[test]

@@ -125,7 +125,10 @@ mod tests {
         let mcast = 0x0100_0000_0001u64; // group bit set in first byte
         assert!(m10.is_multicast(mcast));
         assert!(!m10.is_multicast(0x0200_0000_0001));
-        assert!(!m10.is_multicast(m10.broadcast), "broadcast is not multicast");
+        assert!(
+            !m10.is_multicast(m10.broadcast),
+            "broadcast is not multicast"
+        );
         assert!(!m3.is_multicast(mcast));
     }
 

@@ -35,7 +35,10 @@ pub struct FaultModel {
 
 impl Default for FaultModel {
     fn default() -> Self {
-        FaultModel { loss: 0.0, duplication: 0.0 }
+        FaultModel {
+            loss: 0.0,
+            duplication: 0.0,
+        }
     }
 }
 
@@ -205,7 +208,11 @@ impl Network {
                 self.lost[seg_id.0] += 1;
                 continue;
             }
-            out.push(Delivery { station: rcv, arrival, frame: frame_bytes.to_vec() });
+            out.push(Delivery {
+                station: rcv,
+                arrival,
+                frame: frame_bytes.to_vec(),
+            });
             if self.rng.chance(faults.duplication) {
                 out.push(Delivery {
                     station: rcv,
@@ -303,7 +310,10 @@ mod tests {
         let mut net = Network::new(7);
         let seg = net.add_segment(
             Medium::experimental_3mb(),
-            FaultModel { loss: 1.0, duplication: 0.0 },
+            FaultModel {
+                loss: 1.0,
+                duplication: 0.0,
+            },
         );
         let a = net.attach(seg, 1);
         let _b = net.attach(seg, 2);
@@ -320,7 +330,10 @@ mod tests {
         let mut net = Network::new(7);
         let seg = net.add_segment(
             Medium::experimental_3mb(),
-            FaultModel { loss: 0.0, duplication: 1.0 },
+            FaultModel {
+                loss: 0.0,
+                duplication: 1.0,
+            },
         );
         let a = net.attach(seg, 1);
         let b = net.attach(seg, 2);
@@ -338,7 +351,10 @@ mod tests {
             let mut net = Network::new(99);
             let seg = net.add_segment(
                 Medium::experimental_3mb(),
-                FaultModel { loss: 0.3, duplication: 0.1 },
+                FaultModel {
+                    loss: 0.3,
+                    duplication: 0.1,
+                },
             );
             let a = net.attach(seg, 1);
             let _b = net.attach(seg, 2);

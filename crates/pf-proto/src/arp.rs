@@ -107,7 +107,11 @@ pub struct KernelArp {
 impl KernelArp {
     /// Creates the module for a host with address `ip`.
     pub fn new(ip: u32) -> Self {
-        KernelArp { ip, cache: HashMap::new(), packets_in: 0 }
+        KernelArp {
+            ip,
+            cache: HashMap::new(),
+            packets_in: 0,
+        }
     }
 }
 
@@ -122,8 +126,12 @@ impl KernelProtocol for KernelArp {
 
     fn input(&mut self, frame_bytes: Vec<u8>, k: &mut KernelCtx<'_>) {
         let (medium, my_eth) = k.link_info();
-        let Ok(body) = frame::payload(&medium, &frame_bytes) else { return };
-        let Some(pkt) = ArpPacket::decode_body(body) else { return };
+        let Ok(body) = frame::payload(&medium, &frame_bytes) else {
+            return;
+        };
+        let Some(pkt) = ArpPacket::decode_body(body) else {
+            return;
+        };
         self.packets_in += 1;
         let cost = k.costs().arp_input;
         k.charge("arp:input", cost);
@@ -178,7 +186,14 @@ mod tests {
     #[test]
     fn decode_rejects_malformed() {
         assert!(ArpPacket::decode_body(&[0; 27]).is_none());
-        let mut b = ArpPacket { oper: 1, sha: 1, spa: 2, tha: 3, tpa: 4 }.encode_body();
+        let mut b = ArpPacket {
+            oper: 1,
+            sha: 1,
+            spa: 2,
+            tha: 3,
+            tpa: 4,
+        }
+        .encode_body();
         b[4] = 8; // wrong hlen
         assert!(ArpPacket::decode_body(&b).is_none());
     }

@@ -308,8 +308,7 @@ impl SenderMachine {
             return;
         }
         loop {
-            let window_open =
-                (self.next_seq - self.base) < self.cfg.window as u32;
+            let window_open = (self.next_seq - self.base) < self.cfg.window as u32;
             let full = self.buffer.len() >= self.cfg.segment;
             let flushable = !self.buffer.is_empty() && (self.eof || self.cfg.push);
             if !window_open || !(full || flushable) {
@@ -321,9 +320,13 @@ impl SenderMachine {
             self.next_seq += 1;
             // Ask for an ack when this fills the window or drains the
             // buffer — the end of a burst either way.
-            let burst_end = (self.next_seq - self.base) >= self.cfg.window as u32
-                || self.buffer.is_empty();
-            let ptype = if burst_end { types::BSP_ADATA } else { types::BSP_DATA };
+            let burst_end =
+                (self.next_seq - self.base) >= self.cfg.window as u32 || self.buffer.is_empty();
+            let ptype = if burst_end {
+                types::BSP_ADATA
+            } else {
+                types::BSP_DATA
+            };
             let pup = Pup::new(ptype, seq, self.remote, self.local, chunk.clone());
             self.inflight.insert(seq, chunk);
             self.stats.data_packets += 1;
@@ -344,7 +347,11 @@ impl SenderMachine {
             .inflight
             .iter()
             .map(|(&seq, seg)| {
-                let ptype = if seq == last { types::BSP_ADATA } else { types::BSP_DATA };
+                let ptype = if seq == last {
+                    types::BSP_ADATA
+                } else {
+                    types::BSP_DATA
+                };
                 Pup::new(ptype, seq, self.remote, self.local, seg.clone())
             })
             .collect();
@@ -416,7 +423,12 @@ pub struct ReceiverMachine {
 impl ReceiverMachine {
     /// Creates a receiver listening on `local`.
     pub fn new(local: PupAddr) -> Self {
-        ReceiverMachine { local, expected: 1, closed: false, stats: ReceiverStats::default() }
+        ReceiverMachine {
+            local,
+            expected: 1,
+            closed: false,
+            stats: ReceiverStats::default(),
+        }
     }
 
     /// Whether the stream has closed.
@@ -506,9 +518,7 @@ mod machine_tests {
         let mut to_recv: VecDeque<Pup> = VecDeque::new();
         let mut to_send: VecDeque<Pup> = VecDeque::new();
 
-        let handle = |fx: Vec<Effect>,
-                          to_other: &mut VecDeque<Pup>,
-                          delivered: &mut Vec<u8>| {
+        let handle = |fx: Vec<Effect>, to_other: &mut VecDeque<Pup>, delivered: &mut Vec<u8>| {
             for e in fx {
                 match e {
                     Effect::Send(p) => to_other.push_back(p),
@@ -551,7 +561,13 @@ mod machine_tests {
 
     #[test]
     fn single_byte_stream() {
-        let got = run_lossless(&[42], BspConfig { push: true, ..Default::default() });
+        let got = run_lossless(
+            &[42],
+            BspConfig {
+                push: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(got, vec![42]);
     }
 
@@ -573,7 +589,11 @@ mod machine_tests {
     #[test]
     fn window_limits_inflight() {
         let (sa, ra) = addrs();
-        let cfg = BspConfig { window: 3, segment: 100, ..Default::default() };
+        let cfg = BspConfig {
+            window: 3,
+            segment: 100,
+            ..Default::default()
+        };
         let mut s = SenderMachine::new(sa, ra, cfg);
         let _ = s.connect();
         let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
@@ -586,7 +606,11 @@ mod machine_tests {
     #[test]
     fn burst_end_requests_ack() {
         let (sa, ra) = addrs();
-        let cfg = BspConfig { window: 3, segment: 100, ..Default::default() };
+        let cfg = BspConfig {
+            window: 3,
+            segment: 100,
+            ..Default::default()
+        };
         let mut s = SenderMachine::new(sa, ra, cfg);
         let _ = s.connect();
         let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
@@ -608,7 +632,11 @@ mod machine_tests {
     #[test]
     fn retransmit_on_timeout_is_go_back_n() {
         let (sa, ra) = addrs();
-        let cfg = BspConfig { window: 2, segment: 10, ..Default::default() };
+        let cfg = BspConfig {
+            window: 2,
+            segment: 10,
+            ..Default::default()
+        };
         let mut s = SenderMachine::new(sa, ra, cfg);
         let _ = s.connect();
         let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
@@ -632,14 +660,16 @@ mod machine_tests {
         let mut r = ReceiverMachine::new(ra);
         // Sequence 2 arrives before 1.
         let fx = r.on_pup(&Pup::new(types::BSP_ADATA, 2, ra, sa, vec![2]));
-        assert!(fx.iter().any(
-            |e| matches!(e, Effect::Send(p) if p.ptype == types::BSP_ACK && p.id == 1)
-        ));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Send(p) if p.ptype == types::BSP_ACK && p.id == 1)));
         assert!(!fx.iter().any(|e| matches!(e, Effect::Deliver(_))));
         assert_eq!(r.stats.out_of_order, 1);
         // Now 1 arrives: delivered; 2 must be retransmitted by the sender.
         let fx = r.on_pup(&Pup::new(types::BSP_DATA, 1, ra, sa, vec![1]));
-        assert!(fx.iter().any(|e| matches!(e, Effect::Deliver(d) if d == &vec![1u8])));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Deliver(d) if d == &vec![1u8])));
     }
 
     #[test]
@@ -657,15 +687,25 @@ mod machine_tests {
     #[test]
     fn third_stale_ack_triggers_fast_retransmit() {
         let (sa, ra) = addrs();
-        let cfg = BspConfig { window: 4, segment: 10, ..Default::default() };
+        let cfg = BspConfig {
+            window: 4,
+            segment: 10,
+            ..Default::default()
+        };
         let mut s = SenderMachine::new(sa, ra, cfg);
         let _ = s.connect();
         let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
         let _ = s.offer(&[1u8; 40]);
         // Two stale acks: patience (duplicates may just be echoes).
         let stale = Pup::new(types::BSP_ACK, 1, sa, ra, Vec::new());
-        assert!(!s.on_pup(&stale).iter().any(|e| matches!(e, Effect::Send(_))));
-        assert!(!s.on_pup(&stale).iter().any(|e| matches!(e, Effect::Send(_))));
+        assert!(!s
+            .on_pup(&stale)
+            .iter()
+            .any(|e| matches!(e, Effect::Send(_))));
+        assert!(!s
+            .on_pup(&stale)
+            .iter()
+            .any(|e| matches!(e, Effect::Send(_))));
         // The third goes back and resends the window.
         let fx = s.on_pup(&stale);
         let resent = fx.iter().filter(|e| matches!(e, Effect::Send(_))).count();
@@ -705,7 +745,11 @@ mod machine_tests {
     #[test]
     fn push_mode_sends_partial_segments() {
         let (sa, ra) = addrs();
-        let cfg = BspConfig { push: true, segment: 100, ..Default::default() };
+        let cfg = BspConfig {
+            push: true,
+            segment: 100,
+            ..Default::default()
+        };
         let mut s = SenderMachine::new(sa, ra, cfg);
         let _ = s.connect();
         let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
@@ -718,7 +762,11 @@ mod machine_tests {
     #[test]
     fn bulk_mode_waits_for_full_segments() {
         let (sa, ra) = addrs();
-        let cfg = BspConfig { push: false, segment: 100, ..Default::default() };
+        let cfg = BspConfig {
+            push: false,
+            segment: 100,
+            ..Default::default()
+        };
         let mut s = SenderMachine::new(sa, ra, cfg);
         let _ = s.connect();
         let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));

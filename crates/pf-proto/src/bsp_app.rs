@@ -37,7 +37,11 @@ struct Endpoint {
 
 impl Endpoint {
     fn new(checksummed: bool) -> Self {
-        Endpoint { fd: None, timer: None, checksummed }
+        Endpoint {
+            fd: None,
+            timer: None,
+            checksummed,
+        }
     }
 
     /// Charges receive-side checksum verification for one Pup.
@@ -53,7 +57,11 @@ impl Endpoint {
         k.pf_configure(
             fd,
             PortConfig {
-                read_mode: if batch { ReadMode::Batch } else { ReadMode::Single },
+                read_mode: if batch {
+                    ReadMode::Batch
+                } else {
+                    ReadMode::Single
+                },
                 ..Default::default()
             },
         );
@@ -182,9 +190,7 @@ impl BspSenderApp {
             }
             Some((chunk, cost)) => {
                 // Keep one chunk ahead of the protocol.
-                while self.offered < self.payload.len()
-                    && self.machine.buffered_bytes() < chunk
-                {
+                while self.offered < self.payload.len() && self.machine.buffered_bytes() < chunk {
                     let hi = (self.offered + chunk).min(self.payload.len());
                     k.compute("user:disk-read", cost);
                     let slice: Vec<u8> = self.payload[self.offered..hi].to_vec();
@@ -346,8 +352,13 @@ mod tests {
         payload_len: usize,
         faults: FaultModel,
         cfg: BspConfig,
-    ) -> (World, pf_kernel::types::HostId, pf_kernel::types::ProcId, pf_kernel::types::HostId, pf_kernel::types::ProcId)
-    {
+    ) -> (
+        World,
+        pf_kernel::types::HostId,
+        pf_kernel::types::ProcId,
+        pf_kernel::types::HostId,
+        pf_kernel::types::ProcId,
+    ) {
         let mut w = World::new(7);
         let seg = w.add_segment(Medium::experimental_3mb(), faults);
         let a = w.add_host("sender", seg, 0x0A, CostModel::microvax_ii());
@@ -381,7 +392,10 @@ mod tests {
 
     #[test]
     fn transfer_survives_packet_loss() {
-        let faults = FaultModel { loss: 0.05, duplication: 0.0 };
+        let faults = FaultModel {
+            loss: 0.05,
+            duplication: 0.0,
+        };
         let (mut w, a, tx, b, rx) = setup(20_000, faults, BspConfig::default());
         w.run_until(pf_sim::time::SimTime(60_000_000_000)); // 60 s cap
         let s = w.app_ref::<BspSenderApp>(a, tx).unwrap();
@@ -393,7 +407,10 @@ mod tests {
 
     #[test]
     fn transfer_survives_duplication() {
-        let faults = FaultModel { loss: 0.0, duplication: 0.1 };
+        let faults = FaultModel {
+            loss: 0.0,
+            duplication: 0.1,
+        };
         let (mut w, _a, _tx, b, rx) = setup(20_000, faults, BspConfig::default());
         w.run_until(pf_sim::time::SimTime(60_000_000_000));
         let r = w.app_ref::<BspReceiverApp>(b, rx).unwrap();
@@ -410,11 +427,17 @@ mod tests {
         let cfg = BspConfig::default();
         let rx1 = w.spawn(
             b,
-            Box::new(BspReceiverApp::new(PupAddr::new(1, 0x0B, 0x111), cfg.clone())),
+            Box::new(BspReceiverApp::new(
+                PupAddr::new(1, 0x0B, 0x111),
+                cfg.clone(),
+            )),
         );
         let rx2 = w.spawn(
             b,
-            Box::new(BspReceiverApp::new(PupAddr::new(1, 0x0B, 0x222), cfg.clone())),
+            Box::new(BspReceiverApp::new(
+                PupAddr::new(1, 0x0B, 0x222),
+                cfg.clone(),
+            )),
         );
         w.spawn(
             a,

@@ -23,7 +23,11 @@ pub struct EchoServer {
 impl EchoServer {
     /// Creates a server listening on `local`.
     pub fn new(local: PupAddr) -> Self {
-        EchoServer { local, fd: None, answered: 0 }
+        EchoServer {
+            local,
+            fd: None,
+            answered: 0,
+        }
     }
 }
 
@@ -38,7 +42,9 @@ impl App for EchoServer {
     fn on_packets(&mut self, fd: Fd, packets: Vec<RecvPacket>, k: &mut ProcCtx<'_>) {
         let medium = Medium::experimental_3mb();
         for p in packets {
-            let Ok(pup) = Pup::decode_frame(&medium, &p.bytes) else { continue };
+            let Ok(pup) = Pup::decode_frame(&medium, &p.bytes) else {
+                continue;
+            };
             if pup.ptype != types::ECHO_ME {
                 continue;
             }
@@ -128,7 +134,10 @@ impl App for EchoClient {
         k.pf_set_filter(fd, Pup::socket_filter(10, self.local.socket));
         k.pf_configure(
             fd,
-            PortConfig { block: BlockPolicy::Timeout(self.timeout), ..Default::default() },
+            PortConfig {
+                block: BlockPolicy::Timeout(self.timeout),
+                ..Default::default()
+            },
         );
         self.fd = Some(fd);
         if self.remaining > 0 {
@@ -139,7 +148,9 @@ impl App for EchoClient {
     fn on_packets(&mut self, fd: Fd, packets: Vec<RecvPacket>, k: &mut ProcCtx<'_>) {
         let medium = Medium::experimental_3mb();
         for p in packets {
-            let Ok(pup) = Pup::decode_frame(&medium, &p.bytes) else { continue };
+            let Ok(pup) = Pup::decode_frame(&medium, &p.bytes) else {
+                continue;
+            };
             if pup.ptype != types::IM_AN_ECHO || pup.id != self.next_id {
                 continue; // stale or foreign echo
             }
@@ -183,7 +194,10 @@ mod tests {
         let mut w = World::new(31);
         let seg = w.add_segment(
             Medium::experimental_3mb(),
-            FaultModel { loss, duplication: 0.0 },
+            FaultModel {
+                loss,
+                duplication: 0.0,
+            },
         );
         let c = w.add_host("client", seg, 0x0A, CostModel::microvax_ii());
         let s = w.add_host("server", seg, 0x0B, CostModel::microvax_ii());
@@ -196,7 +210,10 @@ mod tests {
         let client = PupAddr::new(1, 0x0A, 0x111);
         let server = PupAddr::new(1, 0x0B, 0x5); // the well-known echo socket
         w.spawn(s, Box::new(EchoServer::new(server)));
-        let p = w.spawn(c, Box::new(EchoClient::new(client, server, 20, b"ping".to_vec())));
+        let p = w.spawn(
+            c,
+            Box::new(EchoClient::new(client, server, 20, b"ping".to_vec())),
+        );
         w.run_until(SimTime(60_000_000_000));
         let app = w.app_ref::<EchoClient>(c, p).unwrap();
         assert!(app.is_done());
@@ -214,7 +231,10 @@ mod tests {
         let client = PupAddr::new(1, 0x0A, 0x111);
         let server = PupAddr::new(1, 0x0B, 0x5);
         let srv = w.spawn(s, Box::new(EchoServer::new(server)));
-        let p = w.spawn(c, Box::new(EchoClient::new(client, server, 15, vec![7; 100])));
+        let p = w.spawn(
+            c,
+            Box::new(EchoClient::new(client, server, 15, vec![7; 100])),
+        );
         w.run_until(SimTime(300_000_000_000));
         let app = w.app_ref::<EchoClient>(c, p).unwrap();
         assert!(app.is_done(), "completed {} of 15", app.rtts.len());

@@ -10,13 +10,13 @@
 //! on a host binds a filter with the deliver-to-lower option so each gets
 //! its own copy of the packet.
 
+use pf_filter::builder::Expr;
+use pf_filter::program::FilterProgram;
 use pf_kernel::app::App;
 use pf_kernel::types::{Fd, PortConfig, ReadError, ReadMode, RecvPacket};
 use pf_kernel::world::ProcCtx;
 use pf_net::frame;
 use pf_net::medium::Medium;
-use pf_filter::builder::Expr;
-use pf_filter::program::FilterProgram;
 
 /// Ethernet type for the group IPC (an IKP-era code point).
 pub const GROUP_ETHERTYPE: u16 = 0x805D;
@@ -45,8 +45,14 @@ impl GroupMessage {
         body.extend_from_slice(&self.group.to_be_bytes());
         body.extend_from_slice(&self.seq.to_be_bytes());
         body.extend_from_slice(&self.data);
-        frame::build(medium, group_eth_addr(self.group), eth_src, GROUP_ETHERTYPE, &body)
-            .expect("group message fits")
+        frame::build(
+            medium,
+            group_eth_addr(self.group),
+            eth_src,
+            GROUP_ETHERTYPE,
+            &body,
+        )
+        .expect("group message fits")
     }
 
     /// Decodes from a complete frame.
@@ -90,7 +96,11 @@ pub struct GroupMember {
 impl GroupMember {
     /// Creates a member of `group`.
     pub fn new(group: u32) -> Self {
-        GroupMember { group, fd: None, received: Vec::new() }
+        GroupMember {
+            group,
+            fd: None,
+            received: Vec::new(),
+        }
     }
 }
 
@@ -139,7 +149,11 @@ pub struct GroupSender {
 impl GroupSender {
     /// Creates a sender that will multicast each payload once.
     pub fn new(group: u32, messages: Vec<Vec<u8>>) -> Self {
-        GroupSender { group, messages, sent: 0 }
+        GroupSender {
+            group,
+            messages,
+            sent: 0,
+        }
     }
 }
 
@@ -149,7 +163,11 @@ impl App for GroupSender {
         let medium = Medium::standard_10mb();
         let (_, my_eth) = k.link_info();
         for (i, data) in self.messages.clone().into_iter().enumerate() {
-            let m = GroupMessage { group: self.group, seq: i as u32 + 1, data };
+            let m = GroupMessage {
+                group: self.group,
+                seq: i as u32 + 1,
+                data,
+            };
             let _ = k.pf_write(fd, &m.encode_frame(&medium, my_eth));
             self.sent += 1;
         }
@@ -166,7 +184,11 @@ mod tests {
     #[test]
     fn message_round_trip() {
         let medium = Medium::standard_10mb();
-        let m = GroupMessage { group: 0x12345, seq: 7, data: b"state update".to_vec() };
+        let m = GroupMessage {
+            group: 0x12345,
+            seq: 7,
+            data: b"state update".to_vec(),
+        };
         let f = m.encode_frame(&medium, 0x0A);
         assert_eq!(GroupMessage::decode_frame(&medium, &f), Some(m));
     }
@@ -193,7 +215,10 @@ mod tests {
 
         w.spawn(
             sender_host,
-            Box::new(GroupSender::new(GROUP, vec![b"one".to_vec(), b"two".to_vec()])),
+            Box::new(GroupSender::new(
+                GROUP,
+                vec![b"one".to_vec(), b"two".to_vec()],
+            )),
         );
         w.run();
 
@@ -217,6 +242,9 @@ mod tests {
         // decision table folds it.
         let mut set = pf_filter::dtree::FilterSet::new();
         set.insert(1, GroupMessage::member_filter(10, 0x77));
-        assert_eq!(set.member_kind(1), Some(pf_filter::dtree::MemberKind::Table));
+        assert_eq!(
+            set.member_kind(1),
+            Some(pf_filter::dtree::MemberKind::Table)
+        );
     }
 }

@@ -166,7 +166,6 @@ impl KernelIp {
             packets_in: 0,
         }
     }
-
 }
 
 /// Transmits an IP payload from `src_ip` to `dst_ip` at data-link address
@@ -182,7 +181,13 @@ pub(crate) fn ip_output_raw(
     let cost = k.costs().ip_input; // output ≈ input at the IP layer
     k.charge("ip:output", cost);
     let ip = encode_ip(
-        &IpHeader { proto, ttl: 30, src: src_ip, dst: dst_ip, total_len: 0 },
+        &IpHeader {
+            proto,
+            ttl: 30,
+            src: src_ip,
+            dst: dst_ip,
+            total_len: 0,
+        },
         payload,
     );
     let (medium, my_eth) = k.link_info();
@@ -205,9 +210,7 @@ impl KernelProtocol for KernelIp {
         let Ok(payload) = frame::payload(&medium, &frame_bytes) else {
             return;
         };
-        let Some((header, eth)) = frame::parse(&medium, &frame_bytes)
-            .ok()
-            .map(|h| (h, h.src))
+        let Some((header, eth)) = frame::parse(&medium, &frame_bytes).ok().map(|h| (h, h.src))
         else {
             return;
         };
@@ -302,7 +305,13 @@ mod tests {
 
     #[test]
     fn ip_round_trip() {
-        let h = IpHeader { proto: PROTO_UDP, ttl: 30, src: 0xC0A80001, dst: 0xC0A80002, total_len: 0 };
+        let h = IpHeader {
+            proto: PROTO_UDP,
+            ttl: 30,
+            src: 0xC0A80001,
+            dst: 0xC0A80002,
+            total_len: 0,
+        };
         let p = encode_ip(&h, &[1, 2, 3]);
         let (q, body) = decode_ip(&p).unwrap();
         assert_eq!(q.proto, PROTO_UDP);
@@ -316,14 +325,26 @@ mod tests {
     fn ip_rejects_garbage() {
         assert!(decode_ip(&[0; 10]).is_none());
         let mut p = encode_ip(
-            &IpHeader { proto: 6, ttl: 1, src: 1, dst: 2, total_len: 0 },
+            &IpHeader {
+                proto: 6,
+                ttl: 1,
+                src: 1,
+                dst: 2,
+                total_len: 0,
+            },
             &[],
         );
         p[0] = 0x46; // IHL 6: options unsupported
         assert!(decode_ip(&p).is_none());
         // Declared length beyond the buffer.
         let mut p = encode_ip(
-            &IpHeader { proto: 6, ttl: 1, src: 1, dst: 2, total_len: 0 },
+            &IpHeader {
+                proto: 6,
+                ttl: 1,
+                src: 1,
+                dst: 2,
+                total_len: 0,
+            },
             &[1, 2],
         );
         p[2] = 0xFF;
@@ -351,7 +372,13 @@ mod tests {
     #[test]
     fn ip_payload_nests_in_ethernet_frame() {
         let medium = Medium::standard_10mb();
-        let h = IpHeader { proto: PROTO_UDP, ttl: 30, src: 10, dst: 11, total_len: 0 };
+        let h = IpHeader {
+            proto: PROTO_UDP,
+            ttl: 30,
+            src: 10,
+            dst: 11,
+            total_len: 0,
+        };
         let ip = encode_ip(&h, &encode_udp(99, 100, &[7; 64]));
         let f = frame::build(&medium, 0x0B, 0x0A, IP_ETHERTYPE, &ip).unwrap();
         let body = frame::payload(&medium, &f).unwrap();

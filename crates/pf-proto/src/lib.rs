@@ -21,9 +21,9 @@
 
 pub mod arp;
 pub mod bsp;
+pub mod bsp_app;
 pub mod echo;
 pub mod group;
-pub mod bsp_app;
 pub mod ip;
 pub mod pup;
 pub mod rarp;

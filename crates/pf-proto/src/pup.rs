@@ -149,8 +149,18 @@ impl Pup {
     /// Panics if `data` exceeds [`MAX_PUP_DATA`]; senders segment above
     /// this layer.
     pub fn new(ptype: u8, id: u32, dst: PupAddr, src: PupAddr, data: Vec<u8>) -> Self {
-        assert!(data.len() <= MAX_PUP_DATA, "Pup data exceeds {MAX_PUP_DATA} bytes");
-        Pup { ptype, hops: 0, id, dst, src, data }
+        assert!(
+            data.len() <= MAX_PUP_DATA,
+            "Pup data exceeds {MAX_PUP_DATA} bytes"
+        );
+        Pup {
+            ptype,
+            hops: 0,
+            id,
+            dst,
+            src,
+            data,
+        }
     }
 
     /// Total Pup length (header + data + checksum).
@@ -196,7 +206,11 @@ impl Pup {
         b.push(self.src.host);
         b.extend_from_slice(&self.src.socket.to_be_bytes());
         b.extend_from_slice(&self.data);
-        let sum = if checksummed { Self::checksum(&b) } else { NO_CHECKSUM };
+        let sum = if checksummed {
+            Self::checksum(&b)
+        } else {
+            NO_CHECKSUM
+        };
         b.extend_from_slice(&sum.to_be_bytes());
         b
     }
@@ -224,7 +238,9 @@ impl Pup {
     pub fn decode_frame(medium: &Medium, frame_bytes: &[u8]) -> Result<Pup, PupError> {
         let h = frame::parse(medium, frame_bytes).map_err(|_| PupError::Malformed)?;
         if h.ethertype != PUP_ETHERTYPE {
-            return Err(PupError::NotPup { ethertype: h.ethertype });
+            return Err(PupError::NotPup {
+                ethertype: h.ethertype,
+            });
         }
         let body = frame::payload(medium, frame_bytes).map_err(|_| PupError::Malformed)?;
         Self::decode_body(body)
@@ -398,7 +414,10 @@ mod tests {
         let f = p.encode_frame(&medium(), false);
         let v = PacketView::new(&f);
         assert_eq!(v.word(1), Some(PUP_ETHERTYPE)); // EtherType
-        assert_eq!(v.word(3).map(|w| w & 0xFF), Some(u16::from(types::BSP_DATA)));
+        assert_eq!(
+            v.word(3).map(|w| w & 0xFF),
+            Some(u16::from(types::BSP_DATA))
+        );
         assert_eq!(v.word(7), Some(0)); // DstSocket high
         assert_eq!(v.word(8), Some(35)); // DstSocket low
     }

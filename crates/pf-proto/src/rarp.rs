@@ -50,7 +50,12 @@ pub struct RarpServer {
 impl RarpServer {
     /// Creates a server with the given Ethernet→IP table.
     pub fn new(table: HashMap<u64, u32>) -> Self {
-        RarpServer { table, fd: None, answered: 0, unknown: 0 }
+        RarpServer {
+            table,
+            fd: None,
+            answered: 0,
+            unknown: 0,
+        }
     }
 }
 
@@ -65,8 +70,12 @@ impl App for RarpServer {
     fn on_packets(&mut self, fd: Fd, packets: Vec<RecvPacket>, k: &mut ProcCtx<'_>) {
         let (medium, my_eth) = k.link_info();
         for p in packets {
-            let Ok(body) = frame::payload(&medium, &p.bytes) else { continue };
-            let Some(req) = ArpPacket::decode_body(body) else { continue };
+            let Ok(body) = frame::payload(&medium, &p.bytes) else {
+                continue;
+            };
+            let Some(req) = ArpPacket::decode_body(body) else {
+                continue;
+            };
             if req.oper != oper::RARP_REQUEST {
                 continue;
             }
@@ -144,7 +153,10 @@ impl App for RarpClient {
         k.pf_set_filter(fd, rarp_filter(10, oper::RARP_REPLY));
         k.pf_configure(
             fd,
-            PortConfig { block: BlockPolicy::Timeout(self.retry_after), ..Default::default() },
+            PortConfig {
+                block: BlockPolicy::Timeout(self.retry_after),
+                ..Default::default()
+            },
         );
         self.fd = Some(fd);
         self.send_request(k);
@@ -153,8 +165,12 @@ impl App for RarpClient {
     fn on_packets(&mut self, _fd: Fd, packets: Vec<RecvPacket>, k: &mut ProcCtx<'_>) {
         let (medium, my_eth) = k.link_info();
         for p in packets {
-            let Ok(body) = frame::payload(&medium, &p.bytes) else { continue };
-            let Some(reply) = ArpPacket::decode_body(body) else { continue };
+            let Ok(body) = frame::payload(&medium, &p.bytes) else {
+                continue;
+            };
+            let Some(reply) = ArpPacket::decode_body(body) else {
+                continue;
+            };
             if reply.oper == oper::RARP_REPLY && reply.tha == my_eth && self.my_ip.is_none() {
                 self.my_ip = Some(reply.tpa);
                 self.resolved_at = Some(k.now());
@@ -179,13 +195,14 @@ mod tests {
     use pf_net::segment::FaultModel;
     use pf_sim::cost::CostModel;
 
-    fn world_with_server(
-        loss: f64,
-    ) -> (World, pf_kernel::types::HostId, pf_kernel::types::HostId) {
+    fn world_with_server(loss: f64) -> (World, pf_kernel::types::HostId, pf_kernel::types::HostId) {
         let mut w = World::new(5);
         let seg = w.add_segment(
             Medium::standard_10mb(),
-            FaultModel { loss, duplication: 0.0 },
+            FaultModel {
+                loss,
+                duplication: 0.0,
+            },
         );
         let station = w.add_host("diskless", seg, 0x0A, CostModel::microvax_ii());
         let server = w.add_host("server", seg, 0x0B, CostModel::microvax_ii());
@@ -215,7 +232,12 @@ mod tests {
         let cli = w.spawn(station, Box::new(RarpClient::new(50)));
         w.run_until(SimTime(120_000_000_000));
         let c = w.app_ref::<RarpClient>(station, cli).unwrap();
-        assert_eq!(c.my_ip, Some(7), "resolved after {} attempts", c.requests_sent);
+        assert_eq!(
+            c.my_ip,
+            Some(7),
+            "resolved after {} attempts",
+            c.requests_sent
+        );
         assert!(c.requests_sent > 1, "loss forced retries");
     }
 
@@ -240,10 +262,22 @@ mod tests {
         use pf_filter::packet::PacketView;
         let medium = Medium::standard_10mb();
         let interp = CheckedInterpreter::default();
-        let req = ArpPacket { oper: oper::RARP_REQUEST, sha: 1, spa: 0, tha: 1, tpa: 0 }
-            .encode_frame(&medium, RARP_ETHERTYPE, medium.broadcast, 1);
-        let rep = ArpPacket { oper: oper::RARP_REPLY, sha: 2, spa: 0, tha: 1, tpa: 9 }
-            .encode_frame(&medium, RARP_ETHERTYPE, 1, 2);
+        let req = ArpPacket {
+            oper: oper::RARP_REQUEST,
+            sha: 1,
+            spa: 0,
+            tha: 1,
+            tpa: 0,
+        }
+        .encode_frame(&medium, RARP_ETHERTYPE, medium.broadcast, 1);
+        let rep = ArpPacket {
+            oper: oper::RARP_REPLY,
+            sha: 2,
+            spa: 0,
+            tha: 1,
+            tpa: 9,
+        }
+        .encode_frame(&medium, RARP_ETHERTYPE, 1, 2);
         let f_req = rarp_filter(10, oper::RARP_REQUEST);
         let f_rep = rarp_filter(10, oper::RARP_REPLY);
         assert!(interp.eval(&f_req, PacketView::new(&req)));

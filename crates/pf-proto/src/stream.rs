@@ -67,7 +67,9 @@ impl TcpBulkSender {
         if self.source_cost_per_chunk > SimDuration::ZERO {
             k.compute("user:source", self.source_cost_per_chunk);
         }
-        let chunk: Vec<u8> = (self.sent..self.sent + n).map(|i| (i % 251) as u8).collect();
+        let chunk: Vec<u8> = (self.sent..self.sent + n)
+            .map(|i| (i % 251) as u8)
+            .collect();
         self.sent += n;
         k.ksock_request(sock, ops::TCP_SEND, chunk, [0; 4]);
     }
@@ -155,7 +157,12 @@ impl App for TcpBulkReceiver {
     fn start(&mut self, k: &mut ProcCtx<'_>) {
         let sock = k.ksock_open("ip").expect("ip stack registered");
         self.sock = Some(sock);
-        k.ksock_request(sock, ops::TCP_LISTEN, Vec::new(), [u64::from(self.port), 0, 0, 0]);
+        k.ksock_request(
+            sock,
+            ops::TCP_LISTEN,
+            Vec::new(),
+            [u64::from(self.port), 0, 0, 0],
+        );
     }
 
     fn on_socket(
@@ -175,9 +182,7 @@ impl App for TcpBulkReceiver {
                 if self.per_byte_cost > SimDuration::ZERO {
                     k.compute(
                         "user:consume",
-                        SimDuration::from_nanos(
-                            self.per_byte_cost.as_nanos() * data.len() as u64,
-                        ),
+                        SimDuration::from_nanos(self.per_byte_cost.as_nanos() * data.len() as u64),
                     );
                 }
             }
@@ -242,7 +247,10 @@ mod tests {
         let (tput, w, b) = run_bulk(
             64 * 1024,
             0,
-            FaultModel { loss: 0.03, duplication: 0.0 },
+            FaultModel {
+                loss: 0.03,
+                duplication: 0.0,
+            },
         );
         assert!(tput > 0.0);
         let ip = w.protocol_ref::<KernelIp>(b).unwrap();

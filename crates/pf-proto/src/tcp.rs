@@ -200,7 +200,9 @@ pub(crate) fn user_connect(
 
 /// Queues stream data on a connection.
 pub(crate) fn user_send(kip: &mut KernelIp, sock: SockId, data: Vec<u8>, k: &mut KernelCtx<'_>) {
-    let Some(ci) = conn_by_sock(kip, sock) else { return };
+    let Some(ci) = conn_by_sock(kip, sock) else {
+        return;
+    };
     kip.tcp.conns[ci].send_buf.extend(data);
     kip.tcp.conns[ci].app_waiting = true;
     pump(kip, ci, k);
@@ -208,7 +210,9 @@ pub(crate) fn user_send(kip: &mut KernelIp, sock: SockId, data: Vec<u8>, k: &mut
 
 /// Asks for an orderly close after queued data.
 pub(crate) fn user_close(kip: &mut KernelIp, sock: SockId, k: &mut KernelCtx<'_>) {
-    let Some(ci) = conn_by_sock(kip, sock) else { return };
+    let Some(ci) = conn_by_sock(kip, sock) else {
+        return;
+    };
     kip.tcp.conns[ci].fin_pending = true;
     pump(kip, ci, k);
 }
@@ -232,7 +236,9 @@ pub(crate) fn tcp_input(
     body: Vec<u8>,
     k: &mut KernelCtx<'_>,
 ) {
-    let Some(seg) = Segment::decode(&body) else { return };
+    let Some(seg) = Segment::decode(&body) else {
+        return;
+    };
     if seg.data.is_empty() {
         k.charge("tcp:input", PURE_ACK_COST);
     } else {
@@ -284,9 +290,7 @@ fn conn_input(kip: &mut KernelIp, ci: usize, seg: Segment, k: &mut KernelCtx<'_>
     let state = kip.tcp.conns[ci].state;
     match state {
         ConnState::SynSent => {
-            if seg.flags & (flags::SYN | flags::ACK) == (flags::SYN | flags::ACK)
-                && seg.ack == 1
-            {
+            if seg.flags & (flags::SYN | flags::ACK) == (flags::SYN | flags::ACK) && seg.ack == 1 {
                 {
                     let c = &mut kip.tcp.conns[ci];
                     c.snd_una = 1;
@@ -348,7 +352,10 @@ fn estab_input(kip: &mut KernelIp, ci: usize, seg: Segment, k: &mut KernelCtx<'_
             let _ = all_acked;
             let c = &mut kip.tcp.conns[ci];
             // The FIN occupies a sequence number but no buffer byte.
-            let unsent = c.send_buf.len().saturating_sub((c.snd_nxt - c.snd_una) as usize);
+            let unsent = c
+                .send_buf
+                .len()
+                .saturating_sub((c.snd_nxt - c.snd_una) as usize);
             if c.app_waiting && unsent == 0 {
                 c.app_waiting = false;
                 let sock = c.sock;
@@ -472,8 +479,7 @@ pub(crate) fn on_timer(kip: &mut KernelIp, token: u64, k: &mut KernelCtx<'_>) {
                 let mut off = 0usize;
                 while off < data_outstanding {
                     let n = (data_outstanding - off).min(c.mss);
-                    let chunk: Vec<u8> =
-                        c.send_buf.iter().skip(off).take(n).copied().collect();
+                    let chunk: Vec<u8> = c.send_buf.iter().skip(off).take(n).copied().collect();
                     resend.push((c.snd_una.wrapping_add(off as u32), chunk));
                     off += n;
                 }

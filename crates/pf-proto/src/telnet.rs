@@ -59,7 +59,12 @@ pub struct TelnetBspServer {
 impl TelnetBspServer {
     /// Creates a server streaming `total_chars` from `local` to `remote`.
     pub fn new(local: PupAddr, remote: PupAddr, total_chars: usize) -> Self {
-        let cfg = BspConfig { push: true, segment: TELNET_CHUNK, window: 4, ..Default::default() };
+        let cfg = BspConfig {
+            push: true,
+            segment: TELNET_CHUNK,
+            window: 4,
+            ..Default::default()
+        };
         TelnetBspServer {
             machine: SenderMachine::new(local, remote, cfg),
             total: total_chars,
@@ -80,13 +85,14 @@ impl TelnetBspServer {
         {
             let n = TELNET_CHUNK.min(self.total - self.generated);
             k.compute("user:print", CHAR_GEN_COST.times(n as u64));
-            let chunk: Vec<u8> = (0..n).map(|i| b'a' + ((self.generated + i) % 26) as u8).collect();
+            let chunk: Vec<u8> = (0..n)
+                .map(|i| b'a' + ((self.generated + i) % 26) as u8)
+                .collect();
             self.generated += n;
             let fx = self.machine.offer(&chunk);
             self.apply(fx, k);
         }
-        if self.generated >= self.total && !self.finish_issued && self.machine.is_established()
-        {
+        if self.generated >= self.total && !self.finish_issued && self.machine.is_established() {
             self.finish_issued = true;
             let fx = self.machine.finish();
             self.apply(fx, k);
@@ -125,7 +131,13 @@ impl App for TelnetBspServer {
     fn start(&mut self, k: &mut ProcCtx<'_>) {
         let fd = k.pf_open();
         k.pf_set_filter(fd, Pup::socket_filter(10, self.local.socket));
-        k.pf_configure(fd, PortConfig { read_mode: ReadMode::Batch, ..Default::default() });
+        k.pf_configure(
+            fd,
+            PortConfig {
+                read_mode: ReadMode::Batch,
+                ..Default::default()
+            },
+        );
         self.fd = Some(fd);
         k.pf_read(fd);
         let fx = self.machine.connect();
@@ -159,7 +171,12 @@ impl App for TelnetBspServer {
 /// The telnet "user" side over BSP is just a [`BspReceiverApp`] with a
 /// per-character display cost.
 pub fn telnet_bsp_client(local: PupAddr, char_cost: SimDuration) -> BspReceiverApp {
-    let cfg = BspConfig { push: true, segment: TELNET_CHUNK, window: 4, ..Default::default() };
+    let cfg = BspConfig {
+        push: true,
+        segment: TELNET_CHUNK,
+        window: 4,
+        ..Default::default()
+    };
     BspReceiverApp::new(local, cfg).with_per_byte_cost(char_cost)
 }
 
@@ -178,7 +195,14 @@ impl TelnetTcpServer {
     /// Creates a server streaming `total_chars` to `dst_port` at
     /// `dst_ip`/`dst_eth`.
     pub fn new(dst_ip: u32, dst_port: u16, dst_eth: u64, total_chars: usize) -> Self {
-        TelnetTcpServer { dst_ip, dst_port, dst_eth, total: total_chars, generated: 0, sock: None }
+        TelnetTcpServer {
+            dst_ip,
+            dst_port,
+            dst_eth,
+            total: total_chars,
+            generated: 0,
+            sock: None,
+        }
     }
 
     fn write_next(&mut self, k: &mut ProcCtx<'_>) {
@@ -189,8 +213,9 @@ impl TelnetTcpServer {
         }
         let n = TELNET_CHUNK.min(self.total - self.generated);
         k.compute("user:print", CHAR_GEN_COST.times(n as u64));
-        let chunk: Vec<u8> =
-            (0..n).map(|i| b'a' + ((self.generated + i) % 26) as u8).collect();
+        let chunk: Vec<u8> = (0..n)
+            .map(|i| b'a' + ((self.generated + i) % 26) as u8)
+            .collect();
         self.generated += n;
         k.ksock_request(sock, ops::TCP_SEND, chunk, [0; 4]);
     }
@@ -204,7 +229,12 @@ impl App for TelnetTcpServer {
             sock,
             ops::TCP_CONNECT,
             Vec::new(),
-            [u64::from(self.dst_ip), u64::from(self.dst_port), self.dst_eth, 0],
+            [
+                u64::from(self.dst_ip),
+                u64::from(self.dst_port),
+                self.dst_eth,
+                0,
+            ],
         );
     }
 
@@ -257,7 +287,10 @@ mod tests {
         let user = w.add_host("user", seg, 0x0B, CostModel::microvax_ii());
         w.register_protocol(server, Box::new(KernelIp::new(10)));
         w.register_protocol(user, Box::new(KernelIp::new(11)));
-        let rx = w.spawn(user, Box::new(TcpBulkReceiver::new(23).with_per_byte_cost(char_cost)));
+        let rx = w.spawn(
+            user,
+            Box::new(TcpBulkReceiver::new(23).with_per_byte_cost(char_cost)),
+        );
         w.spawn(server, Box::new(TelnetTcpServer::new(11, 23, 0x0B, CHARS)));
         w.run_until(SimTime(300 * 1_000_000_000));
         let r = w.app_ref::<TcpBulkReceiver>(user, rx).unwrap();

@@ -121,8 +121,14 @@ impl VmtpPacket {
 
     /// Encodes as a complete frame on `medium`.
     pub fn encode_frame(&self, medium: &Medium, eth_dst: u64, eth_src: u64) -> Vec<u8> {
-        frame::build(medium, eth_dst, eth_src, VMTP_ETHERTYPE, &self.encode_body())
-            .expect("VMTP packet fits the medium")
+        frame::build(
+            medium,
+            eth_dst,
+            eth_src,
+            VMTP_ETHERTYPE,
+            &self.encode_body(),
+        )
+        .expect("VMTP packet fits the medium")
     }
 
     /// Decodes a VMTP body.
@@ -314,7 +320,10 @@ impl ClientMachine {
             vec![
                 VEffect::CancelTimer(VMTP_RTO_TOKEN),
                 VEffect::Send(ack, self.server_eth),
-                VEffect::Complete { trans: p.trans, data },
+                VEffect::Complete {
+                    trans: p.trans,
+                    data,
+                },
             ]
         } else {
             Vec::new()
@@ -372,7 +381,11 @@ pub struct ServerMachine {
 impl ServerMachine {
     /// Creates a server machine for `entity`.
     pub fn new(entity: u32) -> Self {
-        ServerMachine { entity, cache: HashMap::new(), dup_requests: 0 }
+        ServerMachine {
+            entity,
+            cache: HashMap::new(),
+            dup_requests: 0,
+        }
     }
 
     /// Handles a packet addressed to this entity. `eth_src` is the
@@ -437,7 +450,10 @@ impl ServerMachine {
         data: Vec<u8>,
     ) -> Vec<VEffect> {
         let count = data.len().div_ceil(DATA_PER_PACKET).max(1);
-        assert!(count <= MAX_GROUP, "response exceeds one VMTP segment group");
+        assert!(
+            count <= MAX_GROUP,
+            "response exceeds one VMTP segment group"
+        );
         let mut group = Vec::with_capacity(count);
         for i in 0..count {
             let lo = i * DATA_PER_PACKET;
@@ -453,8 +469,12 @@ impl ServerMachine {
                 data: data[lo.min(data.len())..hi].to_vec(),
             });
         }
-        self.cache.insert(client, (trans, group.clone(), client_eth));
-        group.into_iter().map(|g| VEffect::Send(g, client_eth)).collect()
+        self.cache
+            .insert(client, (trans, group.clone(), client_eth));
+        group
+            .into_iter()
+            .map(|g| VEffect::Send(g, client_eth))
+            .collect()
     }
 }
 
@@ -513,16 +533,28 @@ mod tests {
         let mut c = ClientMachine::new(1, 2, 0x0B, SimDuration::from_millis(100));
         let mut s = ServerMachine::new(2);
         let fx = c.invoke(0, Vec::new());
-        let VEffect::Send(req, _) = &fx[0] else { panic!("request first") };
+        let VEffect::Send(req, _) = &fx[0] else {
+            panic!("request first")
+        };
         let fx = s.on_packet(req, 0x0A);
-        let VEffect::DeliverRequest { client, trans, client_eth, .. } = &fx[0] else {
+        let VEffect::DeliverRequest {
+            client,
+            trans,
+            client_eth,
+            ..
+        } = &fx[0]
+        else {
             panic!("deliver")
         };
         let fx = s.respond(*client, *client_eth, *trans, Vec::new());
         assert_eq!(fx.len(), 1, "zero-byte response is one packet");
-        let VEffect::Send(resp, _) = &fx[0] else { panic!() };
+        let VEffect::Send(resp, _) = &fx[0] else {
+            panic!()
+        };
         let fx = c.on_packet(resp);
-        assert!(fx.iter().any(|e| matches!(e, VEffect::Complete { data, .. } if data.is_empty())));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, VEffect::Complete { data, .. } if data.is_empty())));
         assert!(fx
             .iter()
             .any(|e| matches!(e, VEffect::Send(p, _) if p.ptype == VmtpType::Ack)));
@@ -535,7 +567,9 @@ mod tests {
         let mut s = ServerMachine::new(2);
         let payload: Vec<u8> = (0..SEGMENT_BYTES).map(|i| (i % 241) as u8).collect();
         let fx = c.invoke(1, Vec::new());
-        let VEffect::Send(req, _) = &fx[0] else { panic!() };
+        let VEffect::Send(req, _) = &fx[0] else {
+            panic!()
+        };
         let _ = s.on_packet(req, 0x0A);
         let group = s.respond(1, 0x0A, req.trans, payload.clone());
         assert_eq!(group.len(), SEGMENT_BYTES / DATA_PER_PACKET);
@@ -557,7 +591,9 @@ mod tests {
         let mut s = ServerMachine::new(2);
         let payload = vec![9u8; 3 * DATA_PER_PACKET];
         let fx = c.invoke(1, Vec::new());
-        let VEffect::Send(req, _) = &fx[0] else { panic!() };
+        let VEffect::Send(req, _) = &fx[0] else {
+            panic!()
+        };
         let _ = s.on_packet(req, 0x0A);
         let mut group: Vec<VmtpPacket> = s
             .respond(1, 0x0A, req.trans, payload.clone())
@@ -585,7 +621,9 @@ mod tests {
         let mut s = ServerMachine::new(2);
         let payload = vec![7u8; 4 * DATA_PER_PACKET];
         let fx = c.invoke(1, Vec::new());
-        let VEffect::Send(req, _) = &fx[0] else { panic!() };
+        let VEffect::Send(req, _) = &fx[0] else {
+            panic!()
+        };
         let _ = s.on_packet(req, 0x0A);
         let group: Vec<VmtpPacket> = s
             .respond(1, 0x0A, req.trans, payload.clone())
@@ -660,7 +698,10 @@ mod tests {
         };
         let _ = s.on_packet(&req, 0x0A);
         let _ = s.respond(1, 0x0A, 5, vec![1u8; 10]);
-        let ack = VmtpPacket { ptype: VmtpType::Ack, ..req.clone() };
+        let ack = VmtpPacket {
+            ptype: VmtpType::Ack,
+            ..req.clone()
+        };
         let _ = s.on_packet(&ack, 0x0A);
         // A duplicate request after the ack is treated as new.
         let fx = s.on_packet(&req, 0x0A);
@@ -672,7 +713,9 @@ mod tests {
         let mut c = ClientMachine::new(1, 2, 0x0B, SimDuration::from_millis(100));
         let _ = c.invoke(9, vec![1, 2]);
         let fx = c.on_timer(VMTP_RTO_TOKEN);
-        let VEffect::Send(p, _) = &fx[0] else { panic!() };
+        let VEffect::Send(p, _) = &fx[0] else {
+            panic!()
+        };
         assert_eq!(p.ptype, VmtpType::Request);
         assert_eq!(p.opcode, 9);
         assert_eq!(p.data, vec![1, 2]);
@@ -682,7 +725,9 @@ mod tests {
     fn stale_response_ignored() {
         let mut c = ClientMachine::new(1, 2, 0x0B, SimDuration::from_millis(100));
         let fx = c.invoke(0, Vec::new());
-        let VEffect::Send(req, _) = &fx[0] else { panic!() };
+        let VEffect::Send(req, _) = &fx[0] else {
+            panic!()
+        };
         let stale = VmtpPacket {
             dst_entity: 1,
             src_entity: 2,

@@ -6,9 +6,7 @@
 //! user process crosses the domain boundary only twice per *transaction*
 //! (request in, completion out) instead of twice per *packet*.
 
-use crate::vmtp::{
-    ClientMachine, ServerMachine, VEffect, VmtpPacket, VMTP_ETHERTYPE,
-};
+use crate::vmtp::{ClientMachine, ServerMachine, VEffect, VmtpPacket, VMTP_ETHERTYPE};
 use crate::vmtp_user::{file_read_response, fs_read_cost, Workload};
 use pf_kernel::app::App;
 use pf_kernel::kproto::KernelProtocol;
@@ -102,13 +100,24 @@ impl KernelVmtp {
                     k.charge("vmtp:output", VMTP_KOUT);
                     k.transmit(&pkt.encode_frame(&medium, eth_dst, my_eth));
                 }
-                VEffect::DeliverRequest { client, client_eth, trans, opcode, data } => {
+                VEffect::DeliverRequest {
+                    client,
+                    client_eth,
+                    trans,
+                    opcode,
+                    data,
+                } => {
                     let (_, sock) = self.servers[&entity];
                     k.complete(
                         sock,
                         ops::REQUEST,
                         data,
-                        [u64::from(client), u64::from(trans), u64::from(opcode), client_eth],
+                        [
+                            u64::from(client),
+                            u64::from(trans),
+                            u64::from(opcode),
+                            client_eth,
+                        ],
                     );
                 }
                 VEffect::SetTimer(..) | VEffect::CancelTimer(_) => {}
@@ -167,7 +176,8 @@ impl KernelProtocol for KernelVmtp {
         match op {
             ops::LISTEN => {
                 let entity = meta[0] as u32;
-                self.servers.insert(entity, (ServerMachine::new(entity), sock));
+                self.servers
+                    .insert(entity, (ServerMachine::new(entity), sock));
             }
             ops::INVOKE => {
                 let server_entity = meta[0] as u32;
@@ -336,14 +346,23 @@ pub struct KVmtpServer {
 impl KVmtpServer {
     /// Creates a server for `entity`.
     pub fn new(entity: u32) -> Self {
-        KVmtpServer { entity, sock: None, served: 0 }
+        KVmtpServer {
+            entity,
+            sock: None,
+            served: 0,
+        }
     }
 }
 
 impl App for KVmtpServer {
     fn start(&mut self, k: &mut ProcCtx<'_>) {
         let sock = k.ksock_open("vmtp").expect("vmtp registered");
-        k.ksock_request(sock, ops::LISTEN, Vec::new(), [u64::from(self.entity), 0, 0, 0]);
+        k.ksock_request(
+            sock,
+            ops::LISTEN,
+            Vec::new(),
+            [u64::from(self.entity), 0, 0, 0],
+        );
         self.sock = Some(sock);
     }
 
@@ -403,7 +422,10 @@ mod tests {
                 CLIENT_ENTITY,
                 SERVER_ENTITY,
                 SERVER_ETH,
-                Workload { ops, response_bytes },
+                Workload {
+                    ops,
+                    response_bytes,
+                },
             )),
         );
         w.run_until(SimTime(300 * 1_000_000_000));
@@ -447,7 +469,10 @@ mod tests {
                 CLIENT_ENTITY,
                 SERVER_ENTITY,
                 SERVER_ETH,
-                Workload { ops: 20, response_bytes: 0 },
+                Workload {
+                    ops: 20,
+                    response_bytes: 0,
+                },
             )),
         );
         w.run_until(SimTime(300 * 1_000_000_000));
@@ -476,7 +501,10 @@ mod tests {
         let mut w = World::new(23);
         let seg = w.add_segment(
             Medium::standard_10mb(),
-            FaultModel { loss: 0.05, duplication: 0.02 },
+            FaultModel {
+                loss: 0.05,
+                duplication: 0.02,
+            },
         );
         let c = w.add_host("client", seg, 0x0A, CostModel::microvax_ii());
         let s = w.add_host("server", seg, SERVER_ETH, CostModel::microvax_ii());
@@ -489,7 +517,10 @@ mod tests {
                 CLIENT_ENTITY,
                 SERVER_ENTITY,
                 SERVER_ETH,
-                Workload { ops: 10, response_bytes: 4096 },
+                Workload {
+                    ops: 10,
+                    response_bytes: 4096,
+                },
             )),
         );
         w.run_until(SimTime(300 * 1_000_000_000));

@@ -186,7 +186,9 @@ impl VmtpUserClient {
                     if self.completed >= self.workload.ops {
                         self.finished_at = Some(k.now());
                     } else {
-                        let fx = self.machine.invoke(self.workload.response_bytes, Vec::new());
+                        let fx = self
+                            .machine
+                            .invoke(self.workload.response_bytes, Vec::new());
                         self.apply(fx, k);
                     }
                 }
@@ -214,7 +216,11 @@ impl App for VmtpUserClient {
                 k.pf_configure(
                     fd,
                     PortConfig {
-                        read_mode: if self.batch { ReadMode::Batch } else { ReadMode::Single },
+                        read_mode: if self.batch {
+                            ReadMode::Batch
+                        } else {
+                            ReadMode::Single
+                        },
                         max_queue: VMTP_PORT_QUEUE,
                         ..Default::default()
                     },
@@ -227,7 +233,9 @@ impl App for VmtpUserClient {
         }
         self.fd = Some(fd);
         self.started_at = Some(k.now());
-        let fx = self.machine.invoke(self.workload.response_bytes, Vec::new());
+        let fx = self
+            .machine
+            .invoke(self.workload.response_bytes, Vec::new());
         self.apply(fx, k);
     }
 
@@ -293,7 +301,13 @@ impl VmtpUserServer {
                     let f = pkt.encode_frame(&medium, eth_dst, my_eth);
                     let _ = k.pf_write(self.fd.expect("port open"), &f);
                 }
-                VEffect::DeliverRequest { client, client_eth, trans, opcode, .. } => {
+                VEffect::DeliverRequest {
+                    client,
+                    client_eth,
+                    trans,
+                    opcode,
+                    ..
+                } => {
                     self.served += 1;
                     let response = file_read_response(opcode);
                     k.compute("user:fsread", fs_read_cost(response.len()));
@@ -314,7 +328,11 @@ impl App for VmtpUserServer {
         k.pf_configure(
             fd,
             PortConfig {
-                read_mode: if self.batch { ReadMode::Batch } else { ReadMode::Single },
+                read_mode: if self.batch {
+                    ReadMode::Batch
+                } else {
+                    ReadMode::Single
+                },
                 max_queue: VMTP_PORT_QUEUE,
                 ..Default::default()
             },
@@ -392,7 +410,11 @@ impl App for DemuxProcess {
         k.pf_configure(
             fd,
             PortConfig {
-                read_mode: if self.batch { ReadMode::Batch } else { ReadMode::Single },
+                read_mode: if self.batch {
+                    ReadMode::Batch
+                } else {
+                    ReadMode::Single
+                },
                 max_queue: self.max_queue,
                 ..Default::default()
             },
@@ -454,7 +476,10 @@ mod tests {
             CLIENT_ENTITY,
             SERVER_ENTITY,
             SERVER_ETH,
-            Workload { ops: 20, response_bytes: 0 },
+            Workload {
+                ops: 20,
+                response_bytes: 0,
+            },
         );
         let (w, c, p) = run_client(w, c, client, 30);
         let app = w.app_ref::<VmtpUserClient>(c, p).unwrap();
@@ -477,7 +502,10 @@ mod tests {
             CLIENT_ENTITY,
             SERVER_ENTITY,
             SERVER_ETH,
-            Workload { ops: 8, response_bytes: SEGMENT_BYTES as u32 },
+            Workload {
+                ops: 8,
+                response_bytes: SEGMENT_BYTES as u32,
+            },
         );
         let (w, c, p) = run_client(w, c, client, 120);
         let app = w.app_ref::<VmtpUserClient>(c, p).unwrap();
@@ -492,7 +520,10 @@ mod tests {
         let mut w = World::new(13);
         let seg = w.add_segment(
             Medium::standard_10mb(),
-            FaultModel { loss: 0.05, duplication: 0.0 },
+            FaultModel {
+                loss: 0.05,
+                duplication: 0.0,
+            },
         );
         let c = w.add_host("client", seg, 0x0A, CostModel::microvax_ii());
         let s = w.add_host("server", seg, SERVER_ETH, CostModel::microvax_ii());
@@ -501,12 +532,19 @@ mod tests {
             CLIENT_ENTITY,
             SERVER_ENTITY,
             SERVER_ETH,
-            Workload { ops: 5, response_bytes: 4096 },
+            Workload {
+                ops: 5,
+                response_bytes: 4096,
+            },
         );
         let p = w.spawn(c, Box::new(client));
         w.run_until(SimTime(120 * 1_000_000_000));
         let app = w.app_ref::<VmtpUserClient>(c, p).unwrap();
-        assert!(app.is_done(), "finished despite loss ({} done)", app.completed);
+        assert!(
+            app.is_done(),
+            "finished despite loss ({} done)",
+            app.completed
+        );
         assert_eq!(app.bytes, 5 * 4096);
         assert!(app.machine.retries > 0, "loss forced retries");
     }
@@ -520,10 +558,17 @@ mod tests {
             CLIENT_ENTITY,
             SERVER_ENTITY,
             SERVER_ETH,
-            Workload { ops: 10, response_bytes: 0 },
+            Workload {
+                ops: 10,
+                response_bytes: 0,
+            },
         );
         let (w1, c1, p1) = run_client(w1, c1, direct, 60);
-        let direct_per_op = w1.app_ref::<VmtpUserClient>(c1, p1).unwrap().per_op().unwrap();
+        let direct_per_op = w1
+            .app_ref::<VmtpUserClient>(c1, p1)
+            .unwrap()
+            .per_op()
+            .unwrap();
 
         // Via an interposed demultiplexing process.
         let (mut w2, c2, s2) = world();
@@ -532,7 +577,10 @@ mod tests {
             CLIENT_ENTITY,
             SERVER_ENTITY,
             SERVER_ETH,
-            Workload { ops: 10, response_bytes: 0 },
+            Workload {
+                ops: 10,
+                response_bytes: 0,
+            },
         )
         .via_pipe();
         let filter = client.filter();
@@ -550,8 +598,10 @@ mod tests {
             demux_per_op > direct_per_op,
             "demux {demux_per_op} vs direct {direct_per_op}"
         );
-        let ratio =
-            demux_per_op.as_nanos() as f64 / direct_per_op.as_nanos() as f64;
-        assert!(ratio < 2.0, "small-message penalty is modest, got {ratio:.2}");
+        let ratio = demux_per_op.as_nanos() as f64 / direct_per_op.as_nanos() as f64;
+        assert!(
+            ratio < 2.0,
+            "small-message penalty is modest, got {ratio:.2}"
+        );
     }
 }

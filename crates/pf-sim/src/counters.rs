@@ -92,7 +92,11 @@ impl fmt::Display for Counters {
         writeln!(f, "context switches:    {}", self.context_switches)?;
         writeln!(f, "system calls:        {}", self.syscalls)?;
         writeln!(f, "domain crossings:    {}", self.domain_crossings)?;
-        writeln!(f, "data copies:         {} ({} bytes)", self.copies, self.bytes_copied)?;
+        writeln!(
+            f,
+            "data copies:         {} ({} bytes)",
+            self.copies, self.bytes_copied
+        )?;
         writeln!(f, "packets sent:        {}", self.packets_sent)?;
         writeln!(f, "packets received:    {}", self.packets_received)?;
         writeln!(f, "packets delivered:   {}", self.packets_delivered)?;

@@ -95,7 +95,12 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending.insert(seq);
-        self.heap.push(Scheduled { at, seq, event, cancelled: false });
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            event,
+            cancelled: false,
+        });
         EventHandle(seq)
     }
 

@@ -2,8 +2,9 @@
 //!
 //! SplitMix64: tiny, fast, and — unlike thread-local or OS-seeded
 //! generators — exactly reproducible from a seed, which every experiment
-//! requires. (The heavier `rand` crate is still used where distributions
-//! matter; this is for the simulation's own loss/jitter decisions.)
+//! requires. It is the workspace's only randomness source: the default
+//! build is hermetic (no external crates), so workload generation, fault
+//! injection, and the differential fuzz loops all seed from here.
 
 /// A SplitMix64 generator.
 #[derive(Debug, Clone)]

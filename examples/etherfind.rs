@@ -61,7 +61,10 @@ fn main() {
     let cfg = BspConfig::default();
     w.spawn(
         bob,
-        Box::new(BspReceiverApp::new(PupAddr::new(1, 0x0B, 0x400), cfg.clone())),
+        Box::new(BspReceiverApp::new(
+            PupAddr::new(1, 0x0B, 0x400),
+            cfg.clone(),
+        )),
     );
     w.spawn(
         alice,

@@ -24,7 +24,10 @@ fn main() {
     // A slightly lossy wire, to show the protocol recovering.
     let seg = w.add_segment(
         Medium::experimental_3mb(),
-        FaultModel { loss: 0.01, duplication: 0.0 },
+        FaultModel {
+            loss: 0.01,
+            duplication: 0.0,
+        },
     );
     let alice = w.add_host("alice", seg, 0x0A, CostModel::microvax_ii());
     let bob = w.add_host("bob", seg, 0x0B, CostModel::microvax_ii());

@@ -12,24 +12,28 @@ use packet_filter::filter::dtree::FilterSet;
 use packet_filter::filter::interp::CheckedInterpreter;
 use packet_filter::filter::packet::PacketView;
 use packet_filter::filter::program::Assembler;
-use packet_filter::filter::word::BinaryOp;
 use packet_filter::filter::samples;
+use packet_filter::filter::word::BinaryOp;
 
 fn main() {
     // --- 1. The figure 3-9 filter, written with the assembler ---------
     // "Accept Pup packets with a Pup DstSocket field of 35", testing the
     // socket first so the CAND short-circuits exit early on mismatches.
     let by_hand = Assembler::new(10)
-        .pushword(8).pushlit_op(BinaryOp::Cand, 35) // low word of socket == 35
-        .pushword(7).pushzero_op(BinaryOp::Cand)    // high word of socket == 0
-        .pushword(1).pushlit_op(BinaryOp::Eq, 2)    // packet type == Pup
+        .pushword(8)
+        .pushlit_op(BinaryOp::Cand, 35) // low word of socket == 35
+        .pushword(7)
+        .pushzero_op(BinaryOp::Cand) // high word of socket == 0
+        .pushword(1)
+        .pushlit_op(BinaryOp::Eq, 2) // packet type == Pup
         .finish();
     println!("figure 3-9, assembled by hand:\n{by_hand}");
 
     // --- 2. The same filter from the predicate DSL --------------------
     // The "library procedure" of §3.1: the compiler notices the leading
     // equality tests and emits the same CAND chain automatically.
-    let from_dsl = Expr::word(8).eq(35)
+    let from_dsl = Expr::word(8)
+        .eq(35)
         .and(Expr::word(7).eq(0))
         .and(Expr::word(1).eq(2))
         .compile(10)

@@ -21,7 +21,10 @@ fn main() {
     // Four out of ten frames vanish: the retry loop earns its keep.
     let seg = w.add_segment(
         Medium::standard_10mb(),
-        FaultModel { loss: 0.4, duplication: 0.0 },
+        FaultModel {
+            loss: 0.4,
+            duplication: 0.0,
+        },
     );
     let station = w.add_host("diskless", seg, 0x0A, CostModel::microvax_ii());
     let server_host = w.add_host("rarpd", seg, 0x0B, CostModel::microvax_ii());
@@ -35,7 +38,9 @@ fn main() {
     w.run_until(SimTime(60 * 1_000_000_000));
 
     let c = w.app_ref::<RarpClient>(station, client).expect("client");
-    let s = w.app_ref::<RarpServer>(server_host, server).expect("server");
+    let s = w
+        .app_ref::<RarpServer>(server_host, server)
+        .expect("server");
 
     println!("== RARP boot on a lossy wire (40% loss) ==");
     match c.my_ip {
@@ -50,7 +55,10 @@ fn main() {
         ),
         None => println!("station gave up after {} requests", c.requests_sent),
     }
-    println!("server answered {} request(s), ignored {} unknown", s.answered, s.unknown);
+    println!(
+        "server answered {} request(s), ignored {} unknown",
+        s.answered, s.unknown
+    );
     println!(
         "wire: {} frames sent, {} eaten by the noise",
         w.network().transmitted_on(seg),

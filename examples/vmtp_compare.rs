@@ -26,10 +26,15 @@ fn user_level(ops: u64, bytes: u32) -> (f64, f64) {
     w.spawn(s, Box::new(VmtpUserServer::new(SERVER_ENTITY)));
     let p = w.spawn(
         c,
-        Box::new(VmtpUserClient::new(CLIENT_ENTITY, SERVER_ENTITY, SERVER_ETH, Workload {
-            ops,
-            response_bytes: bytes,
-        })),
+        Box::new(VmtpUserClient::new(
+            CLIENT_ENTITY,
+            SERVER_ENTITY,
+            SERVER_ETH,
+            Workload {
+                ops,
+                response_bytes: bytes,
+            },
+        )),
     );
     w.run_until(CAP);
     let app = w.app_ref::<VmtpUserClient>(c, p).expect("client");
@@ -50,10 +55,15 @@ fn kernel_resident(ops: u64, bytes: u32) -> (f64, f64) {
     w.spawn(s, Box::new(KVmtpServer::new(SERVER_ENTITY)));
     let p = w.spawn(
         c,
-        Box::new(KVmtpClient::new(CLIENT_ENTITY, SERVER_ENTITY, SERVER_ETH, Workload {
-            ops,
-            response_bytes: bytes,
-        })),
+        Box::new(KVmtpClient::new(
+            CLIENT_ENTITY,
+            SERVER_ENTITY,
+            SERVER_ETH,
+            Workload {
+                ops,
+                response_bytes: bytes,
+            },
+        )),
     );
     w.run_until(CAP);
     let app = w.app_ref::<KVmtpClient>(c, p).expect("client");
@@ -72,14 +82,20 @@ fn main() {
     println!("minimal operation (read 0 bytes from a file):");
     println!("  packet filter: {u_rtt:6.2} ms   (paper: 14.7 ms)");
     println!("  Unix kernel:   {k_rtt:6.2} ms   (paper:  7.44 ms)");
-    println!("  penalty:       {:.2}x       (paper: ~2x)\n", u_rtt / k_rtt);
+    println!(
+        "  penalty:       {:.2}x       (paper: ~2x)\n",
+        u_rtt / k_rtt
+    );
 
     let (_, u_bulk) = user_level(32, SEGMENT_BYTES as u32);
     let (_, k_bulk) = kernel_resident(32, SEGMENT_BYTES as u32);
     println!("bulk transfer (repeated 16 KB file-segment reads):");
     println!("  packet filter: {u_bulk:6.0} KB/s (paper: 112 KB/s)");
     println!("  Unix kernel:   {k_bulk:6.0} KB/s (paper: 336 KB/s)");
-    println!("  penalty:       {:.2}x       (paper: ~3x)\n", k_bulk / u_bulk);
+    println!(
+        "  penalty:       {:.2}x       (paper: ~3x)\n",
+        k_bulk / u_bulk
+    );
 
     println!(
         "Both variants run the *same* pure transaction machines \

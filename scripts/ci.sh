@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline CI gate for the workspace. Everything here runs hermetically —
+# no network, no external crates (rand/proptest/criterion are commented
+# out of the manifests; see each Cargo.toml for how to restore them).
+#
+#   scripts/ci.sh            # the default, fully offline gate
+#   scripts/ci.sh --benches  # additionally compile the criterion benches
+#                            # (requires the `criterion` dev-dependency
+#                            # restored and the registry reachable)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+run cargo test --workspace -q
+
+if [[ "${1:-}" == "--benches" ]]; then
+    run cargo bench --workspace --features criterion-benches --no-run
+fi
+
+echo "ci: all checks passed"

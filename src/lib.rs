@@ -6,6 +6,8 @@
 //!
 //! * [`filter`] — the filter language and its execution engines (the
 //!   paper's core contribution);
+//! * [`ir`] — the control-flow-graph filter IR: optimizing passes, a
+//!   threaded-code engine, and a prefix-sharing filter set (ladder rung 5);
 //! * [`sim`] — the deterministic simulated Unix-like kernel substrate;
 //! * [`net`] — simulated Ethernets and network interfaces;
 //! * [`kernel`] — the packet-filter pseudo-device driver and the
@@ -37,6 +39,7 @@
 //! ```
 
 pub use pf_filter as filter;
+pub use pf_ir as ir;
 pub use pf_kernel as kernel;
 pub use pf_monitor as monitor;
 pub use pf_net as net;

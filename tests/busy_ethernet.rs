@@ -33,11 +33,17 @@ fn everything_at_once_on_one_wire() {
     // only for their own filters — so give the Pup pair its own segment).
     let eth10 = w.add_segment(
         Medium::standard_10mb(),
-        FaultModel { loss: 0.01, duplication: 0.005 },
+        FaultModel {
+            loss: 0.01,
+            duplication: 0.005,
+        },
     );
     let eth3 = w.add_segment(
         Medium::experimental_3mb(),
-        FaultModel { loss: 0.01, duplication: 0.005 },
+        FaultModel {
+            loss: 0.01,
+            duplication: 0.005,
+        },
     );
 
     // --- the 10 Mb population -----------------------------------------
@@ -57,18 +63,37 @@ fn everything_at_once_on_one_wire() {
     // deep buffers to let this test assert on complete capture.
     let mon10 = w.add_host("monitor10", eth10, 0x0E, CostModel::microvax_ii());
     w.set_nic_capacity(mon10, 1 << 20);
-    let cap10 =
-        w.spawn(mon10, Box::new(CaptureApp::promiscuous(100_000).with_queue_len(1 << 20)));
+    let cap10 = w.spawn(
+        mon10,
+        Box::new(CaptureApp::promiscuous(100_000).with_queue_len(1 << 20)),
+    );
 
     // Kernel TCP bulk stream client → server.
     let tcp_rx = w.spawn(srv, Box::new(TcpBulkReceiver::new(5000)));
-    w.spawn(cli, Box::new(TcpBulkSender::new(100 + srv.0 as u32, 5000, 0x0B, 60_000, 0)));
+    w.spawn(
+        cli,
+        Box::new(TcpBulkSender::new(
+            100 + srv.0 as u32,
+            5000,
+            0x0B,
+            60_000,
+            0,
+        )),
+    );
 
     // Kernel VMTP transactions ws1 → server.
     w.spawn(srv, Box::new(KVmtpServer::new(0x20)));
     let vmtp_cli = w.spawn(
         ws1,
-        Box::new(KVmtpClient::new(0x10, 0x20, 0x0B, Workload { ops: 10, response_bytes: 4096 })),
+        Box::new(KVmtpClient::new(
+            0x10,
+            0x20,
+            0x0B,
+            Workload {
+                ops: 10,
+                response_bytes: 4096,
+            },
+        )),
     );
 
     // RARP: ws2 boots, the server answers.
@@ -84,7 +109,10 @@ fn everything_at_once_on_one_wire() {
     let g3 = w.spawn(ws2, Box::new(GroupMember::new(0x31)));
     w.spawn(
         srv,
-        Box::new(GroupSender::new(0x31, vec![b"tick".to_vec(), b"tock".to_vec()])),
+        Box::new(GroupSender::new(
+            0x31,
+            vec![b"tick".to_vec(), b"tock".to_vec()],
+        )),
     );
 
     // --- the 3 Mb population (the Pup world) ---------------------------
@@ -93,7 +121,10 @@ fn everything_at_once_on_one_wire() {
     let cfg = BspConfig::default();
     let bsp_rx = w.spawn(
         bob,
-        Box::new(BspReceiverApp::new(PupAddr::new(1, 0x0B, 0x400), cfg.clone())),
+        Box::new(BspReceiverApp::new(
+            PupAddr::new(1, 0x0B, 0x400),
+            cfg.clone(),
+        )),
     );
     w.spawn(
         alice,
@@ -134,7 +165,11 @@ fn everything_at_once_on_one_wire() {
         // Multicast is unreliable datagram: with 1% loss a member may
         // miss a message, but duplicates must not double-deliver beyond
         // the wire's duplication.
-        assert!(m.received.len() <= 4, "{label}: {} messages", m.received.len());
+        assert!(
+            m.received.len() <= 4,
+            "{label}: {} messages",
+            m.received.len()
+        );
         assert!(!m.received.is_empty(), "{label} heard the group");
     }
 

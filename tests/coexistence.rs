@@ -11,10 +11,12 @@ use packet_filter::kernel::world::{ProcCtx, World};
 use packet_filter::net::frame;
 use packet_filter::net::medium::Medium;
 use packet_filter::net::segment::FaultModel;
-use packet_filter::proto::ip::{encode_ip, encode_udp, IpHeader, KernelIp, IP_ETHERTYPE, PROTO_UDP};
-use packet_filter::proto::pup::PupAddr;
 use packet_filter::proto::bsp::BspConfig;
 use packet_filter::proto::bsp_app::{BspReceiverApp, BspSenderApp};
+use packet_filter::proto::ip::{
+    encode_ip, encode_udp, IpHeader, KernelIp, IP_ETHERTYPE, PROTO_UDP,
+};
+use packet_filter::proto::pup::PupAddr;
 use packet_filter::proto::stream::{TcpBulkReceiver, TcpBulkSender};
 use packet_filter::sim::cost::CostModel;
 use packet_filter::sim::time::SimTime;
@@ -30,7 +32,12 @@ struct DualStack {
 impl App for DualStack {
     fn start(&mut self, k: &mut ProcCtx<'_>) {
         let sock = k.ksock_open("ip").expect("ip registered");
-        k.ksock_request(sock, packet_filter::proto::ip::ops::UDP_BIND, Vec::new(), [77, 0, 0, 0]);
+        k.ksock_request(
+            sock,
+            packet_filter::proto::ip::ops::UDP_BIND,
+            Vec::new(),
+            [77, 0, 0, 0],
+        );
         let fd = k.pf_open();
         k.pf_set_filter(fd, samples::pup_socket_filter(10, 0, 35));
         self.fd = Some(fd);
@@ -54,11 +61,24 @@ fn one_process_uses_both_models() {
     let seg = w.add_segment(medium, FaultModel::default());
     let h = w.add_host("dual", seg, 0x0B, CostModel::microvax_ii());
     w.register_protocol(h, Box::new(KernelIp::new(11)));
-    let p = w.spawn(h, Box::new(DualStack { udp_got: 0, pf_got: 0, fd: None }));
+    let p = w.spawn(
+        h,
+        Box::new(DualStack {
+            udp_got: 0,
+            pf_got: 0,
+            fd: None,
+        }),
+    );
 
     // One UDP datagram and one Pup, interleaved.
     let udp = encode_ip(
-        &IpHeader { proto: PROTO_UDP, ttl: 30, src: 10, dst: 11, total_len: 0 },
+        &IpHeader {
+            proto: PROTO_UDP,
+            ttl: 30,
+            src: 10,
+            dst: 11,
+            total_len: 0,
+        },
         &encode_udp(9, 77, b"hello"),
     );
     let udp_frame = frame::build(&medium, 0x0B, 0x0A, IP_ETHERTYPE, &udp).unwrap();
@@ -91,7 +111,10 @@ fn pf_traffic_does_not_slow_kernel_tcp() {
         w.register_protocol(a, Box::new(KernelIp::new(10)));
         w.register_protocol(b, Box::new(KernelIp::new(11)));
         let rx = w.spawn(b, Box::new(TcpBulkReceiver::new(5000)));
-        w.spawn(a, Box::new(TcpBulkSender::new(11, 5000, 0x0B, 64 * 1024, 0)));
+        w.spawn(
+            a,
+            Box::new(TcpBulkSender::new(11, 5000, 0x0B, 64 * 1024, 0)),
+        );
         if with_pup_noise {
             // A stray Pup every 20 ms that no filter wants.
             for i in 0..100u64 {
@@ -130,7 +153,10 @@ fn pup_and_tcp_share_a_wire() {
     let src = PupAddr::new(1, 0x0A, 0x300);
     let dst = PupAddr::new(1, 0x0B, 0x400);
     let bsp_rx = w.spawn(b, Box::new(BspReceiverApp::new(dst, cfg.clone())));
-    w.spawn(a, Box::new(BspSenderApp::new(src, dst, vec![1u8; 20_000], cfg)));
+    w.spawn(
+        a,
+        Box::new(BspSenderApp::new(src, dst, vec![1u8; 20_000], cfg)),
+    );
 
     let tcp_rx = w.spawn(b, Box::new(TcpBulkReceiver::new(5000)));
     w.spawn(a, Box::new(TcpBulkSender::new(11, 5000, 0x0B, 20_000, 512)));

@@ -25,7 +25,10 @@ fn monitored_bsp_transfer_with_loss() {
     let mut w = World::new(42);
     let seg = w.add_segment(
         Medium::experimental_3mb(),
-        FaultModel { loss: 0.03, duplication: 0.01 },
+        FaultModel {
+            loss: 0.03,
+            duplication: 0.01,
+        },
     );
     let a = w.add_host("alice", seg, 0x0A, CostModel::microvax_ii());
     let b = w.add_host("bob", seg, 0x0B, CostModel::microvax_ii());
@@ -46,7 +49,10 @@ fn monitored_bsp_transfer_with_loss() {
     assert_eq!(receiver.bytes as usize, TOTAL, "byte stream exact");
 
     let sender = w.app_ref::<BspSenderApp>(a, tx).unwrap();
-    assert!(sender.stats().retransmits > 0, "loss forced retransmissions");
+    assert!(
+        sender.stats().retransmits > 0,
+        "loss forced retransmissions"
+    );
 
     let capture = w.app_ref::<CaptureApp>(m, cap).unwrap();
     let medium = Medium::experimental_3mb();
@@ -85,10 +91,15 @@ fn vmtp_user_and_kernel_agree_on_results() {
         w.spawn(s, Box::new(VmtpUserServer::new(0x20)));
         let p = w.spawn(
             c,
-            Box::new(VmtpUserClient::new(0x10, 0x20, 0x0B, Workload {
-                ops: 4,
-                response_bytes: SEGMENT_BYTES as u32,
-            })),
+            Box::new(VmtpUserClient::new(
+                0x10,
+                0x20,
+                0x0B,
+                Workload {
+                    ops: 4,
+                    response_bytes: SEGMENT_BYTES as u32,
+                },
+            )),
         );
         w.run_until(SimTime(300 * 1_000_000_000));
         let app = w.app_ref::<VmtpUserClient>(c, p).unwrap();
@@ -105,10 +116,15 @@ fn vmtp_user_and_kernel_agree_on_results() {
         w.spawn(s, Box::new(KVmtpServer::new(0x20)));
         let p = w.spawn(
             c,
-            Box::new(KVmtpClient::new(0x10, 0x20, 0x0B, Workload {
-                ops: 4,
-                response_bytes: SEGMENT_BYTES as u32,
-            })),
+            Box::new(KVmtpClient::new(
+                0x10,
+                0x20,
+                0x0B,
+                Workload {
+                    ops: 4,
+                    response_bytes: SEGMENT_BYTES as u32,
+                },
+            )),
         );
         w.run_until(SimTime(300 * 1_000_000_000));
         let app = w.app_ref::<KVmtpClient>(c, p).unwrap();
@@ -127,7 +143,10 @@ fn whole_world_runs_are_bit_deterministic() {
         let mut w = World::new(1234);
         let seg = w.add_segment(
             Medium::experimental_3mb(),
-            FaultModel { loss: 0.05, duplication: 0.02 },
+            FaultModel {
+                loss: 0.05,
+                duplication: 0.02,
+            },
         );
         let a = w.add_host("a", seg, 0x0A, CostModel::microvax_ii());
         let b = w.add_host("b", seg, 0x0B, CostModel::microvax_ii());
@@ -135,7 +154,10 @@ fn whole_world_runs_are_bit_deterministic() {
         let dst = PupAddr::new(1, 0x0B, 0x400);
         let cfg = BspConfig::default();
         let rx = w.spawn(b, Box::new(BspReceiverApp::new(dst, cfg.clone())));
-        w.spawn(a, Box::new(BspSenderApp::new(src, dst, vec![9u8; 25_000], cfg)));
+        w.spawn(
+            a,
+            Box::new(BspSenderApp::new(src, dst, vec![9u8; 25_000], cfg)),
+        );
         let end = w.run_until(SimTime(600 * 1_000_000_000));
         let r = w.app_ref::<BspReceiverApp>(b, rx).unwrap();
         (end, r.bytes, r.stats(), *w.counters(a), *w.counters(b))
