@@ -1,10 +1,13 @@
 //! Demultiplexing a packet against N active filters: the sequential
 //! priority-ordered loop of figure 4-1 versus §7's proposed decision
-//! table ([`pf_filter::dtree::FilterSet`]).
+//! table ([`pf_filter::dtree::FilterSet`]), the flat IR set
+//! ([`pf_ir::set::IrFilterSet`]), and the sharded value-numbered set
+//! ([`pf_ir::set::ShardedVnSet`]).
 //!
 //! The sequential loop is O(N) filter applications per packet (the §6.5
 //! break-even analysis); the decision table is one hash probe per filter
-//! *shape* — here a single shape, so effectively O(1).
+//! *shape*; the flat IR set is O(N) memoized guard probes; the sharded
+//! set touches only the shard the packet's discriminating word selects.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pf_filter::dtree::FilterSet;
@@ -12,6 +15,7 @@ use pf_filter::interp::CheckedInterpreter;
 use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
 use pf_filter::samples;
+use pf_ir::set::{IrFilterSet, ShardedVnSet};
 use std::hint::black_box;
 
 /// Sequential reference: first match in priority order.
@@ -54,6 +58,18 @@ fn demux_scaling(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("decision_table", n), &n, |b, _| {
             b.iter(|| set.first_match(PacketView::new(black_box(&packet))))
+        });
+        let mut ir = IrFilterSet::new();
+        let mut sharded = ShardedVnSet::new();
+        for (id, f) in &filters {
+            ir.insert(*id, f.clone());
+            sharded.insert(*id, f.clone());
+        }
+        group.bench_with_input(BenchmarkId::new("ir_set", n), &n, |b, _| {
+            b.iter(|| ir.first_match(PacketView::new(black_box(&packet))))
+        });
+        group.bench_with_input(BenchmarkId::new("sharded_vn", n), &n, |b, _| {
+            b.iter(|| sharded.first_match(PacketView::new(black_box(&packet))))
         });
     }
     group.finish();

@@ -299,6 +299,7 @@ pub fn report_ablations() -> Report {
         DemuxEngine::Sequential,
         DemuxEngine::DecisionTable,
         DemuxEngine::Ir,
+        DemuxEngine::Sharded,
     ] {
         let ms = demux_cpu_ms_per_packet(engine);
         let label = match engine {
@@ -309,6 +310,7 @@ pub fn report_ablations() -> Report {
             DemuxEngine::Sequential => "sequential interpreter (figure 4-1)",
             DemuxEngine::DecisionTable => "decision table (§7)",
             DemuxEngine::Ir => "IR threaded code + shared guards",
+            DemuxEngine::Sharded => "sharded value-numbered set",
         };
         r.row(&[
             label.into(),
@@ -367,10 +369,16 @@ mod tests {
         let seq = demux_cpu_ms_per_packet(DemuxEngine::Sequential);
         let table = demux_cpu_ms_per_packet(DemuxEngine::DecisionTable);
         let ir = demux_cpu_ms_per_packet(DemuxEngine::Ir);
+        let sharded = demux_cpu_ms_per_packet(DemuxEngine::Sharded);
         // Worst-case sequential interprets ~15 whole filters per packet;
-        // the table probes per shape and the IR set shares guard work.
+        // the table probes per shape, the IR set shares guard work, and
+        // the sharded set touches one member per packet.
         assert!(table < seq, "table {table:.3} vs sequential {seq:.3}");
         assert!(ir < seq, "ir {ir:.3} vs sequential {seq:.3}");
+        assert!(sharded < seq, "sharded {sharded:.3} vs sequential {seq:.3}");
+        // Sharding skips the cold members entirely, so it must also beat
+        // the flat IR walk on this skewed population.
+        assert!(sharded < ir, "sharded {sharded:.3} vs flat ir {ir:.3}");
     }
 
     #[test]

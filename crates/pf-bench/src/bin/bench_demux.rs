@@ -1,0 +1,37 @@
+//! Writes `BENCH_demux.json`: the demux-scaling race between the
+//! flat-sequential, decision-table, flat-IR, and sharded value-numbered
+//! engines over growing multi-ethertype populations.
+//!
+//! ```text
+//! cargo run -p pf-bench --release --bin bench_demux            # full sweep, 1..512
+//! cargo run -p pf-bench --release --bin bench_demux -- --smoke # tiny CI sweep
+//! cargo run -p pf-bench --release --bin bench_demux -- --stdout
+//! ```
+
+use pf_bench::demux_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let stdout = args.iter().any(|a| a == "--stdout");
+    let points = demux_json::sweep(smoke);
+    let json = demux_json::to_json(&points);
+    if stdout {
+        print!("{json}");
+        return;
+    }
+    let path = demux_json::default_path();
+    std::fs::write(&path, &json).expect("write BENCH_demux.json");
+    println!("wrote {} ({} rows)", path.display(), points.len());
+    for p in &points {
+        println!(
+            "  {:>10} n={:<4} {:>10.1} ns/pkt  tests {:.2} fresh + {:.2} memo, {:.2} members",
+            p.engine,
+            p.population,
+            p.ns_per_packet,
+            p.tests_evaluated_per_packet,
+            p.tests_memoized_per_packet,
+            p.filters_evaluated_per_packet,
+        );
+    }
+}

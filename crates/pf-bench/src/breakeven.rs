@@ -13,6 +13,7 @@
 
 use crate::recvcost::{self, DemuxMode, RecvConfig};
 use crate::report::Report;
+use pf_kernel::device::DemuxEngine;
 
 /// Per-packet cost with `filters` active short-circuit socket filters and
 /// kernel demultiplexing (traffic spread uniformly, so the average packet
@@ -28,18 +29,24 @@ pub fn kernel_cost_ms(filters: usize) -> f64 {
     .per_packet_ms
 }
 
-/// The same sweep point with §7's decision-table engine: per-packet cost
-/// is (nearly) independent of the filter population.
-pub fn kernel_table_cost_ms(filters: usize) -> f64 {
+/// The same sweep point under an alternative demux engine (decision
+/// table, flat IR set, or the sharded value-numbered set): per-packet
+/// cost should be (nearly) independent of the filter population.
+pub fn kernel_engine_cost_ms(filters: usize, engine: DemuxEngine) -> f64 {
     recvcost::run(&RecvConfig {
         mode: DemuxMode::Kernel,
         active_filters: filters,
         count: 240,
         spacing_us: 900,
-        engine: pf_kernel::device::DemuxEngine::DecisionTable,
+        engine,
         ..Default::default()
     })
     .per_packet_ms
+}
+
+/// The sweep point with §7's decision-table engine.
+pub fn kernel_table_cost_ms(filters: usize) -> f64 {
+    kernel_engine_cost_ms(filters, DemuxEngine::DecisionTable)
 }
 
 /// Per-packet cost of the user-level demultiplexer (independent of the
@@ -86,14 +93,20 @@ pub fn report_break_even() -> Report {
         "active filters",
         "kernel demux (ms/pkt)",
         "kernel, §7 decision table",
+        "kernel, IR set",
+        "kernel, sharded VN",
         "user demux (ms/pkt)",
     ]);
     for (f, c) in &kernel {
-        let table = kernel_table_cost_ms(*f);
+        let table = kernel_engine_cost_ms(*f, DemuxEngine::DecisionTable);
+        let ir = kernel_engine_cost_ms(*f, DemuxEngine::Ir);
+        let sharded = kernel_engine_cost_ms(*f, DemuxEngine::Sharded);
         r.row(&[
             f.to_string(),
             format!("{c:.2}"),
             format!("{table:.2}"),
+            format!("{ir:.2}"),
+            format!("{sharded:.2}"),
             format!("{user:.2}"),
         ]);
     }
@@ -140,6 +153,30 @@ mod tests {
         assert!(
             at_48 < sequential_at_48 - 1.0,
             "table {at_48:.2} well under sequential {sequential_at_48:.2} at 48 filters"
+        );
+    }
+
+    #[test]
+    fn sharded_engine_is_population_independent() {
+        // The shard index touches one member per packet on a socket-filter
+        // population, so per-packet cost stays flat as the population grows
+        // and lands well under the sequential loop.
+        let at_1 = kernel_engine_cost_ms(1, DemuxEngine::Sharded);
+        let at_48 = kernel_engine_cost_ms(48, DemuxEngine::Sharded);
+        assert!(
+            (at_48 - at_1).abs() < 0.3,
+            "sharded engine flat: {at_1:.2} vs {at_48:.2} ms/pkt"
+        );
+        let sequential_at_48 = kernel_cost_ms(48);
+        assert!(
+            at_48 < sequential_at_48 - 1.0,
+            "sharded {at_48:.2} well under sequential {sequential_at_48:.2} at 48 filters"
+        );
+        // And it never exceeds the flat IR set, which walks every member.
+        let ir_at_48 = kernel_engine_cost_ms(48, DemuxEngine::Ir);
+        assert!(
+            at_48 <= ir_at_48,
+            "sharded {at_48:.2} <= flat IR {ir_at_48:.2} at 48 filters"
         );
     }
 }

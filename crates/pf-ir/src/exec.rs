@@ -165,6 +165,11 @@ impl IrFilter {
         self.code.len()
     }
 
+    /// The threaded code itself, for set-level rewriting ([`crate::vn`]).
+    pub(crate) fn code(&self) -> &[TOp] {
+        &self.code
+    }
+
     /// Live registers after optimization.
     pub fn reg_count(&self) -> usize {
         self.reg_count

@@ -5,7 +5,8 @@
 //! safe, and — as §6 measures — expensive to interpret, because every
 //! boolean connective pushes and pops intermediate truth values that a
 //! conventional compiler would keep in registers or branch on directly.
-//! This crate is the fifth rung of the workspace's execution ladder: it
+//! This crate is the fifth and sixth rungs of the workspace's execution
+//! ladder: it
 //! *compiles* validated stack programs into a small SSA-ish register IR
 //! ([`ir`]), optimizes the result ([`opt`]), and flattens it into threaded
 //! code that evaluates with no operand stack at all ([`exec`]).
@@ -28,19 +29,28 @@
 //!    test is evaluated once per packet, the same work-sharing the
 //!    paper's §7 decision-table proposal targets, without restricting
 //!    the filter language.
+//! 5. **Shard** ([`set::ShardedVnSet`], the sixth rung) — a set-level
+//!    value-numbering pass ([`vn`]) interns *every* equality test in
+//!    every member (fused guards, mid-program branch windows, terminal
+//!    compares) into one shared, per-packet lazily memoized test table,
+//!    and a shard index keyed on each member's *required*
+//!    discriminating-word literal lets a packet walk only the members
+//!    its own bytes select.
 //!
 //! Semantics are pinned to the checked interpreter: translation consumes
 //! only validated programs, runtime faults (out-of-bounds indirect loads,
 //! zero divisors) reject exactly as the interpreter does, and packets
 //! shorter than the validator's static minimum fall back to
 //! [`pf_filter::interp::CheckedInterpreter`] verbatim. The differential
-//! suites in `tests/` hold all five engines to one verdict.
+//! suites in `tests/` hold all six engines to one verdict.
 
 pub mod exec;
 pub mod ir;
 pub mod opt;
 pub mod set;
 pub mod translate;
+pub mod vn;
 
 pub use exec::{IrEvalStats, IrFilter};
-pub use set::{IrFilterSet, IrSetStats};
+pub use set::{IrFilterSet, IrSetStats, ShardedVnSet};
+pub use vn::VnSetStats;

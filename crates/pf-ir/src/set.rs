@@ -18,13 +18,20 @@
 //!
 //! Match results are priority-ordered with insertion-order ties, exactly
 //! like sequential demultiplexing and [`pf_filter::dtree::FilterSet`].
+//!
+//! [`ShardedVnSet`] goes further on both axes: members are rewritten by
+//! the [`crate::vn`] value-numbering pass (sharing *every* word-equality
+//! test, not just leading guards) and indexed by a guard-keyed shard map,
+//! so a packet walks only the members whose required discriminating test
+//! its first distinguishing word selects.
 
 use crate::exec::IrFilter;
+use crate::vn::{eval_vn, required_tests, value_number, TestTable, VnProgram, VnSetStats};
 use pf_filter::dtree::FilterId;
 use pf_filter::interp::{CheckedInterpreter, InterpConfig};
 use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Counters from one whole-set evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,6 +99,8 @@ pub struct IrFilterSet {
     /// "not yet evaluated for this packet".
     memo: Vec<(u64, bool)>,
     generation: u64,
+    /// Reused match-result buffer: evaluating a packet allocates nothing.
+    scratch: Vec<FilterId>,
 }
 
 impl IrFilterSet {
@@ -180,7 +189,42 @@ impl IrFilterSet {
     pub fn remove(&mut self, id: FilterId) -> bool {
         let before = self.members.len();
         self.members.retain(|m| m.id != id);
-        before != self.members.len()
+        let removed = before != self.members.len();
+        if removed {
+            self.gc_tests();
+        }
+        removed
+    }
+
+    /// Rebuilds the interned test table from the surviving members, so
+    /// churn never strands dead tests (`test_count` always matches what a
+    /// fresh rebuild would intern).
+    fn gc_tests(&mut self) {
+        let old_tests = std::mem::take(&mut self.tests);
+        let Self {
+            members,
+            tests,
+            test_ids,
+            memo,
+            ..
+        } = self;
+        test_ids.clear();
+        memo.clear();
+        for m in members {
+            if let MemberKind::Compiled { prefix, .. } = &mut m.kind {
+                for t in prefix.iter_mut() {
+                    let test = old_tests[*t];
+                    *t = *test_ids.entry(test).or_insert_with(|| {
+                        tests.push(test);
+                        // Stamp 0 is permanently stale: the generation
+                        // counter increments before every evaluation, so
+                        // it is at least 1 by the first memo check.
+                        memo.push((0, false));
+                        tests.len() - 1
+                    });
+                }
+            }
+        }
     }
 
     fn intern(&mut self, test: (u16, u16)) -> usize {
@@ -199,7 +243,7 @@ impl IrFilterSet {
     ///
     /// Takes `&mut self` because the per-packet test memo lives in the set.
     pub fn matches(&mut self, packet: PacketView<'_>) -> Vec<FilterId> {
-        self.matches_with_stats(packet).0
+        self.matches_with_stats(packet).0.to_vec()
     }
 
     /// The first (highest-priority) accepting filter, if any.
@@ -220,24 +264,29 @@ impl IrFilterSet {
             .map(|m| m.id)
     }
 
-    /// [`IrFilterSet::matches`] plus execution counters.
-    pub fn matches_with_stats(&mut self, packet: PacketView<'_>) -> (Vec<FilterId>, IrSetStats) {
+    /// [`IrFilterSet::matches`] plus execution counters. The returned
+    /// slice borrows the set's reused scratch buffer — no per-packet
+    /// allocation — and is valid until the next evaluation.
+    pub fn matches_with_stats(&mut self, packet: PacketView<'_>) -> (&[FilterId], IrSetStats) {
         let Self {
             members,
             tests,
             memo,
             generation,
             config,
+            scratch,
             ..
         } = self;
         *generation += 1;
+        scratch.clear();
         let mut stats = IrSetStats::default();
-        let ids = members
-            .iter()
-            .filter(|m| eval_member(m, packet, tests, memo, *generation, *config, &mut stats))
-            .map(|m| m.id)
-            .collect();
-        (ids, stats)
+        scratch.extend(
+            members
+                .iter()
+                .filter(|m| eval_member(m, packet, tests, memo, *generation, *config, &mut stats))
+                .map(|m| m.id),
+        );
+        (scratch, stats)
     }
 }
 
@@ -286,6 +335,398 @@ fn eval_member(
             let (accept, ops) = filter.eval_body(packet);
             stats.ops_executed += ops;
             accept
+        }
+    }
+}
+
+/// How a sharded-set member is executed.
+#[derive(Debug)]
+enum VnMemberKind {
+    /// Value-numbered against the set's shared [`TestTable`]. `required`
+    /// holds the resolved `(word, literal)` tests the compiled path must
+    /// pass to accept — the shard index's soundness witness.
+    Compiled {
+        filter: IrFilter,
+        code: VnProgram,
+        required: Vec<(u16, u16)>,
+    },
+    /// Failed validation; the checked interpreter defines its behavior.
+    Checked(FilterProgram),
+}
+
+#[derive(Debug)]
+struct VnMember {
+    id: FilterId,
+    priority: u8,
+    seq: u64,
+    kind: VnMemberKind,
+}
+
+/// A sharded, value-numbered demultiplexing set: set-level cross-filter
+/// CSE plus a guard-keyed shard index.
+///
+/// Two mechanisms compose:
+///
+/// * **Value numbering** ([`crate::vn`]): every member's word-equality
+///   tests — leading guards *and* mid-program/terminal compares — are
+///   interned into one shared, lazily-memoized table, so each distinct
+///   `(word, literal)` test runs at most once per packet set-wide.
+/// * **Sharding**: members are partitioned by their required test on the
+///   set's most discriminating packet word (chosen automatically — the
+///   word the most members require, e.g. the destination socket across a
+///   figure 3-9 population, or the ethertype across a protocol mix).
+///   A packet walks only the shard its word selects plus the unsharded
+///   residue, skipping every other member outright.
+///
+/// Skipping is sound because a skipped member's compiled path *requires*
+/// `packet[word] == lit` for some other literal ([`crate::vn::required_tests`]);
+/// packets too short for every sharded member's compiled path take a slow
+/// path that walks all members, preserving the checked-fallback semantics
+/// for short packets.
+///
+/// Match results are priority-ordered with insertion-order ties, exactly
+/// like every other engine.
+///
+/// # Examples
+///
+/// ```
+/// use pf_filter::packet::PacketView;
+/// use pf_filter::samples;
+/// use pf_ir::set::ShardedVnSet;
+///
+/// let mut set = ShardedVnSet::new();
+/// set.insert(7, samples::pup_socket_filter(10, 0, 35));
+/// set.insert(9, samples::pup_socket_filter(10, 0, 44));
+/// let pkt = samples::pup_packet_3mb(2, 0, 44, 1);
+/// assert_eq!(set.first_match(PacketView::new(&pkt)), Some(9));
+/// // The socket word discriminates: each member sits in its own shard.
+/// assert_eq!(set.shard_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ShardedVnSet {
+    config: InterpConfig,
+    next_seq: u64,
+    /// Members sorted by (priority desc, seq asc) — match order.
+    members: Vec<VnMember>,
+    table: TestTable,
+    /// The discriminating packet word the shard index keys on.
+    shard_word: Option<u16>,
+    /// Literal → member indices (ascending, i.e. match order).
+    shards: HashMap<u16, Vec<usize>>,
+    /// Member indices walked for every packet (ascending).
+    residue: Vec<usize>,
+    /// Packets shorter than this (in words) take the slow path that walks
+    /// all members: a sharded member's compiled-path requirement says
+    /// nothing about its short-packet checked fallback.
+    fast_min_words: usize,
+    /// Reused match-result buffer: evaluating a packet allocates nothing.
+    scratch: Vec<FilterId>,
+}
+
+impl ShardedVnSet {
+    /// An empty set under the default configuration (classic dialect,
+    /// paper-style short circuits) — the kernel device's configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set under an explicit interpreter configuration.
+    pub fn with_config(config: InterpConfig) -> Self {
+        ShardedVnSet {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Number of filters in the set.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of distinct interned tests across all members.
+    pub fn test_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of interned tests used by more than one member — the
+    /// cross-filter work value numbering shares per packet.
+    pub fn shared_tests(&self) -> usize {
+        let mut counts = vec![0u32; self.table.len()];
+        for m in &self.members {
+            if let VnMemberKind::Compiled { code, .. } = &m.kind {
+                for t in code.tests_used() {
+                    counts[t as usize] += 1;
+                }
+            }
+        }
+        counts.iter().filter(|&&c| c > 1).count()
+    }
+
+    /// How many members compiled to value-numbered threaded code (the
+    /// rest run on the checked interpreter, in the residue).
+    pub fn compiled(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| matches!(m.kind, VnMemberKind::Compiled { .. }))
+            .count()
+    }
+
+    /// The packet word the shard index keys on, if any.
+    pub fn shard_word(&self) -> Option<u16> {
+        self.shard_word
+    }
+
+    /// Number of shards (distinct literals of the discriminating word).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Members in no shard, walked for every packet.
+    pub fn residue_len(&self) -> usize {
+        self.residue.len()
+    }
+
+    /// Inserts (or replaces) the filter for `id`.
+    pub fn insert(&mut self, id: FilterId, program: FilterProgram) {
+        self.remove(id);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let priority = program.priority();
+        let kind = match IrFilter::compile_with_config(program.clone(), self.config) {
+            Ok(filter) => {
+                let code = value_number(&filter, &mut self.table);
+                let required = required_tests(&code)
+                    .into_iter()
+                    .map(|t| self.table.test(t))
+                    .collect();
+                VnMemberKind::Compiled {
+                    filter,
+                    code,
+                    required,
+                }
+            }
+            Err(_) => VnMemberKind::Checked(program),
+        };
+        let member = VnMember {
+            id,
+            priority,
+            seq,
+            kind,
+        };
+        let at = self.members.partition_point(|m| {
+            (m.priority, std::cmp::Reverse(m.seq)) >= (priority, std::cmp::Reverse(seq))
+        });
+        self.members.insert(at, member);
+        self.rebuild_index();
+    }
+
+    /// Removes the filter for `id`; `true` if it was present.
+    pub fn remove(&mut self, id: FilterId) -> bool {
+        let before = self.members.len();
+        self.members.retain(|m| m.id != id);
+        let removed = before != self.members.len();
+        if removed {
+            self.gc_tests();
+            self.rebuild_index();
+        }
+        removed
+    }
+
+    /// Compacts the shared table to the tests surviving members still
+    /// consult, remapping every program's ids.
+    fn gc_tests(&mut self) {
+        let mut live = vec![false; self.table.len()];
+        for m in &self.members {
+            if let VnMemberKind::Compiled { code, .. } = &m.kind {
+                for t in code.tests_used() {
+                    live[t as usize] = true;
+                }
+            }
+        }
+        let remap = self.table.compact(&live);
+        for m in &mut self.members {
+            if let VnMemberKind::Compiled { code, .. } = &mut m.kind {
+                code.remap_tests(&remap);
+            }
+        }
+    }
+
+    /// Recomputes the shard index: picks the packet word the most members
+    /// require a test on (ties broken toward more distinct literals, then
+    /// the lowest word) and partitions members by their literal for it.
+    fn rebuild_index(&mut self) {
+        self.shards.clear();
+        self.residue.clear();
+        // Candidate discriminating words, scored over required tests.
+        let mut words: HashMap<u16, (u32, HashSet<u16>)> = HashMap::new();
+        for m in &self.members {
+            if let VnMemberKind::Compiled { required, .. } = &m.kind {
+                let mut seen = HashSet::new();
+                for &(word, lit) in required {
+                    let entry = words.entry(word).or_default();
+                    if seen.insert(word) {
+                        entry.0 += 1;
+                    }
+                    entry.1.insert(lit);
+                }
+            }
+        }
+        let mut candidates: Vec<(u16, u32, usize)> = words
+            .into_iter()
+            .map(|(word, (count, lits))| (word, count, lits.len()))
+            .collect();
+        candidates.sort_by_key(|&(word, count, lits)| (std::cmp::Reverse((count, lits)), word));
+        self.shard_word = candidates.first().map(|&(word, ..)| word);
+        self.fast_min_words = 0;
+        for (i, m) in self.members.iter().enumerate() {
+            let sharded = match (&m.kind, self.shard_word) {
+                (
+                    VnMemberKind::Compiled {
+                        filter, required, ..
+                    },
+                    Some(d),
+                ) => {
+                    match required.iter().find(|&&(word, _)| word == d) {
+                        Some(&(_, lit)) => {
+                            // A member requiring two literals for the same
+                            // word can never accept on the compiled path;
+                            // either shard is a sound home.
+                            self.shards.entry(lit).or_default().push(i);
+                            self.fast_min_words =
+                                self.fast_min_words.max(filter.min_packet_words());
+                            true
+                        }
+                        None => false,
+                    }
+                }
+                _ => false,
+            };
+            if !sharded {
+                self.residue.push(i);
+            }
+        }
+    }
+
+    /// Ids of every filter accepting the packet, in match order.
+    pub fn matches(&mut self, packet: PacketView<'_>) -> Vec<FilterId> {
+        self.matches_with_stats(packet).0.to_vec()
+    }
+
+    /// The first (highest-priority) accepting filter, if any.
+    pub fn first_match(&mut self, packet: PacketView<'_>) -> Option<FilterId> {
+        self.walk(packet, true).1.first().copied()
+    }
+
+    /// [`ShardedVnSet::matches`] plus execution counters. The returned
+    /// slice borrows the set's reused scratch buffer — no per-packet
+    /// allocation — and is valid until the next evaluation.
+    pub fn matches_with_stats(&mut self, packet: PacketView<'_>) -> (&[FilterId], VnSetStats) {
+        let (stats, ids) = self.walk(packet, false);
+        (ids, stats)
+    }
+
+    fn walk(&mut self, packet: PacketView<'_>, stop_at_first: bool) -> (VnSetStats, &[FilterId]) {
+        let Self {
+            members,
+            table,
+            shards,
+            residue,
+            shard_word,
+            fast_min_words,
+            scratch,
+            config,
+            ..
+        } = self;
+        table.begin_packet();
+        scratch.clear();
+        let mut stats = VnSetStats::default();
+        let fast = packet.word_len() >= *fast_min_words;
+        let mut eval_at = |i: usize, stats: &mut VnSetStats| {
+            let m = &members[i];
+            if eval_vn_member(m, packet, table, *config, stats) {
+                scratch.push(m.id);
+                stop_at_first
+            } else {
+                false
+            }
+        };
+        match (fast, *shard_word) {
+            (true, Some(d)) => {
+                // Walk the selected shard merged with the residue; merge
+                // by member index, which is match order (the members
+                // vector is globally sorted).
+                static EMPTY: &[usize] = &[];
+                let shard: &[usize] = packet
+                    .word(usize::from(d))
+                    .and_then(|key| shards.get(&key))
+                    .map_or(EMPTY, Vec::as_slice);
+                let (mut i, mut j) = (0, 0);
+                loop {
+                    let next = match (shard.get(i), residue.get(j)) {
+                        (Some(&a), Some(&b)) if a < b => {
+                            i += 1;
+                            a
+                        }
+                        (_, Some(&b)) => {
+                            j += 1;
+                            b
+                        }
+                        (Some(&a), None) => {
+                            i += 1;
+                            a
+                        }
+                        (None, None) => break,
+                    };
+                    if eval_at(next, &mut stats) {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                // Slow path (short packet) or no discriminating word:
+                // walk every member, exactly like the flat set.
+                for i in 0..members.len() {
+                    if eval_at(i, &mut stats) {
+                        break;
+                    }
+                }
+            }
+        }
+        stats.filters_skipped = members.len() as u32 - stats.filters_evaluated;
+        (stats, scratch)
+    }
+}
+
+/// Evaluates one sharded-set member, sharing test verdicts through the
+/// set's memoized table.
+fn eval_vn_member(
+    m: &VnMember,
+    packet: PacketView<'_>,
+    table: &mut TestTable,
+    config: InterpConfig,
+    stats: &mut VnSetStats,
+) -> bool {
+    stats.filters_evaluated += 1;
+    match &m.kind {
+        VnMemberKind::Checked(program) => {
+            let (accept, s) = CheckedInterpreter::new(config).eval_with_stats(program, packet);
+            stats.ops_executed += s.instructions;
+            accept
+        }
+        VnMemberKind::Compiled { filter, code, .. } => {
+            if packet.word_len() < filter.min_packet_words() {
+                // Short packet: the member's own checked fallback defines
+                // the semantics; test sharing does not apply.
+                let (accept, s) = filter.eval_with_stats(packet);
+                stats.ops_executed += s.ops_executed;
+                return accept;
+            }
+            eval_vn(code, packet, table, stats)
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Deterministic differential verification: every execution engine in the
 //! workspace — checked interpreter, validated fast interpreter, compiled
-//! micro-ops, the IR threaded-code engine, and the IR filter *set* — must
-//! be observationally identical.
+//! micro-ops, the IR threaded-code engine, the flat IR filter *set*, and
+//! the sharded value-numbered set — must be observationally identical.
 //!
 //! Unlike the proptest suites (feature-gated because the default build is
 //! hermetic), this loop runs in every `cargo test`: programs and packets
@@ -16,7 +16,7 @@ use pf_filter::program::FilterProgram;
 use pf_filter::samples;
 use pf_filter::validate::ValidatedProgram;
 use pf_filter::word::{BinaryOp, Instr, StackAction};
-use pf_ir::set::IrFilterSet;
+use pf_ir::set::{IrFilterSet, ShardedVnSet};
 use pf_ir::IrFilter;
 use pf_sim::rng::SplitMix64;
 
@@ -177,9 +177,10 @@ fn random_packet(rng: &mut SplitMix64) -> Vec<u8> {
 
 /// The core pin: for every seeded (program, packet) pair, in all four
 /// dialect × short-circuit configurations, the IR engine (and every other
-/// engine) agrees with the checked interpreter.
+/// engine, including a singleton sharded value-numbered set) agrees with
+/// the checked interpreter.
 #[test]
-fn five_engines_agree_on_seeded_pairs() {
+fn six_engines_agree_on_seeded_pairs() {
     let mut rng = SplitMix64::new(0x5eed_0087);
     let mut validated_cases = 0u32;
     for case in 0..600 {
@@ -197,14 +198,30 @@ fn five_engines_agree_on_seeded_pairs() {
                 // IrFilter must reject exactly the programs validation
                 // rejects.
                 assert!(
-                    IrFilter::compile_with_config(prog, cfg).is_err(),
+                    IrFilter::compile_with_config(prog.clone(), cfg).is_err(),
                     "case {case}: IR compiled a program validation rejects"
                 );
+                // The sharded set carries rejected programs on its checked
+                // fallback path; it must still track the reference.
+                let checked = CheckedInterpreter::new(cfg);
+                let mut sharded = ShardedVnSet::with_config(cfg);
+                sharded.insert(0, prog.clone());
+                for (pi, pkt) in packets.iter().enumerate() {
+                    let view = PacketView::new(pkt);
+                    let expect = checked.eval(&prog, view);
+                    assert_eq!(
+                        sharded.first_match(view),
+                        expect.then_some(0),
+                        "sharded fallback vs checked: case {case} packet {pi} cfg {cfg:?}"
+                    );
+                }
                 continue;
             };
             validated_cases += 1;
             let compiled = CompiledFilter::from_validated(validated.clone());
             let ir = IrFilter::from_validated(&validated);
+            let mut sharded = ShardedVnSet::with_config(cfg);
+            sharded.insert(0, validated.program().clone());
             let checked = CheckedInterpreter::new(cfg);
             for (pi, pkt) in packets.iter().enumerate() {
                 let view = PacketView::new(pkt);
@@ -213,6 +230,11 @@ fn five_engines_agree_on_seeded_pairs() {
                 assert_eq!(validated.eval(view), expect, "validated vs checked: {ctx}");
                 assert_eq!(compiled.eval(view), expect, "compiled vs checked: {ctx}");
                 assert_eq!(ir.eval(view), expect, "ir vs checked: {ctx}");
+                assert_eq!(
+                    sharded.first_match(view),
+                    expect.then_some(0),
+                    "sharded vs checked: {ctx}"
+                );
             }
         }
     }
@@ -223,8 +245,8 @@ fn five_engines_agree_on_seeded_pairs() {
     );
 }
 
-/// Set-level pin (default configuration, which both set engines hardcode):
-/// the IR filter set and the decision-table set agree with a sequential
+/// Set-level pin (default configuration): the flat IR set, the sharded
+/// value-numbered set, and the decision-table set agree with a sequential
 /// priority-ordered walk over mixed filter populations, including programs
 /// that fail validation.
 #[test]
@@ -252,9 +274,11 @@ fn set_engines_agree_on_seeded_populations() {
             id += 1;
         }
         let mut ir_set = IrFilterSet::new();
+        let mut sharded = ShardedVnSet::new();
         let mut table = FilterSet::new();
         for (fid, f) in &filters {
             ir_set.insert(*fid, f.clone());
+            sharded.insert(*fid, f.clone());
             table.insert(*fid, f.clone());
         }
         for pi in 0..4 {
@@ -276,6 +300,11 @@ fn set_engines_agree_on_seeded_populations() {
                 .collect();
             let ctx = format!("case {case} packet {pi}");
             assert_eq!(ir_set.matches(view), expect, "ir set vs sequential: {ctx}");
+            assert_eq!(
+                sharded.matches(view),
+                expect,
+                "sharded vs sequential: {ctx}"
+            );
             assert_eq!(table.matches(view), expect, "table vs sequential: {ctx}");
         }
     }
@@ -311,8 +340,91 @@ fn ir_set_survives_churn() {
         for (fid, f) in &live {
             fresh.insert(*fid, f.clone());
         }
+        assert_eq!(set.test_count(), fresh.test_count(), "step {step}");
+        assert_eq!(set.shared_tests(), fresh.shared_tests(), "step {step}");
         let pkt = samples::pup_packet_3mb(rng.below(6) as u16, 0, 28 + rng.below(12) as u16, 1);
         let view = PacketView::new(&pkt);
         assert_eq!(set.matches(view), fresh.matches(view), "step {step}");
+    }
+}
+
+/// Seeded churn for the sharded set: inserts and removals keep it
+/// equivalent to a from-scratch rebuild, *and* keep the shared-table
+/// bookkeeping and shard index identical to the fresh build — removals
+/// must GC interned tests, not strand them.
+#[test]
+fn sharded_set_survives_churn() {
+    let mut rng = SplitMix64::new(0xbead_5eed);
+    let mut live: Vec<(u32, FilterProgram)> = Vec::new();
+    let mut set = ShardedVnSet::new();
+    for step in 0..200 {
+        if !live.is_empty() && rng.chance(0.4) {
+            let at = rng.below(live.len() as u64) as usize;
+            let (fid, _) = live.remove(at);
+            assert!(set.remove(fid));
+        } else {
+            let fid = step as u32;
+            let f = match rng.below(3) {
+                0 => samples::pup_socket_filter(rng.below(30) as u8, 0, 30 + rng.below(8) as u16),
+                1 => samples::ethertype_filter(rng.below(30) as u8, rng.below(6) as u16),
+                _ => FilterProgram::from_words(7, random_words(&mut rng)),
+            };
+            set.insert(fid, f.clone());
+            live.push((fid, f));
+        }
+        if step % 20 != 0 {
+            continue;
+        }
+        let mut fresh = ShardedVnSet::new();
+        for (fid, f) in &live {
+            fresh.insert(*fid, f.clone());
+        }
+        assert_eq!(set.test_count(), fresh.test_count(), "step {step}");
+        assert_eq!(set.shared_tests(), fresh.shared_tests(), "step {step}");
+        assert_eq!(set.shard_word(), fresh.shard_word(), "step {step}");
+        assert_eq!(set.shard_count(), fresh.shard_count(), "step {step}");
+        let pkt = samples::pup_packet_3mb(rng.below(6) as u16, 0, 28 + rng.below(12) as u16, 1);
+        let view = PacketView::new(&pkt);
+        assert_eq!(set.matches(view), fresh.matches(view), "step {step}");
+    }
+}
+
+/// Re-inserting under a live id replaces the old program without leaking
+/// its interned tests: both sets report the same table bookkeeping as a
+/// from-scratch build of the final population.
+#[test]
+fn reinsert_replaces_without_leaking_tests() {
+    let mut ir = IrFilterSet::new();
+    let mut sharded = ShardedVnSet::new();
+    for i in 0..4u16 {
+        ir.insert(u32::from(i), samples::pup_socket_filter(10, 0, 30 + i));
+        sharded.insert(u32::from(i), samples::pup_socket_filter(10, 0, 30 + i));
+    }
+    // Replace id 1: its socket test (8, 31) must die with it.
+    ir.insert(1, samples::ethertype_filter(9, 5));
+    sharded.insert(1, samples::ethertype_filter(9, 5));
+    let mut ir_fresh = IrFilterSet::new();
+    let mut sh_fresh = ShardedVnSet::new();
+    for (fid, f) in [
+        (0u32, samples::pup_socket_filter(10, 0, 30)),
+        (2, samples::pup_socket_filter(10, 0, 32)),
+        (3, samples::pup_socket_filter(10, 0, 33)),
+        (1, samples::ethertype_filter(9, 5)),
+    ] {
+        ir_fresh.insert(fid, f.clone());
+        sh_fresh.insert(fid, f);
+    }
+    assert_eq!(ir.len(), 4);
+    assert_eq!(sharded.len(), 4);
+    assert_eq!(ir.test_count(), ir_fresh.test_count());
+    assert_eq!(ir.shared_tests(), ir_fresh.shared_tests());
+    assert_eq!(sharded.test_count(), sh_fresh.test_count());
+    assert_eq!(sharded.shared_tests(), sh_fresh.shared_tests());
+    assert_eq!(sharded.shard_word(), sh_fresh.shard_word());
+    for sock in [30u16, 31, 32, 33] {
+        let pkt = samples::pup_packet_3mb(2, 0, sock, 1);
+        let view = PacketView::new(&pkt);
+        assert_eq!(ir.matches(view), ir_fresh.matches(view), "sock {sock}");
+        assert_eq!(sharded.matches(view), sh_fresh.matches(view), "sock {sock}");
     }
 }

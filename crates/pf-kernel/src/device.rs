@@ -32,7 +32,7 @@ use pf_filter::dtree::FilterSet;
 use pf_filter::interp::{CheckedInterpreter, EvalStats};
 use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
-use pf_ir::set::IrFilterSet;
+use pf_ir::set::{IrFilterSet, ShardedVnSet};
 use std::collections::VecDeque;
 
 /// How the device matches received packets against the active filters.
@@ -51,6 +51,11 @@ pub enum DemuxEngine {
     /// with guard-prefix tests shared (and memoized) across the set. Unlike
     /// the decision table this accepts *every* filter program.
     Ir,
+    /// The IR pipeline plus set-level value numbering and a guard-keyed
+    /// shard index: *every* word-equality test is shared (memoized once
+    /// per packet) and a packet walks only the members its discriminating
+    /// word selects. Accepts every filter program, like `Ir`.
+    Sharded,
 }
 
 /// How many demultiplex operations between adaptive re-sorts of
@@ -156,6 +161,9 @@ pub struct PfDevice {
     /// The IR-compiled filter set, maintained when the IR engine is
     /// selected (keyed by port index).
     ir_set: Option<IrFilterSet>,
+    /// The sharded value-numbered set, maintained when the sharded engine
+    /// is selected (keyed by port index).
+    sharded: Option<ShardedVnSet>,
     interp: CheckedInterpreter,
 }
 
@@ -178,6 +186,7 @@ impl PfDevice {
             engine: DemuxEngine::Sequential,
             table: None,
             ir_set: None,
+            sharded: None,
             interp: CheckedInterpreter::default(),
         }
     }
@@ -186,20 +195,10 @@ impl PfDevice {
     /// decision table, or the pf-ir threaded-code compiler).
     pub fn set_engine(&mut self, engine: DemuxEngine) {
         self.engine = engine;
-        match engine {
-            DemuxEngine::Sequential => {
-                self.table = None;
-                self.ir_set = None;
-            }
-            DemuxEngine::DecisionTable => {
-                self.ir_set = None;
-                self.rebuild_table();
-            }
-            DemuxEngine::Ir => {
-                self.table = None;
-                self.rebuild_ir_set();
-            }
-        }
+        self.table = None;
+        self.ir_set = None;
+        self.sharded = None;
+        self.rebuild_engine_state();
     }
 
     /// The active demultiplexing engine.
@@ -242,12 +241,36 @@ impl PfDevice {
         self.ir_set = Some(set);
     }
 
+    /// Number of shards in the sharded engine's index (distinct literals
+    /// of the discriminating word), when the sharded engine is active.
+    pub fn sharded_shard_count(&self) -> usize {
+        self.sharded.as_ref().map_or(0, |s| s.shard_count())
+    }
+
+    /// Number of tests the sharded engine shares between filters, when the
+    /// sharded engine is active.
+    pub fn sharded_shared_tests(&self) -> usize {
+        self.sharded.as_ref().map_or(0, |s| s.shared_tests())
+    }
+
+    fn rebuild_sharded(&mut self) {
+        let mut set = ShardedVnSet::new();
+        // Same demux-order insertion as `rebuild_table`.
+        for &idx in &self.order {
+            if let Some(f) = &self.ports[idx].filter {
+                set.insert(idx as u32, f.clone());
+            }
+        }
+        self.sharded = Some(set);
+    }
+
     /// Rebuilds whichever compiled set the active engine maintains.
     fn rebuild_engine_state(&mut self) {
         match self.engine {
             DemuxEngine::Sequential => {}
             DemuxEngine::DecisionTable => self.rebuild_table(),
             DemuxEngine::Ir => self.rebuild_ir_set(),
+            DemuxEngine::Sharded => self.rebuild_sharded(),
         }
     }
 
@@ -356,6 +379,7 @@ impl PfDevice {
             DemuxEngine::Sequential => {}
             DemuxEngine::DecisionTable => return self.demux_table(packet),
             DemuxEngine::Ir => return self.demux_ir(packet),
+            DemuxEngine::Sharded => return self.demux_sharded(packet),
         }
         if self.adaptive && self.demux_ops.is_multiple_of(REORDER_INTERVAL) {
             self.resort();
@@ -415,7 +439,31 @@ impl PfDevice {
             ir_ops: stats.ops_executed,
             ..Default::default()
         };
-        for id in matches {
+        for &id in matches {
+            let idx = id as PortIdx;
+            out.accepted.push(idx);
+            if !self.ports[idx].config.deliver_to_lower {
+                break;
+            }
+        }
+        for &idx in &out.accepted {
+            self.ports[idx].accepts += 1;
+        }
+        out
+    }
+
+    /// Sharded demultiplexing: evaluate the value-numbered set (walking
+    /// only the shard the packet's discriminating word selects), then walk
+    /// the priority-ordered matches applying the §3.2 deliver-to-lower
+    /// rule.
+    fn demux_sharded(&mut self, packet: &[u8]) -> DemuxOutcome {
+        let set = self.sharded.as_mut().expect("sharded engine selected");
+        let (matches, stats) = set.matches_with_stats(PacketView::new(packet));
+        let mut out = DemuxOutcome {
+            ir_ops: stats.ops_executed,
+            ..Default::default()
+        };
+        for &id in matches {
             let idx = id as PortIdx;
             out.accepted.push(idx);
             if !self.ports[idx].config.deliver_to_lower {
@@ -674,6 +722,69 @@ mod tests {
         let consumer = d.open((ProcId(1), Fd(0)));
         d.set_filter(consumer, samples::pup_socket_filter(10, 0, 35));
         d.set_engine(DemuxEngine::Ir);
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![monitor, consumer]);
+    }
+
+    #[test]
+    fn sharded_engine_agrees_with_sequential() {
+        let filters = vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::pup_socket_filter(10, 0, 44),
+            samples::accept_all(5),
+            samples::fig_3_8_pup_type_range(),
+        ];
+        for sock in [35u16, 44, 99] {
+            let mut seq = dev_with(filters.clone());
+            seq.set_adaptive_reorder(false);
+            let mut sh = dev_with(filters.clone());
+            sh.set_adaptive_reorder(false);
+            sh.set_engine(DemuxEngine::Sharded);
+            let p = pkt(sock);
+            assert_eq!(seq.demux(&p).accepted, sh.demux(&p).accepted, "sock={sock}");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_reports_ops_and_shards() {
+        let mut d = dev_with(vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::pup_socket_filter(10, 0, 44),
+        ]);
+        d.set_engine(DemuxEngine::Sharded);
+        // Socket word discriminates: one shard per port; the hi-word and
+        // ethertype tests are shared between both members.
+        assert_eq!(d.sharded_shard_count(), 2);
+        assert_eq!(d.sharded_shared_tests(), 2);
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![0]);
+        assert!(
+            out.applied.is_empty(),
+            "sharded engine does not itemize applications"
+        );
+        assert!(out.ir_ops > 0, "value-numbered work is accounted");
+    }
+
+    #[test]
+    fn sharded_engine_tracks_filter_rebinding_and_close() {
+        let mut d = dev_with(vec![samples::pup_socket_filter(10, 0, 35)]);
+        d.set_engine(DemuxEngine::Sharded);
+        assert!(d.demux(&pkt(44)).accepted.is_empty());
+        d.set_filter(0, samples::pup_socket_filter(10, 0, 44));
+        assert_eq!(d.demux(&pkt(44)).accepted, vec![0]);
+        d.close(0);
+        assert!(d.demux(&pkt(44)).accepted.is_empty());
+    }
+
+    #[test]
+    fn sharded_engine_respects_deliver_to_lower() {
+        let mut d = PfDevice::new();
+        let monitor = d.open((ProcId(0), Fd(0)));
+        d.set_filter(monitor, samples::accept_all(30));
+        d.port_mut(monitor).config.deliver_to_lower = true;
+        let consumer = d.open((ProcId(1), Fd(0)));
+        d.set_filter(consumer, samples::pup_socket_filter(10, 0, 35));
+        d.set_engine(DemuxEngine::Sharded);
         let out = d.demux(&pkt(35));
         assert_eq!(out.accepted, vec![monitor, consumer]);
     }

@@ -540,6 +540,15 @@ impl World {
                     let cost = h.costs.filter_cost(outcome.ir_ops);
                     h.cpu.charge("pf:ir", now, cost);
                 }
+                DemuxEngine::Sharded => {
+                    // Same instruction-cost curve as the IR engine: the
+                    // sharded set reports value-numbered threaded-code ops
+                    // (memoized tests are free, skipped members cost
+                    // nothing).
+                    h.counters.filter_instructions += u64::from(outcome.ir_ops);
+                    let cost = h.costs.filter_cost(outcome.ir_ops);
+                    h.cpu.charge("pf:sharded", now, cost);
+                }
             }
         }
         if outcome.accepted.is_empty() {

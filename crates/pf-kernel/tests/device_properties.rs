@@ -142,6 +142,7 @@ proptest! {
         let mut seq = build(DemuxEngine::Sequential);
         let mut tab = build(DemuxEngine::DecisionTable);
         let mut ir = build(DemuxEngine::Ir);
+        let mut sharded = build(DemuxEngine::Sharded);
         for (et, sock, ptype) in traffic {
             let pkt = samples::pup_packet_3mb(et, 0, sock, ptype);
             let expect = seq.demux(&pkt).accepted;
@@ -152,8 +153,13 @@ proptest! {
             );
             prop_assert_eq!(
                 ir.demux(&pkt).accepted,
-                expect,
+                expect.clone(),
                 "ir: et={} sock={} type={}", et, sock, ptype
+            );
+            prop_assert_eq!(
+                sharded.demux(&pkt).accepted,
+                expect,
+                "sharded: et={} sock={} type={}", et, sock, ptype
             );
         }
     }
