@@ -1,0 +1,59 @@
+//! Writes `BENCH_chaos.json`: the fault-injection campaign sweeping
+//! loss/corruption/truncation/reorder/duplication mixes over seeded BSP
+//! and VMTP scenarios, plus the engine-agreement and kernel-degradation
+//! checks. Every invariant violation panics, so a zero exit *is* the
+//! campaign's zero-panic, everything-delivered proof.
+//!
+//! ```text
+//! cargo run -p pf-bench --release --bin bench_chaos            # full sweep
+//! cargo run -p pf-bench --release --bin bench_chaos -- --smoke # tiny CI sweep
+//! cargo run -p pf-bench --release --bin bench_chaos -- --stdout
+//! ```
+
+use pf_bench::chaos;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let stdout = args.iter().any(|a| a == "--stdout");
+    let report = chaos::sweep(smoke);
+    let json = chaos::to_json(&report);
+    if stdout {
+        print!("{json}");
+        return;
+    }
+    let path = chaos::default_path();
+    std::fs::write(&path, &json).expect("write BENCH_chaos.json");
+    println!("wrote {} ({} rows)", path.display(), report.rows.len());
+    for p in &report.rows {
+        println!(
+            "  {:>4} loss={:.2} corr={:.2} trunc={:.2} reord={:.2} dup={:.2}  \
+             delivered={} retransmits={} discards={}",
+            p.scenario,
+            p.faults.loss,
+            p.faults.corruption,
+            p.faults.truncation,
+            p.faults.reorder,
+            p.faults.duplication,
+            p.run.delivered,
+            p.run.retransmits,
+            p.run.discards,
+        );
+    }
+    let e = &report.engines;
+    println!(
+        "  engines: {} programs x {} damaged packets, {} verdicts, {} disagreements",
+        e.programs, e.packets, e.verdicts, e.disagreements
+    );
+    let k = &report.kernel;
+    println!(
+        "  kernel: {} quarantined ports served {} packets (compiled {}), \
+         {} budget overruns, drops tail/oldest {}/{}",
+        k.quarantined_ports,
+        k.quarantine_accepts,
+        k.compiled_accepts,
+        k.budget_overruns,
+        k.drop_tail_drops,
+        k.drop_oldest_drops
+    );
+}

@@ -1,0 +1,926 @@
+//! Chaos campaign: `BENCH_chaos.json`.
+//!
+//! Sweeps the full fault spectrum — loss, corruption, truncation,
+//! reordering, duplication — over seeded BSP and VMTP scenarios, and
+//! checks the degradation machinery end to end:
+//!
+//! * **protocols**: every byte stream / transaction completes exactly
+//!   under any fault mix with loss ≤ 30% (checksums discard the damaged
+//!   frames, retransmission recovers them), and a total blackout ends in
+//!   a *bounded* give-up rather than an unbounded retry storm;
+//! * **engines**: corrupted and truncated packets get one verdict from
+//!   every execution engine in the workspace;
+//! * **kernel**: overflowing ports shed packets per their configured
+//!   policy, and quarantined filters (validation-rejected or
+//!   over-budget) keep being served by the checked interpreter.
+//!
+//! Everything is seeded through [`pf_sim::rng::SplitMix64`], so the
+//! campaign is reproducible and the tests assert on exact counters. The
+//! campaign's own completion is the zero-panic invariant: every
+//! violation is an `assert!` with the seed in its message.
+
+use pf_filter::compile::CompiledFilter;
+use pf_filter::dtree::FilterSet;
+use pf_filter::interp::CheckedInterpreter;
+use pf_filter::packet::PacketView;
+use pf_filter::program::{Assembler, FilterProgram};
+use pf_filter::samples;
+use pf_filter::validate::ValidatedProgram;
+use pf_filter::word::BinaryOp;
+use pf_ir::set::{IrFilterSet, ShardedVnSet};
+use pf_ir::IrFilter;
+use pf_kernel::device::DemuxEngine;
+use pf_kernel::types::{Fd, OverflowPolicy, ProcId, RecvPacket};
+use pf_kernel::PfDevice;
+use pf_proto::bsp::{BspConfig, Effect, ReceiverMachine, SenderMachine, RTO_TOKEN};
+use pf_proto::pup::{Pup, PupAddr};
+use pf_proto::vmtp::{ClientMachine, ServerMachine, VEffect, VmtpPacket, VMTP_RTO_TOKEN};
+use pf_sim::rng::SplitMix64;
+use pf_sim::time::SimDuration;
+use std::collections::VecDeque;
+
+/// Give-up threshold used by both protocol scenarios: generous enough
+/// that a 30%-loss channel practically never exhausts it, small enough
+/// that a blackout terminates quickly.
+pub const MAX_RETRIES: u32 = 32;
+
+/// Per-delivery fault probabilities for the byte channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChaosFaults {
+    /// Probability a frame is silently dropped.
+    pub loss: f64,
+    /// Probability one random bit of one random byte is flipped.
+    pub corruption: f64,
+    /// Probability a frame is truncated to a random proper prefix.
+    pub truncation: f64,
+    /// Probability a frame is delivered after the next one (local swap).
+    pub reorder: f64,
+    /// Probability a pristine extra copy is delivered as well.
+    pub duplication: f64,
+}
+
+/// Counts of faults the channel actually injected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultTally {
+    /// Frames dropped.
+    pub lost: u64,
+    /// Extra copies produced.
+    pub duplicated: u64,
+    /// Frames with a bit flipped.
+    pub corrupted: u64,
+    /// Frames cut to a prefix.
+    pub truncated: u64,
+    /// Frames that swapped places with a neighbor.
+    pub reordered: u64,
+}
+
+impl FaultTally {
+    fn merge(self, other: FaultTally) -> FaultTally {
+        FaultTally {
+            lost: self.lost + other.lost,
+            duplicated: self.duplicated + other.duplicated,
+            corrupted: self.corrupted + other.corrupted,
+            truncated: self.truncated + other.truncated,
+            reordered: self.reordered + other.reordered,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.lost + self.duplicated + self.corrupted + self.truncated + self.reordered
+    }
+}
+
+/// A unidirectional byte channel applying [`ChaosFaults`] per push.
+///
+/// The five gates are drawn unconditionally in a fixed order (loss,
+/// duplication, corruption, truncation, reorder) — the same independence
+/// contract as `pf_net::segment`, so one fault's rate never skews
+/// another's random stream. Duplication yields a pristine copy even when
+/// the primary is lost or damaged (two copies on the wire).
+struct Channel {
+    q: VecDeque<Vec<u8>>,
+    faults: ChaosFaults,
+    tally: FaultTally,
+}
+
+impl Channel {
+    fn new(faults: ChaosFaults) -> Self {
+        Channel {
+            q: VecDeque::new(),
+            faults,
+            tally: FaultTally::default(),
+        }
+    }
+
+    fn push(&mut self, bytes: Vec<u8>, rng: &mut SplitMix64) {
+        let lost = rng.chance(self.faults.loss);
+        let duplicated = rng.chance(self.faults.duplication);
+        let corrupted = rng.chance(self.faults.corruption);
+        let truncated = rng.chance(self.faults.truncation);
+        let reordered = rng.chance(self.faults.reorder);
+        let mut primary = bytes.clone();
+        if corrupted && !primary.is_empty() {
+            self.tally.corrupted += 1;
+            let at = rng.below(primary.len() as u64) as usize;
+            let bit = rng.below(8) as u32;
+            primary[at] ^= 1u8 << bit;
+        }
+        if truncated && primary.len() > 1 {
+            self.tally.truncated += 1;
+            let keep = 1 + rng.below(primary.len() as u64 - 1) as usize;
+            primary.truncate(keep);
+        }
+        if lost {
+            self.tally.lost += 1;
+        } else if reordered && !self.q.is_empty() {
+            // Arrive *before* the frame already in flight: local swap.
+            self.tally.reordered += 1;
+            let prior = self.q.pop_back().expect("non-empty");
+            self.q.push_back(primary);
+            self.q.push_back(prior);
+        } else {
+            self.q.push_back(primary);
+        }
+        if duplicated {
+            self.tally.duplicated += 1;
+            self.q.push_back(bytes);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Vec<u8>> {
+        self.q.pop_front()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+/// Outcome of one protocol run through the faulty channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtoRun {
+    /// The payload (BSP) or every transaction (VMTP) arrived exactly.
+    pub delivered: bool,
+    /// The sender/client exhausted its retries and gave up.
+    pub gave_up: bool,
+    /// First-transmission data packets (BSP) or packets sent (VMTP).
+    pub data_packets: u64,
+    /// Backed-off retransmissions performed.
+    pub retransmits: u64,
+    /// Frames the decoders rejected (bad checksum or malformed).
+    pub discards: u64,
+    /// Duplicate data packets the receiver suppressed (BSP).
+    pub duplicates: u64,
+    /// Out-of-order arrivals the receiver buffered or re-acked (BSP).
+    pub out_of_order: u64,
+    /// Scheduler iterations consumed.
+    pub steps: u64,
+    /// Faults the channels injected.
+    pub injected: FaultTally,
+}
+
+/// Drives one checksummed BSP transfer of `payload_len` bytes through
+/// the faulty channel until the sender closes or gives up.
+pub fn run_bsp(seed: u64, faults: ChaosFaults, payload_len: usize) -> ProtoRun {
+    let mut rng = SplitMix64::new(seed);
+    let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+    let cfg = BspConfig {
+        window: 4,
+        segment: 400,
+        checksummed: true,
+        max_retries: MAX_RETRIES,
+        ..Default::default()
+    };
+    let sa = PupAddr::new(1, 0x0A, 0x100);
+    let ra = PupAddr::new(1, 0x0B, 0x200);
+    let mut s = SenderMachine::new(sa, ra, cfg);
+    let mut r = ReceiverMachine::new(ra);
+    let mut to_recv = Channel::new(faults);
+    let mut to_send = Channel::new(faults);
+    let mut delivered: Vec<u8> = Vec::new();
+    let mut discards = 0u64;
+
+    let mut opening = Vec::new();
+    opening.extend(s.connect());
+    opening.extend(s.offer(&payload));
+    opening.extend(s.finish());
+    for e in opening {
+        if let Effect::Send(p) = e {
+            to_recv.push(p.encode_body(true), &mut rng);
+        }
+    }
+
+    let mut steps = 0u64;
+    while !s.is_closed() && !s.is_failed() {
+        steps += 1;
+        assert!(
+            steps < 500_000,
+            "bsp livelock: seed {seed:#x} faults {faults:?}"
+        );
+        if let Some(bytes) = to_recv.pop() {
+            match Pup::decode_body(&bytes) {
+                Ok(p) => {
+                    for e in r.on_pup(&p) {
+                        match e {
+                            Effect::Send(p) => to_send.push(p.encode_body(true), &mut rng),
+                            Effect::Deliver(d) => delivered.extend(d),
+                            _ => {}
+                        }
+                    }
+                }
+                Err(_) => discards += 1,
+            }
+        }
+        if let Some(bytes) = to_send.pop() {
+            match Pup::decode_body(&bytes) {
+                Ok(p) => {
+                    for e in s.on_pup(&p) {
+                        if let Effect::Send(p) = e {
+                            to_recv.push(p.encode_body(true), &mut rng);
+                        }
+                    }
+                }
+                Err(_) => discards += 1,
+            }
+        }
+        // Quiescent but unfinished: fire the retransmission timer.
+        if to_recv.is_empty() && to_send.is_empty() && !s.is_closed() && !s.is_failed() {
+            for e in s.on_timer(RTO_TOKEN) {
+                if let Effect::Send(p) = e {
+                    to_recv.push(p.encode_body(true), &mut rng);
+                }
+            }
+        }
+    }
+
+    ProtoRun {
+        delivered: s.is_closed() && delivered == payload,
+        gave_up: s.is_failed(),
+        data_packets: s.stats.data_packets,
+        retransmits: s.stats.retransmits,
+        discards,
+        duplicates: r.stats.duplicates,
+        out_of_order: r.stats.out_of_order,
+        steps,
+        injected: to_recv.tally.merge(to_send.tally),
+    }
+}
+
+/// Drives `ops` sequential checksummed VMTP transactions through the
+/// faulty channel until they all complete or the client gives up.
+pub fn run_vmtp(seed: u64, faults: ChaosFaults, ops: u32, response_len: usize) -> ProtoRun {
+    const CLIENT_ETH: u64 = 0x0A;
+    let mut rng = SplitMix64::new(seed);
+    let mut client = ClientMachine::new(1, 2, 0x0B, SimDuration::from_millis(100))
+        .with_retry_policy(SimDuration::from_secs(2), MAX_RETRIES);
+    let mut server = ServerMachine::new(2);
+    let response: Vec<u8> = (0..response_len).map(|i| (i * 7 % 239) as u8).collect();
+    let mut to_server = Channel::new(faults);
+    let mut to_client = Channel::new(faults);
+    let mut discards = 0u64;
+    let mut sent = 0u64;
+    let mut completed = 0u32;
+    let mut gave_up = false;
+    let mut exact = true;
+
+    for e in client.invoke(0, vec![0x55; 64]) {
+        if let VEffect::Send(p, _eth) = e {
+            sent += 1;
+            to_server.push(p.encode_body_opts(true), &mut rng);
+        }
+    }
+
+    let mut steps = 0u64;
+    while completed < ops && !gave_up {
+        steps += 1;
+        assert!(
+            steps < 500_000,
+            "vmtp livelock: seed {seed:#x} faults {faults:?}"
+        );
+        if let Some(bytes) = to_server.pop() {
+            match VmtpPacket::decode_body(&bytes) {
+                Some(p) => {
+                    for e in server.on_packet(&p, CLIENT_ETH) {
+                        match e {
+                            VEffect::Send(p, _eth) => {
+                                sent += 1;
+                                to_client.push(p.encode_body_opts(true), &mut rng);
+                            }
+                            VEffect::DeliverRequest {
+                                client: c,
+                                client_eth,
+                                trans,
+                                ..
+                            } => {
+                                for e in server.respond(c, client_eth, trans, response.clone()) {
+                                    if let VEffect::Send(p, _eth) = e {
+                                        sent += 1;
+                                        to_client.push(p.encode_body_opts(true), &mut rng);
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                None => discards += 1,
+            }
+        }
+        if let Some(bytes) = to_client.pop() {
+            match VmtpPacket::decode_body(&bytes) {
+                Some(p) => {
+                    for e in client.on_packet(&p) {
+                        match e {
+                            VEffect::Send(p, _eth) => {
+                                sent += 1;
+                                to_server.push(p.encode_body_opts(true), &mut rng);
+                            }
+                            VEffect::Complete { data, .. } => {
+                                exact &= data == response;
+                                completed += 1;
+                                if completed < ops {
+                                    for e in client.invoke(0, vec![0x55; 64]) {
+                                        if let VEffect::Send(p, _eth) = e {
+                                            sent += 1;
+                                            to_server.push(p.encode_body_opts(true), &mut rng);
+                                        }
+                                    }
+                                }
+                            }
+                            VEffect::Failed { .. } => gave_up = true,
+                            _ => {}
+                        }
+                    }
+                }
+                None => discards += 1,
+            }
+        }
+        if to_server.is_empty() && to_client.is_empty() && completed < ops && !gave_up {
+            for e in client.on_timer(VMTP_RTO_TOKEN) {
+                match e {
+                    VEffect::Send(p, _eth) => {
+                        sent += 1;
+                        to_server.push(p.encode_body_opts(true), &mut rng);
+                    }
+                    VEffect::Failed { .. } => gave_up = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    ProtoRun {
+        delivered: completed == ops && exact,
+        gave_up,
+        data_packets: sent,
+        retransmits: client.retries,
+        discards,
+        duplicates: 0,
+        out_of_order: 0,
+        steps,
+        injected: to_server.tally.merge(to_client.tally),
+    }
+}
+
+/// A program the validator rejects (reserved encoding after a
+/// short-circuit) but the checked interpreter accepts for packets whose
+/// `DstSocketLo` word differs from `sock`: the CNAND terminates *true*
+/// on the mismatch before reaching the undecodable word.
+pub fn shortcircuit_then_garbage(priority: u8, sock: u16) -> FilterProgram {
+    let mut words = Assembler::new(priority)
+        .pushword(samples::WORD_DSTSOCKET_LO)
+        .pushlit_op(BinaryOp::Cnand, sock)
+        .finish()
+        .words()
+        .to_vec();
+    words.push(15 << 6); // reserved encoding: fails validation
+    FilterProgram::from_words(priority, words)
+}
+
+/// One engine-agreement tally over mutated packets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineAgreement {
+    /// Filter programs exercised.
+    pub programs: usize,
+    /// Mutated packets evaluated (bit-flip mutants plus every prefix).
+    pub packets: u64,
+    /// Individual engine verdicts compared against the checked reference.
+    pub verdicts: u64,
+    /// Verdicts that differed (must be zero).
+    pub disagreements: u64,
+}
+
+/// Feeds corrupted and truncated packets to every execution engine in
+/// the workspace — checked interpreter, validated fast interpreter,
+/// compiled micro-ops, the IR threaded-code engine, and the three set
+/// engines (decision table, flat IR, sharded) as singletons — and counts
+/// verdicts that disagree with the checked reference.
+pub fn engine_agreement(seed: u64, rounds: usize) -> EngineAgreement {
+    let mut rng = SplitMix64::new(seed);
+    let checked = CheckedInterpreter::default();
+    let valid: Vec<FilterProgram> = vec![
+        samples::fig_3_8_pup_type_range(),
+        samples::fig_3_9_pup_socket_35(),
+        samples::pup_socket_filter(10, 0, 35),
+        samples::ethertype_filter(9, samples::PUP_ETHERTYPE_3MB),
+        samples::padded_accept_filter(5, 12),
+    ];
+    // Per-program engine stack, built once.
+    struct Stack {
+        program: FilterProgram,
+        fast: Option<(ValidatedProgram, CompiledFilter, IrFilter)>,
+        dtree: FilterSet,
+        ir_set: IrFilterSet,
+        sharded: ShardedVnSet,
+    }
+    let build = |program: FilterProgram| -> Stack {
+        let fast = ValidatedProgram::new(program.clone()).ok().map(|v| {
+            let compiled = CompiledFilter::from_validated(v.clone());
+            let ir = IrFilter::from_validated(&v);
+            (v, compiled, ir)
+        });
+        let mut dtree = FilterSet::new();
+        dtree.insert(0, program.clone());
+        let mut ir_set = IrFilterSet::new();
+        ir_set.insert(0, program.clone());
+        let mut sharded = ShardedVnSet::new();
+        sharded.insert(0, program.clone());
+        Stack {
+            program,
+            fast,
+            dtree,
+            ir_set,
+            sharded,
+        }
+    };
+    let mut stacks: Vec<Stack> = valid.into_iter().map(build).collect();
+    // One validation-rejected program rides along: the sets must carry it
+    // on their checked fallback and still agree.
+    stacks.push(build(shortcircuit_then_garbage(7, 35)));
+    assert!(stacks.last().expect("non-empty").fast.is_none());
+
+    let mut out = EngineAgreement {
+        programs: stacks.len(),
+        ..Default::default()
+    };
+    for round in 0..rounds {
+        let base: Vec<u8> = match round % 3 {
+            0 => samples::pup_packet_3mb(samples::PUP_ETHERTYPE_3MB, 0, 35, 1),
+            1 => samples::pup_packet_3mb(
+                rng.below(6) as u16,
+                rng.below(2) as u16,
+                30 + rng.below(12) as u16,
+                rng.below(120) as u8,
+            ),
+            _ => (0..rng.below(64) as usize)
+                .map(|_| rng.next_u64() as u8)
+                .collect(),
+        };
+        // Corruption mutants: four independent single-bit flips.
+        let mut mutants: Vec<Vec<u8>> = (0..4)
+            .filter(|_| !base.is_empty())
+            .map(|_| {
+                let mut m = base.clone();
+                let at = rng.below(m.len() as u64) as usize;
+                m[at] ^= 1u8 << rng.below(8);
+                m
+            })
+            .collect();
+        // Truncation mutants: every prefix, including empty.
+        mutants.extend((0..=base.len()).map(|k| base[..k].to_vec()));
+        for m in &mutants {
+            out.packets += 1;
+            let view = PacketView::new(m);
+            for s in &mut stacks {
+                let expect = checked.eval(&s.program, view);
+                let mut check = |got: bool| {
+                    out.verdicts += 1;
+                    if got != expect {
+                        out.disagreements += 1;
+                    }
+                };
+                if let Some((v, compiled, ir)) = &s.fast {
+                    check(v.eval(view));
+                    check(compiled.eval(view));
+                    check(ir.eval(view));
+                }
+                check(s.dtree.first_match(view).is_some());
+                check(!s.ir_set.matches(view).is_empty());
+                check(s.sharded.first_match(view).is_some());
+            }
+        }
+    }
+    out
+}
+
+/// Kernel-degradation scenario results.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationReport {
+    /// Ports quarantined (one validation-rejected, one over-budget).
+    pub quarantined_ports: usize,
+    /// Packets accepted by quarantined filters via the checked fallback.
+    pub quarantine_accepts: u64,
+    /// Packets accepted by the healthy compiled member.
+    pub compiled_accepts: u64,
+    /// Checked evaluations terminated by the instruction budget.
+    pub budget_overruns: u64,
+    /// Overflow drops at the drop-tail port.
+    pub drop_tail_drops: u64,
+    /// Overflow drops at the drop-oldest port.
+    pub drop_oldest_drops: u64,
+    /// Drop-tail kept the *oldest* packets.
+    pub drop_tail_keeps_oldest: bool,
+    /// Drop-oldest kept the *newest* packets.
+    pub drop_oldest_keeps_newest: bool,
+}
+
+/// Exercises graceful degradation on a live [`PfDevice`]: quarantined
+/// filters (validation-rejected, over-budget, and dynamically
+/// over-budget) keep answering through the checked interpreter while
+/// healthy filters stay compiled, and full queues shed packets per the
+/// configured [`OverflowPolicy`].
+pub fn kernel_degradation(seed: u64) -> DegradationReport {
+    let mut rng = SplitMix64::new(seed);
+    let mut d = PfDevice::new();
+    d.set_engine(DemuxEngine::Sharded);
+    d.set_instruction_budget(Some(8));
+
+    // Healthy: compiled into the sharded set (6 instructions ≤ budget).
+    let clean = d.open((ProcId(0), Fd(0)));
+    assert!(d.set_filter(clean, samples::pup_socket_filter(10, 0, 35)));
+    // Validation-rejected, quarantined at bind; accepts sockets ≠ 35.
+    let bad = d.open((ProcId(0), Fd(1)));
+    assert!(!d.set_filter(bad, shortcircuit_then_garbage(20, 35)));
+    // Validation-rejected *and* always over budget when interpreted: ten
+    // decodable instructions before the garbage word, budget 8. Highest
+    // priority, so the first-match walk evaluates it on every packet.
+    let hog = d.open((ProcId(0), Fd(2)));
+    let mut hog_words = samples::fig_3_8_pup_type_range().words().to_vec();
+    hog_words.push(15 << 6);
+    assert!(!d.set_filter(hog, FilterProgram::from_words(30, hog_words)));
+
+    let mut budget_overruns = 0u64;
+    for _ in 0..200 {
+        let sock = 30 + rng.below(12) as u16;
+        let pkt = samples::pup_packet_3mb(samples::PUP_ETHERTYPE_3MB, 0, sock, 1);
+        let out = d.demux(&pkt);
+        budget_overruns += u64::from(out.budget_overruns);
+        assert!(
+            !out.accepted.is_empty(),
+            "seed {seed:#x}: socket {sock} matched nobody"
+        );
+    }
+    let quarantine_accepts = d.port(bad).stats().accepts + d.port(hog).stats().accepts;
+    let compiled_accepts = d.port(clean).stats().accepts;
+    let quarantined_ports = d.quarantined_ports();
+
+    // Overflow policies, side by side on a fresh device.
+    let mut d2 = PfDevice::new();
+    let tail = d2.open((ProcId(1), Fd(0)));
+    assert!(d2.set_filter(tail, samples::accept_all(1)));
+    d2.port_mut(tail).config.max_queue = 4;
+    let oldest = d2.open((ProcId(1), Fd(1)));
+    assert!(d2.set_filter(oldest, samples::accept_all(1)));
+    d2.port_mut(oldest).config.max_queue = 4;
+    d2.port_mut(oldest).config.overflow = OverflowPolicy::DropOldest;
+    for i in 0..10u8 {
+        let pkt = RecvPacket {
+            bytes: vec![i],
+            stamp: None,
+            dropped_before: 0,
+        };
+        let _ = d2.port_mut(tail).enqueue(pkt.clone());
+        let _ = d2.port_mut(oldest).enqueue(pkt);
+    }
+    let kept =
+        |d: &PfDevice, p| -> Vec<u8> { d.port(p).queue.iter().map(|r| r.bytes[0]).collect() };
+    DegradationReport {
+        quarantined_ports,
+        quarantine_accepts,
+        compiled_accepts,
+        budget_overruns,
+        drop_tail_drops: d2.port(tail).stats().drops,
+        drop_oldest_drops: d2.port(oldest).stats().drops,
+        drop_tail_keeps_oldest: kept(&d2, tail) == vec![0, 1, 2, 3],
+        drop_oldest_keeps_newest: kept(&d2, oldest) == vec![6, 7, 8, 9],
+    }
+}
+
+/// One protocol × fault-mix measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPoint {
+    /// `bsp` or `vmtp`.
+    pub scenario: &'static str,
+    /// The fault mix driven through the channel.
+    pub faults: ChaosFaults,
+    /// The run's outcome counters.
+    pub run: ProtoRun,
+}
+
+/// The whole campaign: protocol sweep plus the engine-agreement and
+/// kernel-degradation scenarios.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Protocol sweep rows.
+    pub rows: Vec<ChaosPoint>,
+    /// Engine-agreement tally (disagreements must be zero).
+    pub engines: EngineAgreement,
+    /// Kernel-degradation scenario results.
+    pub kernel: DegradationReport,
+}
+
+/// Runs the campaign and asserts its invariants: under any swept fault
+/// mix with loss ≤ 30% every BSP byte and VMTP transaction arrives
+/// exactly; under a blackout the sender gives up after a bounded number
+/// of retransmissions; every engine agrees on damaged packets; the
+/// kernel degrades per policy. A violated invariant panics with the
+/// offending seed, so a completed sweep *is* the zero-panic proof.
+pub fn sweep(smoke: bool) -> ChaosReport {
+    let losses: &[f64] = if smoke {
+        &[0.0, 0.1, 0.3]
+    } else {
+        &[0.0, 0.05, 0.1, 0.2, 0.3]
+    };
+    let (payload, ops, response) = if smoke {
+        (2_000, 3, 1_500)
+    } else {
+        (6_000, 6, 3_000)
+    };
+    let mut rows = Vec::new();
+    let mut seed = 0xC4A0_0000u64;
+    for &loss in losses {
+        // Two mixes per loss level: loss alone, and loss plus the rest of
+        // the spectrum.
+        let mixes = [
+            ChaosFaults {
+                loss,
+                ..Default::default()
+            },
+            ChaosFaults {
+                loss,
+                corruption: 0.10,
+                truncation: 0.05,
+                reorder: 0.10,
+                duplication: 0.05,
+            },
+        ];
+        for faults in mixes {
+            seed += 1;
+            let bsp = run_bsp(seed, faults, payload);
+            assert!(
+                bsp.delivered && !bsp.gave_up,
+                "bsp must deliver at loss {loss}: seed {seed:#x} {bsp:?}"
+            );
+            rows.push(ChaosPoint {
+                scenario: "bsp",
+                faults,
+                run: bsp,
+            });
+            seed += 1;
+            let vmtp = run_vmtp(seed, faults, ops, response);
+            assert!(
+                vmtp.delivered && !vmtp.gave_up,
+                "vmtp must complete at loss {loss}: seed {seed:#x} {vmtp:?}"
+            );
+            rows.push(ChaosPoint {
+                scenario: "vmtp",
+                faults,
+                run: vmtp,
+            });
+        }
+    }
+    // Blackout: retransmission must be *bounded* — backed-off retries up
+    // to MAX_RETRIES, then a clean give-up, not an unbounded storm.
+    let blackout = ChaosFaults {
+        loss: 1.0,
+        ..Default::default()
+    };
+    let bsp = run_bsp(0xB1AC_0001, blackout, 200);
+    assert!(
+        bsp.gave_up && !bsp.delivered,
+        "bsp blackout must give up: {bsp:?}"
+    );
+    assert!(
+        bsp.retransmits <= u64::from(MAX_RETRIES) * 6,
+        "bsp blackout retransmits unbounded: {bsp:?}"
+    );
+    rows.push(ChaosPoint {
+        scenario: "bsp",
+        faults: blackout,
+        run: bsp,
+    });
+    let vmtp = run_vmtp(0xB1AC_0002, blackout, 1, 100);
+    assert!(
+        vmtp.gave_up && !vmtp.delivered,
+        "vmtp blackout must give up: {vmtp:?}"
+    );
+    assert!(
+        vmtp.retransmits <= u64::from(MAX_RETRIES) + 1,
+        "vmtp blackout retransmits unbounded: {vmtp:?}"
+    );
+    rows.push(ChaosPoint {
+        scenario: "vmtp",
+        faults: blackout,
+        run: vmtp,
+    });
+
+    let engines = engine_agreement(0xE6E1_5EED, if smoke { 8 } else { 40 });
+    assert_eq!(
+        engines.disagreements, 0,
+        "engines disagreed on damaged packets: {engines:?}"
+    );
+    assert!(engines.verdicts > 0);
+
+    let kernel = kernel_degradation(0xDE6_0001);
+    assert_eq!(kernel.quarantined_ports, 2, "{kernel:?}");
+    assert!(kernel.quarantine_accepts > 0, "{kernel:?}");
+    assert!(kernel.compiled_accepts > 0, "{kernel:?}");
+    assert!(kernel.budget_overruns > 0, "{kernel:?}");
+    assert!(kernel.drop_tail_keeps_oldest, "{kernel:?}");
+    assert!(kernel.drop_oldest_keeps_newest, "{kernel:?}");
+    assert_eq!(kernel.drop_tail_drops, 6, "{kernel:?}");
+    assert_eq!(kernel.drop_oldest_drops, 6, "{kernel:?}");
+
+    ChaosReport {
+        rows,
+        engines,
+        kernel,
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the campaign as JSON (hand-rolled: the build is hermetic, no
+/// serde).
+pub fn to_json(report: &ChaosReport) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"chaos\",\n");
+    s.push_str(
+        "  \"workload\": \"checksummed BSP transfers and VMTP transactions through a \
+         seeded fault channel (loss/corruption/truncation/reorder/duplication), plus \
+         engine-agreement and kernel-degradation scenarios\",\n",
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, p) in report.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"loss\": {}, \"corruption\": {}, \
+             \"truncation\": {}, \"reorder\": {}, \"duplication\": {}, \
+             \"delivered\": {}, \"gave_up\": {}, \"data_packets\": {}, \
+             \"retransmits\": {}, \"discards\": {}, \"duplicates\": {}, \
+             \"out_of_order\": {}, \"faults_injected\": {}, \"steps\": {}}}{}\n",
+            p.scenario,
+            fmt_f64(p.faults.loss),
+            fmt_f64(p.faults.corruption),
+            fmt_f64(p.faults.truncation),
+            fmt_f64(p.faults.reorder),
+            fmt_f64(p.faults.duplication),
+            p.run.delivered,
+            p.run.gave_up,
+            p.run.data_packets,
+            p.run.retransmits,
+            p.run.discards,
+            p.run.duplicates,
+            p.run.out_of_order,
+            p.run.injected.total(),
+            p.run.steps,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    let e = &report.engines;
+    s.push_str(&format!(
+        "  \"engine_agreement\": {{\"programs\": {}, \"packets\": {}, \
+         \"verdicts\": {}, \"disagreements\": {}}},\n",
+        e.programs, e.packets, e.verdicts, e.disagreements
+    ));
+    let k = &report.kernel;
+    s.push_str(&format!(
+        "  \"kernel_degradation\": {{\"quarantined_ports\": {}, \
+         \"quarantine_accepts\": {}, \"compiled_accepts\": {}, \
+         \"budget_overruns\": {}, \"drop_tail_drops\": {}, \
+         \"drop_oldest_drops\": {}, \"drop_tail_keeps_oldest\": {}, \
+         \"drop_oldest_keeps_newest\": {}}}\n",
+        k.quarantined_ports,
+        k.quarantine_accepts,
+        k.compiled_accepts,
+        k.budget_overruns,
+        k.drop_tail_drops,
+        k.drop_oldest_drops,
+        k.drop_tail_keeps_oldest,
+        k.drop_oldest_keeps_newest
+    ));
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+/// Default output path: the repository root's `BENCH_chaos.json`.
+pub fn default_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chaos.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_delivers_without_retransmission() {
+        let run = run_bsp(1, ChaosFaults::default(), 3_000);
+        assert!(run.delivered && !run.gave_up, "{run:?}");
+        assert_eq!(run.retransmits, 0, "{run:?}");
+        assert_eq!(run.discards, 0, "{run:?}");
+        assert_eq!(run.injected.total(), 0, "{run:?}");
+    }
+
+    #[test]
+    fn heavy_loss_still_delivers_exactly() {
+        let faults = ChaosFaults {
+            loss: 0.3,
+            ..Default::default()
+        };
+        let run = run_bsp(2, faults, 4_000);
+        assert!(run.delivered && !run.gave_up, "{run:?}");
+        assert!(run.retransmits > 0, "loss must force retransmission");
+        assert!(run.injected.lost > 0);
+    }
+
+    #[test]
+    fn corruption_is_discarded_not_delivered() {
+        let faults = ChaosFaults {
+            corruption: 0.25,
+            truncation: 0.15,
+            ..Default::default()
+        };
+        let run = run_bsp(3, faults, 4_000);
+        assert!(run.delivered && !run.gave_up, "{run:?}");
+        assert!(run.discards > 0, "checksums must catch damage: {run:?}");
+    }
+
+    #[test]
+    fn vmtp_survives_the_full_spectrum() {
+        let faults = ChaosFaults {
+            loss: 0.15,
+            corruption: 0.1,
+            truncation: 0.05,
+            reorder: 0.1,
+            duplication: 0.1,
+        };
+        let run = run_vmtp(4, faults, 4, 2_000);
+        assert!(run.delivered && !run.gave_up, "{run:?}");
+        assert!(run.retransmits > 0, "{run:?}");
+    }
+
+    #[test]
+    fn blackout_gives_up_after_bounded_retries() {
+        let blackout = ChaosFaults {
+            loss: 1.0,
+            ..Default::default()
+        };
+        let bsp = run_bsp(5, blackout, 100);
+        assert!(bsp.gave_up && !bsp.delivered, "{bsp:?}");
+        assert!(bsp.retransmits <= u64::from(MAX_RETRIES) * 6, "{bsp:?}");
+        let vmtp = run_vmtp(6, blackout, 1, 50);
+        assert!(vmtp.gave_up && !vmtp.delivered, "{vmtp:?}");
+        assert_eq!(vmtp.retransmits, u64::from(MAX_RETRIES), "{vmtp:?}");
+    }
+
+    #[test]
+    fn engines_agree_on_damaged_packets() {
+        let a = engine_agreement(0xA6EE, 6);
+        assert_eq!(a.disagreements, 0, "{a:?}");
+        assert!(a.packets > 100, "{a:?}");
+        assert_eq!(a.programs, 6);
+    }
+
+    #[test]
+    fn kernel_degrades_gracefully() {
+        let k = kernel_degradation(7);
+        assert_eq!(k.quarantined_ports, 2);
+        assert!(k.quarantine_accepts > 0);
+        assert!(k.compiled_accepts > 0);
+        assert!(k.budget_overruns > 0);
+        assert!(k.drop_tail_keeps_oldest);
+        assert!(k.drop_oldest_keeps_newest);
+    }
+
+    #[test]
+    fn smoke_sweep_holds_every_invariant() {
+        let report = sweep(true);
+        // 3 losses x 2 mixes x 2 protocols + 2 blackout rows.
+        assert_eq!(report.rows.len(), 14);
+        let json = to_json(&report);
+        assert!(json.contains("\"experiment\": \"chaos\""));
+        assert!(json.contains("\"engine_agreement\""));
+        assert!(json.contains("\"kernel_degradation\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod ablations;
 pub mod breakeven;
+pub mod chaos;
 pub mod demux_json;
 pub mod figures;
 pub mod profile61;

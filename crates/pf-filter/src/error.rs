@@ -122,6 +122,11 @@ pub enum RuntimeError {
         /// Word offset of the offending instruction.
         offset: usize,
     },
+    /// Evaluation exceeded the caller-imposed instruction budget.
+    BudgetExceeded {
+        /// The budget, in instruction words.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -149,6 +154,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::DivideByZero { offset } => {
                 write!(f, "division by zero at word {offset}")
+            }
+            RuntimeError::BudgetExceeded { limit } => {
+                write!(f, "evaluation exceeded the {limit}-instruction budget")
             }
         }
     }

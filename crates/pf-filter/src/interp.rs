@@ -147,6 +147,23 @@ impl CheckedInterpreter {
     ) -> (bool, EvalStats) {
         eval_words(self.config, filter.words(), packet)
     }
+
+    /// Evaluates under an instruction budget: if more than `budget`
+    /// instruction words would execute, evaluation terminates with a
+    /// [`RuntimeError::BudgetExceeded`] fault and the packet is rejected.
+    ///
+    /// The filter language has no branches, so a filter either always fits
+    /// the budget or can always exceed it; the budget turns a runaway (or
+    /// hostile) filter into a bounded, rejecting one instead of letting it
+    /// monopolize the demultiplexer.
+    pub fn eval_budgeted(
+        &self,
+        filter: &FilterProgram,
+        packet: PacketView<'_>,
+        budget: u32,
+    ) -> (bool, EvalStats) {
+        eval_words_budgeted(self.config, filter.words(), packet, Some(budget))
+    }
 }
 
 /// Evaluates raw program words against a packet.
@@ -156,6 +173,16 @@ pub(crate) fn eval_words(
     config: InterpConfig,
     words: &[u16],
     packet: PacketView<'_>,
+) -> (bool, EvalStats) {
+    eval_words_budgeted(config, words, packet, None)
+}
+
+/// Evaluates raw program words with an optional instruction budget.
+pub(crate) fn eval_words_budgeted(
+    config: InterpConfig,
+    words: &[u16],
+    packet: PacketView<'_>,
+    budget: Option<u32>,
 ) -> (bool, EvalStats) {
     let mut stats = EvalStats::default();
     // A zero-length filter accepts every packet, as in the historical
@@ -183,6 +210,11 @@ pub(crate) fn eval_words(
             fault!(RuntimeError::BadInstruction { offset, word: raw });
         };
         stats.instructions += 1;
+        if let Some(limit) = budget {
+            if stats.instructions > limit {
+                fault!(RuntimeError::BudgetExceeded { limit });
+            }
+        }
         if config.dialect == Dialect::Classic && instr.is_extended() {
             fault!(RuntimeError::ExtendedInstruction { offset });
         }
@@ -707,6 +739,41 @@ mod tests {
     fn nop_is_inert() {
         let f = Assembler::new(0).pushone().op(BinaryOp::Nop).finish();
         assert!(eval_on(&f, &[]));
+    }
+
+    #[test]
+    fn budget_rejects_overlong_evaluation() {
+        let f = samples::fig_3_8_pup_type_range(); // 10 instructions
+        let pkt = samples::pup_packet_3mb(2, 0, 35, 1);
+        let (accept, stats) = interp().eval_budgeted(&f, PacketView::new(&pkt), 5);
+        assert!(!accept);
+        assert_eq!(stats.error, Some(RuntimeError::BudgetExceeded { limit: 5 }));
+        assert_eq!(
+            stats.instructions, 6,
+            "stopped at the first over-budget word"
+        );
+    }
+
+    #[test]
+    fn budget_large_enough_is_invisible() {
+        let f = samples::fig_3_8_pup_type_range();
+        let pkt = samples::pup_packet_3mb(2, 0, 35, 1);
+        let (unbounded, s0) = interp().eval_with_stats(&f, PacketView::new(&pkt));
+        let (bounded, s1) = interp().eval_budgeted(&f, PacketView::new(&pkt), 10);
+        assert_eq!(unbounded, bounded);
+        assert_eq!(s0, s1);
+    }
+
+    #[test]
+    fn budget_counts_executed_not_static_instructions() {
+        // Short-circuits before the budget is reached: accepted even though
+        // the program is statically longer than the budget.
+        let f = samples::fig_3_9_pup_socket_35();
+        let pkt = samples::pup_packet_3mb(2, 0, 36, 1); // CAND rejects at instr 2
+        let (accept, stats) = interp().eval_budgeted(&f, PacketView::new(&pkt), 3);
+        assert!(!accept);
+        assert!(stats.short_circuited, "terminated by CAND, not the budget");
+        assert_eq!(stats.error, None);
     }
 
     #[test]

@@ -325,3 +325,44 @@ mod builder_semantics {
         }
     }
 }
+
+/// Chaos pin: the checked interpreter is total. On *arbitrary* word soup
+/// — including every program the validator rejects — and arbitrary
+/// packets, `eval` and `eval_budgeted` return a verdict instead of
+/// panicking, and a rejecting verdict from the validator never implies
+/// anything about runtime behavior beyond "the checked engine still
+/// copes". This is the contract the kernel's quarantine path (serve
+/// validation-rejected filters via the checked interpreter) stands on.
+mod validator_rejects_checked_copes {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn checked_interpreter_never_panics_on_rejected_programs(
+            words in prop::collection::vec(any::<u16>(), 0..48),
+            pkt in prop::collection::vec(any::<u8>(), 0..160),
+            budget in 1u32..64,
+        ) {
+            let prog = FilterProgram::from_words(10, words);
+            let view = PacketView::new(&pkt);
+            let interp = CheckedInterpreter::default();
+            // Totality: a verdict, never a panic — rejected or not.
+            let plain = interp.eval(&prog, view);
+            let (budgeted, stats) = interp.eval_budgeted(&prog, view, budget);
+            // A budget big enough to cover the whole evaluation is
+            // invisible; an exhausted budget rejects.
+            if stats.error.is_none() {
+                prop_assert_eq!(budgeted, plain);
+                prop_assert!(stats.instructions <= budget);
+            }
+            if ValidatedProgram::new(prog.clone()).is_err() {
+                // The quarantine contract: the rejected program still got
+                // a checked verdict above. Pin that the *fast* engines
+                // refuse it instead of guessing.
+                prop_assert!(CompiledFilter::compile(prog.clone()).is_err());
+            }
+        }
+    }
+}

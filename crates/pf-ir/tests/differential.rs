@@ -428,3 +428,72 @@ fn reinsert_replaces_without_leaking_tests() {
         assert_eq!(sharded.matches(view), sh_fresh.matches(view), "sock {sock}");
     }
 }
+
+/// Chaos differential: damaged packets — seeded single-bit corruptions
+/// and *every* truncation prefix — get one verdict from every engine.
+/// A filter's view of a short or bit-flipped packet exercises exactly
+/// the out-of-range-word fallback paths the engines implement
+/// separately, so this is where a divergence would hide.
+#[test]
+fn engines_agree_on_corrupted_and_truncated_packets() {
+    let mut rng = SplitMix64::new(0xbadc_0de5);
+    let checked = CheckedInterpreter::default();
+    for case in 0..120 {
+        let words = if case % 2 == 0 {
+            random_balanced_words(&mut rng)
+        } else {
+            random_words(&mut rng)
+        };
+        let prog = FilterProgram::from_words(10, words);
+        let validated = ValidatedProgram::new(prog.clone()).ok();
+        let compiled = validated.clone().map(CompiledFilter::from_validated);
+        let ir = validated.as_ref().map(IrFilter::from_validated);
+        let mut sharded = ShardedVnSet::new();
+        sharded.insert(0, prog.clone());
+        let mut ir_set = IrFilterSet::new();
+        ir_set.insert(0, prog.clone());
+        let mut table = FilterSet::new();
+        table.insert(0, prog.clone());
+
+        let base = samples::pup_packet_3mb(
+            rng.below(6) as u16,
+            rng.below(2) as u16,
+            30 + rng.below(12) as u16,
+            rng.below(120) as u8,
+        );
+        // Four independent single-bit corruptions, then every prefix
+        // (including the empty packet).
+        let mut damaged: Vec<Vec<u8>> = (0..4)
+            .map(|_| {
+                let mut m = base.clone();
+                let at = rng.below(m.len() as u64) as usize;
+                m[at] ^= 1u8 << rng.below(8);
+                m
+            })
+            .collect();
+        damaged.extend((0..=base.len()).map(|k| base[..k].to_vec()));
+
+        for (pi, pkt) in damaged.iter().enumerate() {
+            let view = PacketView::new(pkt);
+            let expect = checked.eval(&prog, view);
+            let ctx = format!("case {case} damaged packet {pi} ({} bytes)", pkt.len());
+            if let Some(v) = &validated {
+                assert_eq!(v.eval(view), expect, "validated vs checked: {ctx}");
+            }
+            if let Some(c) = &compiled {
+                assert_eq!(c.eval(view), expect, "compiled vs checked: {ctx}");
+            }
+            if let Some(i) = &ir {
+                assert_eq!(i.eval(view), expect, "ir vs checked: {ctx}");
+            }
+            let want = expect.then_some(0u32);
+            assert_eq!(sharded.first_match(view), want, "sharded vs checked: {ctx}");
+            assert_eq!(
+                ir_set.matches(view),
+                want.into_iter().collect::<Vec<_>>(),
+                "ir set vs checked: {ctx}"
+            );
+            assert_eq!(table.first_match(view), want, "table vs checked: {ctx}");
+        }
+    }
+}

@@ -27,11 +27,13 @@
 //! accept a packet and reports the interpretation work done, and the world
 //! model (`crate::world`) turns that into virtual time and queue activity.
 
-use crate::types::{Fd, PortConfig, ProcId, RecvPacket};
+use crate::types::{Fd, OverflowPolicy, PortConfig, PortStats, ProcId, RecvPacket};
 use pf_filter::dtree::FilterSet;
+use pf_filter::error::{RuntimeError, ValidateError};
 use pf_filter::interp::{CheckedInterpreter, EvalStats};
 use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
+use pf_filter::validate::ValidatedProgram;
 use pf_ir::set::{IrFilterSet, ShardedVnSet};
 use std::collections::VecDeque;
 
@@ -64,6 +66,31 @@ pub const REORDER_INTERVAL: u64 = 256;
 
 /// Index of a port within the device.
 pub type PortIdx = usize;
+
+/// Why a port's filter is quarantined (served by the checked interpreter
+/// instead of being handed to the compiled demultiplexing engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// Bind-time validation rejected the program; the checked interpreter
+    /// still evaluates it (short-circuit operators can accept a packet
+    /// before reaching the defect), but the compiled engines never see it.
+    Validation(ValidateError),
+    /// An evaluation exceeded the device's instruction budget.
+    BudgetExceeded,
+}
+
+/// What happened when a packet was offered to a port's input queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// The packet was queued; nothing was lost.
+    Stored,
+    /// The packet was queued after evicting the oldest queued packet
+    /// ([`OverflowPolicy::DropOldest`]).
+    StoredDroppingOldest,
+    /// The queue was full and the arriving packet was dropped
+    /// ([`OverflowPolicy::DropTail`]).
+    Rejected,
+}
 
 /// A pending blocked read on a port.
 #[derive(Debug)]
@@ -98,6 +125,11 @@ pub struct Port {
     pub open: bool,
     /// Read-generation counter.
     pub next_generation: u64,
+    /// Why the filter is quarantined, if it is.
+    pub quarantined: Option<QuarantineReason>,
+    /// Evaluations of this port's filter terminated by the instruction
+    /// budget.
+    pub budget_overruns: u64,
 }
 
 impl Port {
@@ -106,14 +138,36 @@ impl Port {
         self.filter.as_ref().map_or(0, |f| f.priority())
     }
 
-    /// Tries to enqueue a packet; `false` (and a drop count) if full.
-    pub fn enqueue(&mut self, pkt: RecvPacket) -> bool {
-        if self.queue.len() >= self.config.max_queue {
-            self.drops += 1;
-            false
-        } else {
+    /// Offers a packet to the input queue, applying the port's
+    /// [`OverflowPolicy`] when full. Every overflow increments `drops`,
+    /// whichever packet loses.
+    pub fn enqueue(&mut self, pkt: RecvPacket) -> EnqueueOutcome {
+        if self.queue.len() < self.config.max_queue {
             self.queue.push_back(pkt);
-            true
+            return EnqueueOutcome::Stored;
+        }
+        self.drops += 1;
+        match self.config.overflow {
+            OverflowPolicy::DropTail => EnqueueOutcome::Rejected,
+            OverflowPolicy::DropOldest => {
+                if self.queue.pop_front().is_none() {
+                    // max_queue of zero: nothing to evict, nothing to keep.
+                    return EnqueueOutcome::Rejected;
+                }
+                self.queue.push_back(pkt);
+                EnqueueOutcome::StoredDroppingOldest
+            }
+        }
+    }
+
+    /// A status snapshot of this port (§3.3, plus degradation counters).
+    pub fn stats(&self) -> PortStats {
+        PortStats {
+            drops: self.drops,
+            accepts: self.accepts,
+            queued: self.queue.len(),
+            quarantined: self.quarantined.is_some(),
+            budget_overruns: self.budget_overruns,
         }
     }
 }
@@ -142,6 +196,10 @@ pub struct DemuxOutcome {
     /// packet (the cost-accounting analogue of `applied`'s instruction
     /// counters).
     pub ir_ops: u32,
+    /// Evaluations terminated by the instruction budget during this demux.
+    pub budget_overruns: u32,
+    /// Ports quarantined by this demux (first budget overrun).
+    pub newly_quarantined: u32,
 }
 
 /// The packet-filter device of one host.
@@ -165,6 +223,10 @@ pub struct PfDevice {
     /// is selected (keyed by port index).
     sharded: Option<ShardedVnSet>,
     interp: CheckedInterpreter,
+    /// Per-evaluation instruction budget; `None` means unbounded. Enforced
+    /// by the sequential engine on every filter and by every engine on
+    /// quarantined (checked-fallback) filters.
+    budget: Option<u32>,
 }
 
 impl Default for PfDevice {
@@ -188,7 +250,55 @@ impl PfDevice {
             ir_set: None,
             sharded: None,
             interp: CheckedInterpreter::default(),
+            budget: None,
         }
+    }
+
+    /// Sets (or clears) the per-evaluation instruction budget. A filter
+    /// whose evaluation exceeds the budget rejects the packet and is
+    /// quarantined: excluded from the compiled engines and served by the
+    /// budgeted checked interpreter from then on.
+    ///
+    /// The filter language has no branches, so a program's static
+    /// instruction count is its exact worst case; ports whose bound filter
+    /// *could* exceed the new budget are quarantined immediately (their
+    /// verdicts are unchanged — the budgeted fallback only faults on
+    /// evaluations that actually run over). Returns how many ports this
+    /// call quarantined.
+    pub fn set_instruction_budget(&mut self, budget: Option<u32>) -> u32 {
+        self.budget = budget;
+        let mut newly = 0;
+        if let Some(b) = budget {
+            for p in &mut self.ports {
+                if !p.open || p.quarantined.is_some() {
+                    continue;
+                }
+                let Some(f) = &p.filter else { continue };
+                let overlong =
+                    ValidatedProgram::new(f.clone()).is_ok_and(|v| v.instructions() > b as usize);
+                if overlong {
+                    p.quarantined = Some(QuarantineReason::BudgetExceeded);
+                    newly += 1;
+                }
+            }
+        }
+        if newly > 0 {
+            self.rebuild_engine_state();
+        }
+        newly
+    }
+
+    /// The per-evaluation instruction budget, if one is set.
+    pub fn instruction_budget(&self) -> Option<u32> {
+        self.budget
+    }
+
+    /// Number of open ports whose filters are quarantined.
+    pub fn quarantined_ports(&self) -> usize {
+        self.order
+            .iter()
+            .filter(|&&i| self.ports[i].quarantined.is_some())
+            .count()
     }
 
     /// Selects the demultiplexing engine (§4's interpreter loop, §7's
@@ -215,8 +325,12 @@ impl PfDevice {
     fn rebuild_table(&mut self) {
         let mut set = FilterSet::new();
         // Insert in demux order so same-priority insertion ties match the
-        // sequential loop's stable order.
+        // sequential loop's stable order. Quarantined ports never reach the
+        // compiled set; `demux` serves them through the checked interpreter.
         for &idx in &self.order {
+            if self.ports[idx].quarantined.is_some() {
+                continue;
+            }
             if let Some(f) = &self.ports[idx].filter {
                 set.insert(idx as u32, f.clone());
             }
@@ -232,8 +346,12 @@ impl PfDevice {
 
     fn rebuild_ir_set(&mut self) {
         let mut set = IrFilterSet::new();
-        // Same demux-order insertion as `rebuild_table`.
+        // Same demux-order insertion (and quarantine exclusion) as
+        // `rebuild_table`.
         for &idx in &self.order {
+            if self.ports[idx].quarantined.is_some() {
+                continue;
+            }
             if let Some(f) = &self.ports[idx].filter {
                 set.insert(idx as u32, f.clone());
             }
@@ -255,8 +373,12 @@ impl PfDevice {
 
     fn rebuild_sharded(&mut self) {
         let mut set = ShardedVnSet::new();
-        // Same demux-order insertion as `rebuild_table`.
+        // Same demux-order insertion (and quarantine exclusion) as
+        // `rebuild_table`.
         for &idx in &self.order {
+            if self.ports[idx].quarantined.is_some() {
+                continue;
+            }
             if let Some(f) = &self.ports[idx].filter {
                 set.insert(idx as u32, f.clone());
             }
@@ -303,6 +425,8 @@ impl PfDevice {
             insertion: self.insertions,
             open: true,
             next_generation: 0,
+            quarantined: None,
+            budget_overruns: 0,
         });
         self.insertions += 1;
         self.order.push(idx);
@@ -318,6 +442,7 @@ impl PfDevice {
             p.queue.clear();
             p.pending = None;
             p.filter = None;
+            p.quarantined = None;
         }
         self.order.retain(|&o| o != idx);
         self.rebuild_engine_state();
@@ -325,13 +450,42 @@ impl PfDevice {
 
     /// Binds (replaces) the filter on a port. "A new filter can be bound at
     /// any time" (§3.1).
-    pub fn set_filter(&mut self, idx: PortIdx, filter: FilterProgram) {
+    ///
+    /// The program is validated at bind time; one that fails validation is
+    /// still bound but *quarantined* — the compiled engines never see it,
+    /// and the checked interpreter serves it in priority position (a defect
+    /// degrades that one port's cost, never the demultiplexer). Returns
+    /// `false` when the bind quarantined the filter. Rebinding clears a
+    /// previous quarantine, including one earned by exceeding the
+    /// instruction budget.
+    pub fn set_filter(&mut self, idx: PortIdx, filter: FilterProgram) -> bool {
+        let mut clean = true;
+        let budget = self.budget;
         if let Some(p) = self.ports.get_mut(idx) {
+            p.quarantined = match ValidatedProgram::new(filter.clone()) {
+                Ok(v) => {
+                    // Branch-free programs have a static worst case; one
+                    // that could exceed the budget never reaches the
+                    // compiled engines.
+                    if budget.is_some_and(|b| v.instructions() > b as usize) {
+                        clean = false;
+                        Some(QuarantineReason::BudgetExceeded)
+                    } else {
+                        None
+                    }
+                }
+                Err(e) => {
+                    clean = false;
+                    Some(QuarantineReason::Validation(e))
+                }
+            };
             p.filter = Some(filter);
             p.accepts = 0;
+            p.budget_overruns = 0;
         }
         self.resort();
         self.rebuild_engine_state();
+        clean
     }
 
     /// Access a port.
@@ -384,14 +538,14 @@ impl PfDevice {
         if self.adaptive && self.demux_ops.is_multiple_of(REORDER_INTERVAL) {
             self.resort();
         }
-        let view = PacketView::new(packet);
         let mut out = DemuxOutcome::default();
-        for &idx in &self.order {
-            let port = &self.ports[idx];
-            let Some(filter) = port.filter.as_ref() else {
+        let mut i = 0;
+        while i < self.order.len() {
+            let idx = self.order[i];
+            i += 1;
+            let Some((accepted, stats)) = self.eval_checked(idx, packet, &mut out) else {
                 continue;
             };
-            let (accepted, stats) = self.interp.eval_with_stats(filter, view);
             out.applied.push(Application {
                 port: idx,
                 accepted,
@@ -399,7 +553,7 @@ impl PfDevice {
             });
             if accepted {
                 out.accepted.push(idx);
-                if !port.config.deliver_to_lower {
+                if !self.ports[idx].config.deliver_to_lower {
                     break;
                 }
             }
@@ -410,12 +564,88 @@ impl PfDevice {
         out
     }
 
+    /// Evaluates one port's filter with the (budgeted) checked interpreter,
+    /// handling budget exhaustion: the overrun is counted and the port is
+    /// quarantined on its first overrun. `None` if the port has no filter.
+    fn eval_checked(
+        &mut self,
+        idx: PortIdx,
+        packet: &[u8],
+        out: &mut DemuxOutcome,
+    ) -> Option<(bool, EvalStats)> {
+        let filter = self.ports[idx].filter.as_ref()?;
+        let view = PacketView::new(packet);
+        let (accepted, stats) = match self.budget {
+            Some(b) => self.interp.eval_budgeted(filter, view, b),
+            None => self.interp.eval_with_stats(filter, view),
+        };
+        if matches!(stats.error, Some(RuntimeError::BudgetExceeded { .. })) {
+            out.budget_overruns += 1;
+            let p = &mut self.ports[idx];
+            p.budget_overruns += 1;
+            if p.quarantined.is_none() {
+                p.quarantined = Some(QuarantineReason::BudgetExceeded);
+                out.newly_quarantined += 1;
+                // Evict the offender from whichever compiled set the
+                // active engine maintains.
+                self.rebuild_engine_state();
+            }
+        }
+        Some((accepted, stats))
+    }
+
+    /// Walks the demux order merging compiled-set verdicts with checked
+    /// evaluations of quarantined ports (which the compiled sets exclude),
+    /// preserving priority order and the §3.2 deliver-to-lower rule.
+    fn merge_quarantined(&mut self, matched: &[PortIdx], packet: &[u8], out: &mut DemuxOutcome) {
+        let mut i = 0;
+        while i < self.order.len() {
+            let idx = self.order[i];
+            i += 1;
+            let accepted = if self.ports[idx].quarantined.is_some() {
+                let Some((accepted, stats)) = self.eval_checked(idx, packet, out) else {
+                    continue;
+                };
+                out.applied.push(Application {
+                    port: idx,
+                    accepted,
+                    stats,
+                });
+                accepted
+            } else {
+                matched.contains(&idx)
+            };
+            if accepted {
+                out.accepted.push(idx);
+                if !self.ports[idx].config.deliver_to_lower {
+                    break;
+                }
+            }
+        }
+        for &idx in &out.accepted {
+            self.ports[idx].accepts += 1;
+        }
+    }
+
+    /// Whether any open port is quarantined (the compiled engines then need
+    /// the merged walk).
+    fn any_quarantined(&self) -> bool {
+        self.order
+            .iter()
+            .any(|&i| self.ports[i].quarantined.is_some())
+    }
+
     /// Decision-table demultiplexing: probe the compiled set, then walk the
     /// priority-ordered matches applying the §3.2 deliver-to-lower rule.
     fn demux_table(&mut self, packet: &[u8]) -> DemuxOutcome {
         let table = self.table.as_ref().expect("table engine selected");
         let matches = table.matches(PacketView::new(packet));
         let mut out = DemuxOutcome::default();
+        if self.any_quarantined() {
+            let matched: Vec<PortIdx> = matches.iter().map(|&id| id as PortIdx).collect();
+            self.merge_quarantined(&matched, packet, &mut out);
+            return out;
+        }
         for id in matches {
             let idx = id as PortIdx;
             out.accepted.push(idx);
@@ -433,12 +663,18 @@ impl PfDevice {
     /// prefixes between members), then walk the priority-ordered matches
     /// applying the §3.2 deliver-to-lower rule.
     fn demux_ir(&mut self, packet: &[u8]) -> DemuxOutcome {
+        let quarantined = self.any_quarantined();
         let set = self.ir_set.as_mut().expect("IR engine selected");
         let (matches, stats) = set.matches_with_stats(PacketView::new(packet));
         let mut out = DemuxOutcome {
             ir_ops: stats.ops_executed,
             ..Default::default()
         };
+        if quarantined {
+            let matched: Vec<PortIdx> = matches.iter().map(|&id| id as PortIdx).collect();
+            self.merge_quarantined(&matched, packet, &mut out);
+            return out;
+        }
         for &id in matches {
             let idx = id as PortIdx;
             out.accepted.push(idx);
@@ -457,12 +693,18 @@ impl PfDevice {
     /// the priority-ordered matches applying the §3.2 deliver-to-lower
     /// rule.
     fn demux_sharded(&mut self, packet: &[u8]) -> DemuxOutcome {
+        let quarantined = self.any_quarantined();
         let set = self.sharded.as_mut().expect("sharded engine selected");
         let (matches, stats) = set.matches_with_stats(PacketView::new(packet));
         let mut out = DemuxOutcome {
             ir_ops: stats.ops_executed,
             ..Default::default()
         };
+        if quarantined {
+            let matched: Vec<PortIdx> = matches.iter().map(|&id| id as PortIdx).collect();
+            self.merge_quarantined(&matched, packet, &mut out);
+            return out;
+        }
         for &id in matches {
             let idx = id as PortIdx;
             out.accepted.push(idx);
@@ -610,11 +852,168 @@ mod tests {
     fn queue_limit_drops_and_counts() {
         let mut d = dev_with(vec![samples::accept_all(10)]);
         d.port_mut(0).config.max_queue = 2;
-        assert!(d.port_mut(0).enqueue(recv(&pkt(1))));
-        assert!(d.port_mut(0).enqueue(recv(&pkt(2))));
-        assert!(!d.port_mut(0).enqueue(recv(&pkt(3))));
+        assert_eq!(d.port_mut(0).enqueue(recv(&pkt(1))), EnqueueOutcome::Stored);
+        assert_eq!(d.port_mut(0).enqueue(recv(&pkt(2))), EnqueueOutcome::Stored);
+        assert_eq!(
+            d.port_mut(0).enqueue(recv(&pkt(3))),
+            EnqueueOutcome::Rejected
+        );
         assert_eq!(d.port(0).drops, 1);
         assert_eq!(d.port(0).queue.len(), 2);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_newest_packets() {
+        let mut d = dev_with(vec![samples::accept_all(10)]);
+        d.port_mut(0).config.max_queue = 2;
+        d.port_mut(0).config.overflow = OverflowPolicy::DropOldest;
+        assert_eq!(d.port_mut(0).enqueue(recv(&pkt(1))), EnqueueOutcome::Stored);
+        assert_eq!(d.port_mut(0).enqueue(recv(&pkt(2))), EnqueueOutcome::Stored);
+        assert_eq!(
+            d.port_mut(0).enqueue(recv(&pkt(3))),
+            EnqueueOutcome::StoredDroppingOldest
+        );
+        assert_eq!(d.port(0).drops, 1, "the evicted packet is still counted");
+        let queued: Vec<Vec<u8>> = d.port(0).queue.iter().map(|p| p.bytes.clone()).collect();
+        assert_eq!(queued, vec![pkt(2), pkt(3)], "oldest was evicted");
+    }
+
+    #[test]
+    fn drop_oldest_with_zero_capacity_rejects() {
+        let mut d = dev_with(vec![samples::accept_all(10)]);
+        d.port_mut(0).config.max_queue = 0;
+        d.port_mut(0).config.overflow = OverflowPolicy::DropOldest;
+        assert_eq!(
+            d.port_mut(0).enqueue(recv(&pkt(1))),
+            EnqueueOutcome::Rejected
+        );
+        assert!(d.port(0).queue.is_empty());
+    }
+
+    /// A program the validator rejects (garbage after a short-circuit) but
+    /// the checked interpreter accepts for `sock`-addressed Pup packets:
+    /// the CAND terminates *true* before reaching the undecodable word.
+    fn shortcircuit_then_garbage(priority: u8, sock: u16) -> FilterProgram {
+        use pf_filter::word::BinaryOp;
+        let mut words = pf_filter::program::Assembler::new(priority)
+            .pushword(8) // DstSocketLo on the 3Mb medium
+            .pushlit_op(BinaryOp::Cnand, sock)
+            .finish()
+            .words()
+            .to_vec();
+        words.push(15 << 6); // reserved encoding: fails validation
+        FilterProgram::from_words(priority, words)
+    }
+
+    #[test]
+    fn invalid_filter_is_quarantined_but_still_served() {
+        let mut d = PfDevice::new();
+        let p = d.open((ProcId(0), Fd(0)));
+        assert!(!d.set_filter(p, shortcircuit_then_garbage(10, 35)));
+        assert!(matches!(
+            d.port(p).quarantined,
+            Some(QuarantineReason::Validation(_))
+        ));
+        assert_eq!(d.quarantined_ports(), 1);
+        // Wrong socket: CNAND terminates true before the garbage word.
+        assert_eq!(d.demux(&pkt(44)).accepted, vec![p]);
+        // Right socket: evaluation reaches the garbage word and rejects.
+        assert!(d.demux(&pkt(35)).accepted.is_empty());
+    }
+
+    #[test]
+    fn quarantined_filter_served_under_every_engine() {
+        for engine in [
+            DemuxEngine::Sequential,
+            DemuxEngine::DecisionTable,
+            DemuxEngine::Ir,
+            DemuxEngine::Sharded,
+        ] {
+            let mut d = PfDevice::new();
+            let clean = d.open((ProcId(0), Fd(0)));
+            d.set_filter(clean, samples::pup_socket_filter(10, 0, 35));
+            let bad = d.open((ProcId(1), Fd(0)));
+            assert!(!d.set_filter(bad, shortcircuit_then_garbage(20, 35)));
+            d.set_engine(engine);
+            // The quarantined (higher-priority) filter accepts mismatched
+            // sockets; the compiled member accepts socket 35.
+            assert_eq!(d.demux(&pkt(44)).accepted, vec![bad], "{engine:?}");
+            assert_eq!(d.demux(&pkt(35)).accepted, vec![clean], "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn budget_quarantines_overlong_filters_eagerly() {
+        let mut d = dev_with(vec![
+            samples::fig_3_8_pup_type_range(), // 10 instructions
+            samples::accept_all(5),            // 1 instruction
+        ]);
+        // The branch-free worst case is the static count, so the long
+        // filter is quarantined the moment the budget drops below it.
+        assert_eq!(d.set_instruction_budget(Some(6)), 1);
+        assert_eq!(
+            d.port(0).quarantined,
+            Some(QuarantineReason::BudgetExceeded)
+        );
+        let out = d.demux(&pkt(35));
+        // The budgeted fallback faults at instruction 7 (rejecting); the
+        // short filter catches the packet.
+        assert_eq!(out.budget_overruns, 1);
+        assert_eq!(out.accepted, vec![1]);
+        assert_eq!(d.port(0).budget_overruns, 1);
+        // Clearing the budget and rebinding restores full service.
+        assert_eq!(d.set_instruction_budget(None), 0);
+        assert!(d.set_filter(0, samples::fig_3_8_pup_type_range()));
+        assert_eq!(d.port(0).quarantined, None);
+        assert_eq!(d.demux(&pkt(35)).accepted, vec![0]);
+    }
+
+    #[test]
+    fn binding_an_overlong_filter_under_a_budget_quarantines() {
+        let mut d = PfDevice::new();
+        let p = d.open((ProcId(0), Fd(0)));
+        d.set_instruction_budget(Some(6));
+        assert!(!d.set_filter(p, samples::fig_3_8_pup_type_range()));
+        assert_eq!(
+            d.port(p).quarantined,
+            Some(QuarantineReason::BudgetExceeded)
+        );
+        // A filter that fits the budget binds cleanly (6 instructions).
+        assert!(d.set_filter(p, samples::pup_socket_filter(10, 0, 35)));
+        assert_eq!(d.port(p).quarantined, None);
+    }
+
+    #[test]
+    fn budget_quarantine_excludes_port_from_compiled_sets() {
+        let mut d = dev_with(vec![
+            samples::fig_3_8_pup_type_range(),    // priority 10, 10 instrs
+            samples::pup_socket_filter(5, 0, 35), // priority 5, 6 instrs
+        ]);
+        d.set_engine(DemuxEngine::Ir);
+        assert_eq!(d.set_instruction_budget(Some(6)), 1);
+        assert_eq!(d.quarantined_ports(), 1);
+        // The quarantined member no longer contributes threaded code; the
+        // merged walk still consults it (as a budgeted checked eval), and
+        // the compiled member catches the packet.
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![1], "budget rejects the long filter");
+        assert_eq!(out.applied.len(), 1, "one checked fallback application");
+        assert!(out.applied[0].stats.error.is_some());
+    }
+
+    #[test]
+    fn port_stats_snapshot() {
+        let mut d = dev_with(vec![samples::accept_all(10)]);
+        d.port_mut(0).config.max_queue = 1;
+        let _ = d.demux(&pkt(1));
+        let _ = d.port_mut(0).enqueue(recv(&pkt(1)));
+        let _ = d.port_mut(0).enqueue(recv(&pkt(2)));
+        let s = d.port(0).stats();
+        assert_eq!(s.accepts, 1);
+        assert_eq!(s.queued, 1);
+        assert_eq!(s.drops, 1);
+        assert!(!s.quarantined);
+        assert_eq!(s.budget_overruns, 0);
     }
 
     #[test]

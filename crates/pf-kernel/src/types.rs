@@ -52,6 +52,38 @@ pub enum BlockPolicy {
     NonBlocking,
 }
 
+/// What to do when a packet arrives at a full per-port input queue.
+///
+/// §3.3 only specifies *that* overflows drop and are counted; which end of
+/// the queue loses is a policy choice. Drop-tail keeps the oldest packets
+/// (a reader catching up sees history); drop-oldest keeps the newest (a
+/// monitor sampling current traffic prefers recency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Reject the arriving packet; the queue is unchanged.
+    #[default]
+    DropTail,
+    /// Evict the oldest queued packet to make room for the arrival.
+    DropOldest,
+}
+
+/// Per-port status snapshot (§3.3's status information, extended with the
+/// degradation counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortStats {
+    /// Packets dropped at this port's queue (overflow, either policy).
+    pub drops: u64,
+    /// Packets this port's filter accepted.
+    pub accepts: u64,
+    /// Packets currently queued awaiting a read.
+    pub queued: usize,
+    /// Whether the port's filter is quarantined (served by the checked
+    /// interpreter instead of the compiled engines).
+    pub quarantined: bool,
+    /// Filter evaluations terminated by the instruction budget.
+    pub budget_overruns: u64,
+}
+
 /// Per-port configuration (§3.3's control information).
 #[derive(Debug, Clone, Copy)]
 pub struct PortConfig {
@@ -61,6 +93,8 @@ pub struct PortConfig {
     pub block: BlockPolicy,
     /// Maximum length of the per-port input queue.
     pub max_queue: usize,
+    /// Which packet loses when the queue is full.
+    pub overflow: OverflowPolicy,
     /// Deliver packets accepted by this port's filter to lower-priority
     /// filters as well (§3.2's monitoring/multicast option).
     pub deliver_to_lower: bool,
@@ -76,6 +110,7 @@ impl Default for PortConfig {
             read_mode: ReadMode::Single,
             block: BlockPolicy::Blocking,
             max_queue: 32,
+            overflow: OverflowPolicy::DropTail,
             deliver_to_lower: false,
             signal_on_input: false,
             timestamp: false,
@@ -124,6 +159,7 @@ mod tests {
         let c = PortConfig::default();
         assert_eq!(c.read_mode, ReadMode::Single);
         assert_eq!(c.block, BlockPolicy::Blocking);
+        assert_eq!(c.overflow, OverflowPolicy::DropTail);
         assert!(!c.deliver_to_lower);
         assert!(!c.timestamp);
         assert!(c.max_queue > 0);

@@ -13,11 +13,11 @@
 //! [`crate::kproto::KernelProtocol`] and use [`KernelCtx`].
 
 use crate::app::App;
-use crate::device::{DemuxEngine, PendingRead, PfDevice, PortIdx};
+use crate::device::{DemuxEngine, EnqueueOutcome, PendingRead, PfDevice, PortIdx};
 use crate::kproto::KernelProtocol;
 use crate::types::{
-    BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket, SockId,
-    TimerId,
+    BlockPolicy, Fd, HostId, PipeId, PortConfig, PortStats, ProcId, ReadError, ReadMode,
+    RecvPacket, SockId, TimerId,
 };
 use pf_filter::program::FilterProgram;
 use pf_net::frame;
@@ -315,6 +315,17 @@ impl World {
         self.hosts[host.0].device.set_engine(engine);
     }
 
+    /// Sets (or clears) the per-evaluation filter instruction budget on a
+    /// host's packet-filter device. Filters that could exceed the budget
+    /// are quarantined: excluded from the compiled engines and served by
+    /// the budgeted checked interpreter (graceful degradation instead of a
+    /// runaway demultiplexer).
+    pub fn set_filter_budget(&mut self, host: HostId, budget: Option<u32>) {
+        let h = &mut self.hosts[host.0];
+        let newly = h.device.set_instruction_budget(budget);
+        h.counters.filters_quarantined += u64::from(newly);
+    }
+
     /// The network (e.g. for segment statistics).
     pub fn network(&self) -> &Network {
         &self.net
@@ -550,6 +561,19 @@ impl World {
                     h.cpu.charge("pf:sharded", now, cost);
                 }
             }
+            // Under the compiled engines, `applied` holds the checked
+            // fallback evaluations of quarantined filters — degradation
+            // work, charged on the interpreter's cost curve.
+            if h.device.engine() != DemuxEngine::Sequential {
+                for a in &outcome.applied {
+                    h.counters.filters_applied += 1;
+                    h.counters.filter_instructions += u64::from(a.stats.instructions);
+                    let cost = h.costs.filter_cost(a.stats.instructions);
+                    h.cpu.charge("pf:quarantine", now, cost);
+                }
+            }
+            h.counters.filter_budget_overruns += u64::from(outcome.budget_overruns);
+            h.counters.filters_quarantined += u64::from(outcome.newly_quarantined);
         }
         if outcome.accepted.is_empty() {
             self.hosts[host.0].counters.drops_no_match += 1;
@@ -574,10 +598,12 @@ impl World {
                     stamp,
                     dropped_before,
                 };
-                let ok = h.device.port_mut(idx).enqueue(pkt);
+                let outcome = h.device.port_mut(idx).enqueue(pkt);
+                let ok = outcome != EnqueueOutcome::Rejected;
                 if ok {
                     h.counters.packets_delivered += 1;
-                } else {
+                }
+                if outcome != EnqueueOutcome::Stored {
                     h.counters.drops_queue_full += 1;
                 }
                 (stamp, ok)
@@ -762,7 +788,11 @@ impl ProcCtx<'_> {
 
     /// Binds a filter to a port — "at a cost comparable to that of
     /// receiving a packet" (§3.1).
-    pub fn pf_set_filter(&mut self, fd: Fd, filter: FilterProgram) {
+    ///
+    /// Returns `false` when the filter was quarantined at bind time (it
+    /// failed validation or could exceed the host's instruction budget);
+    /// the port still works, served by the checked interpreter.
+    pub fn pf_set_filter(&mut self, fd: Fd, filter: FilterProgram) -> bool {
         self.charge_syscall("pf:ioctl");
         let now = self.world.events.now();
         let proc = self.proc;
@@ -770,7 +800,13 @@ impl ProcCtx<'_> {
         let cost = h.costs.pf_bookkeeping;
         h.cpu.charge("pf:ioctl", now, cost);
         if let Some(idx) = h.device.port_of((proc, fd)) {
-            h.device.set_filter(idx, filter);
+            let clean = h.device.set_filter(idx, filter);
+            if !clean {
+                h.counters.filters_quarantined += 1;
+            }
+            clean
+        } else {
+            false
         }
     }
 
@@ -791,6 +827,15 @@ impl ProcCtx<'_> {
         h.device
             .port_of((proc, fd))
             .map_or(0, |idx| h.device.port(idx).drops)
+    }
+
+    /// Full status snapshot for a port (§3.3 status information plus the
+    /// degradation counters: quarantine state and budget overruns).
+    pub fn pf_port_stats(&mut self, fd: Fd) -> Option<PortStats> {
+        let proc = self.proc;
+        let h = self.h();
+        let idx = h.device.port_of((proc, fd))?;
+        Some(h.device.port(idx).stats())
     }
 
     /// Transmits a complete frame (data-link header included) — §3's

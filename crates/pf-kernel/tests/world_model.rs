@@ -694,3 +694,124 @@ fn frames_parse_on_the_receive_side() {
     assert_eq!(h.dst, 0x0B);
     assert_eq!(h.ethertype, 2);
 }
+
+/// A program the validator rejects (reserved encoding after a
+/// short-circuit) but the checked interpreter accepts for packets whose
+/// `DstSocketLo` differs from `sock`.
+fn garbage_after_shortcircuit(priority: u8, sock: u16) -> FilterProgram {
+    let mut words = pf_filter::program::Assembler::new(priority)
+        .pushword(samples::WORD_DSTSOCKET_LO)
+        .pushlit_op(pf_filter::word::BinaryOp::Cnand, sock)
+        .finish()
+        .words()
+        .to_vec();
+    words.push(15 << 6);
+    FilterProgram::from_words(priority, words)
+}
+
+/// Graceful degradation end to end through the world: a
+/// validation-rejected filter is quarantined at bind yet keeps
+/// receiving via the checked fallback, a drop-oldest queue sheds the
+/// oldest packets, and `pf_port_stats` plus the host counters surface
+/// all of it.
+#[test]
+fn quarantine_and_overflow_surface_through_world() {
+    let (mut w, a, b) = two_host_world();
+    struct DegradedReader {
+        fd: Option<Fd>,
+        got: Vec<RecvPacket>,
+        stats: Option<pf_kernel::types::PortStats>,
+    }
+    impl App for DegradedReader {
+        fn start(&mut self, k: &mut ProcCtx<'_>) {
+            let fd = k.pf_open();
+            // Accepts every socket but 99; quarantined (fails validation).
+            assert!(!k.pf_set_filter(fd, garbage_after_shortcircuit(10, 99)));
+            k.pf_configure(
+                fd,
+                PortConfig {
+                    max_queue: 2,
+                    overflow: pf_kernel::types::OverflowPolicy::DropOldest,
+                    ..Default::default()
+                },
+            );
+            self.fd = Some(fd);
+            k.set_timer(SimDuration::from_millis(200), 1);
+        }
+        fn on_timer(&mut self, _t: u64, k: &mut ProcCtx<'_>) {
+            let fd = self.fd.unwrap();
+            self.stats = k.pf_port_stats(fd);
+            k.pf_read(fd);
+        }
+        fn on_packets(&mut self, _fd: Fd, packets: Vec<RecvPacket>, _k: &mut ProcCtx<'_>) {
+            self.got.extend(packets);
+        }
+    }
+    let rx = w.spawn(
+        b,
+        Box::new(DegradedReader {
+            fd: None,
+            got: Vec::new(),
+            stats: None,
+        }),
+    );
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: (0..6).map(|_| pup_to_bob(35)).collect(),
+        }),
+    );
+    w.run();
+    assert_eq!(w.counters(b).filters_quarantined, 1);
+    assert_eq!(w.counters(b).packets_delivered, 6, "fallback still accepts");
+    assert_eq!(w.counters(b).drops_queue_full, 4, "queue of 2, six packets");
+    let app = w.app_ref::<DegradedReader>(b, rx).unwrap();
+    let stats = app.stats.expect("port stats snapshot");
+    assert!(stats.quarantined);
+    assert_eq!(stats.accepts, 6);
+    assert_eq!(stats.drops, 4);
+    assert_eq!(stats.queued, 2, "drop-oldest kept the newest two");
+    // The first surviving packet is the fifth sent: when it was queued,
+    // packets 3 and 4 had already evicted the two before them.
+    assert_eq!(
+        app.got.first().map(|p| p.dropped_before),
+        Some(2),
+        "reader learns how many packets overflow had cost it so far"
+    );
+}
+
+/// An instruction budget set through the world quarantines overlong
+/// filters; a validation-rejected filter that also exceeds the budget at
+/// run time is cut off, and the overruns land in the host counters.
+#[test]
+fn budget_overruns_surface_through_world() {
+    let (mut w, a, b) = two_host_world();
+    w.set_filter_budget(b, Some(8));
+    struct Hog {
+        fd: Option<Fd>,
+    }
+    impl App for Hog {
+        fn start(&mut self, k: &mut ProcCtx<'_>) {
+            let fd = k.pf_open();
+            // Ten decodable instructions before a garbage word: fails
+            // validation (quarantine), then every checked evaluation
+            // exceeds the 8-instruction budget and rejects.
+            let mut words = samples::fig_3_8_pup_type_range().words().to_vec();
+            words.push(15 << 6);
+            assert!(!k.pf_set_filter(fd, FilterProgram::from_words(10, words)));
+            self.fd = Some(fd);
+        }
+    }
+    w.spawn(b, Box::new(Hog { fd: None }));
+    w.spawn(
+        a,
+        Box::new(Blaster {
+            packets: (0..3).map(|_| pup_to_bob(35)).collect(),
+        }),
+    );
+    w.run();
+    assert_eq!(w.counters(b).filters_quarantined, 1);
+    assert_eq!(w.counters(b).filter_budget_overruns, 3, "one per packet");
+    assert_eq!(w.counters(b).drops_no_match, 3, "over-budget rejects");
+    assert_eq!(w.counters(b).packets_delivered, 0);
+}

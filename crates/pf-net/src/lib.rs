@@ -14,4 +14,4 @@ pub mod segment;
 
 pub use frame::{FrameError, Header};
 pub use medium::{Medium, MediumKind};
-pub use segment::{Delivery, FaultModel, Network, SegmentId, StationId};
+pub use segment::{Delivery, FaultCounters, FaultModel, Network, SegmentId, StationId};

@@ -4,7 +4,25 @@
 //! computes its time on the wire from the medium's bandwidth and produces a
 //! [`Delivery`] for every station whose address filter would accept it
 //! (unicast match, broadcast, subscribed multicast, or promiscuous mode).
-//! Deterministic fault injection — loss and duplication — is per segment.
+//! Deterministic fault injection is per segment: loss, duplication, byte
+//! corruption (seeded bit flips), truncation, bounded reorder jitter, and
+//! transient whole-segment partitions, each with its own rate knob and a
+//! per-segment [`FaultCounters`] tally.
+//!
+//! ## Fault draw order
+//!
+//! Seed stability matters more than elegance here, so the RNG consumption
+//! pattern is part of the contract: per `transmit` call one partition-onset
+//! gate is drawn first; then, for every accepting receiver (unless the
+//! segment is currently partitioned), the five Bernoulli gates are drawn
+//! **unconditionally and in a fixed order** — loss, duplication,
+//! corruption, truncation, reorder — followed by the parameter draws for
+//! whichever gates fired (corrupt byte index then bit index, kept
+//! truncation length, reorder jitter), again in gate order. Because every
+//! gate consumes its draw regardless of earlier outcomes, the effective
+//! fault rates are independent: a lost frame still consumes the
+//! duplication draw, so raising the loss rate no longer skews the
+//! duplicate rate (or vice versa).
 //!
 //! The network layer is passive: the host simulation (in `pf-kernel`)
 //! schedules the returned deliveries on its event queue. That keeps this
@@ -24,13 +42,41 @@ pub struct SegmentId(pub usize);
 pub struct StationId(pub usize);
 
 /// Deterministic fault-injection knobs for a segment.
+///
+/// All probabilities apply per candidate delivery (per accepting receiver)
+/// and are drawn independently in the order documented at the module level,
+/// except `partition`, which is drawn once per `transmit` call.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultModel {
     /// Probability a given delivery is silently lost.
     pub loss: f64,
-    /// Probability a given delivery is duplicated (the duplicate arrives
-    /// one propagation delay later).
+    /// Probability a given delivery is duplicated. The duplicate is a
+    /// pristine copy of the transmitted frame arriving one propagation
+    /// delay after the nominal arrival, and it is produced even when the
+    /// primary copy was selected for loss (two copies on the wire, one
+    /// lost).
     pub duplication: f64,
+    /// Probability a delivered frame has one randomly chosen bit flipped
+    /// in one randomly chosen byte. Corruption happens after the address
+    /// decision (the NIC saw the pristine destination) and applies to the
+    /// primary copy only.
+    pub corruption: f64,
+    /// Probability a delivered frame is truncated to a uniformly chosen
+    /// prefix of at least one byte (no-op on frames of a single byte).
+    pub truncation: f64,
+    /// Probability a delivered frame is delayed by extra jitter drawn
+    /// uniformly from `(0, reorder_jitter]`, letting later transmissions
+    /// overtake it.
+    pub reorder: f64,
+    /// Upper bound on the reorder jitter. Zero disables reordering even
+    /// when the `reorder` gate fires.
+    pub reorder_jitter: SimDuration,
+    /// Probability, per `transmit` call, that the segment enters a
+    /// transient partition during which every delivery on the segment is
+    /// dropped (the transmitter still holds the wire; nothing arrives).
+    pub partition: f64,
+    /// How long a transient partition lasts once it starts.
+    pub partition_duration: SimDuration,
 }
 
 impl Default for FaultModel {
@@ -38,8 +84,33 @@ impl Default for FaultModel {
         FaultModel {
             loss: 0.0,
             duplication: 0.0,
+            corruption: 0.0,
+            truncation: 0.0,
+            reorder: 0.0,
+            reorder_jitter: SimDuration::from_micros(500),
+            partition: 0.0,
+            partition_duration: SimDuration::from_millis(20),
         }
     }
+}
+
+/// Per-segment tallies of injected faults, one counter per fault kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Deliveries suppressed by the loss gate.
+    pub lost: u64,
+    /// Extra copies produced by the duplication gate.
+    pub duplicated: u64,
+    /// Frames that had a bit flipped.
+    pub corrupted: u64,
+    /// Frames truncated to a prefix.
+    pub truncated: u64,
+    /// Frames delayed by reorder jitter.
+    pub reordered: u64,
+    /// Transient partitions that started.
+    pub partition_events: u64,
+    /// Deliveries suppressed because the segment was partitioned.
+    pub partition_drops: u64,
 }
 
 /// One frame arriving at one station.
@@ -69,6 +140,9 @@ struct Segment {
     /// transmission delay, but nonzero keeps causality strict).
     propagation: SimDuration,
     stations: Vec<StationId>,
+    /// The segment drops every delivery until this instant (transient
+    /// partition fault).
+    partition_until: SimTime,
 }
 
 /// A collection of Ethernet segments and the stations attached to them.
@@ -79,8 +153,8 @@ pub struct Network {
     rng: SplitMix64,
     /// Frames transmitted per segment (for monitor-style statistics).
     transmitted: Vec<u64>,
-    /// Deliveries suppressed by injected loss, per segment.
-    lost: Vec<u64>,
+    /// Injected-fault tallies per segment.
+    faults: Vec<FaultCounters>,
 }
 
 impl Network {
@@ -91,7 +165,7 @@ impl Network {
             stations: Vec::new(),
             rng: SplitMix64::new(seed),
             transmitted: Vec::new(),
-            lost: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -103,10 +177,17 @@ impl Network {
             faults,
             propagation: SimDuration::from_micros(5),
             stations: Vec::new(),
+            partition_until: SimTime::ZERO,
         });
         self.transmitted.push(0);
-        self.lost.push(0);
+        self.faults.push(FaultCounters::default());
         id
+    }
+
+    /// Replaces a segment's fault model (e.g. to heal or degrade a link
+    /// mid-experiment). Counters and partition state are kept.
+    pub fn set_faults(&mut self, segment: SegmentId, faults: FaultModel) {
+        self.segments[segment.0].faults = faults;
     }
 
     /// Attaches a station with link address `addr` to a segment.
@@ -163,7 +244,12 @@ impl Network {
 
     /// Deliveries suppressed by injected loss on a segment so far.
     pub fn lost_on(&self, segment: SegmentId) -> u64 {
-        self.lost[segment.0]
+        self.faults[segment.0].lost
+    }
+
+    /// All injected-fault tallies for a segment so far.
+    pub fn faults_on(&self, segment: SegmentId) -> FaultCounters {
+        self.faults[segment.0]
     }
 
     /// Transmits `frame` from `station` starting at `now`.
@@ -188,6 +274,17 @@ impl Network {
         let mut out = Vec::new();
         let receivers: Vec<StationId> = seg.stations.clone();
         let faults = seg.faults;
+        let propagation = seg.propagation;
+
+        // Fault application follows the draw order documented at the module
+        // level; changing the order or adding a draw changes every seeded
+        // fault pattern, so treat it as a wire-format-stable contract.
+        if now >= self.segments[seg_id.0].partition_until && self.rng.chance(faults.partition) {
+            self.segments[seg_id.0].partition_until = now + faults.partition_duration;
+            self.faults[seg_id.0].partition_events += 1;
+        }
+        let partitioned = now < self.segments[seg_id.0].partition_until;
+
         for rcv in receivers {
             if rcv == station {
                 continue;
@@ -204,19 +301,50 @@ impl Network {
             if !wants {
                 continue;
             }
-            if self.rng.chance(faults.loss) {
-                self.lost[seg_id.0] += 1;
+            if partitioned {
+                self.faults[seg_id.0].partition_drops += 1;
                 continue;
             }
-            out.push(Delivery {
-                station: rcv,
-                arrival,
-                frame: frame_bytes.to_vec(),
-            });
-            if self.rng.chance(faults.duplication) {
+
+            // Independent Bernoulli gates, fixed order (see module docs).
+            let lose = self.rng.chance(faults.loss);
+            let dup = self.rng.chance(faults.duplication);
+            let corrupt = self.rng.chance(faults.corruption);
+            let trunc = self.rng.chance(faults.truncation);
+            let reorder = self.rng.chance(faults.reorder);
+
+            let mut primary = frame_bytes.to_vec();
+            let mut primary_arrival = arrival;
+            if corrupt && !primary.is_empty() {
+                let byte = self.rng.below(primary.len() as u64) as usize;
+                let bit = self.rng.below(8) as u32;
+                primary[byte] ^= 1u8 << bit;
+                self.faults[seg_id.0].corrupted += 1;
+            }
+            if trunc && primary.len() > 1 {
+                let keep = 1 + self.rng.below(primary.len() as u64 - 1) as usize;
+                primary.truncate(keep);
+                self.faults[seg_id.0].truncated += 1;
+            }
+            if reorder && faults.reorder_jitter > SimDuration::ZERO {
+                let jitter = 1 + self.rng.below(faults.reorder_jitter.as_nanos());
+                primary_arrival = arrival + SimDuration::from_nanos(jitter);
+                self.faults[seg_id.0].reordered += 1;
+            }
+            if lose {
+                self.faults[seg_id.0].lost += 1;
+            } else {
                 out.push(Delivery {
                     station: rcv,
-                    arrival: arrival + self.segments[seg_id.0].propagation,
+                    arrival: primary_arrival,
+                    frame: primary,
+                });
+            }
+            if dup {
+                self.faults[seg_id.0].duplicated += 1;
+                out.push(Delivery {
+                    station: rcv,
+                    arrival: arrival + propagation,
                     frame: frame_bytes.to_vec(),
                 });
             }
@@ -312,7 +440,7 @@ mod tests {
             Medium::experimental_3mb(),
             FaultModel {
                 loss: 1.0,
-                duplication: 0.0,
+                ..FaultModel::default()
             },
         );
         let a = net.attach(seg, 1);
@@ -331,8 +459,8 @@ mod tests {
         let seg = net.add_segment(
             Medium::experimental_3mb(),
             FaultModel {
-                loss: 0.0,
                 duplication: 1.0,
+                ..FaultModel::default()
             },
         );
         let a = net.attach(seg, 1);
@@ -354,6 +482,11 @@ mod tests {
                 FaultModel {
                     loss: 0.3,
                     duplication: 0.1,
+                    corruption: 0.2,
+                    truncation: 0.1,
+                    reorder: 0.2,
+                    partition: 0.01,
+                    ..FaultModel::default()
                 },
             );
             let a = net.attach(seg, 1);
@@ -368,6 +501,144 @@ mod tests {
             pattern
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut net = Network::new(11);
+        let seg = net.add_segment(
+            Medium::experimental_3mb(),
+            FaultModel {
+                corruption: 1.0,
+                ..FaultModel::default()
+            },
+        );
+        let a = net.attach(seg, 1);
+        let _b = net.attach(seg, 2);
+        let m = *net.medium_of(a);
+        let f = build(&m, 2, 1, 2, &[0xAA; 64]).unwrap();
+        for _ in 0..20 {
+            let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+            assert_eq!(deliveries.len(), 1);
+            let got = &deliveries[0].frame;
+            assert_eq!(got.len(), f.len());
+            let flipped: u32 = got
+                .iter()
+                .zip(f.iter())
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum();
+            assert_eq!(flipped, 1, "exactly one bit flips per corruption");
+        }
+        assert_eq!(net.faults_on(seg).corrupted, 20);
+    }
+
+    #[test]
+    fn truncation_yields_proper_prefix() {
+        let mut net = Network::new(12);
+        let seg = net.add_segment(
+            Medium::experimental_3mb(),
+            FaultModel {
+                truncation: 1.0,
+                ..FaultModel::default()
+            },
+        );
+        let a = net.attach(seg, 1);
+        let _b = net.attach(seg, 2);
+        let m = *net.medium_of(a);
+        let f = build(&m, 2, 1, 2, &[7; 40]).unwrap();
+        for _ in 0..20 {
+            let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+            let got = &deliveries[0].frame;
+            assert!(!got.is_empty() && got.len() < f.len());
+            assert_eq!(got[..], f[..got.len()], "truncation keeps a prefix");
+        }
+        assert_eq!(net.faults_on(seg).truncated, 20);
+    }
+
+    #[test]
+    fn reorder_delays_primary_within_bound() {
+        let jitter = SimDuration::from_micros(100);
+        let mut net = Network::new(13);
+        let seg = net.add_segment(
+            Medium::experimental_3mb(),
+            FaultModel {
+                reorder: 1.0,
+                reorder_jitter: jitter,
+                ..FaultModel::default()
+            },
+        );
+        let a = net.attach(seg, 1);
+        let _b = net.attach(seg, 2);
+        let m = *net.medium_of(a);
+        let f = build(&m, 2, 1, 2, &[]).unwrap();
+        let (done, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        let nominal = done + SimDuration::from_micros(5);
+        assert!(deliveries[0].arrival > nominal);
+        assert!(deliveries[0].arrival <= nominal + jitter);
+        assert_eq!(net.faults_on(seg).reordered, 1);
+    }
+
+    #[test]
+    fn partition_drops_everything_then_heals() {
+        let mut net = Network::new(14);
+        let seg = net.add_segment(
+            Medium::experimental_3mb(),
+            FaultModel {
+                partition: 1.0,
+                partition_duration: SimDuration::from_millis(20),
+                ..FaultModel::default()
+            },
+        );
+        let a = net.attach(seg, 1);
+        let _b = net.attach(seg, 2);
+        let m = *net.medium_of(a);
+        let f = build(&m, 2, 1, 2, &[]).unwrap();
+        let (_, d) = net.transmit(a, &f, SimTime::ZERO);
+        assert!(d.is_empty(), "partition drops all deliveries");
+        assert_eq!(net.faults_on(seg).partition_events, 1);
+        assert_eq!(net.faults_on(seg).partition_drops, 1);
+        // Heal the fault model: the existing partition still runs out its
+        // clock, then deliveries resume.
+        net.set_faults(seg, FaultModel::default());
+        let (_, d) = net.transmit(a, &f, SimTime(1_000_000));
+        assert!(d.is_empty(), "still inside the 20 ms partition window");
+        let (_, d) = net.transmit(a, &f, SimTime(25_000_000));
+        assert_eq!(d.len(), 1, "partition over, delivery resumes");
+    }
+
+    #[test]
+    fn duplication_rate_is_independent_of_loss_rate() {
+        // Satellite fix: the duplication gate must consume its draw even
+        // for lost frames, so the effective duplicate rate cannot be
+        // skewed by the loss rate (the pre-fix code skipped the dup draw
+        // whenever loss fired).
+        let dup_count = |loss: f64| {
+            let mut net = Network::new(4242);
+            let seg = net.add_segment(
+                Medium::experimental_3mb(),
+                FaultModel {
+                    loss,
+                    duplication: 0.3,
+                    ..FaultModel::default()
+                },
+            );
+            let a = net.attach(seg, 1);
+            let _b = net.attach(seg, 2);
+            let m = *net.medium_of(a);
+            let f = build(&m, 2, 1, 2, &[]).unwrap();
+            for _ in 0..2000 {
+                net.transmit(a, &f, SimTime::ZERO);
+            }
+            net.faults_on(seg).duplicated
+        };
+        let lossless = dup_count(0.0);
+        let lossy = dup_count(0.8);
+        for n in [lossless, lossy] {
+            assert!(
+                (500..700).contains(&n),
+                "≈ 0.3 × 2000 duplicates expected regardless of loss, got {n}"
+            );
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ proptest! {
         let mut net = Network::new(seed);
         let seg = net.add_segment(
             Medium::experimental_3mb(),
-            FaultModel { loss, duplication: 0.0 },
+            FaultModel { loss, ..FaultModel::default() },
         );
         let stations: Vec<_> = (0..n_hosts).map(|i| net.attach(seg, i as u64 + 1)).collect();
         let m = Medium::experimental_3mb();

@@ -41,8 +41,14 @@ pub struct BspConfig {
     pub window: usize,
     /// Data bytes per packet.
     pub segment: usize,
-    /// Retransmission timeout.
+    /// Base retransmission timeout. Consecutive timeouts without forward
+    /// progress back off exponentially from here.
     pub rto: SimDuration,
+    /// Upper bound on the backed-off retransmission timeout.
+    pub rto_cap: SimDuration,
+    /// Consecutive unanswered retransmissions before the sender gives up
+    /// and fails the channel (`Effect::Failed`).
+    pub max_retries: u32,
     /// Whether to compute real Pup checksums (the paper's implementations
     /// did not — §6.3: "TCP checksums all data, whereas these
     /// implementations of VMTP do not", likewise BSP).
@@ -63,11 +69,22 @@ impl Default for BspConfig {
             window: 4,
             segment: MAX_PUP_DATA,
             rto: SimDuration::from_millis(200),
+            rto_cap: SimDuration::from_secs(3),
+            max_retries: 16,
             checksummed: false,
             push: false,
             batch: true,
         }
     }
+}
+
+/// The exponentially backed-off timeout: `base << exponent`, capped.
+///
+/// Shared by BSP and VMTP so both stacks degrade the same way under
+/// sustained loss or partition.
+pub(crate) fn backed_off(base: SimDuration, cap: SimDuration, exponent: u32) -> SimDuration {
+    let shifted = base.as_nanos().saturating_mul(1u64 << exponent.min(20));
+    SimDuration::from_nanos(shifted.min(cap.as_nanos().max(base.as_nanos())))
 }
 
 /// An action a machine asks its host environment to perform.
@@ -85,6 +102,9 @@ pub enum Effect {
     Connected,
     /// The stream is fully closed.
     Closed,
+    /// The sender exhausted `max_retries` backed-off retransmissions and
+    /// gave up (sender only; the channel is dead).
+    Failed,
 }
 
 /// Sender connection state.
@@ -95,6 +115,7 @@ enum SendState {
     Established,
     Ending,
     Closed,
+    Failed,
 }
 
 /// Counters the experiments harvest.
@@ -108,6 +129,8 @@ pub struct SenderStats {
     pub acks: u64,
     /// Payload bytes acknowledged.
     pub bytes_acked: u64,
+    /// Channels abandoned after `max_retries` consecutive timeouts.
+    pub giveups: u64,
 }
 
 /// The BSP sending endpoint as a pure state machine.
@@ -129,6 +152,10 @@ pub struct SenderMachine {
     eof: bool,
     end_seq: Option<u32>,
     timer_armed: bool,
+    /// Consecutive retransmission timeouts without forward progress; the
+    /// exponent of the backed-off RTO, reset whenever an ack advances,
+    /// the connection opens, or the close completes.
+    backoff: u32,
     /// Consecutive stale (non-advancing) acks seen; the third triggers a
     /// go-back retransmission. Reacting to *every* stale ack amplifies:
     /// each retransmitted duplicate provokes another stale ack, which
@@ -153,6 +180,7 @@ impl SenderMachine {
             eof: false,
             end_seq: None,
             timer_armed: false,
+            backoff: 0,
             dup_acks: 0,
             stats: SenderStats::default(),
         }
@@ -161,6 +189,17 @@ impl SenderMachine {
     /// Whether the stream is fully closed.
     pub fn is_closed(&self) -> bool {
         self.state == SendState::Closed
+    }
+
+    /// Whether the sender gave up after exhausting its retries.
+    pub fn is_failed(&self) -> bool {
+        self.state == SendState::Failed
+    }
+
+    /// The currently effective (backed-off, capped) retransmission
+    /// timeout.
+    pub fn current_rto(&self) -> SimDuration {
+        backed_off(self.cfg.rto, self.cfg.rto_cap, self.backoff)
     }
 
     /// Whether the connection is established.
@@ -212,6 +251,7 @@ impl SenderMachine {
         match (self.state, pup.ptype) {
             (SendState::Connecting, types::BSP_OPEN) => {
                 self.state = SendState::Established;
+                self.backoff = 0;
                 self.disarm(&mut fx);
                 fx.push(Effect::Connected);
                 self.pump(&mut fx);
@@ -232,6 +272,7 @@ impl SenderMachine {
                     }
                     self.base = acked_to;
                     self.dup_acks = 0;
+                    self.backoff = 0;
                     // Fresh progress: restart (or clear) the timer.
                     self.disarm(&mut fx);
                     if !self.inflight.is_empty() || self.end_seq.is_some() {
@@ -254,6 +295,7 @@ impl SenderMachine {
             }
             (SendState::Ending, types::BSP_END_REPLY) => {
                 self.state = SendState::Closed;
+                self.backoff = 0;
                 self.disarm(&mut fx);
                 fx.push(Effect::Closed);
             }
@@ -269,6 +311,19 @@ impl SenderMachine {
             return fx;
         }
         self.timer_armed = false;
+        if matches!(
+            self.state,
+            SendState::Connecting | SendState::Established | SendState::Ending
+        ) {
+            if self.backoff >= self.cfg.max_retries {
+                // Exhausted: fail the channel instead of retrying forever.
+                self.state = SendState::Failed;
+                self.stats.giveups += 1;
+                fx.push(Effect::Failed);
+                return fx;
+            }
+            self.backoff += 1;
+        }
         match self.state {
             SendState::Connecting => {
                 self.stats.retransmits += 1;
@@ -382,7 +437,7 @@ impl SenderMachine {
 
     fn arm(&mut self, fx: &mut Vec<Effect>) {
         self.timer_armed = true;
-        fx.push(Effect::SetTimer(self.cfg.rto, RTO_TOKEN));
+        fx.push(Effect::SetTimer(self.current_rto(), RTO_TOKEN));
     }
 
     fn disarm(&mut self, fx: &mut Vec<Effect>) {
@@ -740,6 +795,75 @@ mod machine_tests {
         assert!(!s.is_established());
         let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
         assert!(s.is_established());
+    }
+
+    #[test]
+    fn timeouts_back_off_exponentially_to_the_cap() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig {
+            rto: SimDuration::from_millis(100),
+            rto_cap: SimDuration::from_millis(450),
+            ..Default::default()
+        };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let mut rtos = Vec::new();
+        for _ in 0..4 {
+            let fx = s.on_timer(RTO_TOKEN);
+            rtos.extend(fx.iter().filter_map(|e| match e {
+                Effect::SetTimer(d, _) => Some(d.as_micros()),
+                _ => None,
+            }));
+        }
+        assert_eq!(
+            rtos,
+            vec![200_000, 400_000, 450_000, 450_000],
+            "doubling from the base, then pinned at the cap"
+        );
+    }
+
+    #[test]
+    fn progress_resets_the_backoff() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig {
+            window: 2,
+            segment: 10,
+            ..Default::default()
+        };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        let _ = s.offer(&[1u8; 20]);
+        let _ = s.on_timer(RTO_TOKEN);
+        let _ = s.on_timer(RTO_TOKEN);
+        assert!(s.current_rto() > s.cfg.rto);
+        // An advancing ack restores the base RTO.
+        let _ = s.on_pup(&Pup::new(types::BSP_ACK, 2, sa, ra, Vec::new()));
+        assert_eq!(s.current_rto(), s.cfg.rto);
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_the_channel() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig {
+            max_retries: 3,
+            ..Default::default()
+        };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        for _ in 0..3 {
+            let fx = s.on_timer(RTO_TOKEN);
+            assert!(fx
+                .iter()
+                .any(|e| matches!(e, Effect::Send(p) if p.ptype == types::BSP_RFC)));
+        }
+        let fx = s.on_timer(RTO_TOKEN);
+        assert!(fx.iter().any(|e| matches!(e, Effect::Failed)));
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Send(_))));
+        assert!(s.is_failed());
+        assert_eq!(s.stats.giveups, 1);
+        // A failed channel is inert.
+        assert!(s.on_timer(RTO_TOKEN).is_empty());
     }
 
     #[test]

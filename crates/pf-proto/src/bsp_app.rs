@@ -98,6 +98,7 @@ impl Endpoint {
                 Effect::Deliver(data) => fb.delivered.extend(data),
                 Effect::Connected => fb.connected = true,
                 Effect::Closed => fb.closed = true,
+                Effect::Failed => fb.failed = true,
             }
         }
         fb
@@ -108,6 +109,7 @@ impl Endpoint {
 struct Feedback {
     connected: bool,
     closed: bool,
+    failed: bool,
     delivered: Vec<u8>,
 }
 
@@ -128,6 +130,11 @@ pub struct BspSenderApp {
     pub started_at: Option<SimTime>,
     /// When the stream fully closed.
     pub closed_at: Option<SimTime>,
+    /// When the sender gave up (retry exhaustion), if it did.
+    pub failed_at: Option<SimTime>,
+    /// Received frames discarded because they failed to decode (bad
+    /// checksum, truncated header, not a Pup).
+    pub discards: u64,
 }
 
 impl BspSenderApp {
@@ -146,6 +153,8 @@ impl BspSenderApp {
             batch,
             started_at: None,
             closed_at: None,
+            failed_at: None,
+            discards: 0,
         }
     }
 
@@ -166,6 +175,11 @@ impl BspSenderApp {
         self.closed_at.is_some()
     }
 
+    /// Whether the sender gave up after exhausting its retries.
+    pub fn is_failed(&self) -> bool {
+        self.failed_at.is_some()
+    }
+
     fn drive(&mut self, fx: Vec<Effect>, k: &mut ProcCtx<'_>) {
         let fb = self.ep.apply(fx, k);
         if fb.connected {
@@ -173,6 +187,9 @@ impl BspSenderApp {
         }
         if fb.closed {
             self.closed_at = Some(k.now());
+        }
+        if fb.failed {
+            self.failed_at = Some(k.now());
         }
     }
 
@@ -221,9 +238,12 @@ impl App for BspSenderApp {
         let medium = Medium::experimental_3mb();
         for p in packets {
             k.compute("user:bsp", USER_PROTO_COST);
-            if let Ok(pup) = Pup::decode_frame(&medium, &p.bytes) {
-                let fx = self.machine.on_pup(&pup);
-                self.drive(fx, k);
+            match Pup::decode_frame(&medium, &p.bytes) {
+                Ok(pup) => {
+                    let fx = self.machine.on_pup(&pup);
+                    self.drive(fx, k);
+                }
+                Err(_) => self.discards += 1,
             }
         }
         if self.machine.is_established() {
@@ -258,6 +278,9 @@ pub struct BspReceiverApp {
     pub first_byte_at: Option<SimTime>,
     /// When the stream closed.
     pub closed_at: Option<SimTime>,
+    /// Received frames discarded because they failed to decode (bad
+    /// checksum, truncated header, not a Pup).
+    pub discards: u64,
 }
 
 impl BspReceiverApp {
@@ -274,6 +297,7 @@ impl BspReceiverApp {
             bytes: 0,
             first_byte_at: None,
             closed_at: None,
+            discards: 0,
         }
     }
 
@@ -312,25 +336,30 @@ impl App for BspReceiverApp {
         let medium = Medium::experimental_3mb();
         for p in packets {
             k.compute("user:bsp", USER_PROTO_COST);
-            if let Ok(pup) = Pup::decode_frame(&medium, &p.bytes) {
-                self.ep.charge_rx_cksum(k, pup.data.len());
-                let fx = self.machine.on_pup(&pup);
-                let fb = self.ep.apply(fx, k);
-                if !fb.delivered.is_empty() {
-                    if self.first_byte_at.is_none() {
-                        self.first_byte_at = Some(k.now());
-                    }
-                    self.bytes += fb.delivered.len() as u64;
-                    if self.per_byte_cost > SimDuration::ZERO {
-                        let total = SimDuration::from_nanos(
-                            self.per_byte_cost.as_nanos() * fb.delivered.len() as u64,
-                        );
-                        k.compute("user:consume", total);
-                    }
+            let pup = match Pup::decode_frame(&medium, &p.bytes) {
+                Ok(pup) => pup,
+                Err(_) => {
+                    self.discards += 1;
+                    continue;
                 }
-                if fb.closed {
-                    self.closed_at = Some(k.now());
+            };
+            self.ep.charge_rx_cksum(k, pup.data.len());
+            let fx = self.machine.on_pup(&pup);
+            let fb = self.ep.apply(fx, k);
+            if !fb.delivered.is_empty() {
+                if self.first_byte_at.is_none() {
+                    self.first_byte_at = Some(k.now());
                 }
+                self.bytes += fb.delivered.len() as u64;
+                if self.per_byte_cost > SimDuration::ZERO {
+                    let total = SimDuration::from_nanos(
+                        self.per_byte_cost.as_nanos() * fb.delivered.len() as u64,
+                    );
+                    k.compute("user:consume", total);
+                }
+            }
+            if fb.closed {
+                self.closed_at = Some(k.now());
             }
         }
         k.pf_read(fd);
@@ -395,6 +424,7 @@ mod tests {
         let faults = FaultModel {
             loss: 0.05,
             duplication: 0.0,
+            ..FaultModel::default()
         };
         let (mut w, a, tx, b, rx) = setup(20_000, faults, BspConfig::default());
         w.run_until(pf_sim::time::SimTime(60_000_000_000)); // 60 s cap
@@ -410,12 +440,72 @@ mod tests {
         let faults = FaultModel {
             loss: 0.0,
             duplication: 0.1,
+            ..FaultModel::default()
         };
         let (mut w, _a, _tx, b, rx) = setup(20_000, faults, BspConfig::default());
         w.run_until(pf_sim::time::SimTime(60_000_000_000));
         let r = w.app_ref::<BspReceiverApp>(b, rx).unwrap();
         assert_eq!(r.bytes, 20_000, "duplicates filtered");
         assert!(r.stats().duplicates > 0);
+    }
+
+    #[test]
+    fn transfer_survives_corruption_with_checksums() {
+        let faults = FaultModel {
+            corruption: 0.2,
+            ..FaultModel::default()
+        };
+        let cfg = BspConfig {
+            checksummed: true,
+            ..BspConfig::default()
+        };
+        let (mut w, a, tx, b, rx) = setup(20_000, faults, cfg);
+        w.run_until(pf_sim::time::SimTime(60_000_000_000));
+        let s = w.app_ref::<BspSenderApp>(a, tx).unwrap();
+        let r = w.app_ref::<BspReceiverApp>(b, rx).unwrap();
+        assert!(s.is_done(), "sender recovered from corruption");
+        assert_eq!(r.bytes, 20_000, "exact byte stream despite bit flips");
+        assert!(
+            s.discards + r.discards > 0,
+            "checksums caught corrupt frames"
+        );
+    }
+
+    #[test]
+    fn transfer_survives_truncation_and_reorder() {
+        let faults = FaultModel {
+            truncation: 0.1,
+            reorder: 0.2,
+            ..FaultModel::default()
+        };
+        let cfg = BspConfig {
+            checksummed: true,
+            ..BspConfig::default()
+        };
+        let (mut w, a, tx, b, rx) = setup(20_000, faults, cfg);
+        w.run_until(pf_sim::time::SimTime(60_000_000_000));
+        let s = w.app_ref::<BspSenderApp>(a, tx).unwrap();
+        let r = w.app_ref::<BspReceiverApp>(b, rx).unwrap();
+        assert!(s.is_done(), "sender recovered from truncation + reorder");
+        assert_eq!(r.bytes, 20_000);
+    }
+
+    #[test]
+    fn sender_gives_up_across_a_permanent_partition() {
+        let faults = FaultModel {
+            loss: 1.0,
+            ..FaultModel::default()
+        };
+        let cfg = BspConfig {
+            max_retries: 4,
+            ..BspConfig::default()
+        };
+        let (mut w, a, tx, _b, _rx) = setup(1_000, faults, cfg);
+        w.run_until(pf_sim::time::SimTime(120_000_000_000));
+        let s = w.app_ref::<BspSenderApp>(a, tx).unwrap();
+        assert!(s.is_failed(), "retry cap turns a dead wire into a failure");
+        assert!(!s.is_done());
+        assert_eq!(s.stats().giveups, 1);
     }
 
     #[test]

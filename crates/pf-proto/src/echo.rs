@@ -197,6 +197,7 @@ mod tests {
             FaultModel {
                 loss,
                 duplication: 0.0,
+                ..FaultModel::default()
             },
         );
         let c = w.add_host("client", seg, 0x0A, CostModel::microvax_ii());

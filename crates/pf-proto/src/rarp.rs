@@ -202,6 +202,7 @@ mod tests {
             FaultModel {
                 loss,
                 duplication: 0.0,
+                ..FaultModel::default()
             },
         );
         let station = w.add_host("diskless", seg, 0x0A, CostModel::microvax_ii());

@@ -250,6 +250,7 @@ mod tests {
             FaultModel {
                 loss: 0.03,
                 duplication: 0.0,
+                ..FaultModel::default()
             },
         );
         assert!(tput > 0.0);

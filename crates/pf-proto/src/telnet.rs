@@ -121,6 +121,9 @@ impl TelnetBspServer {
                 }
                 Effect::Connected => {}
                 Effect::Closed => self.done = true,
+                // The telnet experiment runs over a lossless segment; a
+                // give-up would only mean the experiment is misconfigured.
+                Effect::Failed => self.done = true,
                 Effect::Deliver(_) => {}
             }
         }

@@ -45,6 +45,34 @@ pub const SEGMENT_BYTES: usize = 16 * 1024;
 /// Client retransmission timer token.
 pub const VMTP_RTO_TOKEN: u64 = 0x7319;
 
+/// Header flag bit: the body carries a trailing 16-bit checksum.
+///
+/// The paper's VMTP implementations "do not" checksum (§6.3), so plain
+/// bodies stay byte-identical to the original wire format and the flag is
+/// opt-in: the chaos experiments turn it on to survive injected bit flips.
+pub const FLAG_CHECKSUM: u8 = 0x01;
+
+/// One's-complement add-and-left-cycle checksum over `b` (the same
+/// add-and-rotate family Pup uses), never the all-ones sentinel.
+pub fn vmtp_checksum(b: &[u8]) -> u16 {
+    let mut sum: u16 = 0;
+    let mut i = 0;
+    while i < b.len() {
+        let hi = b[i] as u16;
+        let lo = if i + 1 < b.len() { b[i + 1] as u16 } else { 0 };
+        let word = (hi << 8) | lo;
+        let (s, carry) = sum.overflowing_add(word);
+        sum = s.wrapping_add(u16::from(carry));
+        sum = sum.rotate_left(1);
+        i += 2;
+    }
+    if sum == 0xFFFF {
+        0
+    } else {
+        sum
+    }
+}
+
 /// Packet kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VmtpType {
@@ -105,33 +133,56 @@ pub struct VmtpPacket {
 impl VmtpPacket {
     /// Encodes the VMTP body (header + data), no data-link header.
     pub fn encode_body(&self) -> Vec<u8> {
-        let mut b = Vec::with_capacity(VMTP_HEADER + self.data.len());
+        self.encode_body_opts(false)
+    }
+
+    /// Encodes the body, optionally appending a trailing 16-bit checksum
+    /// (and setting [`FLAG_CHECKSUM`] so receivers verify it).
+    pub fn encode_body_opts(&self, checksummed: bool) -> Vec<u8> {
+        let mut b = Vec::with_capacity(VMTP_HEADER + self.data.len() + 2);
         b.extend_from_slice(&self.dst_entity.to_be_bytes());
         b.extend_from_slice(&self.src_entity.to_be_bytes());
         b.extend_from_slice(&self.trans.to_be_bytes());
         b.push(self.ptype.code());
         b.push(self.index);
         b.push(self.count);
-        b.push(0); // flags (reserved)
+        b.push(if checksummed { FLAG_CHECKSUM } else { 0 });
         b.extend_from_slice(&self.opcode.to_be_bytes());
         b.extend_from_slice(&(self.data.len() as u32).to_be_bytes());
         b.extend_from_slice(&self.data);
+        if checksummed {
+            let sum = vmtp_checksum(&b);
+            b.extend_from_slice(&sum.to_be_bytes());
+        }
         b
     }
 
     /// Encodes as a complete frame on `medium`.
     pub fn encode_frame(&self, medium: &Medium, eth_dst: u64, eth_src: u64) -> Vec<u8> {
+        self.encode_frame_opts(medium, eth_dst, eth_src, false)
+    }
+
+    /// Encodes as a complete frame, optionally checksummed.
+    pub fn encode_frame_opts(
+        &self,
+        medium: &Medium,
+        eth_dst: u64,
+        eth_src: u64,
+        checksummed: bool,
+    ) -> Vec<u8> {
         frame::build(
             medium,
             eth_dst,
             eth_src,
             VMTP_ETHERTYPE,
-            &self.encode_body(),
+            &self.encode_body_opts(checksummed),
         )
         .expect("VMTP packet fits the medium")
     }
 
-    /// Decodes a VMTP body.
+    /// Decodes a VMTP body. Bodies carrying [`FLAG_CHECKSUM`] are
+    /// verified; a corrupt or truncated checksummed body decodes to
+    /// `None` (the frame is discarded, retransmission recovers it).
     pub fn decode_body(b: &[u8]) -> Option<VmtpPacket> {
         if b.len() < VMTP_HEADER {
             return None;
@@ -139,6 +190,14 @@ impl VmtpPacket {
         let dlen = u32::from_be_bytes([b[20], b[21], b[22], b[23]]) as usize;
         if b.len() < VMTP_HEADER + dlen {
             return None;
+        }
+        if b[15] & FLAG_CHECKSUM != 0 {
+            let end = VMTP_HEADER + dlen;
+            let tail = b.get(end..end + 2)?;
+            let want = u16::from_be_bytes([tail[0], tail[1]]);
+            if vmtp_checksum(&b[..end]) != want {
+                return None;
+            }
         }
         Some(VmtpPacket {
             dst_entity: u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
@@ -195,6 +254,12 @@ pub enum VEffect {
         /// Reassembled response data.
         data: Vec<u8>,
     },
+    /// Client: the current transaction was abandoned after exhausting
+    /// `max_retries` backed-off retransmissions.
+    Failed {
+        /// Transaction id.
+        trans: u32,
+    },
     /// Server: deliver this request to the service (it answers via
     /// [`ServerMachine::respond`]).
     DeliverRequest {
@@ -218,10 +283,20 @@ pub struct ClientMachine {
     server_entity: u32,
     server_eth: u64,
     rto: SimDuration,
+    /// Upper bound on the backed-off retransmission timeout.
+    rto_cap: SimDuration,
+    /// Consecutive unanswered retransmissions before giving up.
+    max_retries: u32,
+    /// Consecutive timeouts without progress (the backoff exponent).
+    backoff: u32,
     next_trans: u32,
     pending: Option<PendingTrans>,
     /// Requests retransmitted and retry masks sent.
     pub retries: u64,
+    /// Transactions completed.
+    pub completed: u64,
+    /// Transactions abandoned after retry exhaustion.
+    pub giveups: u64,
 }
 
 #[derive(Debug)]
@@ -240,10 +315,33 @@ impl ClientMachine {
             server_entity,
             server_eth,
             rto,
+            rto_cap: SimDuration::from_nanos(rto.as_nanos().saturating_mul(16)),
+            max_retries: 16,
+            backoff: 0,
             next_trans: 1,
             pending: None,
             retries: 0,
+            completed: 0,
+            giveups: 0,
         }
+    }
+
+    /// Overrides the retry policy (backoff cap and give-up threshold).
+    pub fn with_retry_policy(mut self, rto_cap: SimDuration, max_retries: u32) -> Self {
+        self.set_retry_policy(rto_cap, max_retries);
+        self
+    }
+
+    /// In-place variant of [`Self::with_retry_policy`] for embeddings.
+    pub fn set_retry_policy(&mut self, rto_cap: SimDuration, max_retries: u32) {
+        self.rto_cap = rto_cap;
+        self.max_retries = max_retries;
+    }
+
+    /// The currently effective (backed-off, capped) retransmission
+    /// timeout.
+    pub fn current_rto(&self) -> SimDuration {
+        crate::bsp::backed_off(self.rto, self.rto_cap, self.backoff)
     }
 
     /// This client's entity identifier.
@@ -297,12 +395,16 @@ impl ClientMachine {
             p.received = vec![None; count];
         }
         p.got_any = true;
+        // A response member for the live transaction is forward progress:
+        // restore the base RTO.
+        self.backoff = 0;
         let idx = usize::from(pkt.index);
         if idx < count && p.received[idx].is_none() {
             p.received[idx] = Some(pkt.data.clone());
         }
         if p.received.iter().all(Option::is_some) {
             let p = self.pending.take().expect("checked above");
+            self.completed += 1;
             let mut data = Vec::new();
             for seg in p.received.into_iter().flatten() {
                 data.extend(seg);
@@ -339,6 +441,16 @@ impl ClientMachine {
         let Some(p) = self.pending.as_ref() else {
             return Vec::new();
         };
+        if self.backoff >= self.max_retries {
+            // Exhausted: abandon the transaction instead of retrying
+            // forever across a dead or partitioned wire.
+            let trans = p.trans;
+            self.pending = None;
+            self.backoff = 0;
+            self.giveups += 1;
+            return vec![VEffect::Failed { trans }];
+        }
+        self.backoff += 1;
         self.retries += 1;
         let pkt = if !p.got_any {
             p.request.clone()
@@ -362,7 +474,7 @@ impl ClientMachine {
         };
         vec![
             VEffect::Send(pkt, self.server_eth),
-            VEffect::SetTimer(self.rto, VMTP_RTO_TOKEN),
+            VEffect::SetTimer(self.current_rto(), VMTP_RTO_TOKEN),
         ]
     }
 }
@@ -719,6 +831,86 @@ mod tests {
         assert_eq!(p.ptype, VmtpType::Request);
         assert_eq!(p.opcode, 9);
         assert_eq!(p.data, vec![1, 2]);
+    }
+
+    #[test]
+    fn checksummed_round_trip_and_corruption_rejection() {
+        let p = VmtpPacket {
+            dst_entity: 0x1234_5678,
+            src_entity: 0x9ABC_DEF0,
+            trans: 42,
+            ptype: VmtpType::Response,
+            index: 3,
+            count: 16,
+            opcode: 7,
+            data: vec![1, 2, 3, 4, 5],
+        };
+        let body = p.encode_body_opts(true);
+        assert_eq!(body.len(), VMTP_HEADER + 5 + 2);
+        assert_eq!(VmtpPacket::decode_body(&body).unwrap(), p);
+        // Any single bit flip anywhere in the body must be caught (the
+        // flags byte itself is covered: clearing the checksum flag changes
+        // the advertised length check or simply skips verification of a
+        // body whose tail bytes then confuse nothing — test the data and
+        // header regions explicitly).
+        for byte in 0..body.len() {
+            for bit in 0..8 {
+                let mut m = body.clone();
+                m[byte] ^= 1 << bit;
+                let decoded = VmtpPacket::decode_body(&m);
+                if let Some(q) = decoded {
+                    // The only survivable flips are ones that clear the
+                    // checksum flag itself (reverting to the unchecksummed
+                    // format, where the tail reads as slack) — the packet
+                    // content must still match in that case.
+                    assert_eq!((byte, q.data), (15, p.data.clone()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_checksummed_bodies_never_decode_or_panic() {
+        let p = VmtpPacket {
+            dst_entity: 1,
+            src_entity: 2,
+            trans: 3,
+            ptype: VmtpType::Request,
+            index: 0,
+            count: 1,
+            opcode: 9,
+            data: vec![7; 100],
+        };
+        let body = p.encode_body_opts(true);
+        for len in 0..body.len() {
+            assert!(
+                VmtpPacket::decode_body(&body[..len]).is_none(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn client_backs_off_and_gives_up() {
+        let mut c = ClientMachine::new(1, 2, 0x0B, SimDuration::from_millis(100))
+            .with_retry_policy(SimDuration::from_millis(350), 3);
+        let _ = c.invoke(0, Vec::new());
+        let mut rtos = Vec::new();
+        for _ in 0..3 {
+            let fx = c.on_timer(VMTP_RTO_TOKEN);
+            rtos.extend(fx.iter().filter_map(|e| match e {
+                VEffect::SetTimer(d, _) => Some(d.as_micros()),
+                _ => None,
+            }));
+        }
+        assert_eq!(rtos, vec![200_000, 350_000, 350_000], "doubling, capped");
+        let fx = c.on_timer(VMTP_RTO_TOKEN);
+        assert!(matches!(fx[..], [VEffect::Failed { trans: 1 }]));
+        assert!(!c.busy(), "abandoned transaction cleared");
+        assert_eq!(c.giveups, 1);
+        // The client is reusable after a give-up.
+        let fx = c.invoke(0, Vec::new());
+        assert!(matches!(fx[0], VEffect::Send(ref p, _) if p.trans == 2));
     }
 
     #[test]

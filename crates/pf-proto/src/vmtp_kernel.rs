@@ -38,6 +38,9 @@ pub mod ops {
     pub const REQUEST: u32 = 10;
     /// Completion to a client: the transaction finished; `meta[0]` = trans.
     pub const DONE: u32 = 11;
+    /// Completion to a client: the transaction was abandoned after retry
+    /// exhaustion; `meta[0]` = trans.
+    pub const FAILED: u32 = 12;
 }
 
 struct ClientSlot {
@@ -53,6 +56,10 @@ pub struct KernelVmtp {
     servers: HashMap<u32, (ServerMachine, SockId)>,
     /// Packets processed by the kernel input routine.
     pub packets_in: u64,
+    /// Frames discarded by the input routine (undecodable or corrupt).
+    pub discards: u64,
+    /// Client transactions abandoned after retry exhaustion.
+    pub giveups: u64,
 }
 
 impl KernelVmtp {
@@ -85,6 +92,10 @@ impl KernelVmtp {
                 }
                 VEffect::Complete { trans, data } => {
                     k.complete(sock, ops::DONE, data, [u64::from(trans), 0, 0, 0]);
+                }
+                VEffect::Failed { trans } => {
+                    self.giveups += 1;
+                    k.complete(sock, ops::FAILED, Vec::new(), [u64::from(trans), 0, 0, 0]);
                 }
                 VEffect::DeliverRequest { .. } => unreachable!("client machine"),
             }
@@ -121,7 +132,9 @@ impl KernelVmtp {
                     );
                 }
                 VEffect::SetTimer(..) | VEffect::CancelTimer(_) => {}
-                VEffect::Complete { .. } => unreachable!("server machine"),
+                VEffect::Complete { .. } | VEffect::Failed { .. } => {
+                    unreachable!("server machine")
+                }
             }
         }
     }
@@ -139,6 +152,7 @@ impl KernelProtocol for KernelVmtp {
     fn input(&mut self, frame: Vec<u8>, k: &mut KernelCtx<'_>) {
         let medium = Medium::standard_10mb();
         let Some((pkt, eth_src)) = VmtpPacket::decode_frame(&medium, &frame) else {
+            self.discards += 1;
             return;
         };
         self.packets_in += 1;
@@ -504,6 +518,7 @@ mod tests {
             FaultModel {
                 loss: 0.05,
                 duplication: 0.02,
+                ..FaultModel::default()
             },
         );
         let c = w.add_host("client", seg, 0x0A, CostModel::microvax_ii());

@@ -84,16 +84,22 @@ pub struct VmtpUserClient {
     workload: Workload,
     input: ClientInput,
     batch: bool,
+    checksummed: bool,
     fd: Option<Fd>,
     timer: Option<TimerId>,
     /// Completed transactions.
     pub completed: u64,
     /// Response payload bytes received across all transactions.
     pub bytes: u64,
+    /// Received frames discarded (bad checksum, truncated, not VMTP).
+    pub discards: u64,
     /// Time the first transaction was issued.
     pub started_at: Option<SimTime>,
     /// Time the last transaction completed.
     pub finished_at: Option<SimTime>,
+    /// Time the machine gave up on a transaction, if it did (the workload
+    /// stops there).
+    pub failed_at: Option<SimTime>,
 }
 
 impl VmtpUserClient {
@@ -106,13 +112,36 @@ impl VmtpUserClient {
             workload,
             input: ClientInput::PacketFilter,
             batch: true,
+            checksummed: false,
             fd: None,
             timer: None,
             completed: 0,
             bytes: 0,
+            discards: 0,
             started_at: None,
             finished_at: None,
+            failed_at: None,
         }
+    }
+
+    /// Sends checksummed VMTP packets and relies on the wire checksum to
+    /// reject corrupt responses (the chaos experiments; the paper's
+    /// implementations did not checksum).
+    pub fn with_checksums(mut self) -> Self {
+        self.checksummed = true;
+        self
+    }
+
+    /// Overrides the machine's retry policy (backoff cap, give-up
+    /// threshold).
+    pub fn with_retry_policy(mut self, cap: pf_sim::time::SimDuration, max_retries: u32) -> Self {
+        self.machine.set_retry_policy(cap, max_retries);
+        self
+    }
+
+    /// Transactions the machine abandoned.
+    pub fn machine_giveups(&self) -> u64 {
+        self.machine.giveups
     }
 
     /// Receive via a demultiplexing process and pipe instead (table 6-5).
@@ -166,7 +195,7 @@ impl VmtpUserClient {
             match e {
                 VEffect::Send(pkt, eth_dst) => {
                     k.compute("user:vmtp", USER_VMTP_COST);
-                    let f = pkt.encode_frame(&medium, eth_dst, my_eth);
+                    let f = pkt.encode_frame_opts(&medium, eth_dst, my_eth, self.checksummed);
                     let _ = k.pf_write(self.fd.expect("port open"), &f);
                 }
                 VEffect::SetTimer(d, token) => {
@@ -179,6 +208,10 @@ impl VmtpUserClient {
                     if let Some(t) = self.timer.take() {
                         k.cancel_timer(t);
                     }
+                }
+                VEffect::Failed { .. } => {
+                    // Retry exhaustion: stop the workload and record when.
+                    self.failed_at = Some(k.now());
                 }
                 VEffect::Complete { data, .. } => {
                     self.completed += 1;
@@ -200,9 +233,12 @@ impl VmtpUserClient {
     fn on_frame(&mut self, bytes: &[u8], k: &mut ProcCtx<'_>) {
         k.compute("user:vmtp", USER_VMTP_COST);
         let medium = Medium::standard_10mb();
-        if let Some((pkt, _src)) = VmtpPacket::decode_frame(&medium, bytes) {
-            let fx = self.machine.on_packet(&pkt);
-            self.apply(fx, k);
+        match VmtpPacket::decode_frame(&medium, bytes) {
+            Some((pkt, _src)) => {
+                let fx = self.machine.on_packet(&pkt);
+                self.apply(fx, k);
+            }
+            None => self.discards += 1,
         }
     }
 }
@@ -268,9 +304,12 @@ pub struct VmtpUserServer {
     entity: u32,
     machine: ServerMachine,
     batch: bool,
+    checksummed: bool,
     fd: Option<Fd>,
     /// Requests served (handler invocations; duplicates excluded).
     pub served: u64,
+    /// Received frames discarded (bad checksum, truncated, not VMTP).
+    pub discards: u64,
 }
 
 impl VmtpUserServer {
@@ -280,14 +319,23 @@ impl VmtpUserServer {
             entity,
             machine: ServerMachine::new(entity),
             batch: true,
+            checksummed: false,
             fd: None,
             served: 0,
+            discards: 0,
         }
     }
 
     /// Disables received-packet batching.
     pub fn without_batching(mut self) -> Self {
         self.batch = false;
+        self
+    }
+
+    /// Sends checksummed VMTP packets (see
+    /// [`VmtpUserClient::with_checksums`]).
+    pub fn with_checksums(mut self) -> Self {
+        self.checksummed = true;
         self
     }
 
@@ -298,7 +346,7 @@ impl VmtpUserServer {
             match e {
                 VEffect::Send(pkt, eth_dst) => {
                     k.compute("user:vmtp", USER_VMTP_COST);
-                    let f = pkt.encode_frame(&medium, eth_dst, my_eth);
+                    let f = pkt.encode_frame_opts(&medium, eth_dst, my_eth, self.checksummed);
                     let _ = k.pf_write(self.fd.expect("port open"), &f);
                 }
                 VEffect::DeliverRequest {
@@ -315,7 +363,9 @@ impl VmtpUserServer {
                     self.apply(fx, k);
                 }
                 VEffect::SetTimer(..) | VEffect::CancelTimer(_) => {}
-                VEffect::Complete { .. } => unreachable!("server machine"),
+                VEffect::Complete { .. } | VEffect::Failed { .. } => {
+                    unreachable!("server machine")
+                }
             }
         }
     }
@@ -345,9 +395,12 @@ impl App for VmtpUserServer {
         let medium = Medium::standard_10mb();
         for p in packets {
             k.compute("user:vmtp", USER_VMTP_COST);
-            if let Some((pkt, eth_src)) = VmtpPacket::decode_frame(&medium, &p.bytes) {
-                let fx = self.machine.on_packet(&pkt, eth_src);
-                self.apply(fx, k);
+            match VmtpPacket::decode_frame(&medium, &p.bytes) {
+                Some((pkt, eth_src)) => {
+                    let fx = self.machine.on_packet(&pkt, eth_src);
+                    self.apply(fx, k);
+                }
+                None => self.discards += 1,
             }
         }
         k.pf_read(fd);
@@ -523,6 +576,7 @@ mod tests {
             FaultModel {
                 loss: 0.05,
                 duplication: 0.0,
+                ..FaultModel::default()
             },
         );
         let c = w.add_host("client", seg, 0x0A, CostModel::microvax_ii());

@@ -43,6 +43,13 @@ pub struct Counters {
     pub signals_delivered: u64,
     /// Received-packet timestamps taken (each costs `microtime`).
     pub timestamps: u64,
+    /// Filters quarantined (failed bind-time validation or could exceed
+    /// the instruction budget); quarantined filters are served by the
+    /// checked interpreter instead of the compiled engines.
+    pub filters_quarantined: u64,
+    /// Filter evaluations terminated by the per-evaluation instruction
+    /// budget (each rejects its packet).
+    pub filter_budget_overruns: u64,
 }
 
 impl Counters {
@@ -83,6 +90,8 @@ impl Sub for Counters {
             filter_instructions: self.filter_instructions - rhs.filter_instructions,
             signals_delivered: self.signals_delivered - rhs.signals_delivered,
             timestamps: self.timestamps - rhs.timestamps,
+            filters_quarantined: self.filters_quarantined - rhs.filters_quarantined,
+            filter_budget_overruns: self.filter_budget_overruns - rhs.filter_budget_overruns,
         }
     }
 }
@@ -111,7 +120,12 @@ impl fmt::Display for Counters {
             self.filters_applied, self.filter_instructions
         )?;
         writeln!(f, "signals delivered:   {}", self.signals_delivered)?;
-        write!(f, "timestamps taken:    {}", self.timestamps)
+        writeln!(f, "timestamps taken:    {}", self.timestamps)?;
+        write!(
+            f,
+            "filters quarantined: {} ({} budget overruns)",
+            self.filters_quarantined, self.filter_budget_overruns
+        )
     }
 }
 

@@ -27,6 +27,7 @@ fn main() {
         FaultModel {
             loss: 0.01,
             duplication: 0.0,
+            ..FaultModel::default()
         },
     );
     let alice = w.add_host("alice", seg, 0x0A, CostModel::microvax_ii());

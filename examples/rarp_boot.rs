@@ -24,6 +24,7 @@ fn main() {
         FaultModel {
             loss: 0.4,
             duplication: 0.0,
+            ..FaultModel::default()
         },
     );
     let station = w.add_host("diskless", seg, 0x0A, CostModel::microvax_ii());

@@ -19,6 +19,10 @@ run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test --workspace -q
+# Chaos-campaign invariants (zero panics, eventual delivery, bounded
+# retries); --stdout keeps the checked-in full-sweep BENCH_chaos.json.
+echo "==> cargo run -p pf-bench --release --bin bench_chaos -- --smoke --stdout"
+cargo run -p pf-bench --release --bin bench_chaos -- --smoke --stdout > /dev/null
 
 if [[ "${1:-}" == "--benches" ]]; then
     run cargo bench --workspace --features criterion-benches --no-run

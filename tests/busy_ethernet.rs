@@ -36,6 +36,7 @@ fn everything_at_once_on_one_wire() {
         FaultModel {
             loss: 0.01,
             duplication: 0.005,
+            ..FaultModel::default()
         },
     );
     let eth3 = w.add_segment(
@@ -43,6 +44,7 @@ fn everything_at_once_on_one_wire() {
         FaultModel {
             loss: 0.01,
             duplication: 0.005,
+            ..FaultModel::default()
         },
     );
 

@@ -28,6 +28,7 @@ fn monitored_bsp_transfer_with_loss() {
         FaultModel {
             loss: 0.03,
             duplication: 0.01,
+            ..FaultModel::default()
         },
     );
     let a = w.add_host("alice", seg, 0x0A, CostModel::microvax_ii());
@@ -146,6 +147,7 @@ fn whole_world_runs_are_bit_deterministic() {
             FaultModel {
                 loss: 0.05,
                 duplication: 0.02,
+                ..FaultModel::default()
             },
         );
         let a = w.add_host("a", seg, 0x0A, CostModel::microvax_ii());

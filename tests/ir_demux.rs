@@ -27,6 +27,7 @@ fn bsp_transfer_with_loss_under_ir_engine() {
         FaultModel {
             loss: 0.03,
             duplication: 0.01,
+            ..FaultModel::default()
         },
     );
     let a = w.add_host("alice", seg, 0x0A, CostModel::microvax_ii());
@@ -138,6 +139,7 @@ fn ir_engine_delivery_matches_sequential_and_is_deterministic() {
             FaultModel {
                 loss: 0.05,
                 duplication: 0.02,
+                ..FaultModel::default()
             },
         );
         let a = w.add_host("a", seg, 0x0A, CostModel::microvax_ii());
