@@ -9,14 +9,10 @@
 //!   packets in one system call) might also improve performance".
 
 use crate::report::Report;
-use pf_filter::compile::CompiledFilter;
-use pf_filter::dtree::FilterSet;
-use pf_filter::interp::CheckedInterpreter;
-use pf_filter::packet::PacketView;
+use pf_filter::interp::InterpConfig;
 use pf_filter::program::FilterProgram;
 use pf_filter::samples;
-use pf_filter::validate::ValidatedProgram;
-use pf_ir::IrFilter;
+use pf_ir::singleton_engines;
 use pf_kernel::app::App;
 use pf_kernel::device::DemuxEngine;
 use pf_kernel::types::{Fd, PortConfig, ReadError, ReadMode, RecvPacket};
@@ -119,16 +115,16 @@ pub fn predicates_per_packet(policy: OrderPolicy) -> f64 {
     counters.filters_applied as f64 / PACKETS as f64
 }
 
-/// The execution engines of the §7 ladder, in rung order.
-pub const LADDER_ENGINES: [&str; 5] = ["checked", "validated", "compiled", "dtree", "ir"];
-
-/// One table 6-10 filter shape timed on every engine (nanoseconds per
-/// evaluation, real wall clock).
+/// One table 6-10 filter shape timed on every execution surface
+/// (nanoseconds per evaluation, real wall clock).
 pub struct LadderRow {
     /// Shape label (instruction count or figure name).
     pub shape: String,
-    /// ns/eval for each engine, in [`LADDER_ENGINES`] order.
-    pub ns: [f64; 5],
+    /// `(engine name, ns/eval)` per surface, in
+    /// [`pf_ir::singleton_engines`] ladder order — so a new surface (like
+    /// the feature-gated template JIT) shows up here without this module
+    /// changing.
+    pub ns: Vec<(&'static str, f64)>,
 }
 
 fn time_ns<F: FnMut() -> bool>(iters: u32, mut f: F) -> f64 {
@@ -143,13 +139,14 @@ fn time_ns<F: FnMut() -> bool>(iters: u32, mut f: F) -> f64 {
 }
 
 /// Measures the real (host wall-clock, not simulated) cost of one filter
-/// evaluation on each engine, over the table 6-10 shapes plus the paper's
-/// two workhorse filters. This is the in-report summary of the
-/// `filter_exec` criterion bench, runnable offline.
+/// evaluation on each execution surface, over the table 6-10 shapes plus
+/// the paper's two workhorse filters. The surfaces come from
+/// [`pf_ir::singleton_engines`], so the ladder automatically covers every
+/// rung the workspace has — including the template JIT when the `jit`
+/// feature is on. This is the in-report summary of the `filter_exec`
+/// criterion bench, runnable offline.
 pub fn engine_ladder(iters: u32) -> Vec<LadderRow> {
     let packet = samples::pup_packet_3mb(2, 0, 35, 50);
-    let view = || PacketView::new(black_box(&packet));
-    let interp = CheckedInterpreter::default();
     let shapes: Vec<(String, FilterProgram)> = [0usize, 1, 9, 21]
         .iter()
         .map(|&len| {
@@ -172,18 +169,14 @@ pub fn engine_ladder(iters: u32) -> Vec<LadderRow> {
     shapes
         .into_iter()
         .map(|(shape, program)| {
-            let validated = ValidatedProgram::new(program.clone()).expect("shape validates");
-            let compiled = CompiledFilter::from_validated(validated.clone());
-            let ir = IrFilter::from_validated(&validated);
-            let mut set = FilterSet::new();
-            set.insert(0, program.clone());
-            let ns = [
-                time_ns(iters, || interp.eval(black_box(&program), view())),
-                time_ns(iters, || validated.eval(view())),
-                time_ns(iters, || compiled.eval(view())),
-                time_ns(iters, || set.first_match(view()).is_some()),
-                time_ns(iters, || ir.eval(view())),
-            ];
+            let ns = singleton_engines(&program, InterpConfig::default())
+                .iter_mut()
+                .map(|engine| {
+                    let name = engine.name();
+                    let ns = time_ns(iters, || engine.matches(black_box(&packet)).is_some());
+                    (name, ns)
+                })
+                .collect();
             LadderRow { shape, ns }
         })
         .collect()
@@ -300,6 +293,7 @@ pub fn report_ablations() -> Report {
         DemuxEngine::DecisionTable,
         DemuxEngine::Ir,
         DemuxEngine::Sharded,
+        DemuxEngine::Jit,
     ] {
         let ms = demux_cpu_ms_per_packet(engine);
         let label = match engine {
@@ -311,6 +305,7 @@ pub fn report_ablations() -> Report {
             DemuxEngine::DecisionTable => "decision table (§7)",
             DemuxEngine::Ir => "IR threaded code + shared guards",
             DemuxEngine::Sharded => "sharded value-numbered set",
+            DemuxEngine::Jit => "per-filter template JIT",
         };
         r.row(&[
             label.into(),
@@ -324,9 +319,9 @@ pub fn report_ablations() -> Report {
         } else {
             ""
         };
-        let cells: Vec<String> = LADDER_ENGINES
-            .iter()
-            .zip(row.ns)
+        let cells: Vec<String> = row
+            .ns
+            .into_iter()
             .map(|(e, ns)| format!("{e} {ns:.0}ns"))
             .collect();
         r.row(&[label.into(), row.shape, cells.join(", ")]);
@@ -379,15 +374,28 @@ mod tests {
         // Sharding skips the cold members entirely, so it must also beat
         // the flat IR walk on this skewed population.
         assert!(sharded < ir, "sharded {sharded:.3} vs flat ir {ir:.3}");
+        // The JIT engine's flat per-member native cost (16 × 10 µs) is far
+        // below the worst-case sequential interpretation bill.
+        let jit = demux_cpu_ms_per_packet(DemuxEngine::Jit);
+        assert!(jit < seq, "jit {jit:.3} vs sequential {seq:.3}");
     }
 
     #[test]
-    fn engine_ladder_engines_agree_on_verdicts() {
-        // The ladder is a timing harness; pin that every engine it times
-        // accepts the reference packet on every shape (cheap smoke check —
-        // the real equivalence suite lives in pf-ir's differential tests).
+    fn engine_ladder_covers_every_execution_surface() {
+        // The ladder is a timing harness; pin that it times exactly the
+        // surfaces `singleton_engines` hands out — the JIT rung appears iff
+        // the `jit` feature is on — and that every timing is sane (the real
+        // equivalence suite lives in pf-ir's differential tests).
+        let expected = pf_ir::singleton_surface_count(InterpConfig::default());
         for row in engine_ladder(16) {
-            assert!(row.ns.iter().all(|&ns| ns >= 0.0), "{}", row.shape);
+            assert_eq!(row.ns.len(), expected, "{}", row.shape);
+            assert_eq!(
+                row.ns.iter().any(|&(name, _)| name == "jit"),
+                cfg!(feature = "jit"),
+                "{}",
+                row.shape
+            );
+            assert!(row.ns.iter().all(|&(_, ns)| ns >= 0.0), "{}", row.shape);
         }
     }
 

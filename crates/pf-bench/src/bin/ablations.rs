@@ -1,4 +1,16 @@
-//! Regenerates the design-choice ablations (§3.2 ordering, §7 batching).
+//! Regenerates the design-choice ablations (§3.2 ordering, §7 batching,
+//! engine ladder). Prints to stdout by default; `--out <path>` writes the
+//! report to a file instead.
+use pf_bench::cli;
+
 fn main() {
-    println!("{}", pf_bench::ablations::report_ablations());
+    let args = cli::parse_or_exit("ablations", false);
+    let report = pf_bench::ablations::report_ablations().to_string();
+    match args.out.filter(|_| !args.stdout) {
+        Some(path) => {
+            std::fs::write(&path, format!("{report}\n")).expect("write ablations report");
+            println!("wrote {}", path.display());
+        }
+        None => println!("{report}"),
+    }
 }

@@ -8,21 +8,19 @@
 //! cargo run -p pf-bench --release --bin bench_chaos            # full sweep
 //! cargo run -p pf-bench --release --bin bench_chaos -- --smoke # tiny CI sweep
 //! cargo run -p pf-bench --release --bin bench_chaos -- --stdout
+//! cargo run -p pf-bench --release --bin bench_chaos -- --out /tmp/chaos.json
 //! ```
 
-use pf_bench::chaos;
+use pf_bench::{chaos, cli};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let stdout = args.iter().any(|a| a == "--stdout");
-    let report = chaos::sweep(smoke);
+    let args = cli::parse_or_exit("bench_chaos", true);
+    let report = chaos::sweep(args.smoke);
     let json = chaos::to_json(&report);
-    if stdout {
+    let Some(path) = args.out_path(chaos::default_path()) else {
         print!("{json}");
         return;
-    }
-    let path = chaos::default_path();
+    };
     std::fs::write(&path, &json).expect("write BENCH_chaos.json");
     println!("wrote {} ({} rows)", path.display(), report.rows.len());
     for p in &report.rows {

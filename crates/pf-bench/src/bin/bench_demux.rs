@@ -1,26 +1,25 @@
 //! Writes `BENCH_demux.json`: the demux-scaling race between the
-//! flat-sequential, decision-table, flat-IR, and sharded value-numbered
-//! engines over growing multi-ethertype populations.
+//! flat-sequential, decision-table, flat-IR, sharded value-numbered, and
+//! (with the `jit` feature) template-JIT engines over growing
+//! multi-ethertype populations.
 //!
 //! ```text
 //! cargo run -p pf-bench --release --bin bench_demux            # full sweep, 1..512
 //! cargo run -p pf-bench --release --bin bench_demux -- --smoke # tiny CI sweep
 //! cargo run -p pf-bench --release --bin bench_demux -- --stdout
+//! cargo run -p pf-bench --release --bin bench_demux -- --out /tmp/demux.json
 //! ```
 
-use pf_bench::demux_json;
+use pf_bench::{cli, demux_json};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let stdout = args.iter().any(|a| a == "--stdout");
-    let points = demux_json::sweep(smoke);
+    let args = cli::parse_or_exit("bench_demux", true);
+    let points = demux_json::sweep(args.smoke);
     let json = demux_json::to_json(&points);
-    if stdout {
+    let Some(path) = args.out_path(demux_json::default_path()) else {
         print!("{json}");
         return;
-    }
-    let path = demux_json::default_path();
+    };
     std::fs::write(&path, &json).expect("write BENCH_demux.json");
     println!("wrote {} ({} rows)", path.display(), points.len());
     for p in &points {

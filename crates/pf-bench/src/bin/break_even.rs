@@ -1,4 +1,15 @@
-//! Regenerates the §6.5 break-even sweep.
+//! Regenerates the §6.5 break-even sweep. Prints to stdout by default;
+//! `--out <path>` writes the report to a file instead.
+use pf_bench::cli;
+
 fn main() {
-    println!("{}", pf_bench::breakeven::report_break_even());
+    let args = cli::parse_or_exit("break_even", false);
+    let report = pf_bench::breakeven::report_break_even().to_string();
+    match args.out.filter(|_| !args.stdout) {
+        Some(path) => {
+            std::fs::write(&path, format!("{report}\n")).expect("write break-even report");
+            println!("wrote {}", path.display());
+        }
+        None => println!("{report}"),
+    }
 }

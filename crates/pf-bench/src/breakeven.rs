@@ -95,18 +95,21 @@ pub fn report_break_even() -> Report {
         "kernel, §7 decision table",
         "kernel, IR set",
         "kernel, sharded VN",
+        "kernel, JIT",
         "user demux (ms/pkt)",
     ]);
     for (f, c) in &kernel {
         let table = kernel_engine_cost_ms(*f, DemuxEngine::DecisionTable);
         let ir = kernel_engine_cost_ms(*f, DemuxEngine::Ir);
         let sharded = kernel_engine_cost_ms(*f, DemuxEngine::Sharded);
+        let jit = kernel_engine_cost_ms(*f, DemuxEngine::Jit);
         r.row(&[
             f.to_string(),
             format!("{c:.2}"),
             format!("{table:.2}"),
             format!("{ir:.2}"),
             format!("{sharded:.2}"),
+            format!("{jit:.2}"),
             format!("{user:.2}"),
         ]);
     }
@@ -177,6 +180,25 @@ mod tests {
         assert!(
             at_48 <= ir_at_48,
             "sharded {at_48:.2} <= flat IR {ir_at_48:.2} at 48 filters"
+        );
+    }
+
+    #[test]
+    fn jit_engine_scales_gently_and_beats_sequential() {
+        // Each JIT member costs a flat 10 µs of native execution, so the
+        // per-packet bill grows only mildly with the population (48 members
+        // is still under half a millisecond of filter work) and stays far
+        // below the sequential interpreter at the sweep's high end.
+        let at_1 = kernel_engine_cost_ms(1, DemuxEngine::Jit);
+        let at_48 = kernel_engine_cost_ms(48, DemuxEngine::Jit);
+        assert!(
+            (at_48 - at_1).abs() < 1.0,
+            "jit engine scales gently: {at_1:.2} vs {at_48:.2} ms/pkt"
+        );
+        let sequential_at_48 = kernel_cost_ms(48);
+        assert!(
+            at_48 < sequential_at_48 - 1.0,
+            "jit {at_48:.2} well under sequential {sequential_at_48:.2} at 48 filters"
         );
     }
 }

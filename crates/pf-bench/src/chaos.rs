@@ -19,16 +19,12 @@
 //! campaign's own completion is the zero-panic invariant: every
 //! violation is an `assert!` with the seed in its message.
 
-use pf_filter::compile::CompiledFilter;
-use pf_filter::dtree::FilterSet;
-use pf_filter::interp::CheckedInterpreter;
+use pf_filter::interp::{CheckedInterpreter, InterpConfig};
 use pf_filter::packet::PacketView;
 use pf_filter::program::{Assembler, FilterProgram};
 use pf_filter::samples;
-use pf_filter::validate::ValidatedProgram;
 use pf_filter::word::BinaryOp;
-use pf_ir::set::{IrFilterSet, ShardedVnSet};
-use pf_ir::IrFilter;
+use pf_ir::{singleton_engines, FilterEngine};
 use pf_kernel::device::DemuxEngine;
 use pf_kernel::types::{Fd, OverflowPolicy, ProcId, RecvPacket};
 use pf_kernel::PfDevice;
@@ -410,11 +406,11 @@ pub struct EngineAgreement {
     pub disagreements: u64,
 }
 
-/// Feeds corrupted and truncated packets to every execution engine in
-/// the workspace — checked interpreter, validated fast interpreter,
-/// compiled micro-ops, the IR threaded-code engine, and the three set
-/// engines (decision table, flat IR, sharded) as singletons — and counts
-/// verdicts that disagree with the checked reference.
+/// Feeds corrupted and truncated packets to every execution surface the
+/// workspace has — the full [`pf_ir::singleton_engines`] ladder, from the
+/// checked interpreter through the set engines to the template JIT when
+/// the `jit` feature is on — and counts verdicts that disagree with the
+/// checked reference.
 pub fn engine_agreement(seed: u64, rounds: usize) -> EngineAgreement {
     let mut rng = SplitMix64::new(seed);
     let checked = CheckedInterpreter::default();
@@ -425,39 +421,23 @@ pub fn engine_agreement(seed: u64, rounds: usize) -> EngineAgreement {
         samples::ethertype_filter(9, samples::PUP_ETHERTYPE_3MB),
         samples::padded_accept_filter(5, 12),
     ];
-    // Per-program engine stack, built once.
+    // Per-program engine stack, built once by the shared factory.
     struct Stack {
         program: FilterProgram,
-        fast: Option<(ValidatedProgram, CompiledFilter, IrFilter)>,
-        dtree: FilterSet,
-        ir_set: IrFilterSet,
-        sharded: ShardedVnSet,
+        engines: Vec<Box<dyn FilterEngine>>,
     }
     let build = |program: FilterProgram| -> Stack {
-        let fast = ValidatedProgram::new(program.clone()).ok().map(|v| {
-            let compiled = CompiledFilter::from_validated(v.clone());
-            let ir = IrFilter::from_validated(&v);
-            (v, compiled, ir)
-        });
-        let mut dtree = FilterSet::new();
-        dtree.insert(0, program.clone());
-        let mut ir_set = IrFilterSet::new();
-        ir_set.insert(0, program.clone());
-        let mut sharded = ShardedVnSet::new();
-        sharded.insert(0, program.clone());
-        Stack {
-            program,
-            fast,
-            dtree,
-            ir_set,
-            sharded,
-        }
+        let engines = singleton_engines(&program, InterpConfig::default());
+        Stack { program, engines }
     };
     let mut stacks: Vec<Stack> = valid.into_iter().map(build).collect();
-    // One validation-rejected program rides along: the sets must carry it
-    // on their checked fallback and still agree.
+    // One validation-rejected program rides along: the factory hands out
+    // only the checked-fallback surfaces for it, and they must still agree.
     stacks.push(build(shortcircuit_then_garbage(7, 35)));
-    assert!(stacks.last().expect("non-empty").fast.is_none());
+    {
+        let rejected = stacks.last().expect("non-empty");
+        assert!(rejected.engines.len() < stacks[0].engines.len());
+    }
 
     let mut out = EngineAgreement {
         programs: stacks.len(),
@@ -493,20 +473,12 @@ pub fn engine_agreement(seed: u64, rounds: usize) -> EngineAgreement {
             let view = PacketView::new(m);
             for s in &mut stacks {
                 let expect = checked.eval(&s.program, view);
-                let mut check = |got: bool| {
+                for engine in &mut s.engines {
                     out.verdicts += 1;
-                    if got != expect {
+                    if engine.matches(m).is_some() != expect {
                         out.disagreements += 1;
                     }
-                };
-                if let Some((v, compiled, ir)) = &s.fast {
-                    check(v.eval(view));
-                    check(compiled.eval(view));
-                    check(ir.eval(view));
                 }
-                check(s.dtree.first_match(view).is_some());
-                check(!s.ir_set.matches(view).is_empty());
-                check(s.sharded.first_match(view).is_some());
             }
         }
     }
@@ -541,9 +513,10 @@ pub struct DegradationReport {
 /// configured [`OverflowPolicy`].
 pub fn kernel_degradation(seed: u64) -> DegradationReport {
     let mut rng = SplitMix64::new(seed);
-    let mut d = PfDevice::new();
-    d.set_engine(DemuxEngine::Sharded);
-    d.set_instruction_budget(Some(8));
+    let mut d = PfDevice::builder()
+        .engine(DemuxEngine::Sharded)
+        .instruction_budget(Some(8))
+        .build();
 
     // Healthy: compiled into the sharded set (6 instructions ≤ budget).
     let clean = d.open((ProcId(0), Fd(0)));
@@ -572,7 +545,7 @@ pub fn kernel_degradation(seed: u64) -> DegradationReport {
     }
     let quarantine_accepts = d.port(bad).stats().accepts + d.port(hog).stats().accepts;
     let compiled_accepts = d.port(clean).stats().accepts;
-    let quarantined_ports = d.quarantined_ports();
+    let quarantined_ports = d.engine_stats().quarantined_ports;
 
     // Overflow policies, side by side on a fresh device.
     let mut d2 = PfDevice::new();

@@ -1,0 +1,110 @@
+//! Shared command-line handling for the `bench_*` binaries.
+//!
+//! Every bench binary accepts the same small vocabulary, parsed here once
+//! instead of copy-pasted per binary:
+//!
+//! * `--smoke` — the tiny CI sweep instead of the full one (only where a
+//!   binary declares it has one);
+//! * `--stdout` — print the artifact to stdout instead of writing a file;
+//! * `--out <path>` — write the artifact to `<path>` instead of the
+//!   binary's default location.
+
+use std::path::PathBuf;
+
+/// Parsed bench-binary arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Run the tiny CI sweep.
+    pub smoke: bool,
+    /// Print to stdout instead of writing the output file.
+    pub stdout: bool,
+    /// Explicit output path (overrides the binary's default).
+    pub out: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// The effective output destination: `None` means stdout was
+    /// requested, otherwise the explicit `--out` path or `default`.
+    pub fn out_path(&self, default: PathBuf) -> Option<PathBuf> {
+        if self.stdout {
+            None
+        } else {
+            Some(self.out.clone().unwrap_or(default))
+        }
+    }
+}
+
+/// Parses bench arguments from an iterator (exposed for tests).
+/// `accepts_smoke` is false for binaries with no smoke mode, making
+/// `--smoke` an error there rather than a silent no-op.
+pub fn try_parse<I>(args: I, accepts_smoke: bool) -> Result<BenchArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut out = BenchArgs::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" if accepts_smoke => out.smoke = true,
+            "--stdout" => out.stdout = true,
+            "--out" => match it.next() {
+                Some(p) => out.out = Some(PathBuf::from(p)),
+                None => return Err("--out requires a path".into()),
+            },
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `std::env::args()`; on error prints usage for `bin` to stderr
+/// and exits with status 2.
+pub fn parse_or_exit(bin: &str, accepts_smoke: bool) -> BenchArgs {
+    match try_parse(std::env::args().skip(1), accepts_smoke) {
+        Ok(a) => a,
+        Err(e) => {
+            let smoke = if accepts_smoke { "[--smoke] " } else { "" };
+            eprintln!("{bin}: {e}");
+            eprintln!("usage: {bin} {smoke}[--stdout] [--out <path>]");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_vocabulary() {
+        let a = try_parse(args(&["--smoke", "--out", "x.json"]), true).unwrap();
+        assert!(a.smoke);
+        assert!(!a.stdout);
+        assert_eq!(a.out, Some(PathBuf::from("x.json")));
+        assert_eq!(a.out_path(PathBuf::from("d.json")), Some("x.json".into()));
+    }
+
+    #[test]
+    fn defaults_write_to_the_default_path() {
+        let a = try_parse(args(&[]), true).unwrap();
+        assert_eq!(a, BenchArgs::default());
+        assert_eq!(a.out_path(PathBuf::from("d.json")), Some("d.json".into()));
+    }
+
+    #[test]
+    fn stdout_wins_over_paths() {
+        let a = try_parse(args(&["--stdout", "--out", "x.json"]), true).unwrap();
+        assert_eq!(a.out_path(PathBuf::from("d.json")), None);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_smoke_where_unsupported() {
+        assert!(try_parse(args(&["--frob"]), true).is_err());
+        assert!(try_parse(args(&["--smoke"]), false).is_err());
+        assert!(try_parse(args(&["--out"]), true).is_err(), "missing path");
+    }
+}

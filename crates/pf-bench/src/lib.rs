@@ -28,6 +28,7 @@
 pub mod ablations;
 pub mod breakeven;
 pub mod chaos;
+pub mod cli;
 pub mod demux_json;
 pub mod figures;
 pub mod profile61;

@@ -1,0 +1,238 @@
+//! The unified execution-surface API.
+//!
+//! Every rung of the workspace's execution ladder — checked interpreter,
+//! validated-program evaluator, compiled closures, decision-table set,
+//! threaded code, guard-sharing set, sharded value-numbered set, and
+//! (feature `jit`) the template JIT — answers the same question: *which
+//! filter, if any, accepts this packet?* [`FilterEngine`] makes that the
+//! whole API, so differential suites and bench ladders iterate a
+//! `Vec<Box<dyn FilterEngine>>` instead of hand-written per-engine match
+//! arms, and a new surface registers by adding one impl to
+//! [`singleton_engines`].
+
+use crate::exec::IrFilter;
+use crate::set::{IrFilterSet, ShardedVnSet};
+use pf_filter::compile::CompiledFilter;
+use pf_filter::dtree::FilterSet;
+use pf_filter::interp::{CheckedInterpreter, InterpConfig};
+use pf_filter::packet::PacketView;
+use pf_filter::program::FilterProgram;
+use pf_filter::validate::ValidatedProgram;
+
+/// One execution surface holding one or more compiled filters.
+///
+/// `matches` returns the id of the highest-priority accepting filter
+/// (engines built by [`singleton_engines`] hold a single filter with
+/// id 0). Implementations take `&mut self` because the set engines keep
+/// per-packet memoization scratch.
+pub trait FilterEngine {
+    /// Stable engine label, used in reports and test diagnostics.
+    fn name(&self) -> &'static str;
+    /// Id of the first (highest-priority) filter accepting `packet`.
+    fn matches(&mut self, packet: &[u8]) -> Option<u16>;
+}
+
+/// Every surface that can bind `program` under `config`, in ladder order.
+///
+/// Always includes the checked interpreter (the reference semantics) and
+/// the set engines that serve even validation-rejected programs through
+/// their checked fallback. The compiled surfaces (validated, compiled,
+/// ir, jit) appear only when the program validates; the decision-table
+/// set only under the default configuration (it has no config knob).
+///
+/// The length is therefore: 4 surfaces for an invalid program under the
+/// default config (3 otherwise), and 7 — 8 with the `jit` feature — for
+/// a valid one under the default config (6/7 otherwise).
+pub fn singleton_engines(
+    program: &FilterProgram,
+    config: InterpConfig,
+) -> Vec<Box<dyn FilterEngine>> {
+    let mut engines: Vec<Box<dyn FilterEngine>> = vec![Box::new(CheckedEngine {
+        program: program.clone(),
+        config,
+    })];
+    let validated = ValidatedProgram::with_config(program.clone(), config).ok();
+    if let Some(v) = &validated {
+        engines.push(Box::new(ValidatedEngine(v.clone())));
+        engines.push(Box::new(CompiledEngine(CompiledFilter::from_validated(
+            v.clone(),
+        ))));
+    }
+    if config == InterpConfig::default() {
+        let mut set = FilterSet::new();
+        set.insert(0, program.clone());
+        engines.push(Box::new(DtreeEngine(set)));
+    }
+    if let Some(v) = &validated {
+        engines.push(Box::new(IrEngine(IrFilter::from_validated(v))));
+    }
+    let mut ir_set = IrFilterSet::with_config(config);
+    ir_set.insert(0, program.clone());
+    engines.push(Box::new(IrSetEngine(ir_set)));
+    let mut sharded = ShardedVnSet::with_config(config);
+    sharded.insert(0, program.clone());
+    engines.push(Box::new(ShardedEngine(sharded)));
+    #[cfg(feature = "jit")]
+    if let Some(v) = &validated {
+        engines.push(Box::new(JitEngine(crate::jit::JitFilter::from_validated(
+            v,
+        ))));
+    }
+    engines
+}
+
+/// Number of surfaces [`singleton_engines`] yields for a valid program.
+pub fn singleton_surface_count(config: InterpConfig) -> usize {
+    let base = if config == InterpConfig::default() {
+        7
+    } else {
+        6
+    };
+    base + usize::from(cfg!(feature = "jit"))
+}
+
+struct CheckedEngine {
+    program: FilterProgram,
+    config: InterpConfig,
+}
+
+impl FilterEngine for CheckedEngine {
+    fn name(&self) -> &'static str {
+        "checked"
+    }
+    fn matches(&mut self, packet: &[u8]) -> Option<u16> {
+        CheckedInterpreter::new(self.config)
+            .eval(&self.program, PacketView::new(packet))
+            .then_some(0)
+    }
+}
+
+struct ValidatedEngine(ValidatedProgram);
+
+impl FilterEngine for ValidatedEngine {
+    fn name(&self) -> &'static str {
+        "validated"
+    }
+    fn matches(&mut self, packet: &[u8]) -> Option<u16> {
+        self.0.eval(PacketView::new(packet)).then_some(0)
+    }
+}
+
+struct CompiledEngine(CompiledFilter);
+
+impl FilterEngine for CompiledEngine {
+    fn name(&self) -> &'static str {
+        "compiled"
+    }
+    fn matches(&mut self, packet: &[u8]) -> Option<u16> {
+        self.0.eval(PacketView::new(packet)).then_some(0)
+    }
+}
+
+struct DtreeEngine(FilterSet);
+
+impl FilterEngine for DtreeEngine {
+    fn name(&self) -> &'static str {
+        "dtree"
+    }
+    fn matches(&mut self, packet: &[u8]) -> Option<u16> {
+        self.0
+            .first_match(PacketView::new(packet))
+            .map(|id| u16::try_from(id).unwrap_or(u16::MAX))
+    }
+}
+
+struct IrEngine(IrFilter);
+
+impl FilterEngine for IrEngine {
+    fn name(&self) -> &'static str {
+        "ir"
+    }
+    fn matches(&mut self, packet: &[u8]) -> Option<u16> {
+        self.0.eval(PacketView::new(packet)).then_some(0)
+    }
+}
+
+struct IrSetEngine(IrFilterSet);
+
+impl FilterEngine for IrSetEngine {
+    fn name(&self) -> &'static str {
+        "ir-set"
+    }
+    fn matches(&mut self, packet: &[u8]) -> Option<u16> {
+        self.0
+            .first_match(PacketView::new(packet))
+            .map(|id| u16::try_from(id).unwrap_or(u16::MAX))
+    }
+}
+
+struct ShardedEngine(ShardedVnSet);
+
+impl FilterEngine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+    fn matches(&mut self, packet: &[u8]) -> Option<u16> {
+        self.0
+            .first_match(PacketView::new(packet))
+            .map(|id| u16::try_from(id).unwrap_or(u16::MAX))
+    }
+}
+
+#[cfg(feature = "jit")]
+struct JitEngine(crate::jit::JitFilter);
+
+#[cfg(feature = "jit")]
+impl FilterEngine for JitEngine {
+    fn name(&self) -> &'static str {
+        "jit"
+    }
+    fn matches(&mut self, packet: &[u8]) -> Option<u16> {
+        self.0.eval(PacketView::new(packet)).then_some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_filter::samples;
+
+    #[test]
+    fn ladder_order_and_count_for_a_valid_program() {
+        let prog = samples::fig_3_9_pup_socket_35();
+        let engines = singleton_engines(&prog, InterpConfig::default());
+        assert_eq!(
+            engines.len(),
+            singleton_surface_count(InterpConfig::default())
+        );
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(&names[..3], &["checked", "validated", "compiled"]);
+        assert!(names.contains(&"dtree"));
+        assert!(names.contains(&"sharded"));
+        assert_eq!(names.contains(&"jit"), cfg!(feature = "jit"));
+    }
+
+    #[test]
+    fn all_surfaces_agree_on_a_sample() {
+        let prog = samples::fig_3_9_pup_socket_35();
+        let hit = samples::pup_packet_3mb(2, 0, 35, 1);
+        let miss = samples::pup_packet_3mb(2, 0, 36, 1);
+        for engine in &mut singleton_engines(&prog, InterpConfig::default()) {
+            assert_eq!(engine.matches(&hit), Some(0), "{}", engine.name());
+            assert_eq!(engine.matches(&miss), None, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn invalid_program_still_gets_fallback_surfaces() {
+        // An unbalanced stack program the validator rejects; the checked
+        // interpreter and the fallback-capable sets still serve it.
+        let prog = pf_filter::program::Assembler::new(0)
+            .op(pf_filter::word::BinaryOp::Eq)
+            .finish();
+        assert!(ValidatedProgram::new(prog.clone()).is_err());
+        let engines = singleton_engines(&prog, InterpConfig::default());
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["checked", "dtree", "ir-set", "sharded"]);
+    }
+}

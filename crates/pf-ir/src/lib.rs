@@ -5,11 +5,13 @@
 //! safe, and — as §6 measures — expensive to interpret, because every
 //! boolean connective pushes and pops intermediate truth values that a
 //! conventional compiler would keep in registers or branch on directly.
-//! This crate is the fifth and sixth rungs of the workspace's execution
+//! This crate is rungs five through eight of the workspace's execution
 //! ladder: it
 //! *compiles* validated stack programs into a small SSA-ish register IR
-//! ([`ir`]), optimizes the result ([`opt`]), and flattens it into threaded
-//! code that evaluates with no operand stack at all ([`exec`]).
+//! ([`ir`]), optimizes the result ([`opt`]), flattens it into threaded
+//! code that evaluates with no operand stack at all ([`exec`]), and —
+//! behind the off-by-default `jit` cargo feature — emits straight-line
+//! native machine code per CFG block (the `jit` module, rung eight).
 //!
 //! The pipeline:
 //!
@@ -36,21 +38,35 @@
 //!    and a shard index keyed on each member's *required*
 //!    discriminating-word literal lets a packet walk only the members
 //!    its own bytes select.
+//! 6. **JIT** (`jit::JitFilter`, the eighth rung, cargo feature `jit`)
+//!    — each threaded program's blocks are template-expanded into native
+//!    x86-64 or aarch64 code in an mmap'd W^X buffer; programs or
+//!    platforms the emitter cannot handle fall back to the threaded
+//!    engine per filter, invisibly to callers.
 //!
 //! Semantics are pinned to the checked interpreter: translation consumes
 //! only validated programs, runtime faults (out-of-bounds indirect loads,
 //! zero divisors) reject exactly as the interpreter does, and packets
 //! shorter than the validator's static minimum fall back to
 //! [`pf_filter::interp::CheckedInterpreter`] verbatim. The differential
-//! suites in `tests/` hold all six engines to one verdict.
+//! suites in `tests/` hold every execution surface — eight with the `jit`
+//! feature on — to one verdict, iterating them generically through the
+//! [`engine::FilterEngine`] trait and [`engine::singleton_engines`]
+//! factory.
 
+pub mod engine;
 pub mod exec;
 pub mod ir;
+#[cfg(feature = "jit")]
+pub mod jit;
 pub mod opt;
 pub mod set;
 pub mod translate;
 pub mod vn;
 
+pub use engine::{singleton_engines, singleton_surface_count, FilterEngine};
 pub use exec::{IrEvalStats, IrFilter};
+#[cfg(feature = "jit")]
+pub use jit::JitFilter;
 pub use set::{IrFilterSet, IrSetStats, ShardedVnSet};
 pub use vn::VnSetStats;

@@ -1,14 +1,16 @@
-//! Deterministic differential verification: every execution engine in the
-//! workspace — checked interpreter, validated fast interpreter, compiled
-//! micro-ops, the IR threaded-code engine, the flat IR filter *set*, and
-//! the sharded value-numbered set — must be observationally identical.
+//! Deterministic differential verification: every execution surface in
+//! the workspace — checked interpreter, validated fast interpreter,
+//! compiled micro-ops, the decision-table set, the IR threaded-code
+//! engine, the flat IR filter set, the sharded value-numbered set, and
+//! (feature `jit`) the template JIT — must be observationally identical.
+//! The surfaces come from [`pf_ir::engine::singleton_engines`], so a new
+//! engine is pinned here by registering one [`pf_ir::FilterEngine`] impl.
 //!
 //! Unlike the proptest suites (feature-gated because the default build is
 //! hermetic), this loop runs in every `cargo test`: programs and packets
 //! come from the workspace's own [`pf_sim::rng::SplitMix64`], so the cases
 //! are reproducible from the printed seed and need no external crates.
 
-use pf_filter::compile::CompiledFilter;
 use pf_filter::dtree::FilterSet;
 use pf_filter::interp::{CheckedInterpreter, Dialect, InterpConfig, ShortCircuitStyle};
 use pf_filter::packet::PacketView;
@@ -16,6 +18,7 @@ use pf_filter::program::FilterProgram;
 use pf_filter::samples;
 use pf_filter::validate::ValidatedProgram;
 use pf_filter::word::{BinaryOp, Instr, StackAction};
+use pf_ir::engine::{singleton_engines, singleton_surface_count};
 use pf_ir::set::{IrFilterSet, ShardedVnSet};
 use pf_ir::IrFilter;
 use pf_sim::rng::SplitMix64;
@@ -176,11 +179,11 @@ fn random_packet(rng: &mut SplitMix64) -> Vec<u8> {
 }
 
 /// The core pin: for every seeded (program, packet) pair, in all four
-/// dialect × short-circuit configurations, the IR engine (and every other
-/// engine, including a singleton sharded value-numbered set) agrees with
-/// the checked interpreter.
+/// dialect × short-circuit configurations, every execution surface
+/// [`singleton_engines`] yields — eight under the default configuration
+/// with the `jit` feature on — agrees with the checked interpreter.
 #[test]
-fn six_engines_agree_on_seeded_pairs() {
+fn all_engines_agree_on_seeded_pairs() {
     let mut rng = SplitMix64::new(0x5eed_0087);
     let mut validated_cases = 0u32;
     for case in 0..600 {
@@ -194,47 +197,41 @@ fn six_engines_agree_on_seeded_pairs() {
         let packets: Vec<Vec<u8>> = (0..3).map(|_| random_packet(&mut rng)).collect();
         for cfg in CONFIGS {
             let prog = FilterProgram::from_words(10, words.clone());
-            let Ok(validated) = ValidatedProgram::with_config(prog.clone(), cfg) else {
-                // IrFilter must reject exactly the programs validation
-                // rejects.
+            let valid = ValidatedProgram::with_config(prog.clone(), cfg).is_ok();
+            if valid {
+                validated_cases += 1;
+            } else {
+                // The compiled surfaces must reject exactly the programs
+                // validation rejects.
                 assert!(
                     IrFilter::compile_with_config(prog.clone(), cfg).is_err(),
                     "case {case}: IR compiled a program validation rejects"
                 );
-                // The sharded set carries rejected programs on its checked
-                // fallback path; it must still track the reference.
-                let checked = CheckedInterpreter::new(cfg);
-                let mut sharded = ShardedVnSet::with_config(cfg);
-                sharded.insert(0, prog.clone());
-                for (pi, pkt) in packets.iter().enumerate() {
-                    let view = PacketView::new(pkt);
-                    let expect = checked.eval(&prog, view);
-                    assert_eq!(
-                        sharded.first_match(view),
-                        expect.then_some(0),
-                        "sharded fallback vs checked: case {case} packet {pi} cfg {cfg:?}"
-                    );
-                }
-                continue;
-            };
-            validated_cases += 1;
-            let compiled = CompiledFilter::from_validated(validated.clone());
-            let ir = IrFilter::from_validated(&validated);
-            let mut sharded = ShardedVnSet::with_config(cfg);
-            sharded.insert(0, validated.program().clone());
+                #[cfg(feature = "jit")]
+                assert!(
+                    pf_ir::JitFilter::compile_with_config(prog.clone(), cfg).is_err(),
+                    "case {case}: JIT compiled a program validation rejects"
+                );
+            }
+            let mut engines = singleton_engines(&prog, cfg);
+            if valid {
+                assert_eq!(
+                    engines.len(),
+                    singleton_surface_count(cfg),
+                    "case {case}: missing surface under cfg {cfg:?}"
+                );
+            }
             let checked = CheckedInterpreter::new(cfg);
             for (pi, pkt) in packets.iter().enumerate() {
-                let view = PacketView::new(pkt);
-                let expect = checked.eval(validated.program(), view);
-                let ctx = format!("case {case} packet {pi} cfg {cfg:?}");
-                assert_eq!(validated.eval(view), expect, "validated vs checked: {ctx}");
-                assert_eq!(compiled.eval(view), expect, "compiled vs checked: {ctx}");
-                assert_eq!(ir.eval(view), expect, "ir vs checked: {ctx}");
-                assert_eq!(
-                    sharded.first_match(view),
-                    expect.then_some(0),
-                    "sharded vs checked: {ctx}"
-                );
+                let expect = checked.eval(&prog, PacketView::new(pkt)).then_some(0);
+                for engine in &mut engines {
+                    assert_eq!(
+                        engine.matches(pkt),
+                        expect,
+                        "{} vs checked: case {case} packet {pi} cfg {cfg:?}",
+                        engine.name()
+                    );
+                }
             }
         }
     }
@@ -445,15 +442,7 @@ fn engines_agree_on_corrupted_and_truncated_packets() {
             random_words(&mut rng)
         };
         let prog = FilterProgram::from_words(10, words);
-        let validated = ValidatedProgram::new(prog.clone()).ok();
-        let compiled = validated.clone().map(CompiledFilter::from_validated);
-        let ir = validated.as_ref().map(IrFilter::from_validated);
-        let mut sharded = ShardedVnSet::new();
-        sharded.insert(0, prog.clone());
-        let mut ir_set = IrFilterSet::new();
-        ir_set.insert(0, prog.clone());
-        let mut table = FilterSet::new();
-        table.insert(0, prog.clone());
+        let mut engines = singleton_engines(&prog, InterpConfig::default());
 
         let base = samples::pup_packet_3mb(
             rng.below(6) as u16,
@@ -474,26 +463,16 @@ fn engines_agree_on_corrupted_and_truncated_packets() {
         damaged.extend((0..=base.len()).map(|k| base[..k].to_vec()));
 
         for (pi, pkt) in damaged.iter().enumerate() {
-            let view = PacketView::new(pkt);
-            let expect = checked.eval(&prog, view);
-            let ctx = format!("case {case} damaged packet {pi} ({} bytes)", pkt.len());
-            if let Some(v) = &validated {
-                assert_eq!(v.eval(view), expect, "validated vs checked: {ctx}");
+            let expect = checked.eval(&prog, PacketView::new(pkt)).then_some(0);
+            for engine in &mut engines {
+                assert_eq!(
+                    engine.matches(pkt),
+                    expect,
+                    "{} vs checked: case {case} damaged packet {pi} ({} bytes)",
+                    engine.name(),
+                    pkt.len()
+                );
             }
-            if let Some(c) = &compiled {
-                assert_eq!(c.eval(view), expect, "compiled vs checked: {ctx}");
-            }
-            if let Some(i) = &ir {
-                assert_eq!(i.eval(view), expect, "ir vs checked: {ctx}");
-            }
-            let want = expect.then_some(0u32);
-            assert_eq!(sharded.first_match(view), want, "sharded vs checked: {ctx}");
-            assert_eq!(
-                ir_set.matches(view),
-                want.into_iter().collect::<Vec<_>>(),
-                "ir set vs checked: {ctx}"
-            );
-            assert_eq!(table.first_match(view), want, "table vs checked: {ctx}");
         }
     }
 }

@@ -37,6 +37,27 @@ use pf_filter::validate::ValidatedProgram;
 use pf_ir::set::{IrFilterSet, ShardedVnSet};
 use std::collections::VecDeque;
 
+/// The per-port member the [`DemuxEngine::Jit`] engine maintains. With the
+/// `jit` feature it is pf-ir's template JIT (native code where the emitter
+/// supports the target, threaded code otherwise); without the feature the
+/// variant still exists and every member is plain threaded code, so
+/// selecting the engine is always safe.
+#[cfg(feature = "jit")]
+type JitMember = pf_ir::JitFilter;
+#[cfg(not(feature = "jit"))]
+type JitMember = pf_ir::IrFilter;
+
+/// Whether a JIT-engine member actually runs native code (always false
+/// without the `jit` feature: the member is threaded code).
+#[cfg(feature = "jit")]
+fn member_is_jitted(m: &JitMember) -> bool {
+    m.is_jitted()
+}
+#[cfg(not(feature = "jit"))]
+fn member_is_jitted(_m: &JitMember) -> bool {
+    false
+}
+
 /// How the device matches received packets against the active filters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DemuxEngine {
@@ -58,6 +79,12 @@ pub enum DemuxEngine {
     /// per packet) and a packet walks only the members its discriminating
     /// word selects. Accepts every filter program, like `Ir`.
     Sharded,
+    /// Each filter compiled to straight-line native code by pf-ir's
+    /// template JIT (cargo feature `jit`), walked in priority order like
+    /// the sequential loop. Members the emitter refuses — and the whole
+    /// set when the feature is off or the target unsupported — degrade to
+    /// per-member threaded code; verdicts never change, only speed.
+    Jit,
 }
 
 /// How many demultiplex operations between adaptive re-sorts of
@@ -183,6 +210,34 @@ pub struct Application {
     pub stats: EvalStats,
 }
 
+/// One snapshot of the active engine's compiled state, replacing the
+/// per-engine accessors (`table_shapes`, `ir_shared_tests`, …) with a
+/// single struct so callers do not need to know which engine maintains
+/// which counter. Counters an engine does not maintain read zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// The engine the snapshot describes.
+    pub engine: DemuxEngine,
+    /// Decision-table shapes (hash probes per packet); decision-table
+    /// engine only.
+    pub table_shapes: usize,
+    /// Guard-prefix tests shared between members; IR engine only.
+    pub ir_shared_tests: usize,
+    /// Shards in the guard-keyed index (distinct discriminating-word
+    /// literals); sharded engine only.
+    pub sharded_shard_count: usize,
+    /// Value-numbered tests shared between members; sharded engine only.
+    pub sharded_shared_tests: usize,
+    /// Open ports whose filters are quarantined (served by the checked
+    /// interpreter under every engine).
+    pub quarantined_ports: usize,
+    /// JIT-engine members running native code (always zero without the
+    /// `jit` feature or on targets the emitter does not support).
+    pub jit_compiled: usize,
+    /// JIT-engine members serving the threaded-code fallback.
+    pub jit_fallback: usize,
+}
+
 /// The outcome of demultiplexing one received packet.
 #[derive(Debug, Clone, Default)]
 pub struct DemuxOutcome {
@@ -196,6 +251,10 @@ pub struct DemuxOutcome {
     /// packet (the cost-accounting analogue of `applied`'s instruction
     /// counters).
     pub ir_ops: u32,
+    /// Filters walked by the JIT engine (each a flat-cost native or
+    /// threaded-code evaluation; quarantined fallbacks appear in `applied`
+    /// instead).
+    pub jit_filters: u32,
     /// Evaluations terminated by the instruction budget during this demux.
     pub budget_overruns: u32,
     /// Ports quarantined by this demux (first budget overrun).
@@ -222,11 +281,21 @@ pub struct PfDevice {
     /// The sharded value-numbered set, maintained when the sharded engine
     /// is selected (keyed by port index).
     sharded: Option<ShardedVnSet>,
+    /// The JIT-compiled members in demux order, maintained when the JIT
+    /// engine is selected.
+    jit_members: Option<Vec<(PortIdx, JitMember)>>,
+    /// Test hook: refuse native emission so every JIT member takes the
+    /// threaded-code fallback (inert without the `jit` feature, where
+    /// members are threaded code anyway).
+    jit_force_fallback: bool,
     interp: CheckedInterpreter,
     /// Per-evaluation instruction budget; `None` means unbounded. Enforced
     /// by the sequential engine on every filter and by every engine on
     /// quarantined (checked-fallback) filters.
     budget: Option<u32>,
+    /// Overflow policy newly opened ports start with (a device-level
+    /// default; each port's [`PortConfig`] can still override it).
+    default_overflow: OverflowPolicy,
 }
 
 impl Default for PfDevice {
@@ -249,9 +318,19 @@ impl PfDevice {
             table: None,
             ir_set: None,
             sharded: None,
+            jit_members: None,
+            jit_force_fallback: false,
             interp: CheckedInterpreter::default(),
             budget: None,
+            default_overflow: OverflowPolicy::default(),
         }
+    }
+
+    /// A builder configuring the device up front (engine, instruction
+    /// budget, adaptive reordering, default overflow policy) instead of
+    /// mutating a fresh device with the individual setters.
+    pub fn builder() -> PfDeviceBuilder {
+        PfDeviceBuilder::default()
     }
 
     /// Sets (or clears) the per-evaluation instruction budget. A filter
@@ -293,12 +372,34 @@ impl PfDevice {
         self.budget
     }
 
+    /// A snapshot of the active engine's compiled state. This replaces the
+    /// deprecated per-engine accessors: every counter lives in one struct,
+    /// and counters the active engine does not maintain read zero.
+    pub fn engine_stats(&self) -> EngineStats {
+        let (jit_compiled, jit_fallback) = self.jit_members.as_ref().map_or((0, 0), |ms| {
+            let compiled = ms.iter().filter(|(_, m)| member_is_jitted(m)).count();
+            (compiled, ms.len() - compiled)
+        });
+        EngineStats {
+            engine: self.engine,
+            table_shapes: self.table.as_ref().map_or(0, |t| t.shape_count()),
+            ir_shared_tests: self.ir_set.as_ref().map_or(0, |s| s.shared_tests()),
+            sharded_shard_count: self.sharded.as_ref().map_or(0, |s| s.shard_count()),
+            sharded_shared_tests: self.sharded.as_ref().map_or(0, |s| s.shared_tests()),
+            quarantined_ports: self
+                .order
+                .iter()
+                .filter(|&&i| self.ports[i].quarantined.is_some())
+                .count(),
+            jit_compiled,
+            jit_fallback,
+        }
+    }
+
     /// Number of open ports whose filters are quarantined.
+    #[deprecated(since = "0.1.0", note = "use `engine_stats().quarantined_ports`")]
     pub fn quarantined_ports(&self) -> usize {
-        self.order
-            .iter()
-            .filter(|&&i| self.ports[i].quarantined.is_some())
-            .count()
+        self.engine_stats().quarantined_ports
     }
 
     /// Selects the demultiplexing engine (§4's interpreter loop, §7's
@@ -308,6 +409,7 @@ impl PfDevice {
         self.table = None;
         self.ir_set = None;
         self.sharded = None;
+        self.jit_members = None;
         self.rebuild_engine_state();
     }
 
@@ -318,8 +420,9 @@ impl PfDevice {
 
     /// Number of decision-table shapes (hash probes per packet), when the
     /// decision-table engine is active.
+    #[deprecated(since = "0.1.0", note = "use `engine_stats().table_shapes`")]
     pub fn table_shapes(&self) -> usize {
-        self.table.as_ref().map_or(0, |t| t.shape_count())
+        self.engine_stats().table_shapes
     }
 
     fn rebuild_table(&mut self) {
@@ -340,8 +443,9 @@ impl PfDevice {
 
     /// Number of guard-prefix tests the IR engine shares between filters,
     /// when the IR engine is active.
+    #[deprecated(since = "0.1.0", note = "use `engine_stats().ir_shared_tests`")]
     pub fn ir_shared_tests(&self) -> usize {
-        self.ir_set.as_ref().map_or(0, |s| s.shared_tests())
+        self.engine_stats().ir_shared_tests
     }
 
     fn rebuild_ir_set(&mut self) {
@@ -361,14 +465,16 @@ impl PfDevice {
 
     /// Number of shards in the sharded engine's index (distinct literals
     /// of the discriminating word), when the sharded engine is active.
+    #[deprecated(since = "0.1.0", note = "use `engine_stats().sharded_shard_count`")]
     pub fn sharded_shard_count(&self) -> usize {
-        self.sharded.as_ref().map_or(0, |s| s.shard_count())
+        self.engine_stats().sharded_shard_count
     }
 
     /// Number of tests the sharded engine shares between filters, when the
     /// sharded engine is active.
+    #[deprecated(since = "0.1.0", note = "use `engine_stats().sharded_shared_tests`")]
     pub fn sharded_shared_tests(&self) -> usize {
-        self.sharded.as_ref().map_or(0, |s| s.shared_tests())
+        self.engine_stats().sharded_shared_tests
     }
 
     fn rebuild_sharded(&mut self) {
@@ -386,6 +492,45 @@ impl PfDevice {
         self.sharded = Some(set);
     }
 
+    /// Compiles one port's validated filter into a JIT-engine member,
+    /// honoring the forced-fallback test hook.
+    #[cfg(feature = "jit")]
+    fn compile_jit_member(&self, v: &ValidatedProgram) -> JitMember {
+        if self.jit_force_fallback {
+            JitMember::from_validated_forced_fallback(v)
+        } else {
+            JitMember::from_validated(v)
+        }
+    }
+
+    #[cfg(not(feature = "jit"))]
+    fn compile_jit_member(&self, v: &ValidatedProgram) -> JitMember {
+        // Without the feature the knob is inert: every member is already
+        // the threaded-code fallback.
+        let _ = self.jit_force_fallback;
+        JitMember::from_validated(v)
+    }
+
+    fn rebuild_jit(&mut self) {
+        // Same demux-order insertion (and quarantine exclusion) as
+        // `rebuild_table`. Non-quarantined filters validated at bind time,
+        // so re-validation here only fails for programs quarantined since;
+        // those are skipped (the merged walk serves them).
+        let mut members = Vec::new();
+        for &idx in &self.order {
+            if self.ports[idx].quarantined.is_some() {
+                continue;
+            }
+            let Some(f) = &self.ports[idx].filter else {
+                continue;
+            };
+            if let Ok(v) = ValidatedProgram::new(f.clone()) {
+                members.push((idx, self.compile_jit_member(&v)));
+            }
+        }
+        self.jit_members = Some(members);
+    }
+
     /// Rebuilds whichever compiled set the active engine maintains.
     fn rebuild_engine_state(&mut self) {
         match self.engine {
@@ -393,6 +538,7 @@ impl PfDevice {
             DemuxEngine::DecisionTable => self.rebuild_table(),
             DemuxEngine::Ir => self.rebuild_ir_set(),
             DemuxEngine::Sharded => self.rebuild_sharded(),
+            DemuxEngine::Jit => self.rebuild_jit(),
         }
     }
 
@@ -417,7 +563,10 @@ impl PfDevice {
         self.ports.push(Port {
             owner,
             filter: None,
-            config: PortConfig::default(),
+            config: PortConfig {
+                overflow: self.default_overflow,
+                ..PortConfig::default()
+            },
             queue: VecDeque::new(),
             pending: None,
             drops: 0,
@@ -534,6 +683,7 @@ impl PfDevice {
             DemuxEngine::DecisionTable => return self.demux_table(packet),
             DemuxEngine::Ir => return self.demux_ir(packet),
             DemuxEngine::Sharded => return self.demux_sharded(packet),
+            DemuxEngine::Jit => return self.demux_jit(packet),
         }
         if self.adaptive && self.demux_ops.is_multiple_of(REORDER_INTERVAL) {
             self.resort();
@@ -718,6 +868,39 @@ impl PfDevice {
         out
     }
 
+    /// JIT demultiplexing: evaluate every native (or fallback threaded)
+    /// member, then walk the priority-ordered matches applying the §3.2
+    /// deliver-to-lower rule. Members are kept in demux order, so the
+    /// matched list is already priority-sorted.
+    fn demux_jit(&mut self, packet: &[u8]) -> DemuxOutcome {
+        let quarantined = self.any_quarantined();
+        let members = self.jit_members.as_ref().expect("JIT engine selected");
+        let mut matched: Vec<PortIdx> = Vec::new();
+        for (idx, m) in members {
+            if m.eval(PacketView::new(packet)) {
+                matched.push(*idx);
+            }
+        }
+        let mut out = DemuxOutcome {
+            jit_filters: members.len() as u32,
+            ..Default::default()
+        };
+        if quarantined {
+            self.merge_quarantined(&matched, packet, &mut out);
+            return out;
+        }
+        for &idx in &matched {
+            out.accepted.push(idx);
+            if !self.ports[idx].config.deliver_to_lower {
+                break;
+            }
+        }
+        for &idx in &out.accepted {
+            self.ports[idx].accepts += 1;
+        }
+        out
+    }
+
     /// Re-sorts the demultiplex order: priority descending; within a
     /// priority, busier filters first (when adaptive), then insertion
     /// order.
@@ -736,6 +919,89 @@ impl PfDevice {
                 .then(busy)
                 .then(pa.insertion.cmp(&pb.insertion))
         });
+    }
+}
+
+/// Builds a [`PfDevice`] with its construction-time configuration applied
+/// up front, replacing the post-hoc `set_engine`/`set_instruction_budget`
+/// mutation dance. Obtained from [`PfDevice::builder`].
+///
+/// ```
+/// use pf_kernel::device::{DemuxEngine, PfDevice};
+///
+/// let d = PfDevice::builder()
+///     .engine(DemuxEngine::Sharded)
+///     .instruction_budget(Some(64))
+///     .adaptive_reorder(false)
+///     .build();
+/// assert_eq!(d.engine(), DemuxEngine::Sharded);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PfDeviceBuilder {
+    engine: DemuxEngine,
+    budget: Option<u32>,
+    adaptive: bool,
+    overflow: OverflowPolicy,
+    jit_force_fallback: bool,
+}
+
+impl Default for PfDeviceBuilder {
+    /// The paper's production configuration: sequential engine, unbounded
+    /// budget, adaptive reordering on, drop-tail overflow.
+    fn default() -> Self {
+        PfDeviceBuilder {
+            engine: DemuxEngine::Sequential,
+            budget: None,
+            adaptive: true,
+            overflow: OverflowPolicy::default(),
+            jit_force_fallback: false,
+        }
+    }
+}
+
+impl PfDeviceBuilder {
+    /// Selects the demultiplexing engine.
+    pub fn engine(mut self, engine: DemuxEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the per-evaluation instruction budget (`None` = unbounded).
+    pub fn instruction_budget(mut self, budget: Option<u32>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables or disables adaptive same-priority reordering (§3.2).
+    pub fn adaptive_reorder(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Overflow policy newly opened ports start with (each port's
+    /// [`PortConfig`] can still override it afterwards).
+    pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Test hook: refuse native emission under [`DemuxEngine::Jit`], so
+    /// every member exercises the threaded-code fallback. Inert without
+    /// the `jit` feature (members are threaded code anyway).
+    pub fn jit_force_fallback(mut self, on: bool) -> Self {
+        self.jit_force_fallback = on;
+        self
+    }
+
+    /// Builds the device.
+    pub fn build(self) -> PfDevice {
+        let mut d = PfDevice::new();
+        d.adaptive = self.adaptive;
+        d.budget = self.budget;
+        d.default_overflow = self.overflow;
+        d.jit_force_fallback = self.jit_force_fallback;
+        d.set_engine(self.engine);
+        d
     }
 }
 
@@ -914,7 +1180,7 @@ mod tests {
             d.port(p).quarantined,
             Some(QuarantineReason::Validation(_))
         ));
-        assert_eq!(d.quarantined_ports(), 1);
+        assert_eq!(d.engine_stats().quarantined_ports, 1);
         // Wrong socket: CNAND terminates true before the garbage word.
         assert_eq!(d.demux(&pkt(44)).accepted, vec![p]);
         // Right socket: evaluation reaches the garbage word and rejects.
@@ -928,6 +1194,7 @@ mod tests {
             DemuxEngine::DecisionTable,
             DemuxEngine::Ir,
             DemuxEngine::Sharded,
+            DemuxEngine::Jit,
         ] {
             let mut d = PfDevice::new();
             let clean = d.open((ProcId(0), Fd(0)));
@@ -991,7 +1258,7 @@ mod tests {
         ]);
         d.set_engine(DemuxEngine::Ir);
         assert_eq!(d.set_instruction_budget(Some(6)), 1);
-        assert_eq!(d.quarantined_ports(), 1);
+        assert_eq!(d.engine_stats().quarantined_ports, 1);
         // The quarantined member no longer contributes threaded code; the
         // merged walk still consults it (as a budgeted checked eval), and
         // the compiled member catches the packet.
@@ -1091,7 +1358,11 @@ mod tests {
             samples::pup_socket_filter(10, 0, 44),
         ]);
         d.set_engine(DemuxEngine::Ir);
-        assert_eq!(d.ir_shared_tests(), 1, "DstSocketHi == 0 guard shared");
+        assert_eq!(
+            d.engine_stats().ir_shared_tests,
+            1,
+            "DstSocketHi == 0 guard shared"
+        );
         let out = d.demux(&pkt(35));
         assert_eq!(out.accepted, vec![0]);
         assert!(
@@ -1153,8 +1424,9 @@ mod tests {
         d.set_engine(DemuxEngine::Sharded);
         // Socket word discriminates: one shard per port; the hi-word and
         // ethertype tests are shared between both members.
-        assert_eq!(d.sharded_shard_count(), 2);
-        assert_eq!(d.sharded_shared_tests(), 2);
+        let stats = d.engine_stats();
+        assert_eq!(stats.sharded_shard_count, 2);
+        assert_eq!(stats.sharded_shared_tests, 2);
         let out = d.demux(&pkt(35));
         assert_eq!(out.accepted, vec![0]);
         assert!(
@@ -1186,6 +1458,198 @@ mod tests {
         d.set_engine(DemuxEngine::Sharded);
         let out = d.demux(&pkt(35));
         assert_eq!(out.accepted, vec![monitor, consumer]);
+    }
+
+    #[test]
+    fn jit_engine_agrees_with_sequential() {
+        let filters = vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::pup_socket_filter(10, 0, 44),
+            samples::accept_all(5),
+            samples::fig_3_8_pup_type_range(),
+        ];
+        for sock in [35u16, 44, 99] {
+            let mut seq = dev_with(filters.clone());
+            seq.set_adaptive_reorder(false);
+            let mut jit = PfDevice::builder()
+                .engine(DemuxEngine::Jit)
+                .adaptive_reorder(false)
+                .build();
+            for (i, f) in filters.iter().enumerate() {
+                let idx = jit.open((ProcId(i), Fd(0)));
+                jit.set_filter(idx, f.clone());
+            }
+            let p = pkt(sock);
+            assert_eq!(
+                seq.demux(&p).accepted,
+                jit.demux(&p).accepted,
+                "sock={sock}"
+            );
+        }
+    }
+
+    #[test]
+    fn jit_engine_reports_members_and_flat_cost() {
+        let mut d = dev_with(vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::pup_socket_filter(10, 0, 44),
+        ]);
+        d.set_engine(DemuxEngine::Jit);
+        let stats = d.engine_stats();
+        assert_eq!(stats.engine, DemuxEngine::Jit);
+        assert_eq!(
+            stats.jit_compiled + stats.jit_fallback,
+            2,
+            "every member is either native or threaded fallback"
+        );
+        // Where the emitter supports this target, simple guard programs
+        // always compile.
+        #[cfg(all(
+            feature = "jit",
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        assert_eq!(stats.jit_compiled, 2);
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![0]);
+        assert_eq!(out.jit_filters, 2, "both members walked at flat cost");
+        assert!(
+            out.applied.is_empty(),
+            "JIT engine does not itemize applications"
+        );
+    }
+
+    #[test]
+    fn jit_engine_tracks_filter_rebinding_and_close() {
+        let mut d = dev_with(vec![samples::pup_socket_filter(10, 0, 35)]);
+        d.set_engine(DemuxEngine::Jit);
+        assert!(d.demux(&pkt(44)).accepted.is_empty());
+        d.set_filter(0, samples::pup_socket_filter(10, 0, 44));
+        assert_eq!(d.demux(&pkt(44)).accepted, vec![0]);
+        d.close(0);
+        assert!(d.demux(&pkt(44)).accepted.is_empty());
+    }
+
+    #[test]
+    fn jit_engine_respects_deliver_to_lower() {
+        let mut d = PfDevice::new();
+        let monitor = d.open((ProcId(0), Fd(0)));
+        d.set_filter(monitor, samples::accept_all(30));
+        d.port_mut(monitor).config.deliver_to_lower = true;
+        let consumer = d.open((ProcId(1), Fd(0)));
+        d.set_filter(consumer, samples::pup_socket_filter(10, 0, 35));
+        d.set_engine(DemuxEngine::Jit);
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![monitor, consumer]);
+    }
+
+    /// Satellite: with emission artificially refused, the JIT engine must
+    /// report every member as fallback and keep verdicts identical.
+    #[cfg(feature = "jit")]
+    #[test]
+    fn forced_fallback_keeps_verdicts_and_reports_stats() {
+        let filters = [
+            samples::pup_socket_filter(10, 0, 35),
+            samples::fig_3_8_pup_type_range(),
+            samples::accept_all(2),
+        ];
+        let mut forced = PfDevice::builder()
+            .engine(DemuxEngine::Jit)
+            .jit_force_fallback(true)
+            .build();
+        let mut native = PfDevice::builder().engine(DemuxEngine::Jit).build();
+        for (i, f) in filters.iter().enumerate() {
+            let idx = forced.open((ProcId(i), Fd(0)));
+            forced.set_filter(idx, f.clone());
+            let idx = native.open((ProcId(i), Fd(0)));
+            native.set_filter(idx, f.clone());
+        }
+        let stats = forced.engine_stats();
+        assert_eq!(stats.jit_compiled, 0, "emission refused everywhere");
+        assert_eq!(stats.jit_fallback, 3);
+        for sock in [35u16, 44, 99] {
+            let p = pkt(sock);
+            assert_eq!(
+                forced.demux(&p).accepted,
+                native.demux(&p).accepted,
+                "sock={sock}"
+            );
+        }
+    }
+
+    /// Satellite: the default build must still offer `DemuxEngine::Jit`,
+    /// degraded to threaded code — the `jit` gate never leaks out.
+    #[cfg(not(feature = "jit"))]
+    #[test]
+    fn jit_engine_without_the_feature_is_threaded_fallback() {
+        let mut d = PfDevice::builder().engine(DemuxEngine::Jit).build();
+        let p0 = d.open((ProcId(0), Fd(0)));
+        d.set_filter(p0, samples::pup_socket_filter(10, 0, 35));
+        let stats = d.engine_stats();
+        assert_eq!(stats.jit_compiled, 0, "no native code without the feature");
+        assert_eq!(stats.jit_fallback, 1);
+        assert_eq!(d.demux(&pkt(35)).accepted, vec![p0]);
+        assert!(d.demux(&pkt(44)).accepted.is_empty());
+    }
+
+    #[test]
+    fn builder_applies_construction_time_configuration() {
+        let d = PfDevice::builder()
+            .engine(DemuxEngine::Sharded)
+            .instruction_budget(Some(64))
+            .adaptive_reorder(false)
+            .overflow_policy(OverflowPolicy::DropOldest)
+            .build();
+        assert_eq!(d.engine(), DemuxEngine::Sharded);
+        assert_eq!(d.instruction_budget(), Some(64));
+        let mut d = d;
+        let p = d.open((ProcId(0), Fd(0)));
+        assert_eq!(
+            d.port(p).config.overflow,
+            OverflowPolicy::DropOldest,
+            "device-level default applied at open()"
+        );
+    }
+
+    #[test]
+    fn builder_budget_quarantines_overlong_binds() {
+        let mut d = PfDevice::builder().instruction_budget(Some(6)).build();
+        let p = d.open((ProcId(0), Fd(0)));
+        assert!(!d.set_filter(p, samples::fig_3_8_pup_type_range()));
+        assert_eq!(
+            d.port(p).quarantined,
+            Some(QuarantineReason::BudgetExceeded)
+        );
+    }
+
+    /// The deprecated accessors stay one release as thin shims; pin them
+    /// to the `EngineStats` snapshot they now delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_match_engine_stats() {
+        let mut d = dev_with(vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::pup_socket_filter(10, 0, 44),
+        ]);
+        for engine in [
+            DemuxEngine::Sequential,
+            DemuxEngine::DecisionTable,
+            DemuxEngine::Ir,
+            DemuxEngine::Sharded,
+            DemuxEngine::Jit,
+        ] {
+            d.set_engine(engine);
+            let s = d.engine_stats();
+            assert_eq!(d.table_shapes(), s.table_shapes, "{engine:?}");
+            assert_eq!(d.ir_shared_tests(), s.ir_shared_tests, "{engine:?}");
+            assert_eq!(d.sharded_shard_count(), s.sharded_shard_count, "{engine:?}");
+            assert_eq!(
+                d.sharded_shared_tests(),
+                s.sharded_shared_tests,
+                "{engine:?}"
+            );
+            assert_eq!(d.quarantined_ports(), s.quarantined_ports, "{engine:?}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod types;
 pub mod world;
 
 pub use app::App;
-pub use device::{PfDevice, PortIdx};
+pub use device::{DemuxEngine, EngineStats, PfDevice, PfDeviceBuilder, PortIdx};
 pub use kproto::KernelProtocol;
 pub use types::{
     BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket, SockId,

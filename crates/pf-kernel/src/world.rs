@@ -540,7 +540,7 @@ impl World {
                 }
                 DemuxEngine::DecisionTable => {
                     // One hash probe per shape, independent of population.
-                    let shapes = h.device.table_shapes() as u32;
+                    let shapes = h.device.engine_stats().table_shapes as u32;
                     let cost = h.costs.dtree_probe.times(u64::from(shapes.max(1)));
                     h.cpu.charge("pf:dtree", now, cost);
                 }
@@ -559,6 +559,15 @@ impl World {
                     h.counters.filter_instructions += u64::from(outcome.ir_ops);
                     let cost = h.costs.filter_cost(outcome.ir_ops);
                     h.cpu.charge("pf:sharded", now, cost);
+                }
+                DemuxEngine::Jit => {
+                    // Native straight-line code has no per-instruction
+                    // dispatch; each member walked is one flat evaluation.
+                    let cost = h
+                        .costs
+                        .jit_eval
+                        .times(u64::from(outcome.jit_filters.max(1)));
+                    h.cpu.charge("pf:jit", now, cost);
                 }
             }
             // Under the compiled engines, `applied` holds the checked

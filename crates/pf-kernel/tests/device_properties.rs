@@ -143,6 +143,7 @@ proptest! {
         let mut tab = build(DemuxEngine::DecisionTable);
         let mut ir = build(DemuxEngine::Ir);
         let mut sharded = build(DemuxEngine::Sharded);
+        let mut jit = build(DemuxEngine::Jit);
         for (et, sock, ptype) in traffic {
             let pkt = samples::pup_packet_3mb(et, 0, sock, ptype);
             let expect = seq.demux(&pkt).accepted;
@@ -158,8 +159,13 @@ proptest! {
             );
             prop_assert_eq!(
                 sharded.demux(&pkt).accepted,
-                expect,
+                expect.clone(),
                 "sharded: et={} sock={} type={}", et, sock, ptype
+            );
+            prop_assert_eq!(
+                jit.demux(&pkt).accepted,
+                expect,
+                "jit: et={} sock={} type={}", et, sock, ptype
             );
         }
     }

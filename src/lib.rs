@@ -7,7 +7,9 @@
 //! * [`filter`] — the filter language and its execution engines (the
 //!   paper's core contribution);
 //! * [`ir`] — the control-flow-graph filter IR: optimizing passes, a
-//!   threaded-code engine, and a prefix-sharing filter set (ladder rung 5);
+//!   threaded-code engine, prefix-sharing and sharded filter sets, and
+//!   (behind the off-by-default `jit` cargo feature) a machine-code
+//!   template JIT — ladder rungs 5 through 8;
 //! * [`sim`] — the deterministic simulated Unix-like kernel substrate;
 //! * [`net`] — simulated Ethernets and network interfaces;
 //! * [`kernel`] — the packet-filter pseudo-device driver and the
@@ -45,3 +47,9 @@ pub use pf_monitor as monitor;
 pub use pf_net as net;
 pub use pf_proto as proto;
 pub use pf_sim as sim;
+
+// The working set for embedding the device: construct with the builder,
+// pick an engine, observe with one stats struct, and iterate execution
+// surfaces generically.
+pub use pf_ir::{singleton_engines, singleton_surface_count, FilterEngine};
+pub use pf_kernel::{DemuxEngine, EngineStats, PfDevice, PfDeviceBuilder};
