@@ -1,0 +1,49 @@
+//! Writes `BENCH_overload.json`: the saturation campaign sweeping
+//! offered load from 0.5× to 8× of unarmored receive capacity across the
+//! overload-armor tiers {none, polling, shedding, full} and the demux
+//! engines {dtree, sharded, jit}. Every signature claim — flat full-armor
+//! goodput past saturation, the no-armor livelock cliff, drop-at-NIC vs
+//! drop-after-demux accounting — is an `assert!`, so a zero exit *is* the
+//! campaign's proof.
+//!
+//! ```text
+//! cargo run -p pf-bench --release --bin bench_overload            # full sweep
+//! cargo run -p pf-bench --release --bin bench_overload -- --smoke # tiny CI sweep
+//! cargo run -p pf-bench --release --bin bench_overload -- --stdout
+//! cargo run -p pf-bench --release --bin bench_overload -- --out /tmp/overload.json
+//! ```
+
+use pf_bench::{cli, overload};
+
+fn main() {
+    let args = cli::parse_or_exit("bench_overload", true);
+    let report = overload::sweep(args.smoke);
+    let json = overload::to_json(&report);
+    let Some(path) = args.out_path(overload::default_path()) else {
+        print!("{json}");
+        return;
+    };
+    std::fs::write(&path, &json).expect("write BENCH_overload.json");
+    println!(
+        "wrote {} ({} rows, capacity {} pps, wanted {} pps)",
+        path.display(),
+        report.rows.len(),
+        report.capacity_pps,
+        report.wanted_pps
+    );
+    for p in &report.rows {
+        println!(
+            "  {:>7} {:>8} {:>4.1}x  goodput {:>7.1} pps  useful {:>5.3}  \
+             drops adm/q/ring {:>6}/{:>6}/{:>6}  p99 {:>8} us",
+            p.engine,
+            p.armor,
+            p.offered_x,
+            p.goodput_pps,
+            p.useful_frac,
+            p.drops_admission,
+            p.drops_queue_full,
+            p.drops_interface,
+            p.p99_latency_us
+        );
+    }
+}

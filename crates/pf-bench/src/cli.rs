@@ -51,7 +51,12 @@ where
                 Some(p) => out.out = Some(PathBuf::from(p)),
                 None => return Err("--out requires a path".into()),
             },
-            other => return Err(format!("unknown argument `{other}`")),
+            other => {
+                let smoke = if accepts_smoke { "--smoke, " } else { "" };
+                return Err(format!(
+                    "unknown argument `{other}` (valid flags: {smoke}--stdout, --out <path>)"
+                ));
+            }
         }
     }
     Ok(out)
@@ -106,5 +111,21 @@ mod tests {
         assert!(try_parse(args(&["--frob"]), true).is_err());
         assert!(try_parse(args(&["--smoke"]), false).is_err());
         assert!(try_parse(args(&["--out"]), true).is_err(), "missing path");
+    }
+
+    #[test]
+    fn unknown_flag_errors_list_the_valid_vocabulary() {
+        // A misspelled `--smoke` must fail loudly (not silently run the
+        // full campaign) and tell the user what would have worked.
+        let e = try_parse(args(&["--smok"]), true).unwrap_err();
+        assert!(e.contains("--smok"), "{e}");
+        assert!(
+            e.contains("--smoke") && e.contains("--stdout") && e.contains("--out"),
+            "{e}"
+        );
+        // Where there is no smoke mode, the listing must not advertise it.
+        let e = try_parse(args(&["--smoke"]), false).unwrap_err();
+        assert!(!e.contains("--smoke,"), "{e}");
+        assert!(e.contains("--stdout") && e.contains("--out"), "{e}");
     }
 }

@@ -19,7 +19,10 @@
 //! | [`breakeven`] | §6.5 (filter-count break-even sweep) |
 //!
 //! [`ablations`] additionally measures the §3.2/§7 design-choice knobs
-//! (adaptive reordering, priority assignment, write batching).
+//! (adaptive reordering, priority assignment, write batching), [`chaos`]
+//! runs the fault-injection campaign (`BENCH_chaos.json`), and
+//! [`overload`] runs the saturation campaign (`BENCH_overload.json`):
+//! offered load to 8× capacity across the overload-armor tiers.
 //!
 //! Run `cargo run -p pf-bench --release --bin paper-report` for everything
 //! at once, or the individual `table_*` / `figures` / `section_6_1` /
@@ -31,6 +34,7 @@ pub mod chaos;
 pub mod cli;
 pub mod demux_json;
 pub mod figures;
+pub mod overload;
 pub mod profile61;
 pub mod recvcost;
 pub mod report;

@@ -45,6 +45,14 @@ pub trait App: Any {
         let _ = (token, k);
     }
 
+    /// The port behind `fd` crossed its configured backpressure mark
+    /// (`PortConfig::backpressure_mark`): the kernel is asking this process
+    /// to slow its producers before the queue overflows. Delivered once per
+    /// crossing; re-armed when a read drains the queue below the mark.
+    fn on_backpressure(&mut self, fd: Fd, depth: usize, k: &mut ProcCtx<'_>) {
+        let _ = (fd, depth, k);
+    }
+
     /// Data arrived on a pipe this process reads.
     fn on_pipe_data(&mut self, pipe: PipeId, data: Vec<u8>, k: &mut ProcCtx<'_>) {
         let _ = (pipe, data, k);

@@ -34,7 +34,9 @@ use pf_filter::interp::{CheckedInterpreter, EvalStats};
 use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
 use pf_filter::validate::ValidatedProgram;
+use pf_filter::word::{BinaryOp, Instr, StackAction};
 use pf_ir::set::{IrFilterSet, ShardedVnSet};
+use pf_sim::time::SimTime;
 use std::collections::VecDeque;
 
 /// The per-port member the [`DemuxEngine::Jit`] engine maintains. With the
@@ -119,6 +121,144 @@ pub enum EnqueueOutcome {
     Rejected,
 }
 
+/// A token-bucket admission quota: `rate_pps` packets per second
+/// sustained, with bursts of up to `burst` packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionQuota {
+    /// Sustained admission rate, packets per second.
+    pub rate_pps: u64,
+    /// Burst capacity, packets (also the bucket's initial fill).
+    pub burst: u64,
+}
+
+/// Configuration of the pre-demux admission gate.
+///
+/// The gate is the cheap first line of overload defense: it classifies an
+/// arriving frame with at most one packet-word probe (no filter runs) and
+/// sheds best-effort traffic at the NIC when its port's token bucket is
+/// empty. Classification uses each filter's *admission signature* — a
+/// leading `packet[word] == literal` test whose failure rejects the packet
+/// (a `CAND` comparison, or a single-test `EQ` program). Filters without a
+/// signature, and packets matching no signature, are never shed at the
+/// gate; the filter ladder remains the arbiter for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Ports whose filter priority is at or above this are *protected*:
+    /// the gate admits their traffic unconditionally.
+    pub protected_priority: u8,
+    /// Token bucket applied to every unprotected (best-effort) port that
+    /// has no per-port override ([`PfDevice::set_port_quota`]).
+    pub default_quota: AdmissionQuota,
+}
+
+impl Default for AdmissionConfig {
+    /// Protect the top quarter of the priority space; give best-effort
+    /// ports a generous default quota (shedding should require real
+    /// overload, not a burst).
+    fn default() -> Self {
+        AdmissionConfig {
+            protected_priority: 192,
+            default_quota: AdmissionQuota {
+                rate_pps: 2_000,
+                burst: 64,
+            },
+        }
+    }
+}
+
+/// The admission gate's verdict on one arriving frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Deliver the frame to the demultiplexer.
+    Admit,
+    /// Shed the frame at the NIC, charged to the named port's quota.
+    Shed {
+        /// The best-effort port whose empty bucket shed the frame.
+        port: PortIdx,
+    },
+}
+
+/// Micro-tokens per token (integer token-bucket arithmetic stays exact
+/// for any rate expressible in packets per second).
+const MICRO_TOKENS: u64 = 1_000_000;
+
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    quota: AdmissionQuota,
+    micro_tokens: u64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    fn new(quota: AdmissionQuota) -> Self {
+        TokenBucket {
+            quota,
+            micro_tokens: quota.burst * MICRO_TOKENS,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// Refills for the time since the last call and takes one token if
+    /// available.
+    fn admit(&mut self, now: SimTime) -> bool {
+        let elapsed_ns = now.saturating_since(self.last_refill).as_nanos();
+        self.last_refill = now;
+        let gained = (u128::from(self.quota.rate_pps) * u128::from(elapsed_ns) / 1_000) as u64;
+        self.micro_tokens = (self.micro_tokens.saturating_add(gained))
+            .min(self.quota.burst.saturating_mul(MICRO_TOKENS));
+        if self.micro_tokens >= MICRO_TOKENS {
+            self.micro_tokens -= MICRO_TOKENS;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GateEntry {
+    port: PortIdx,
+    word: u8,
+    literal: u16,
+    protected: bool,
+    bucket: TokenBucket,
+}
+
+#[derive(Debug)]
+struct AdmissionState {
+    config: AdmissionConfig,
+    /// Gate entries in demux (priority) order, one per open port whose
+    /// filter has an extractable signature.
+    entries: Vec<GateEntry>,
+}
+
+/// Extracts a filter's admission signature: the leading
+/// `packet[word] == literal` test whose failure rejects the packet.
+fn admission_signature(f: &FilterProgram) -> Option<(u8, u16)> {
+    let words = f.words();
+    let first = Instr::decode(*words.first()?)?;
+    let StackAction::PushWord(word) = first.action else {
+        return None;
+    };
+    if first.op != BinaryOp::Nop {
+        return None;
+    }
+    let second = Instr::decode(*words.get(1)?)?;
+    let (literal, len) = match second.action {
+        StackAction::PushLit => (*words.get(2)?, 3),
+        StackAction::PushZero => (0, 2),
+        _ => return None,
+    };
+    match second.op {
+        // CAND: a mismatch terminates FALSE immediately, wherever the
+        // test sits in the program.
+        BinaryOp::Cand => Some((word, literal)),
+        // EQ only rejects on mismatch when it is the whole program.
+        BinaryOp::Eq if words.len() == len => Some((word, literal)),
+        _ => None,
+    }
+}
+
 /// A pending blocked read on a port.
 #[derive(Debug)]
 pub struct PendingRead {
@@ -157,6 +297,14 @@ pub struct Port {
     /// Evaluations of this port's filter terminated by the instruction
     /// budget.
     pub budget_overruns: u64,
+    /// Per-port admission-quota override (`None`: the gate's default).
+    pub quota: Option<AdmissionQuota>,
+    /// Packets classified to this port but shed by the admission gate.
+    pub admission_drops: u64,
+    /// Whether a backpressure notification is outstanding (set when the
+    /// queue crosses `config.backpressure_mark`, re-armed when it drains
+    /// below the mark). Maintained by the world model.
+    pub backpressured: bool,
 }
 
 impl Port {
@@ -195,6 +343,7 @@ impl Port {
             queued: self.queue.len(),
             quarantined: self.quarantined.is_some(),
             budget_overruns: self.budget_overruns,
+            admission_drops: self.admission_drops,
         }
     }
 }
@@ -296,6 +445,8 @@ pub struct PfDevice {
     /// Overflow policy newly opened ports start with (a device-level
     /// default; each port's [`PortConfig`] can still override it).
     default_overflow: OverflowPolicy,
+    /// The pre-demux admission gate, when enabled.
+    admission: Option<AdmissionState>,
 }
 
 impl Default for PfDevice {
@@ -323,6 +474,7 @@ impl PfDevice {
             interp: CheckedInterpreter::default(),
             budget: None,
             default_overflow: OverflowPolicy::default(),
+            admission: None,
         }
     }
 
@@ -372,9 +524,91 @@ impl PfDevice {
         self.budget
     }
 
-    /// A snapshot of the active engine's compiled state. This replaces the
-    /// deprecated per-engine accessors: every counter lives in one struct,
-    /// and counters the active engine does not maintain read zero.
+    /// Enables (or, with `None`, disables) the pre-demux admission gate.
+    pub fn set_admission_control(&mut self, config: Option<AdmissionConfig>) {
+        self.admission = config.map(|config| AdmissionState {
+            config,
+            entries: Vec::new(),
+        });
+        self.rebuild_gate();
+    }
+
+    /// The admission gate's configuration, when enabled.
+    pub fn admission_control(&self) -> Option<AdmissionConfig> {
+        self.admission.as_ref().map(|s| s.config)
+    }
+
+    /// Overrides (or, with `None`, restores the default for) one port's
+    /// admission quota.
+    pub fn set_port_quota(&mut self, idx: PortIdx, quota: Option<AdmissionQuota>) {
+        if let Some(p) = self.ports.get_mut(idx) {
+            p.quota = quota;
+        }
+        self.rebuild_gate();
+    }
+
+    /// Offers one arriving frame to the admission gate ahead of demux.
+    ///
+    /// With the gate disabled every frame is admitted. Otherwise the frame
+    /// is classified by the first admission signature it matches, in demux
+    /// order: protected ports admit unconditionally, best-effort ports
+    /// charge their token bucket and shed the frame (drop-at-NIC) when it
+    /// is empty. Unclassifiable frames are always admitted — the gate only
+    /// ever sheds traffic it can attribute to a port.
+    pub fn admit(&mut self, packet: &[u8], now: SimTime) -> AdmissionVerdict {
+        let Some(state) = &mut self.admission else {
+            return AdmissionVerdict::Admit;
+        };
+        let view = PacketView::new(packet);
+        for e in &mut state.entries {
+            if view.word(usize::from(e.word)) != Some(e.literal) {
+                continue;
+            }
+            if e.protected || e.bucket.admit(now) {
+                return AdmissionVerdict::Admit;
+            }
+            self.ports[e.port].admission_drops += 1;
+            return AdmissionVerdict::Shed { port: e.port };
+        }
+        AdmissionVerdict::Admit
+    }
+
+    /// Rebuilds the gate's per-port entries (after open/close/bind/quota
+    /// changes), carrying over bucket fill for ports whose quota is
+    /// unchanged so a rebind cannot mint free burst capacity.
+    fn rebuild_gate(&mut self) {
+        let Some(AdmissionState { config, entries }) = self.admission.take() else {
+            return;
+        };
+        let mut rebuilt = Vec::new();
+        for &idx in &self.order {
+            let p = &self.ports[idx];
+            let Some(f) = &p.filter else { continue };
+            let Some((word, literal)) = admission_signature(f) else {
+                continue;
+            };
+            let quota = p.quota.unwrap_or(config.default_quota);
+            let bucket = entries
+                .iter()
+                .find(|e| e.port == idx && e.bucket.quota == quota)
+                .map_or_else(|| TokenBucket::new(quota), |e| e.bucket);
+            rebuilt.push(GateEntry {
+                port: idx,
+                word,
+                literal,
+                protected: p.priority() >= config.protected_priority,
+                bucket,
+            });
+        }
+        self.admission = Some(AdmissionState {
+            config,
+            entries: rebuilt,
+        });
+    }
+
+    /// A snapshot of the active engine's compiled state: every per-engine
+    /// counter lives in one struct, and counters the active engine does
+    /// not maintain read zero.
     pub fn engine_stats(&self) -> EngineStats {
         let (jit_compiled, jit_fallback) = self.jit_members.as_ref().map_or((0, 0), |ms| {
             let compiled = ms.iter().filter(|(_, m)| member_is_jitted(m)).count();
@@ -396,12 +630,6 @@ impl PfDevice {
         }
     }
 
-    /// Number of open ports whose filters are quarantined.
-    #[deprecated(since = "0.1.0", note = "use `engine_stats().quarantined_ports`")]
-    pub fn quarantined_ports(&self) -> usize {
-        self.engine_stats().quarantined_ports
-    }
-
     /// Selects the demultiplexing engine (§4's interpreter loop, §7's
     /// decision table, or the pf-ir threaded-code compiler).
     pub fn set_engine(&mut self, engine: DemuxEngine) {
@@ -416,13 +644,6 @@ impl PfDevice {
     /// The active demultiplexing engine.
     pub fn engine(&self) -> DemuxEngine {
         self.engine
-    }
-
-    /// Number of decision-table shapes (hash probes per packet), when the
-    /// decision-table engine is active.
-    #[deprecated(since = "0.1.0", note = "use `engine_stats().table_shapes`")]
-    pub fn table_shapes(&self) -> usize {
-        self.engine_stats().table_shapes
     }
 
     fn rebuild_table(&mut self) {
@@ -441,13 +662,6 @@ impl PfDevice {
         self.table = Some(set);
     }
 
-    /// Number of guard-prefix tests the IR engine shares between filters,
-    /// when the IR engine is active.
-    #[deprecated(since = "0.1.0", note = "use `engine_stats().ir_shared_tests`")]
-    pub fn ir_shared_tests(&self) -> usize {
-        self.engine_stats().ir_shared_tests
-    }
-
     fn rebuild_ir_set(&mut self) {
         let mut set = IrFilterSet::new();
         // Same demux-order insertion (and quarantine exclusion) as
@@ -461,20 +675,6 @@ impl PfDevice {
             }
         }
         self.ir_set = Some(set);
-    }
-
-    /// Number of shards in the sharded engine's index (distinct literals
-    /// of the discriminating word), when the sharded engine is active.
-    #[deprecated(since = "0.1.0", note = "use `engine_stats().sharded_shard_count`")]
-    pub fn sharded_shard_count(&self) -> usize {
-        self.engine_stats().sharded_shard_count
-    }
-
-    /// Number of tests the sharded engine shares between filters, when the
-    /// sharded engine is active.
-    #[deprecated(since = "0.1.0", note = "use `engine_stats().sharded_shared_tests`")]
-    pub fn sharded_shared_tests(&self) -> usize {
-        self.engine_stats().sharded_shared_tests
     }
 
     fn rebuild_sharded(&mut self) {
@@ -576,11 +776,15 @@ impl PfDevice {
             next_generation: 0,
             quarantined: None,
             budget_overruns: 0,
+            quota: None,
+            admission_drops: 0,
+            backpressured: false,
         });
         self.insertions += 1;
         self.order.push(idx);
         self.resort();
         self.rebuild_engine_state();
+        self.rebuild_gate();
         idx
     }
 
@@ -595,6 +799,7 @@ impl PfDevice {
         }
         self.order.retain(|&o| o != idx);
         self.rebuild_engine_state();
+        self.rebuild_gate();
     }
 
     /// Binds (replaces) the filter on a port. "A new filter can be bound at
@@ -634,6 +839,7 @@ impl PfDevice {
         }
         self.resort();
         self.rebuild_engine_state();
+        self.rebuild_gate();
         clean
     }
 
@@ -943,6 +1149,7 @@ pub struct PfDeviceBuilder {
     adaptive: bool,
     overflow: OverflowPolicy,
     jit_force_fallback: bool,
+    admission: Option<AdmissionConfig>,
 }
 
 impl Default for PfDeviceBuilder {
@@ -955,6 +1162,7 @@ impl Default for PfDeviceBuilder {
             adaptive: true,
             overflow: OverflowPolicy::default(),
             jit_force_fallback: false,
+            admission: None,
         }
     }
 }
@@ -993,6 +1201,12 @@ impl PfDeviceBuilder {
         self
     }
 
+    /// Enables the pre-demux admission gate.
+    pub fn admission_control(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
+        self
+    }
+
     /// Builds the device.
     pub fn build(self) -> PfDevice {
         let mut d = PfDevice::new();
@@ -1001,6 +1215,7 @@ impl PfDeviceBuilder {
         d.default_overflow = self.overflow;
         d.jit_force_fallback = self.jit_force_fallback;
         d.set_engine(self.engine);
+        d.set_admission_control(self.admission);
         d
     }
 }
@@ -1622,34 +1837,191 @@ mod tests {
         );
     }
 
-    /// The deprecated accessors stay one release as thin shims; pin them
-    /// to the `EngineStats` snapshot they now delegate to.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_accessors_match_engine_stats() {
-        let mut d = dev_with(vec![
-            samples::pup_socket_filter(10, 0, 35),
-            samples::pup_socket_filter(10, 0, 44),
-        ]);
-        for engine in [
-            DemuxEngine::Sequential,
-            DemuxEngine::DecisionTable,
-            DemuxEngine::Ir,
-            DemuxEngine::Sharded,
-            DemuxEngine::Jit,
-        ] {
-            d.set_engine(engine);
-            let s = d.engine_stats();
-            assert_eq!(d.table_shapes(), s.table_shapes, "{engine:?}");
-            assert_eq!(d.ir_shared_tests(), s.ir_shared_tests, "{engine:?}");
-            assert_eq!(d.sharded_shard_count(), s.sharded_shard_count, "{engine:?}");
-            assert_eq!(
-                d.sharded_shared_tests(),
-                s.sharded_shared_tests,
-                "{engine:?}"
-            );
-            assert_eq!(d.quarantined_ports(), s.quarantined_ports, "{engine:?}");
+    fn tight_quota() -> AdmissionQuota {
+        AdmissionQuota {
+            rate_pps: 0,
+            burst: 2,
         }
+    }
+
+    #[test]
+    fn admission_gate_protects_high_priority_and_sheds_best_effort() {
+        let mut d = PfDevice::builder()
+            .admission_control(AdmissionConfig {
+                protected_priority: 100,
+                default_quota: tight_quota(),
+            })
+            .build();
+        let vip = d.open((ProcId(0), Fd(0)));
+        d.set_filter(vip, samples::pup_socket_filter(200, 0, 35));
+        let be = d.open((ProcId(1), Fd(0)));
+        d.set_filter(be, samples::pup_socket_filter(10, 0, 44));
+        let now = SimTime::ZERO;
+        for _ in 0..8 {
+            assert_eq!(d.admit(&pkt(35), now), AdmissionVerdict::Admit, "vip");
+        }
+        assert_eq!(d.admit(&pkt(44), now), AdmissionVerdict::Admit);
+        assert_eq!(d.admit(&pkt(44), now), AdmissionVerdict::Admit);
+        assert_eq!(
+            d.admit(&pkt(44), now),
+            AdmissionVerdict::Shed { port: be },
+            "burst exhausted, zero refill"
+        );
+        assert_eq!(d.port(be).admission_drops, 1);
+        assert_eq!(d.port(vip).admission_drops, 0);
+        assert_eq!(d.port(be).drops, 0, "drop-at-NIC is not a queue drop");
+    }
+
+    #[test]
+    fn admission_gate_refills_with_time() {
+        let mut d = PfDevice::builder()
+            .admission_control(AdmissionConfig {
+                protected_priority: 255,
+                default_quota: AdmissionQuota {
+                    rate_pps: 1_000,
+                    burst: 1,
+                },
+            })
+            .build();
+        let p = d.open((ProcId(0), Fd(0)));
+        d.set_filter(p, samples::pup_socket_filter(10, 0, 35));
+        assert_eq!(d.admit(&pkt(35), SimTime(0)), AdmissionVerdict::Admit);
+        assert_eq!(
+            d.admit(&pkt(35), SimTime(0)),
+            AdmissionVerdict::Shed { port: p }
+        );
+        // 1000 pps = one token per millisecond.
+        assert_eq!(
+            d.admit(&pkt(35), SimTime(1_000_000)),
+            AdmissionVerdict::Admit
+        );
+        assert_eq!(d.port(p).admission_drops, 1);
+    }
+
+    #[test]
+    fn admission_gate_never_sheds_unclassifiable_traffic() {
+        let mut d = PfDevice::builder()
+            .admission_control(AdmissionConfig {
+                protected_priority: 255,
+                default_quota: AdmissionQuota {
+                    rate_pps: 0,
+                    burst: 0,
+                },
+            })
+            .build();
+        // accept_all has no admission signature: the gate cannot attribute
+        // its traffic, so it never sheds it.
+        let p = d.open((ProcId(0), Fd(0)));
+        d.set_filter(p, samples::accept_all(10));
+        for _ in 0..16 {
+            assert_eq!(d.admit(&pkt(1), SimTime::ZERO), AdmissionVerdict::Admit);
+        }
+        assert_eq!(d.port(p).admission_drops, 0);
+    }
+
+    #[test]
+    fn per_port_quota_overrides_the_default() {
+        let mut d = PfDevice::builder()
+            .admission_control(AdmissionConfig {
+                protected_priority: 255,
+                default_quota: tight_quota(),
+            })
+            .build();
+        let p = d.open((ProcId(0), Fd(0)));
+        d.set_filter(p, samples::pup_socket_filter(10, 0, 35));
+        d.set_port_quota(
+            p,
+            Some(AdmissionQuota {
+                rate_pps: 0,
+                burst: 5,
+            }),
+        );
+        let mut admitted = 0;
+        for _ in 0..10 {
+            if d.admit(&pkt(35), SimTime::ZERO) == AdmissionVerdict::Admit {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 5, "override burst, not the default's 2");
+    }
+
+    #[test]
+    fn rebinding_does_not_mint_burst_capacity() {
+        let mut d = PfDevice::builder()
+            .admission_control(AdmissionConfig {
+                protected_priority: 255,
+                default_quota: tight_quota(),
+            })
+            .build();
+        let p = d.open((ProcId(0), Fd(0)));
+        d.set_filter(p, samples::pup_socket_filter(10, 0, 35));
+        assert_eq!(d.admit(&pkt(35), SimTime::ZERO), AdmissionVerdict::Admit);
+        assert_eq!(d.admit(&pkt(35), SimTime::ZERO), AdmissionVerdict::Admit);
+        // Rebinding the same-quota filter must keep the drained bucket.
+        d.set_filter(p, samples::pup_socket_filter(10, 0, 35));
+        assert_eq!(
+            d.admit(&pkt(35), SimTime::ZERO),
+            AdmissionVerdict::Shed { port: p }
+        );
+    }
+
+    #[test]
+    fn admission_signatures_cover_the_sample_shapes() {
+        let sig = |f: &FilterProgram| admission_signature(f);
+        assert_eq!(
+            sig(&samples::pup_socket_filter(10, 0, 35)),
+            Some((8, 35)),
+            "leading CAND socket test"
+        );
+        assert_eq!(
+            sig(&samples::ethertype_filter(10, 2)),
+            Some((1, 2)),
+            "single-test EQ program"
+        );
+        assert_eq!(sig(&samples::accept_all(10)), None);
+        assert_eq!(sig(&samples::reject_all(10)), None);
+    }
+
+    /// Satellite: DropOldest on a quarantined-filter port must evict from
+    /// the budgeted-fallback path too, and the port's drop counters must
+    /// reconcile with the injected totals.
+    #[test]
+    fn drop_oldest_evicts_on_the_budgeted_fallback_path() {
+        let mut d = PfDevice::builder().instruction_budget(Some(16)).build();
+        let p = d.open((ProcId(0), Fd(0)));
+        // Quarantined by validation; the CNAND accepts any socket != 35
+        // through the budgeted checked interpreter.
+        assert!(!d.set_filter(p, shortcircuit_then_garbage(10, 35)));
+        assert!(d.port(p).quarantined.is_some());
+        d.port_mut(p).config.max_queue = 2;
+        d.port_mut(p).config.overflow = OverflowPolicy::DropOldest;
+        let injected = 10u64;
+        let mut accepted = 0u64;
+        let mut evictions = 0u64;
+        for i in 0..injected {
+            let frame = pkt(100 + i as u16);
+            let out = d.demux(&frame);
+            assert_eq!(out.accepted, vec![p], "fallback path accepts");
+            accepted += 1;
+            match d.port_mut(p).enqueue(recv(&frame)) {
+                EnqueueOutcome::Stored => {}
+                EnqueueOutcome::StoredDroppingOldest => evictions += 1,
+                EnqueueOutcome::Rejected => panic!("DropOldest never rejects here"),
+            }
+        }
+        let s = d.port(p).stats();
+        assert!(s.quarantined);
+        assert_eq!(s.accepts, accepted);
+        assert_eq!(evictions, injected - 2, "all but max_queue evicted");
+        assert_eq!(s.drops, evictions, "every eviction counted");
+        assert_eq!(
+            s.drops + s.queued as u64 + s.admission_drops,
+            injected,
+            "drop counters reconcile with the injected total"
+        );
+        // The newest packets survived (DropOldest keeps recency).
+        let queued: Vec<Vec<u8>> = d.port(p).queue.iter().map(|q| q.bytes.clone()).collect();
+        assert_eq!(queued, vec![pkt(108), pkt(109)]);
     }
 
     #[test]

@@ -22,10 +22,13 @@ pub mod types;
 pub mod world;
 
 pub use app::App;
-pub use device::{DemuxEngine, EngineStats, PfDevice, PfDeviceBuilder, PortIdx};
+pub use device::{
+    AdmissionConfig, AdmissionQuota, AdmissionVerdict, DemuxEngine, EngineStats, PfDevice,
+    PfDeviceBuilder, PortIdx,
+};
 pub use kproto::KernelProtocol;
 pub use types::{
     BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket, SockId,
     TimerId,
 };
-pub use world::{KernelCtx, ProcCtx, SendError, World, DEFAULT_NIC_CAPACITY};
+pub use world::{KernelCtx, OverloadConfig, ProcCtx, SendError, World, DEFAULT_NIC_CAPACITY};

@@ -82,6 +82,10 @@ pub struct PortStats {
     pub quarantined: bool,
     /// Filter evaluations terminated by the instruction budget.
     pub budget_overruns: u64,
+    /// Packets classified to this port but shed by the admission gate
+    /// before demultiplexing (drop-at-NIC; `drops` counts drop-after-demux
+    /// queue overflows).
+    pub admission_drops: u64,
 }
 
 /// Per-port configuration (§3.3's control information).
@@ -102,6 +106,10 @@ pub struct PortConfig {
     pub signal_on_input: bool,
     /// Mark each received packet with a timestamp (costs `microtime`).
     pub timestamp: bool,
+    /// Queue depth at which the kernel notifies the owning process of
+    /// backpressure (once per crossing; re-armed when the queue drains
+    /// below the mark). `None` disables the notification.
+    pub backpressure_mark: Option<usize>,
 }
 
 impl Default for PortConfig {
@@ -114,6 +122,7 @@ impl Default for PortConfig {
             deliver_to_lower: false,
             signal_on_input: false,
             timestamp: false,
+            backpressure_mark: None,
         }
     }
 }

@@ -13,7 +13,10 @@
 //! [`crate::kproto::KernelProtocol`] and use [`KernelCtx`].
 
 use crate::app::App;
-use crate::device::{DemuxEngine, EnqueueOutcome, PendingRead, PfDevice, PortIdx};
+use crate::device::{
+    AdmissionConfig, AdmissionQuota, AdmissionVerdict, DemuxEngine, EnqueueOutcome, PendingRead,
+    PfDevice, PortIdx,
+};
 use crate::kproto::KernelProtocol;
 use crate::types::{
     BlockPolicy, Fd, HostId, PipeId, PortConfig, PortStats, ProcId, ReadError, ReadMode,
@@ -30,10 +33,46 @@ use pf_sim::profile::Profiler;
 use pf_sim::queue::{EventHandle, EventQueue};
 use pf_sim::time::{SimDuration, SimTime};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Default NIC receive-ring capacity (frames buffered ahead of the driver).
 pub const DEFAULT_NIC_CAPACITY: usize = 32;
+
+/// The receive-livelock armor: interrupt→polling switchover parameters.
+///
+/// Under per-packet interrupts an arrival rate beyond the demux capacity
+/// lets driver work consume the whole CPU — every frame is charged at
+/// arrival, and user processes starve behind the backlog (receive
+/// livelock). With armor enabled, once the NIC ring occupancy reaches
+/// `hi_watermark` the host stops taking per-packet interrupts: frames are
+/// buffered by the device for free (DMA) and a periodic poll tick drains at
+/// most `poll_batch` of them, bounding kernel receive work to roughly
+/// `poll_batch`-frames-worth per `poll_interval` and guaranteeing the
+/// remainder of each interval to user processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// NIC ring occupancy that switches the receive path to polling.
+    pub hi_watermark: usize,
+    /// Backlog depth at (or below) which a poll tick finishes the backlog
+    /// off and drops back to per-packet interrupts.
+    pub lo_watermark: usize,
+    /// Maximum frames demultiplexed per poll tick (the bounded per-tick
+    /// demux work budget).
+    pub poll_batch: usize,
+    /// Interval between poll ticks.
+    pub poll_interval: SimDuration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            hi_watermark: 16,
+            lo_watermark: 4,
+            poll_batch: 8,
+            poll_interval: SimDuration::from_micros(20_000),
+        }
+    }
+}
 
 /// Errors from the transmit path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +153,16 @@ enum Event {
         proto: usize,
         token: u64,
     },
+    /// A polled drain pass on a host whose receive path is in polling mode.
+    PollTick { host: HostId },
+    /// A backpressure notification reaching the owner of a port whose
+    /// queue crossed its high-water mark.
+    Backpressure {
+        host: HostId,
+        proc: ProcId,
+        fd: Fd,
+        depth: usize,
+    },
 }
 
 struct ProcSlot {
@@ -148,6 +197,17 @@ pub(crate) struct Host {
     pipes: Vec<Pipe>,
     nic_inflight: usize,
     pub(crate) nic_capacity: usize,
+    /// Receive-livelock armor parameters; `None` leaves the paper's pure
+    /// interrupt-driven receive path.
+    overload: Option<OverloadConfig>,
+    /// Whether the receive path is currently in polling mode.
+    polling: bool,
+    /// Whether a `PollTick` is already scheduled (at most one outstanding).
+    poll_scheduled: bool,
+    /// Frames buffered by the device while in polling mode, awaiting a
+    /// poll tick (the NIC ring, repurposed: no CPU is charged to park a
+    /// frame here).
+    rx_backlog: VecDeque<Vec<u8>>,
     /// Model "other active processes" (§6.5.1): every wakeup of a blocked
     /// process costs two context switches (in, and later out) instead of
     /// depending on which process last ran.
@@ -233,6 +293,10 @@ impl World {
             pipes: Vec::new(),
             nic_inflight: 0,
             nic_capacity: DEFAULT_NIC_CAPACITY,
+            overload: None,
+            polling: false,
+            poll_scheduled: false,
+            rx_backlog: VecDeque::new(),
             contended: false,
             tx_free_at: SimTime::ZERO,
             next_timer: 0,
@@ -300,6 +364,45 @@ impl World {
     /// a blocked process then costs two context switches.
     pub fn set_contended(&mut self, host: HostId, on: bool) {
         self.hosts[host.0].contended = on;
+    }
+
+    /// Arms (or disarms) the receive-livelock armor on a host: once the
+    /// NIC ring occupancy reaches the high-water mark the receive path
+    /// stops taking per-packet interrupts and drains bounded batches from
+    /// a periodic poll tick instead. Disarming drains any buffered backlog
+    /// immediately and returns to per-packet interrupts.
+    pub fn set_overload_armor(&mut self, host: HostId, config: Option<OverloadConfig>) {
+        self.hosts[host.0].overload = config;
+        if config.is_none() {
+            let rest: Vec<Vec<u8>> = self.hosts[host.0].rx_backlog.drain(..).collect();
+            let h = &mut self.hosts[host.0];
+            if h.polling {
+                h.polling = false;
+                h.counters.rx_mode_switches += 1;
+            }
+            let now = self.events.now();
+            for frame in rest {
+                self.receive_upcall(host, frame, now);
+            }
+        }
+    }
+
+    /// A host's overload-armor parameters, if armed.
+    pub fn overload_armor(&self, host: HostId) -> Option<OverloadConfig> {
+        self.hosts[host.0].overload
+    }
+
+    /// Whether a host's receive path is currently in polling mode.
+    pub fn rx_polling(&self, host: HostId) -> bool {
+        self.hosts[host.0].polling
+    }
+
+    /// Arms (or disarms) the admission gate on a host's packet-filter
+    /// device: a cheap pre-demux probe that classifies each arriving frame
+    /// by the bound filters' leading literal test and sheds best-effort
+    /// traffic against per-port token buckets before any filter runs.
+    pub fn set_admission_control(&mut self, host: HostId, config: Option<AdmissionConfig>) {
+        self.hosts[host.0].device.set_admission_control(config);
     }
 
     /// Enables or disables the §3.2 adaptive reordering of equal-priority
@@ -446,6 +549,15 @@ impl World {
             Event::KTimer { host, proto, token } => {
                 self.invoke_proto(host, proto, |p, k| p.on_timer(token, k));
             }
+            Event::PollTick { host } => self.poll_tick(host, now),
+            Event::Backpressure {
+                host,
+                proc,
+                fd,
+                depth,
+            } => {
+                self.invoke_app(host, proc, |app, k| app.on_backpressure(fd, depth, k));
+            }
         }
     }
 
@@ -493,10 +605,30 @@ impl World {
     }
 
     /// The receive path: driver → kernel protocol or packet filter.
+    ///
+    /// In polling mode (overload armor engaged) the frame is parked in the
+    /// device's backlog for free — the poll tick pays the driver cost in
+    /// batches; under per-packet interrupts the full driver receive cost is
+    /// charged here, and sustained ring occupancy at the high-water mark
+    /// flips the host into polling mode.
     fn frame_arrival(&mut self, host: HostId, frame: Vec<u8>, now: SimTime) {
         {
             let h = &mut self.hosts[host.0];
             h.counters.packets_received += 1;
+            if h.polling {
+                if h.rx_backlog.len() >= h.nic_capacity {
+                    h.counters.drops_interface += 1;
+                    return;
+                }
+                h.rx_backlog.push_back(frame);
+                if !h.poll_scheduled {
+                    h.poll_scheduled = true;
+                    let interval = h.overload.map(|c| c.poll_interval).unwrap_or_default();
+                    self.events
+                        .schedule(now + interval, Event::PollTick { host });
+                }
+                return;
+            }
             if h.nic_inflight >= h.nic_capacity {
                 h.counters.drops_interface += 1;
                 return;
@@ -505,10 +637,35 @@ impl World {
             let cost = h.costs.driver_rx_cost(frame.len());
             let done = h.cpu.charge("driver:rx", now, cost);
             self.events.schedule(done, Event::DriverDone { host });
+            if let Some(cfg) = h.overload {
+                if h.nic_inflight >= cfg.hi_watermark {
+                    // The driver can no longer keep up with per-packet
+                    // interrupts: switch to polling. Frames already charged
+                    // keep their scheduled processing; new arrivals park in
+                    // the backlog until the first poll tick.
+                    h.polling = true;
+                    h.counters.rx_mode_switches += 1;
+                    if !h.poll_scheduled {
+                        h.poll_scheduled = true;
+                        self.events
+                            .schedule(now + cfg.poll_interval, Event::PollTick { host });
+                    }
+                }
+            }
         }
+        self.receive_upcall(host, frame, now);
+    }
 
-        // Kernel-resident protocols get first claim on the Ethernet type
-        // (figure 3-3); everything else goes to the packet filter.
+    /// Hands one received frame up the stack: kernel-resident protocols get
+    /// first claim on the Ethernet type (figure 3-3); everything else runs
+    /// the admission gate (when armed) and then the packet filter.
+    ///
+    /// Returns whether the frame consumed demultiplexing work (claimed by
+    /// a kernel protocol or passed into the filter ladder). A gate-shed
+    /// frame returns `false`: it cost one probe and nothing else, which is
+    /// what lets the poll tick shed a flood without spending its bounded
+    /// demux batch on frames that were never going to be delivered.
+    fn receive_upcall(&mut self, host: HostId, frame: Vec<u8>, now: SimTime) -> bool {
         let medium = *self.net.medium_of(self.hosts[host.0].station);
         if let Ok(h) = frame::parse(&medium, &frame) {
             let claimed = self.hosts[host.0]
@@ -517,11 +674,89 @@ impl World {
                 .position(|p| p.as_deref().is_some_and(|p| p.claims(h.ethertype)));
             if let Some(pi) = claimed {
                 self.invoke_proto(host, pi, |p, k| p.input(frame, k));
-                return;
+                return true;
+            }
+        }
+
+        {
+            // The admission gate: one cheap probe ahead of the filter
+            // ladder; shed frames never reach a filter (drop-at-NIC).
+            let h = &mut self.hosts[host.0];
+            if h.device.admission_control().is_some() {
+                let c = h.costs.admission_probe;
+                h.cpu.charge("pf:admit", now, c);
+                if let AdmissionVerdict::Shed { .. } = h.device.admit(&frame, now) {
+                    h.counters.drops_admission += 1;
+                    return false;
+                }
             }
         }
 
         self.pf_demux(host, frame, now);
+        true
+    }
+
+    /// One polled drain pass: charges the fixed batch cost, hands frames
+    /// up the stack until `poll_batch` of them have consumed real demux
+    /// work (each at the cheap per-packet polling cost), and either
+    /// re-arms the tick or — when the backlog has fallen to the low-water
+    /// mark — finishes it off and returns to per-packet interrupts.
+    ///
+    /// Frames the admission gate sheds cost only the probe and do *not*
+    /// count against the batch: the gate runs at line rate, so a flood of
+    /// doomed best-effort frames cannot starve admitted traffic of the
+    /// tick's bounded demultiplexing budget.
+    fn poll_tick(&mut self, host: HostId, now: SimTime) {
+        let Some(cfg) = ({
+            let h = &mut self.hosts[host.0];
+            h.poll_scheduled = false;
+            if h.polling {
+                h.overload
+            } else {
+                None
+            }
+        }) else {
+            return;
+        };
+        {
+            let h = &mut self.hosts[host.0];
+            h.counters.poll_batches += 1;
+            let c = h.costs.poll_batch;
+            h.cpu.charge("driver:poll", now, c);
+        }
+        let mut demuxed = 0usize;
+        while demuxed < cfg.poll_batch {
+            let Some(frame) = self.hosts[host.0].rx_backlog.pop_front() else {
+                break;
+            };
+            if self.receive_upcall(host, frame, now) {
+                demuxed += 1;
+                let h = &mut self.hosts[host.0];
+                let c = h.costs.poll_per_packet;
+                h.cpu.charge("driver:poll", now, c);
+            }
+        }
+        let finish: Option<Vec<Vec<u8>>> = {
+            let h = &mut self.hosts[host.0];
+            if h.rx_backlog.len() <= cfg.lo_watermark {
+                h.polling = false;
+                h.counters.rx_mode_switches += 1;
+                Some(h.rx_backlog.drain(..).collect())
+            } else {
+                h.poll_scheduled = true;
+                self.events
+                    .schedule(now + cfg.poll_interval, Event::PollTick { host });
+                None
+            }
+        };
+        if let Some(rest) = finish {
+            for frame in rest {
+                let h = &mut self.hosts[host.0];
+                let c = h.costs.poll_per_packet;
+                h.cpu.charge("driver:poll", now, c);
+                self.receive_upcall(host, frame, now);
+            }
+        }
     }
 
     /// The packet-filter demultiplexing path (figure 4-1 + §3.2).
@@ -615,6 +850,30 @@ impl World {
                 if outcome != EnqueueOutcome::Stored {
                     h.counters.drops_queue_full += 1;
                 }
+                // Backpressure: the first enqueue at or above the mark
+                // notifies the owner; re-armed when a read drains the
+                // queue back below it.
+                let p = h.device.port_mut(idx);
+                if let Some(mark) = p.config.backpressure_mark {
+                    if p.queue.len() >= mark && !p.backpressured {
+                        p.backpressured = true;
+                        let (proc, fd) = p.owner;
+                        let depth = p.queue.len();
+                        h.counters.backpressure_signals += 1;
+                        h.counters.domain_crossings += 1;
+                        let cost = h.costs.wakeup;
+                        let t = h.cpu.charge("kern:backpressure", now, cost);
+                        self.events.schedule(
+                            t,
+                            Event::Backpressure {
+                                host,
+                                proc,
+                                fd,
+                                depth,
+                            },
+                        );
+                    }
+                }
                 (stamp, ok)
             };
             let _ = stamp;
@@ -659,6 +918,11 @@ impl World {
         };
         let packets: Vec<RecvPacket> = port.queue.drain(..n.min(port.queue.len())).collect();
         debug_assert!(!packets.is_empty(), "complete_read requires queued data");
+        if let Some(mark) = port.config.backpressure_mark {
+            if port.queue.len() < mark {
+                port.backpressured = false;
+            }
+        }
 
         let mut t = now;
         if was_blocked {
@@ -826,6 +1090,18 @@ impl ProcCtx<'_> {
         let h = self.h();
         if let Some(idx) = h.device.port_of((proc, fd)) {
             h.device.port_mut(idx).config = config;
+        }
+    }
+
+    /// Overrides the admission gate's quota for this port (`None` returns
+    /// the port to the gate's default quota). Takes effect only while the
+    /// host has admission control armed.
+    pub fn pf_set_quota(&mut self, fd: Fd, quota: Option<AdmissionQuota>) {
+        self.charge_syscall("pf:ioctl");
+        let proc = self.proc;
+        let h = self.h();
+        if let Some(idx) = h.device.port_of((proc, fd)) {
+            h.device.set_port_quota(idx, quota);
         }
     }
 

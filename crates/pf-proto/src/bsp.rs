@@ -131,6 +131,9 @@ pub struct SenderStats {
     pub bytes_acked: u64,
     /// Channels abandoned after `max_retries` consecutive timeouts.
     pub giveups: u64,
+    /// Backpressure notifications honored (each halves the effective
+    /// window).
+    pub backpressure_events: u64,
 }
 
 /// The BSP sending endpoint as a pure state machine.
@@ -161,6 +164,11 @@ pub struct SenderMachine {
     /// each retransmitted duplicate provokes another stale ack, which
     /// would trigger another full-window resend, and so on without bound.
     dup_acks: u32,
+    /// Effective window in packets: starts at `cfg.window`, halves on each
+    /// kernel backpressure notification (never below 1), and recovers one
+    /// packet per advancing ack — AIMD, so a saturated receiver port turns
+    /// overload into bounded queueing instead of overflow churn.
+    cwnd: usize,
     /// Statistics.
     pub stats: SenderStats,
 }
@@ -168,6 +176,7 @@ pub struct SenderMachine {
 impl SenderMachine {
     /// Creates a sender for `local` → `remote`.
     pub fn new(local: PupAddr, remote: PupAddr, cfg: BspConfig) -> Self {
+        let cwnd = cfg.window;
         SenderMachine {
             cfg,
             local,
@@ -182,6 +191,7 @@ impl SenderMachine {
             timer_armed: false,
             backoff: 0,
             dup_acks: 0,
+            cwnd,
             stats: SenderStats::default(),
         }
     }
@@ -210,6 +220,21 @@ impl SenderMachine {
     /// Packets currently in flight.
     pub fn inflight(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// The effective (backpressure-adjusted) window in packets.
+    pub fn effective_window(&self) -> usize {
+        self.cwnd
+    }
+
+    /// Responds to a kernel backpressure notification (the receiver port's
+    /// queue crossed its high-water mark): halves the effective window,
+    /// never below one packet. The window recovers one packet per
+    /// advancing ack, so throughput converges on what the receiver drains
+    /// instead of retry-storming a full queue.
+    pub fn on_backpressure(&mut self) {
+        self.stats.backpressure_events += 1;
+        self.cwnd = (self.cwnd / 2).max(1);
     }
 
     /// Bytes offered but not yet packetized.
@@ -273,6 +298,9 @@ impl SenderMachine {
                     self.base = acked_to;
                     self.dup_acks = 0;
                     self.backoff = 0;
+                    // Additive recovery from backpressure shrinkage: one
+                    // packet of window per advancing ack.
+                    self.cwnd = (self.cwnd + 1).min(self.cfg.window);
                     // Fresh progress: restart (or clear) the timer.
                     self.disarm(&mut fx);
                     if !self.inflight.is_empty() || self.end_seq.is_some() {
@@ -292,6 +320,9 @@ impl SenderMachine {
                 }
                 self.pump(&mut fx);
                 self.maybe_end(&mut fx);
+            }
+            (SendState::Established | SendState::Ending, types::BSP_THROTTLE) => {
+                self.on_backpressure();
             }
             (SendState::Ending, types::BSP_END_REPLY) => {
                 self.state = SendState::Closed;
@@ -363,7 +394,7 @@ impl SenderMachine {
             return;
         }
         loop {
-            let window_open = (self.next_seq - self.base) < self.cfg.window as u32;
+            let window_open = (self.next_seq - self.base) < self.cwnd as u32;
             let full = self.buffer.len() >= self.cfg.segment;
             let flushable = !self.buffer.is_empty() && (self.eof || self.cfg.push);
             if !window_open || !(full || flushable) {
@@ -376,7 +407,7 @@ impl SenderMachine {
             // Ask for an ack when this fills the window or drains the
             // buffer — the end of a burst either way.
             let burst_end =
-                (self.next_seq - self.base) >= self.cfg.window as u32 || self.buffer.is_empty();
+                (self.next_seq - self.base) >= self.cwnd as u32 || self.buffer.is_empty();
             let ptype = if burst_end {
                 types::BSP_ADATA
             } else {
@@ -461,6 +492,8 @@ pub struct ReceiverStats {
     pub out_of_order: u64,
     /// Acks sent.
     pub acks_sent: u64,
+    /// Throttle packets sent in response to kernel backpressure.
+    pub throttles_sent: u64,
 }
 
 /// The BSP receiving endpoint as a pure state machine.
@@ -471,6 +504,9 @@ pub struct ReceiverMachine {
     expected: u32,
     /// Whether the stream has closed.
     closed: bool,
+    /// The sending peer, learned from the first packet seen (where
+    /// kernel-backpressure throttles are addressed).
+    peer: Option<PupAddr>,
     /// Statistics.
     pub stats: ReceiverStats,
 }
@@ -482,6 +518,7 @@ impl ReceiverMachine {
             local,
             expected: 1,
             closed: false,
+            peer: None,
             stats: ReceiverStats::default(),
         }
     }
@@ -491,9 +528,29 @@ impl ReceiverMachine {
         self.closed
     }
 
+    /// Responds to the kernel's backpressure notification on this
+    /// endpoint's port: sends the peer a `BSP_THROTTLE` so the sender
+    /// shrinks its window instead of overflowing the queue. A no-op until
+    /// a peer is known.
+    pub fn on_backpressure(&mut self) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if let Some(peer) = self.peer {
+            self.stats.throttles_sent += 1;
+            fx.push(Effect::Send(Pup::new(
+                types::BSP_THROTTLE,
+                self.expected,
+                peer,
+                self.local,
+                Vec::new(),
+            )));
+        }
+        fx
+    }
+
     /// Handles a received Pup addressed to this endpoint.
     pub fn on_pup(&mut self, pup: &Pup) -> Vec<Effect> {
         let mut fx = Vec::new();
+        self.peer = Some(pup.src);
         match pup.ptype {
             types::BSP_RFC => {
                 fx.push(Effect::Send(Pup::new(
@@ -864,6 +921,52 @@ mod machine_tests {
         assert_eq!(s.stats.giveups, 1);
         // A failed channel is inert.
         assert!(s.on_timer(RTO_TOKEN).is_empty());
+    }
+
+    #[test]
+    fn throttle_halves_the_window_and_acks_recover_it() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig {
+            window: 8,
+            segment: 10,
+            ..Default::default()
+        };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        assert_eq!(s.effective_window(), 8);
+        // Receiver-side kernel backpressure arrives as a THROTTLE pup.
+        let throttle = Pup::new(types::BSP_THROTTLE, 1, sa, ra, Vec::new());
+        let _ = s.on_pup(&throttle);
+        assert_eq!(s.effective_window(), 4);
+        let _ = s.on_pup(&throttle);
+        let _ = s.on_pup(&throttle);
+        let _ = s.on_pup(&throttle);
+        assert_eq!(s.effective_window(), 1, "never below one packet");
+        assert_eq!(s.stats.backpressure_events, 4);
+        // The shrunken window caps the burst.
+        let fx = s.offer(&[1u8; 80]);
+        let sent = fx.iter().filter(|e| matches!(e, Effect::Send(_))).count();
+        assert_eq!(sent, 1, "one packet in flight under full throttle");
+        // Advancing acks recover the window additively.
+        let _ = s.on_pup(&Pup::new(types::BSP_ACK, 2, sa, ra, Vec::new()));
+        assert_eq!(s.effective_window(), 2);
+        let _ = s.on_pup(&Pup::new(types::BSP_ACK, 4, sa, ra, Vec::new()));
+        assert_eq!(s.effective_window(), 3);
+    }
+
+    #[test]
+    fn receiver_reflects_backpressure_to_the_learned_peer() {
+        let (sa, ra) = addrs();
+        let mut r = ReceiverMachine::new(ra);
+        // No peer yet: nothing to throttle.
+        assert!(r.on_backpressure().is_empty());
+        let _ = r.on_pup(&Pup::new(types::BSP_ADATA, 1, ra, sa, vec![7]));
+        let fx = r.on_backpressure();
+        assert!(fx.iter().any(
+            |e| matches!(e, Effect::Send(p) if p.ptype == types::BSP_THROTTLE && p.dst == sa)
+        ));
+        assert_eq!(r.stats.throttles_sent, 1);
     }
 
     #[test]

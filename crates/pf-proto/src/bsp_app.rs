@@ -51,7 +51,7 @@ impl Endpoint {
         }
     }
 
-    fn open(&mut self, k: &mut ProcCtx<'_>, local: PupAddr, batch: bool) {
+    fn open(&mut self, k: &mut ProcCtx<'_>, local: PupAddr, batch: bool, mark: Option<usize>) {
         let fd = k.pf_open();
         k.pf_set_filter(fd, Pup::socket_filter(10, local.socket));
         k.pf_configure(
@@ -62,6 +62,7 @@ impl Endpoint {
                 } else {
                     ReadMode::Single
                 },
+                backpressure_mark: mark,
                 ..Default::default()
             },
         );
@@ -228,7 +229,7 @@ impl App for BspSenderApp {
     fn start(&mut self, k: &mut ProcCtx<'_>) {
         let _ = self.remote;
         let batch = self.batch;
-        self.ep.open(k, self.local, batch);
+        self.ep.open(k, self.local, batch, None);
         self.started_at = Some(k.now());
         let fx = self.machine.connect();
         self.drive(fx, k);
@@ -270,6 +271,9 @@ pub struct BspReceiverApp {
     machine: ReceiverMachine,
     ep: Endpoint,
     batch: bool,
+    /// Queue depth at which the kernel should notify this receiver of
+    /// backpressure; reflected to the sender as a `BSP_THROTTLE`.
+    backpressure_mark: Option<usize>,
     /// Cost charged per delivered payload byte (consumer processing).
     pub per_byte_cost: SimDuration,
     /// Total payload bytes delivered in order.
@@ -293,6 +297,7 @@ impl BspReceiverApp {
             local,
             ep: Endpoint::new(checksummed),
             batch,
+            backpressure_mark: None,
             per_byte_cost: SimDuration::ZERO,
             bytes: 0,
             first_byte_at: None,
@@ -304,6 +309,15 @@ impl BspReceiverApp {
     /// Sets the per-byte consumer cost.
     pub fn with_per_byte_cost(mut self, cost: SimDuration) -> Self {
         self.per_byte_cost = cost;
+        self
+    }
+
+    /// Asks the kernel to notify this receiver when its port queue reaches
+    /// `mark` packets; the notification is reflected to the sender as a
+    /// `BSP_THROTTLE` so its window shrinks instead of the queue
+    /// overflowing.
+    pub fn with_backpressure_mark(mut self, mark: usize) -> Self {
+        self.backpressure_mark = Some(mark);
         self
     }
 
@@ -329,7 +343,13 @@ impl BspReceiverApp {
 impl App for BspReceiverApp {
     fn start(&mut self, k: &mut ProcCtx<'_>) {
         let batch = self.batch;
-        self.ep.open(k, self.local, batch);
+        let mark = self.backpressure_mark;
+        self.ep.open(k, self.local, batch, mark);
+    }
+
+    fn on_backpressure(&mut self, _fd: Fd, _depth: usize, k: &mut ProcCtx<'_>) {
+        let fx = self.machine.on_backpressure();
+        let _ = self.ep.apply(fx, k);
     }
 
     fn on_packets(&mut self, fd: Fd, packets: Vec<RecvPacket>, k: &mut ProcCtx<'_>) {
@@ -506,6 +526,76 @@ mod tests {
         assert!(s.is_failed(), "retry cap turns a dead wire into a failure");
         assert!(!s.is_done());
         assert_eq!(s.stats().giveups, 1);
+    }
+
+    /// Acceptance: a backpressured sender converges instead of
+    /// retry-storming. A window far wider than the receiver's port queue
+    /// against a slow consumer overflows the queue and forces
+    /// retransmissions; with a backpressure mark the kernel's signal is
+    /// reflected as `BSP_THROTTLE`, the sender's window halves, and the
+    /// overload becomes bounded latency instead of drops.
+    #[test]
+    fn backpressured_sender_converges_instead_of_retry_storming() {
+        let run = |mark: Option<usize>| {
+            let mut w = World::new(7);
+            let seg = w.add_segment(Medium::experimental_3mb(), FaultModel::default());
+            let a = w.add_host("sender", seg, 0x0A, CostModel::microvax_ii());
+            let b = w.add_host("receiver", seg, 0x0B, CostModel::microvax_ii());
+            let cfg = BspConfig {
+                window: 48,
+                segment: 100,
+                ..BspConfig::default()
+            };
+            let src = PupAddr::new(1, 0x0A, 0x300);
+            let dst = PupAddr::new(1, 0x0B, 0x400);
+            let payload: Vec<u8> = (0..20_000).map(|i| (i % 251) as u8).collect();
+            let mut r = BspReceiverApp::new(dst, cfg.clone())
+                .with_per_byte_cost(SimDuration::from_micros(50));
+            if let Some(m) = mark {
+                r = r.with_backpressure_mark(m);
+            }
+            let rx = w.spawn(b, Box::new(r));
+            let tx = w.spawn(a, Box::new(BspSenderApp::new(src, dst, payload, cfg)));
+            w.run_until(pf_sim::time::SimTime(300_000_000_000));
+            let s = w.app_ref::<BspSenderApp>(a, tx).unwrap();
+            let r = w.app_ref::<BspReceiverApp>(b, rx).unwrap();
+            assert!(s.is_done(), "transfer finished (mark {mark:?})");
+            assert_eq!(r.bytes, 20_000, "exact byte stream (mark {mark:?})");
+            let c = w.counters(b);
+            (
+                s.stats(),
+                r.stats(),
+                c.drops_queue_full + c.drops_interface,
+                c.backpressure_signals,
+            )
+        };
+
+        let (storm_tx, _storm_rx, storm_drops, storm_signals) = run(None);
+        let (calm_tx, calm_rx, calm_drops, calm_signals) = run(Some(8));
+
+        // Unthrottled: the 48-segment bursts overrun the receiver's kernel
+        // queues (the NIC ring first, at these rates) and every loss costs
+        // a go-back-N storm of retransmissions.
+        assert!(storm_drops > 100, "wide window floods the receiver");
+        assert!(storm_tx.retransmits > 100, "drops force a retry storm");
+        assert_eq!(storm_signals, 0);
+        assert_eq!(storm_tx.backpressure_events, 0);
+
+        // Throttled: the kernel's mark crossing reaches the sender and the
+        // window converges to what the receiver can absorb.
+        assert!(calm_signals > 0, "kernel signaled the mark crossing");
+        assert!(calm_rx.throttles_sent > 0, "receiver reflected it");
+        assert!(calm_tx.backpressure_events > 0, "sender honored it");
+        assert!(
+            calm_drops * 4 < storm_drops,
+            "backpressure cut drops: {calm_drops} vs {storm_drops}"
+        );
+        assert!(
+            calm_tx.retransmits * 4 < storm_tx.retransmits,
+            "and retransmissions: {} vs {}",
+            calm_tx.retransmits,
+            storm_tx.retransmits
+        );
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub mod types {
     pub const BSP_END: u8 = 19;
     /// BSP end acknowledgement.
     pub const BSP_END_REPLY: u8 = 20;
+    /// BSP throttle: the receiver's kernel port crossed its backpressure
+    /// mark; the sender should shrink its window (modeled on real BSP's
+    /// out-of-band Interrupt packets).
+    pub const BSP_THROTTLE: u8 = 24;
     /// Abort.
     pub const ABORT: u8 = 32;
 }

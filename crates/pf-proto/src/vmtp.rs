@@ -45,6 +45,10 @@ pub const SEGMENT_BYTES: usize = 16 * 1024;
 /// Client retransmission timer token.
 pub const VMTP_RTO_TOKEN: u64 = 0x7319;
 
+/// Client backpressure-pacing timer token (delays the next transaction
+/// after a kernel backpressure notification).
+pub const VMTP_PACE_TOKEN: u64 = 0x7A3E;
+
 /// Header flag bit: the body carries a trailing 16-bit checksum.
 ///
 /// The paper's VMTP implementations "do not" checksum (§6.3), so plain
@@ -289,6 +293,16 @@ pub struct ClientMachine {
     max_retries: u32,
     /// Consecutive timeouts without progress (the backoff exponent).
     backoff: u32,
+    /// Pacing delay the embedding should insert before the next
+    /// transaction: doubled (capped at `rto_cap`) by each kernel
+    /// backpressure notification, halved by each completed transaction —
+    /// the transactional analogue of a window, so a saturated server port
+    /// sees a converging request rate instead of a retry storm.
+    pace: SimDuration,
+    /// Whether the current transaction has already raised the pace —
+    /// like TCP's one-window-reduction-per-RTT rule, every crossing of
+    /// the mark within one response group is a single overload episode.
+    paced_this_trans: bool,
     next_trans: u32,
     pending: Option<PendingTrans>,
     /// Requests retransmitted and retry masks sent.
@@ -297,6 +311,8 @@ pub struct ClientMachine {
     pub completed: u64,
     /// Transactions abandoned after retry exhaustion.
     pub giveups: u64,
+    /// Backpressure notifications honored (each raises the pacing delay).
+    pub backpressure_events: u64,
 }
 
 #[derive(Debug)]
@@ -318,11 +334,14 @@ impl ClientMachine {
             rto_cap: SimDuration::from_nanos(rto.as_nanos().saturating_mul(16)),
             max_retries: 16,
             backoff: 0,
+            pace: SimDuration::ZERO,
+            paced_this_trans: false,
             next_trans: 1,
             pending: None,
             retries: 0,
             completed: 0,
             giveups: 0,
+            backpressure_events: 0,
         }
     }
 
@@ -354,10 +373,38 @@ impl ClientMachine {
         self.pending.is_some()
     }
 
+    /// The pacing delay the embedding should insert before its next
+    /// [`Self::invoke`]; zero when the client is unthrottled.
+    pub fn pacing_delay(&self) -> SimDuration {
+        self.pace
+    }
+
+    /// Responds to a kernel backpressure notification (this client's port
+    /// queue crossed its high-water mark): raises the pacing delay —
+    /// `rto/2` from a standing start, doubling thereafter, capped at
+    /// `rto_cap`. Completed transactions halve it back down, so the
+    /// request rate converges on the service rate.
+    pub fn on_backpressure(&mut self) {
+        self.backpressure_events += 1;
+        // One pace increase per transaction, however many times the
+        // queue re-crosses the mark while a response group drains.
+        if self.paced_this_trans {
+            return;
+        }
+        self.paced_this_trans = true;
+        let next = if self.pace == SimDuration::ZERO {
+            self.rto.as_nanos() / 2
+        } else {
+            self.pace.as_nanos().saturating_mul(2)
+        };
+        self.pace = SimDuration::from_nanos(next.min(self.rto_cap.as_nanos()));
+    }
+
     /// Starts a transaction. Transactions are sequential: panics if one is
     /// outstanding (the paper's workloads are strictly request-response).
     pub fn invoke(&mut self, opcode: u32, data: Vec<u8>) -> Vec<VEffect> {
         assert!(self.pending.is_none(), "sequential transactions only");
+        self.paced_this_trans = false;
         let trans = self.next_trans;
         self.next_trans += 1;
         let request = VmtpPacket {
@@ -405,6 +452,8 @@ impl ClientMachine {
         if p.received.iter().all(Option::is_some) {
             let p = self.pending.take().expect("checked above");
             self.completed += 1;
+            // Forward progress decays the backpressure pacing.
+            self.pace = SimDuration::from_nanos(self.pace.as_nanos() / 2);
             let mut data = Vec::new();
             for seg in p.received.into_iter().flatten() {
                 data.extend(seg);

@@ -13,7 +13,8 @@
 //! demultiplexer of table 6-5.
 
 use crate::vmtp::{
-    ClientMachine, ServerMachine, VEffect, VmtpPacket, SEGMENT_BYTES, VMTP_RTO_TOKEN,
+    ClientMachine, ServerMachine, VEffect, VmtpPacket, SEGMENT_BYTES, VMTP_PACE_TOKEN,
+    VMTP_RTO_TOKEN,
 };
 use pf_kernel::app::App;
 use pf_kernel::types::{Fd, PipeId, PortConfig, ReadError, ReadMode, RecvPacket, TimerId};
@@ -85,6 +86,12 @@ pub struct VmtpUserClient {
     input: ClientInput,
     batch: bool,
     checksummed: bool,
+    /// Queue depth at which the kernel should notify this client of
+    /// backpressure; the machine answers by raising its pacing delay.
+    backpressure_mark: Option<usize>,
+    /// Cost charged per received response payload byte (consumer
+    /// processing), as [`crate::bsp_app::BspReceiverApp::with_per_byte_cost`].
+    per_byte_cost: SimDuration,
     fd: Option<Fd>,
     timer: Option<TimerId>,
     /// Completed transactions.
@@ -113,6 +120,8 @@ impl VmtpUserClient {
             input: ClientInput::PacketFilter,
             batch: true,
             checksummed: false,
+            backpressure_mark: None,
+            per_byte_cost: SimDuration::ZERO,
             fd: None,
             timer: None,
             completed: 0,
@@ -147,6 +156,26 @@ impl VmtpUserClient {
     /// Receive via a demultiplexing process and pipe instead (table 6-5).
     pub fn via_pipe(mut self) -> Self {
         self.input = ClientInput::Pipe;
+        self
+    }
+
+    /// Asks the kernel to notify this client when its port queue reaches
+    /// `mark` packets; the machine responds by pacing its transactions.
+    pub fn with_backpressure_mark(mut self, mark: usize) -> Self {
+        self.backpressure_mark = Some(mark);
+        self
+    }
+
+    /// Backpressure notifications the machine has honored.
+    pub fn machine_backpressure_events(&self) -> u64 {
+        self.machine.backpressure_events
+    }
+
+    /// Sets the per-byte consumer cost charged for received response
+    /// payload (writing the segment out, checksumming it, displaying
+    /// it…).
+    pub fn with_per_byte_cost(mut self, cost: SimDuration) -> Self {
+        self.per_byte_cost = cost;
         self
     }
 
@@ -219,10 +248,17 @@ impl VmtpUserClient {
                     if self.completed >= self.workload.ops {
                         self.finished_at = Some(k.now());
                     } else {
-                        let fx = self
-                            .machine
-                            .invoke(self.workload.response_bytes, Vec::new());
-                        self.apply(fx, k);
+                        let pace = self.machine.pacing_delay();
+                        if pace > SimDuration::ZERO {
+                            // Backpressured: delay the next transaction
+                            // instead of re-filling the saturated queue.
+                            k.set_timer(pace, VMTP_PACE_TOKEN);
+                        } else {
+                            let fx = self
+                                .machine
+                                .invoke(self.workload.response_bytes, Vec::new());
+                            self.apply(fx, k);
+                        }
                     }
                 }
                 VEffect::DeliverRequest { .. } => unreachable!("client machine"),
@@ -235,6 +271,12 @@ impl VmtpUserClient {
         let medium = Medium::standard_10mb();
         match VmtpPacket::decode_frame(&medium, bytes) {
             Some((pkt, _src)) => {
+                if self.per_byte_cost > SimDuration::ZERO && !pkt.data.is_empty() {
+                    let total = SimDuration::from_nanos(
+                        self.per_byte_cost.as_nanos() * pkt.data.len() as u64,
+                    );
+                    k.compute("user:consume", total);
+                }
                 let fx = self.machine.on_packet(&pkt);
                 self.apply(fx, k);
             }
@@ -258,6 +300,7 @@ impl App for VmtpUserClient {
                             ReadMode::Single
                         },
                         max_queue: VMTP_PORT_QUEUE,
+                        backpressure_mark: self.backpressure_mark,
                         ..Default::default()
                     },
                 );
@@ -287,11 +330,26 @@ impl App for VmtpUserClient {
     }
 
     fn on_timer(&mut self, token: u64, k: &mut ProcCtx<'_>) {
+        if token == VMTP_PACE_TOKEN {
+            // The backpressure pacing delay elapsed: issue the next
+            // transaction (unless the workload ended meanwhile).
+            if self.finished_at.is_none() && self.failed_at.is_none() && !self.machine.busy() {
+                let fx = self
+                    .machine
+                    .invoke(self.workload.response_bytes, Vec::new());
+                self.apply(fx, k);
+            }
+            return;
+        }
         self.timer = None;
         if token == VMTP_RTO_TOKEN {
             let fx = self.machine.on_timer(token);
             self.apply(fx, k);
         }
+    }
+
+    fn on_backpressure(&mut self, _fd: Fd, _depth: usize, _k: &mut ProcCtx<'_>) {
+        self.machine.on_backpressure();
     }
 
     fn on_read_error(&mut self, fd: Fd, _err: ReadError, k: &mut ProcCtx<'_>) {
@@ -601,6 +659,75 @@ mod tests {
         );
         assert_eq!(app.bytes, 5 * 4096);
         assert!(app.machine.retries > 0, "loss forced retries");
+    }
+
+    /// Acceptance: a backpressured VMTP client converges instead of
+    /// retry-storming. Unbatched bulk reads overflow the 3-packet port
+    /// queue every response group; with a backpressure mark the kernel's
+    /// signal raises the machine's pacing delay, spacing transactions so
+    /// leftover response segments drain before the next burst lands.
+    #[test]
+    fn backpressured_client_paces_and_converges() {
+        let run = |mark: Option<usize>| {
+            let (mut w, c, s) = world();
+            w.spawn(s, Box::new(VmtpUserServer::new(SERVER_ENTITY)));
+            // A slow consumer (2 µs/byte) cannot drain a response group at
+            // arrival rate with unbatched reads: the 3-packet queue
+            // overflows and lost segments force whole-group retries.
+            let mut client = VmtpUserClient::new(
+                CLIENT_ENTITY,
+                SERVER_ENTITY,
+                SERVER_ETH,
+                Workload {
+                    ops: 12,
+                    response_bytes: SEGMENT_BYTES as u32,
+                },
+            )
+            .without_batching()
+            .with_per_byte_cost(SimDuration::from_micros(2));
+            if let Some(m) = mark {
+                client = client.with_backpressure_mark(m);
+            }
+            let p = w.spawn(c, Box::new(client));
+            w.run_until(SimTime(600 * 1_000_000_000));
+            let app = w.app_ref::<VmtpUserClient>(c, p).unwrap();
+            assert!(app.is_done(), "completed {} (mark {mark:?})", app.completed);
+            assert_eq!(app.bytes, 12 * SEGMENT_BYTES as u64);
+            (
+                app.machine_retries(),
+                app.machine_backpressure_events(),
+                app.machine.pacing_delay(),
+                app.per_op().unwrap(),
+                w.counters(c).backpressure_signals,
+            )
+        };
+
+        let (storm_retries, _, _, storm_per_op, storm_signals) = run(None);
+        let (paced_retries, paced_events, paced_pace, paced_per_op, paced_signals) = run(Some(2));
+
+        // Unpaced: every response group overruns the 3-packet queue and
+        // lost segments must be retried.
+        assert!(storm_retries > 0, "overflow forces retries");
+        assert_eq!(storm_signals, 0);
+
+        // Paced: the client honors the kernel's signal, the pace settles
+        // (one raise per transaction, halved per completion) instead of
+        // ratcheting to the cap, and convergence costs neither retries
+        // nor unbounded latency.
+        assert!(paced_signals > 0, "kernel signaled the mark crossing");
+        assert!(paced_events > 0, "client honored the signal");
+        assert!(
+            paced_retries <= storm_retries,
+            "pacing did not add retries: {paced_retries} vs {storm_retries}"
+        );
+        assert!(
+            paced_pace <= VMTP_RTO,
+            "pace converged near rto/2, not the cap: {paced_pace}"
+        );
+        assert!(
+            paced_per_op.as_nanos() < storm_per_op.as_nanos() * 3 / 2,
+            "bounded latency: {paced_per_op} vs {storm_per_op}"
+        );
     }
 
     #[test]

@@ -79,6 +79,17 @@ pub struct CostModel {
     pub pipe_overhead: SimDuration,
     /// Scheduler work to make a blocked process runnable.
     pub wakeup: SimDuration,
+    /// Fixed cost to schedule one polled drain pass when the receive path
+    /// has switched from per-packet interrupts to polling (the softirq-like
+    /// dispatch that replaces N interrupt entries with one).
+    pub poll_batch: SimDuration,
+    /// Per-packet driver cost under polling: buffer handoff without the
+    /// interrupt entry/exit, so much cheaper than `driver_rx`.
+    pub poll_per_packet: SimDuration,
+    /// One admission-gate probe ahead of the filter ladder: a token-bucket
+    /// check plus at most one packet-word load, charged per arriving frame
+    /// while the gate is enabled.
+    pub admission_probe: SimDuration,
 }
 
 impl CostModel {
@@ -106,6 +117,9 @@ impl CostModel {
             arp_input: SimDuration::from_micros(200),
             pipe_overhead: SimDuration::from_micros(450),
             wakeup: SimDuration::from_micros(100),
+            poll_batch: SimDuration::from_micros(150),
+            poll_per_packet: SimDuration::from_micros(60),
+            admission_probe: SimDuration::from_micros(8),
         }
     }
 
@@ -189,6 +203,18 @@ mod tests {
             (500..=700).contains(&delta),
             "21-instruction delta = {delta} µs"
         );
+    }
+
+    #[test]
+    fn polled_receive_amortizes_interrupt_cost() {
+        // The point of the interrupt→polling switchover: one polled batch
+        // of N frames must cost less than N interrupt entries, and the
+        // admission probe must be far cheaper than even one filter
+        // instruction so shedding at the gate actually saves work.
+        let m = CostModel::microvax_ii();
+        let batch = m.poll_batch + m.poll_per_packet.times(16);
+        assert!(batch < m.driver_rx.times(16), "polling must amortize");
+        assert!(m.admission_probe < m.filter_instr);
     }
 
     #[test]

@@ -50,6 +50,18 @@ pub struct Counters {
     /// Filter evaluations terminated by the per-evaluation instruction
     /// budget (each rejects its packet).
     pub filter_budget_overruns: u64,
+    /// Packets shed at the NIC by the admission gate, before any filter
+    /// ran (drop-at-NIC; `drops_no_match`/`drops_queue_full` count
+    /// drop-after-demux).
+    pub drops_admission: u64,
+    /// Polled drain passes executed while the receive path was in
+    /// polling mode.
+    pub poll_batches: u64,
+    /// Receive-path mode switches (interrupt→polling and back).
+    pub rx_mode_switches: u64,
+    /// Backpressure notifications posted to port owners when a port
+    /// queue crossed its high-water mark.
+    pub backpressure_signals: u64,
 }
 
 impl Counters {
@@ -92,6 +104,10 @@ impl Sub for Counters {
             timestamps: self.timestamps - rhs.timestamps,
             filters_quarantined: self.filters_quarantined - rhs.filters_quarantined,
             filter_budget_overruns: self.filter_budget_overruns - rhs.filter_budget_overruns,
+            drops_admission: self.drops_admission - rhs.drops_admission,
+            poll_batches: self.poll_batches - rhs.poll_batches,
+            rx_mode_switches: self.rx_mode_switches - rhs.rx_mode_switches,
+            backpressure_signals: self.backpressure_signals - rhs.backpressure_signals,
         }
     }
 }
@@ -111,8 +127,8 @@ impl fmt::Display for Counters {
         writeln!(f, "packets delivered:   {}", self.packets_delivered)?;
         writeln!(
             f,
-            "packets dropped:     {} queue-full, {} no-match, {} interface",
-            self.drops_queue_full, self.drops_no_match, self.drops_interface
+            "packets dropped:     {} queue-full, {} no-match, {} interface, {} admission",
+            self.drops_queue_full, self.drops_no_match, self.drops_interface, self.drops_admission
         )?;
         writeln!(
             f,
@@ -121,10 +137,15 @@ impl fmt::Display for Counters {
         )?;
         writeln!(f, "signals delivered:   {}", self.signals_delivered)?;
         writeln!(f, "timestamps taken:    {}", self.timestamps)?;
-        write!(
+        writeln!(
             f,
             "filters quarantined: {} ({} budget overruns)",
             self.filters_quarantined, self.filter_budget_overruns
+        )?;
+        write!(
+            f,
+            "overload armor:      {} poll batches, {} mode switches, {} backpressure signals",
+            self.poll_batches, self.rx_mode_switches, self.backpressure_signals
         )
     }
 }

@@ -23,6 +23,15 @@ run cargo test --workspace -q
 # retries); --stdout keeps the checked-in full-sweep BENCH_chaos.json.
 echo "==> cargo run -p pf-bench --release --bin bench_chaos -- --smoke --stdout"
 cargo run -p pf-bench --release --bin bench_chaos -- --smoke --stdout > /dev/null
+# Overload-campaign invariants (flat full-armor goodput past saturation,
+# no-armor livelock cliff, drop-at-NIC vs after-demux accounting); the
+# smoke artifact goes to a temp path so the checked-in full-sweep
+# BENCH_overload.json stays intact, and must parse as JSON.
+echo "==> cargo run -p pf-bench --release --bin bench_overload -- --smoke --out <tmp>"
+overload_json="$(mktemp)"
+cargo run -p pf-bench --release --bin bench_overload -- --smoke --out "$overload_json" > /dev/null
+python3 -m json.tool "$overload_json" > /dev/null
+rm -f "$overload_json"
 
 if [[ "${1:-}" == "--benches" ]]; then
     run cargo bench --workspace --features criterion-benches --no-run
