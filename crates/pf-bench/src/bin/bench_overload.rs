@@ -17,6 +17,26 @@ use pf_bench::{cli, overload};
 
 fn main() {
     let args = cli::parse_or_exit("bench_overload", true);
+    // This campaign models the classic single-core receive path; the
+    // shared flags are accepted only in their single-core shape so a
+    // multi-core invocation fails loudly instead of silently measuring
+    // one core.
+    if args.cores.as_deref().is_some_and(|c| c != [1]) {
+        eprintln!(
+            "bench_overload: multi-core sweeps live in bench_mc \
+             (bench_overload models the single-core receive path; got --cores {:?})",
+            args.cores.unwrap()
+        );
+        std::process::exit(2);
+    }
+    if args.batch.as_deref().is_some_and(|b| b != [1]) {
+        eprintln!(
+            "bench_overload: batched execution is swept by bench_mc \
+             (bench_overload demultiplexes per frame; got --batch {:?})",
+            args.batch.unwrap()
+        );
+        std::process::exit(2);
+    }
     let report = overload::sweep(args.smoke);
     let json = overload::to_json(&report);
     let Some(path) = args.out_path(overload::default_path()) else {

@@ -7,7 +7,11 @@
 //!   binary declares it has one);
 //! * `--stdout` — print the artifact to stdout instead of writing a file;
 //! * `--out <path>` — write the artifact to `<path>` instead of the
-//!   binary's default location.
+//!   binary's default location;
+//! * `--cores <list>` / `--batch <list>` — comma-separated worker-core
+//!   and batch-size sweeps for the multi-core binaries (`bench_mc`
+//!   sweeps them; `bench_overload` accepts them only to reject anything
+//!   but the single-core shape with a pointer to `bench_mc`).
 
 use std::path::PathBuf;
 
@@ -20,6 +24,37 @@ pub struct BenchArgs {
     pub stdout: bool,
     /// Explicit output path (overrides the binary's default).
     pub out: Option<PathBuf>,
+    /// Worker-core counts to sweep (`--cores 1,2,4,8`); `None` leaves the
+    /// binary's default sweep in place.
+    pub cores: Option<Vec<usize>>,
+    /// Batch sizes to sweep (`--batch 1,8,32,128`); `None` leaves the
+    /// binary's default sweep in place.
+    pub batch: Option<Vec<usize>>,
+}
+
+/// Parses a `--cores`/`--batch` style comma-separated list of positive
+/// integers, naming the flag and the valid form in every error.
+fn parse_count_list(flag: &str, value: &str) -> Result<Vec<usize>, String> {
+    let example = match flag {
+        "--cores" => "--cores 1,2,4,8",
+        _ => "--batch 1,8,32,128",
+    };
+    let mut counts = Vec::new();
+    for part in value.split(',') {
+        let n: usize = part.trim().parse().map_err(|_| {
+            format!("{flag} values must be positive integers, got `{part}` (e.g. {example})")
+        })?;
+        if n == 0 {
+            return Err(format!(
+                "{flag} values must be at least 1, got `0` (e.g. {example})"
+            ));
+        }
+        counts.push(n);
+    }
+    if counts.is_empty() {
+        return Err(format!("{flag} requires a non-empty list (e.g. {example})"));
+    }
+    Ok(counts)
 }
 
 impl BenchArgs {
@@ -51,10 +86,19 @@ where
                 Some(p) => out.out = Some(PathBuf::from(p)),
                 None => return Err("--out requires a path".into()),
             },
+            "--cores" => match it.next() {
+                Some(v) => out.cores = Some(parse_count_list("--cores", &v)?),
+                None => return Err("--cores requires a list (e.g. --cores 1,2,4,8)".into()),
+            },
+            "--batch" => match it.next() {
+                Some(v) => out.batch = Some(parse_count_list("--batch", &v)?),
+                None => return Err("--batch requires a list (e.g. --batch 1,8,32,128)".into()),
+            },
             other => {
                 let smoke = if accepts_smoke { "--smoke, " } else { "" };
                 return Err(format!(
-                    "unknown argument `{other}` (valid flags: {smoke}--stdout, --out <path>)"
+                    "unknown argument `{other}` (valid flags: {smoke}--stdout, --out <path>, \
+                     --cores <list>, --batch <list>)"
                 ));
             }
         }
@@ -70,7 +114,9 @@ pub fn parse_or_exit(bin: &str, accepts_smoke: bool) -> BenchArgs {
         Err(e) => {
             let smoke = if accepts_smoke { "[--smoke] " } else { "" };
             eprintln!("{bin}: {e}");
-            eprintln!("usage: {bin} {smoke}[--stdout] [--out <path>]");
+            eprintln!(
+                "usage: {bin} {smoke}[--stdout] [--out <path>] [--cores <list>] [--batch <list>]"
+            );
             std::process::exit(2);
         }
     }
@@ -111,6 +157,39 @@ mod tests {
         assert!(try_parse(args(&["--frob"]), true).is_err());
         assert!(try_parse(args(&["--smoke"]), false).is_err());
         assert!(try_parse(args(&["--out"]), true).is_err(), "missing path");
+    }
+
+    #[test]
+    fn parses_core_and_batch_sweeps() {
+        let a = try_parse(args(&["--cores", "1,2,4,8", "--batch", "1,32"]), true).unwrap();
+        assert_eq!(a.cores, Some(vec![1, 2, 4, 8]));
+        assert_eq!(a.batch, Some(vec![1, 32]));
+        let a = try_parse(args(&["--cores", "4"]), false).unwrap();
+        assert_eq!(a.cores, Some(vec![4]));
+        assert_eq!(a.batch, None);
+    }
+
+    #[test]
+    fn rejects_zero_and_garbage_core_and_batch_values() {
+        // Zero cores/batch is meaningless; the error must say so and show
+        // the valid form rather than silently clamping.
+        let e = try_parse(args(&["--cores", "0"]), true).unwrap_err();
+        assert!(
+            e.contains("at least 1") && e.contains("--cores 1,2,4,8"),
+            "{e}"
+        );
+        let e = try_parse(args(&["--batch", "8,0"]), true).unwrap_err();
+        assert!(
+            e.contains("at least 1") && e.contains("--batch 1,8,32,128"),
+            "{e}"
+        );
+        let e = try_parse(args(&["--cores", "two"]), true).unwrap_err();
+        assert!(
+            e.contains("positive integers") && e.contains("`two`"),
+            "{e}"
+        );
+        assert!(try_parse(args(&["--cores"]), true).is_err(), "missing list");
+        assert!(try_parse(args(&["--batch", ""]), true).is_err(), "empty");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod chaos;
 pub mod cli;
 pub mod demux_json;
 pub mod figures;
+pub mod mc;
 pub mod overload;
 pub mod profile61;
 pub mod recvcost;

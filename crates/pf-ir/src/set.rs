@@ -421,7 +421,15 @@ pub struct ShardedVnSet {
     fast_min_words: usize,
     /// Reused match-result buffer: evaluating a packet allocates nothing.
     scratch: Vec<FilterId>,
+    /// Reused merged-walk-order buffer for the batch path.
+    idx_scratch: Vec<usize>,
+    /// Table compactions performed (see [`ShardedVnSet::gc_count`]).
+    gc_count: u64,
 }
+
+/// Below this table size a compaction is too cheap to be worth deferring;
+/// GC runs eagerly so tiny sets never carry dead tests.
+const GC_MIN_TABLE: usize = 16;
 
 impl ShardedVnSet {
     /// An empty set under the default configuration (classic dialect,
@@ -448,9 +456,36 @@ impl ShardedVnSet {
         self.members.is_empty()
     }
 
-    /// Number of distinct interned tests across all members.
+    /// Number of distinct interned tests still consulted by some member.
+    ///
+    /// Removals defer table compaction (see [`ShardedVnSet::remove`]), so
+    /// this counts *live* tests; [`ShardedVnSet::raw_test_count`] exposes
+    /// the physical table size including not-yet-collected dead entries.
     pub fn test_count(&self) -> usize {
+        self.live_tests().iter().filter(|&&l| l).count()
+    }
+
+    /// Physical size of the interned test table, dead entries included.
+    pub fn raw_test_count(&self) -> usize {
         self.table.len()
+    }
+
+    /// How many deferred table compactions removals have triggered.
+    pub fn gc_count(&self) -> u64 {
+        self.gc_count
+    }
+
+    /// Liveness bitmap over the interned test table.
+    fn live_tests(&self) -> Vec<bool> {
+        let mut live = vec![false; self.table.len()];
+        for m in &self.members {
+            if let VnMemberKind::Compiled { code, .. } = &m.kind {
+                for t in code.tests_used() {
+                    live[t as usize] = true;
+                }
+            }
+        }
+        live
     }
 
     /// Number of interned tests used by more than one member — the
@@ -526,29 +561,45 @@ impl ShardedVnSet {
     }
 
     /// Removes the filter for `id`; `true` if it was present.
+    ///
+    /// Table compaction is *deferred*: a remove strands its private tests
+    /// as dead entries (harmless — never consulted, memo never touched)
+    /// and the table is only compacted once dead entries outnumber live
+    /// ones. Remove/insert churn therefore costs O(members) per remove
+    /// for the index rebuild, not a full table rebuild plus a remap of
+    /// every member's program each time.
     pub fn remove(&mut self, id: FilterId) -> bool {
         let before = self.members.len();
         self.members.retain(|m| m.id != id);
         let removed = before != self.members.len();
         if removed {
-            self.gc_tests();
+            self.maybe_gc();
             self.rebuild_index();
         }
         removed
     }
 
+    /// Compacts the shared table if the dead-test ratio crossed the
+    /// threshold (strictly more dead than live, and at least `GC_MIN_TABLE`
+    /// entries — small tables compact eagerly since a rebuild is trivial).
+    fn maybe_gc(&mut self) {
+        let live = self.live_tests();
+        let live_n = live.iter().filter(|&&l| l).count();
+        let total = self.table.len();
+        let dead = total - live_n;
+        if dead == 0 {
+            return;
+        }
+        if total < GC_MIN_TABLE || dead > live_n {
+            self.gc_tests(&live);
+            self.gc_count += 1;
+        }
+    }
+
     /// Compacts the shared table to the tests surviving members still
     /// consult, remapping every program's ids.
-    fn gc_tests(&mut self) {
-        let mut live = vec![false; self.table.len()];
-        for m in &self.members {
-            if let VnMemberKind::Compiled { code, .. } = &m.kind {
-                for t in code.tests_used() {
-                    live[t as usize] = true;
-                }
-            }
-        }
-        let remap = self.table.compact(&live);
+    fn gc_tests(&mut self, live: &[bool]) {
+        let remap = self.table.compact(live);
         for m in &mut self.members {
             if let VnMemberKind::Compiled { code, .. } = &mut m.kind {
                 code.remap_tests(&remap);
@@ -628,6 +679,125 @@ impl ShardedVnSet {
     pub fn matches_with_stats(&mut self, packet: PacketView<'_>) -> (&[FilterId], VnSetStats) {
         let (stats, ids) = self.walk(packet, false);
         (ids, stats)
+    }
+
+    /// [`ShardedVnSet::matches`] over a batch of packets, with per-packet
+    /// counters.
+    ///
+    /// Per-packet verdict lists are identical to calling `matches` on each
+    /// packet in turn. What the batch amortizes is the walk-order setup:
+    /// the shard-map lookup and the shard∪residue merge are computed once
+    /// per *run* of same-key packets (RSS steering delivers flow-grouped
+    /// batches, so runs are long) instead of once per packet. Test
+    /// memoization stays per-packet — the generation stamp advances for
+    /// every frame, as correctness requires.
+    pub fn matches_batch_with_stats(
+        &mut self,
+        packets: &[PacketView<'_>],
+    ) -> (Vec<Vec<FilterId>>, Vec<VnSetStats>) {
+        let mut out = Vec::with_capacity(packets.len());
+        let mut out_stats = Vec::with_capacity(packets.len());
+        // The cached walk order: `None` = nothing cached yet; the inner
+        // `Option<u16>` is the shard key (None = short/slow path marker,
+        // never cached).
+        let mut cached_key: Option<u16> = None;
+        let mut cache_valid = false;
+        for &packet in packets {
+            let mut stats = VnSetStats::default();
+            let fast = packet.word_len() >= self.fast_min_words;
+            let key = match (fast, self.shard_word) {
+                (true, Some(d)) => packet.word(usize::from(d)),
+                _ => None,
+            };
+            let ids = match (fast, self.shard_word, key) {
+                (true, Some(_), Some(k)) => {
+                    if !cache_valid || cached_key != Some(k) {
+                        let Self {
+                            shards,
+                            residue,
+                            idx_scratch,
+                            ..
+                        } = self;
+                        idx_scratch.clear();
+                        static EMPTY: &[usize] = &[];
+                        let shard: &[usize] = shards.get(&k).map_or(EMPTY, Vec::as_slice);
+                        // Merge by member index — match order, exactly as
+                        // the scalar walk does.
+                        let (mut i, mut j) = (0, 0);
+                        loop {
+                            match (shard.get(i), residue.get(j)) {
+                                (Some(&a), Some(&b)) if a < b => {
+                                    i += 1;
+                                    idx_scratch.push(a);
+                                }
+                                (_, Some(&b)) => {
+                                    j += 1;
+                                    idx_scratch.push(b);
+                                }
+                                (Some(&a), None) => {
+                                    i += 1;
+                                    idx_scratch.push(a);
+                                }
+                                (None, None) => break,
+                            }
+                        }
+                        cached_key = Some(k);
+                        cache_valid = true;
+                    }
+                    let Self {
+                        members,
+                        table,
+                        idx_scratch,
+                        config,
+                        ..
+                    } = self;
+                    table.begin_packet();
+                    let mut ids = Vec::new();
+                    for &i in idx_scratch.iter() {
+                        let m = &members[i];
+                        if eval_vn_member(m, packet, table, *config, &mut stats) {
+                            ids.push(m.id);
+                        }
+                    }
+                    ids
+                }
+                _ => {
+                    // Short packet, no discriminating word, or the shard
+                    // word is absent from the frame: same slow/empty-shard
+                    // semantics as the scalar walk.
+                    let Self {
+                        members,
+                        table,
+                        residue,
+                        config,
+                        ..
+                    } = self;
+                    table.begin_packet();
+                    let mut ids = Vec::new();
+                    if fast && self.shard_word.is_some() {
+                        // Fast path with a missing/unmatched key word:
+                        // scalar walk visits only the residue.
+                        for &i in residue.iter() {
+                            let m = &members[i];
+                            if eval_vn_member(m, packet, table, *config, &mut stats) {
+                                ids.push(m.id);
+                            }
+                        }
+                    } else {
+                        for m in members.iter() {
+                            if eval_vn_member(m, packet, table, *config, &mut stats) {
+                                ids.push(m.id);
+                            }
+                        }
+                    }
+                    ids
+                }
+            };
+            stats.filters_skipped = self.members.len() as u32 - stats.filters_evaluated;
+            out_stats.push(stats);
+            out.push(ids);
+        }
+        (out, out_stats)
     }
 
     fn walk(&mut self, packet: PacketView<'_>, stop_at_first: bool) -> (VnSetStats, &[FilterId]) {
@@ -866,5 +1036,90 @@ mod tests {
         set.insert(1, samples::pup_socket_filter(10, 0, 35));
         // Too short for word 8: must reject, not panic.
         assert_eq!(set.first_match(PacketView::new(&[1, 2, 3, 4])), None);
+    }
+
+    #[test]
+    fn sharded_remove_defers_gc_under_churn() {
+        // The regression this pins: remove used to compact the shared
+        // table (and remap every member's program) on *every* removal.
+        // Steady remove/insert churn on a large population must not GC at
+        // all — each removal kills at most a couple of private tests, far
+        // below the dead>live threshold.
+        let mut set = ShardedVnSet::new();
+        for i in 0..64u16 {
+            set.insert(u32::from(i), samples::pup_socket_filter(10, 0, 100 + i));
+        }
+        let live_before = set.test_count();
+        assert!(set.raw_test_count() >= GC_MIN_TABLE);
+        for round in 0..40u16 {
+            let id = u32::from(round % 64);
+            assert!(set.remove(id));
+            set.insert(id, samples::pup_socket_filter(10, 0, 100 + (round % 64)));
+        }
+        assert_eq!(set.gc_count(), 0, "churn must not trigger compaction");
+        assert_eq!(set.test_count(), live_before, "live tests preserved");
+        // Re-inserting the same filters re-uses the interned entries, so
+        // the physical table does not grow either.
+        assert_eq!(set.raw_test_count(), set.test_count());
+        // Verdicts unaffected throughout.
+        let p = pkt(137);
+        assert_eq!(set.matches(PacketView::new(&p)), vec![37]);
+    }
+
+    #[test]
+    fn sharded_gc_fires_once_dead_tests_dominate() {
+        let mut set = ShardedVnSet::new();
+        for i in 0..64u16 {
+            set.insert(u32::from(i), samples::pup_socket_filter(10, 0, 100 + i));
+        }
+        let raw = set.raw_test_count();
+        // Remove most of the population without re-inserting: dead tests
+        // accumulate (no GC) until they outnumber the live ones, then one
+        // compaction shrinks the physical table back to the live count.
+        let mut fired_at = None;
+        for i in 0..48u32 {
+            assert!(set.remove(i));
+            if set.gc_count() > 0 {
+                fired_at = Some(i);
+                break;
+            }
+            assert!(set.raw_test_count() <= raw, "table never grows on remove");
+        }
+        let fired_at = fired_at.expect("dead-majority must eventually compact");
+        assert!(fired_at > 4, "GC deferred well past the first removals");
+        assert_eq!(set.raw_test_count(), set.test_count(), "compact table");
+        // Still correct after the compaction remap.
+        let p = pkt(163);
+        assert_eq!(set.matches(PacketView::new(&p)), vec![63]);
+    }
+
+    #[test]
+    fn sharded_batch_matches_scalar() {
+        let mut set = ShardedVnSet::new();
+        for (id, sock) in [(1u32, 35u16), (2, 44), (3, 55), (4, 66)] {
+            set.insert(id, samples::pup_socket_filter(10, 0, sock));
+        }
+        set.insert(5, samples::fig_3_8_pup_type_range()); // residue
+        set.insert(6, samples::accept_all(1)); // residue, always matches
+        let frames: Vec<Vec<u8>> = vec![
+            pkt(35),
+            pkt(44),
+            pkt(44), // same-key run: exercises the cached walk order
+            pkt(99),
+            pkt(55)[..6].to_vec(), // truncated: slow path
+            Vec::new(),            // empty frame
+        ];
+        let views: Vec<PacketView<'_>> = frames.iter().map(|f| PacketView::new(f)).collect();
+        let (batched, stats) = set.matches_batch_with_stats(&views);
+        assert_eq!(batched.len(), views.len());
+        assert_eq!(stats.len(), views.len());
+        for (i, v) in views.iter().enumerate() {
+            let (expect, expect_stats) = {
+                let (ids, s) = set.matches_with_stats(*v);
+                (ids.to_vec(), s)
+            };
+            assert_eq!(batched[i], expect, "packet {i} diverged");
+            assert_eq!(stats[i], expect_stats, "packet {i} stats diverged");
+        }
     }
 }

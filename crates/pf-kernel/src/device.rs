@@ -234,7 +234,9 @@ struct AdmissionState {
 
 /// Extracts a filter's admission signature: the leading
 /// `packet[word] == literal` test whose failure rejects the packet.
-fn admission_signature(f: &FilterProgram) -> Option<(u8, u16)> {
+/// Also the soundness witness for RSS flow pinning (`crate::mc`): a
+/// matching packet *must* carry `packet[word] == literal`.
+pub(crate) fn admission_signature(f: &FilterProgram) -> Option<(u8, u16)> {
     let words = f.words();
     let first = Instr::decode(*words.first()?)?;
     let StackAction::PushWord(word) = first.action else {
@@ -920,6 +922,95 @@ impl PfDevice {
         out
     }
 
+    /// Demultiplexes a batch of received packets, element `i` of the
+    /// result identical to what `demux(packets[i])` would return (same
+    /// outcomes, same `demux_ops`/per-port `accepts` bookkeeping).
+    ///
+    /// The compiled engines (decision-table, sharded, JIT) evaluate the
+    /// whole batch through their set's batch walk, amortizing dispatch
+    /// and shard-lookup work. The sequential engine and any configuration
+    /// with quarantined ports fall back to per-frame demultiplexing: the
+    /// sequential path's adaptive resort and the quarantine merge are
+    /// stateful per frame, and splitting them across a batch would change
+    /// observable behavior.
+    pub fn demux_batch(&mut self, packets: &[&[u8]]) -> Vec<DemuxOutcome> {
+        if packets.len() <= 1
+            || self.any_quarantined()
+            || matches!(self.engine, DemuxEngine::Sequential | DemuxEngine::Ir)
+        {
+            return packets.iter().map(|p| self.demux(p)).collect();
+        }
+        self.demux_ops += packets.len() as u64;
+        match self.engine {
+            DemuxEngine::DecisionTable => {
+                let table = self.table.as_ref().expect("table engine selected");
+                let views: Vec<PacketView<'_>> =
+                    packets.iter().map(|p| PacketView::new(p)).collect();
+                let all = table.matches_batch(&views);
+                all.into_iter()
+                    .map(|matches| {
+                        let mut out = DemuxOutcome::default();
+                        self.deliver_matches(matches.into_iter().map(|id| id as PortIdx), &mut out);
+                        out
+                    })
+                    .collect()
+            }
+            DemuxEngine::Sharded => {
+                let set = self.sharded.as_mut().expect("sharded engine selected");
+                let views: Vec<PacketView<'_>> =
+                    packets.iter().map(|p| PacketView::new(p)).collect();
+                let (all, stats) = set.matches_batch_with_stats(&views);
+                all.into_iter()
+                    .zip(stats)
+                    .map(|(matches, s)| {
+                        let mut out = DemuxOutcome {
+                            ir_ops: s.ops_executed,
+                            ..Default::default()
+                        };
+                        self.deliver_matches(matches.into_iter().map(|id| id as PortIdx), &mut out);
+                        out
+                    })
+                    .collect()
+            }
+            DemuxEngine::Jit => {
+                let members = self.jit_members.take().expect("JIT engine selected");
+                let outs = packets
+                    .iter()
+                    .map(|p| {
+                        let mut out = DemuxOutcome {
+                            jit_filters: members.len() as u32,
+                            ..Default::default()
+                        };
+                        let matched = members
+                            .iter()
+                            .filter(|(_, m)| m.eval(PacketView::new(p)))
+                            .map(|&(idx, _)| idx);
+                        self.deliver_matches(matched, &mut out);
+                        out
+                    })
+                    .collect();
+                self.jit_members = Some(members);
+                outs
+            }
+            DemuxEngine::Sequential | DemuxEngine::Ir => unreachable!("handled above"),
+        }
+    }
+
+    /// Applies the §3.2 deliver-to-lower rule to a priority-ordered match
+    /// list and records the per-port accept bookkeeping — the common tail
+    /// of every unquarantined compiled-engine demux.
+    fn deliver_matches(&mut self, matches: impl Iterator<Item = PortIdx>, out: &mut DemuxOutcome) {
+        for idx in matches {
+            out.accepted.push(idx);
+            if !self.ports[idx].config.deliver_to_lower {
+                break;
+            }
+        }
+        for &idx in &out.accepted {
+            self.ports[idx].accepts += 1;
+        }
+    }
+
     /// Evaluates one port's filter with the (budgeted) checked interpreter,
     /// handling budget exhaustion: the overrun is counted and the port is
     /// quarantined on its first overrun. `None` if the port has no filter.
@@ -1309,6 +1400,96 @@ mod tests {
         assert!(out.accepted.is_empty());
         assert_eq!(out.applied.len(), 1);
         assert!(!out.applied[0].accepted);
+    }
+
+    fn assert_outcomes_eq(a: &DemuxOutcome, b: &DemuxOutcome, ctx: &str) {
+        assert_eq!(a.accepted, b.accepted, "{ctx}: accepted");
+        assert_eq!(a.ir_ops, b.ir_ops, "{ctx}: ir_ops");
+        assert_eq!(a.jit_filters, b.jit_filters, "{ctx}: jit_filters");
+        assert_eq!(a.budget_overruns, b.budget_overruns, "{ctx}: overruns");
+        assert_eq!(a.applied.len(), b.applied.len(), "{ctx}: applied");
+    }
+
+    #[test]
+    fn demux_batch_equals_per_frame_demux_on_every_engine() {
+        let frames: Vec<Vec<u8>> = vec![
+            pkt(35),
+            pkt(44),
+            pkt(44),
+            pkt(99),
+            pkt(35)[..6].to_vec(), // truncated
+            Vec::new(),            // empty frame
+        ];
+        let frame_refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+        for engine in [
+            DemuxEngine::Sequential,
+            DemuxEngine::DecisionTable,
+            DemuxEngine::Ir,
+            DemuxEngine::Sharded,
+            DemuxEngine::Jit,
+        ] {
+            let build = || {
+                let mut d = PfDevice::builder().engine(engine).build();
+                for (i, f) in [
+                    samples::pup_socket_filter(10, 0, 35),
+                    samples::pup_socket_filter(10, 0, 44),
+                    samples::accept_all(1),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let idx = d.open((ProcId(i), Fd(0)));
+                    d.set_filter(idx, f);
+                }
+                d
+            };
+            let mut batched = build();
+            let mut scalar = build();
+            let outs = batched.demux_batch(&frame_refs);
+            assert_eq!(outs.len(), frames.len());
+            for (i, out) in outs.iter().enumerate() {
+                let expect = scalar.demux(&frames[i]);
+                assert_outcomes_eq(out, &expect, &format!("{engine:?} frame {i}"));
+            }
+            assert_eq!(batched.demux_ops, scalar.demux_ops, "{engine:?}");
+            for idx in 0..3 {
+                assert_eq!(
+                    batched.port(idx).accepts,
+                    scalar.port(idx).accepts,
+                    "{engine:?} port {idx} accepts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demux_batch_with_quarantined_port_takes_merged_walk() {
+        // A quarantined port forces the per-frame fallback; verdicts must
+        // still match scalar demux exactly.
+        let build = || {
+            let mut d = PfDevice::builder()
+                .engine(DemuxEngine::Sharded)
+                .instruction_budget(Some(4))
+                .build();
+            let a = d.open((ProcId(0), Fd(0)));
+            d.set_filter(a, samples::pup_socket_filter(10, 0, 35));
+            let b = d.open((ProcId(1), Fd(0)));
+            d.set_filter(b, samples::fig_3_8_pup_type_range()); // > 4 instrs
+            d
+        };
+        let mut batched = build();
+        let mut scalar = build();
+        assert!(
+            batched.any_quarantined(),
+            "range filter must be over budget"
+        );
+        let frames: Vec<Vec<u8>> = vec![pkt(35), pkt(99)];
+        let frame_refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+        let outs = batched.demux_batch(&frame_refs);
+        for (i, out) in outs.iter().enumerate() {
+            let expect = scalar.demux(&frames[i]);
+            assert_outcomes_eq(out, &expect, &format!("frame {i}"));
+        }
     }
 
     #[test]

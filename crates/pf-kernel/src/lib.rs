@@ -18,6 +18,7 @@
 pub mod app;
 pub mod device;
 pub mod kproto;
+pub mod mc;
 pub mod types;
 pub mod world;
 
@@ -27,6 +28,7 @@ pub use device::{
     PfDeviceBuilder, PortIdx,
 };
 pub use kproto::KernelProtocol;
+pub use mc::{McConfig, McPipeline, McReport, Placement, RssConfig};
 pub use types::{
     BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket, SockId,
     TimerId,

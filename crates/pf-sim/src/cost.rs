@@ -90,6 +90,25 @@ pub struct CostModel {
     /// check plus at most one packet-word load, charged per arriving frame
     /// while the gate is enabled.
     pub admission_probe: SimDuration,
+    /// One RSS steering hash over a frame's configured header words (a few
+    /// word loads plus integer mixing), charged per frame on multi-queue
+    /// receive paths. Single-queue configurations charge nothing — the
+    /// default steering is the identity.
+    pub rss_hash: SimDuration,
+    /// Cross-core wakeup (IPI send plus the cache-line bounce of the
+    /// handoff) when a demultiplexing core delivers to a consumer homed on
+    /// another core. Much cheaper than a full context switch: the target
+    /// core does not change address spaces.
+    pub mc_wakeup: SimDuration,
+    /// One work-steal: an idle core locking a sibling's receive queue and
+    /// migrating a run of frames.
+    pub queue_steal: SimDuration,
+    /// Fixed cost to launch one batched engine evaluation (fetching the
+    /// compiled set, priming scratch). Replaces the per-packet
+    /// `filter_setup` on batch paths: at batch size 1 it equals
+    /// `filter_setup`, so batching is a pure amortization, never a
+    /// discount.
+    pub batch_dispatch: SimDuration,
 }
 
 impl CostModel {
@@ -120,6 +139,10 @@ impl CostModel {
             poll_batch: SimDuration::from_micros(150),
             poll_per_packet: SimDuration::from_micros(60),
             admission_probe: SimDuration::from_micros(8),
+            rss_hash: SimDuration::from_micros(2),
+            mc_wakeup: SimDuration::from_micros(150),
+            queue_steal: SimDuration::from_micros(60),
+            batch_dispatch: SimDuration::from_micros(50),
         }
     }
 
@@ -215,6 +238,24 @@ mod tests {
         let batch = m.poll_batch + m.poll_per_packet.times(16);
         assert!(batch < m.driver_rx.times(16), "polling must amortize");
         assert!(m.admission_probe < m.filter_instr);
+    }
+
+    #[test]
+    fn batch_dispatch_amortizes_but_never_discounts() {
+        // Batch paths charge `batch_dispatch` once per batch instead of
+        // `filter_setup` once per packet. At batch size 1 the two must be
+        // equal — batching is an amortization, not a pricing change — and
+        // a 32-frame batch must save 31 setups' worth of work.
+        let m = CostModel::microvax_ii();
+        assert_eq!(m.batch_dispatch, m.filter_setup);
+        let per_packet = m.filter_setup.times(32);
+        assert!(m.batch_dispatch < per_packet);
+        // Cross-core handoff is cheaper than a full context switch but
+        // dearer than an in-core wakeup; stealing beats idling only if it
+        // costs less than the work migrated.
+        assert!(m.mc_wakeup < m.context_switch);
+        assert!(m.mc_wakeup > m.rss_hash);
+        assert!(m.queue_steal < m.driver_rx);
     }
 
     #[test]

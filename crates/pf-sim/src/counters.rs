@@ -62,6 +62,17 @@ pub struct Counters {
     /// Backpressure notifications posted to port owners when a port
     /// queue crossed its high-water mark.
     pub backpressure_signals: u64,
+    /// Frames steered to a non-default receive queue by the RSS hash
+    /// (single-queue configurations never increment this).
+    pub frames_steered: u64,
+    /// Cross-core wakeups: a demultiplexing core delivered to a consumer
+    /// homed on another core.
+    pub cross_core_wakeups: u64,
+    /// Work-steal operations: an idle core migrated frames from a
+    /// sibling's receive queue.
+    pub queue_steals: u64,
+    /// Batched engine evaluations launched (each covers 1..=batch frames).
+    pub batches_executed: u64,
 }
 
 impl Counters {
@@ -108,6 +119,10 @@ impl Sub for Counters {
             poll_batches: self.poll_batches - rhs.poll_batches,
             rx_mode_switches: self.rx_mode_switches - rhs.rx_mode_switches,
             backpressure_signals: self.backpressure_signals - rhs.backpressure_signals,
+            frames_steered: self.frames_steered - rhs.frames_steered,
+            cross_core_wakeups: self.cross_core_wakeups - rhs.cross_core_wakeups,
+            queue_steals: self.queue_steals - rhs.queue_steals,
+            batches_executed: self.batches_executed - rhs.batches_executed,
         }
     }
 }
@@ -142,10 +157,15 @@ impl fmt::Display for Counters {
             "filters quarantined: {} ({} budget overruns)",
             self.filters_quarantined, self.filter_budget_overruns
         )?;
-        write!(
+        writeln!(
             f,
             "overload armor:      {} poll batches, {} mode switches, {} backpressure signals",
             self.poll_batches, self.rx_mode_switches, self.backpressure_signals
+        )?;
+        write!(
+            f,
+            "multi-core:          {} steered, {} cross-core wakeups, {} steals, {} batches",
+            self.frames_steered, self.cross_core_wakeups, self.queue_steals, self.batches_executed
         )
     }
 }

@@ -20,7 +20,7 @@ pub mod time;
 
 pub use cost::CostModel;
 pub use counters::Counters;
-pub use cpu::Cpu;
+pub use cpu::{Cpu, CpuPool};
 pub use profile::Profiler;
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SplitMix64;

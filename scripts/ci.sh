@@ -32,6 +32,14 @@ overload_json="$(mktemp)"
 cargo run -p pf-bench --release --bin bench_overload -- --smoke --out "$overload_json" > /dev/null
 python3 -m json.tool "$overload_json" > /dev/null
 rm -f "$overload_json"
+# Multi-core campaign invariants (frame conservation, RSS pinning and
+# steering, 4-core >= 3x one-core goodput, batching beats batch=1 cost);
+# same temp-path treatment so the checked-in BENCH_mc.json stays intact.
+echo "==> cargo run -p pf-bench --release --bin bench_mc -- --smoke --out <tmp>"
+mc_json="$(mktemp)"
+cargo run -p pf-bench --release --bin bench_mc -- --smoke --out "$mc_json" > /dev/null
+python3 -m json.tool "$mc_json" > /dev/null
+rm -f "$mc_json"
 
 if [[ "${1:-}" == "--benches" ]]; then
     run cargo bench --workspace --features criterion-benches --no-run
