@@ -293,6 +293,7 @@ pub fn report_ablations() -> Report {
         DemuxEngine::DecisionTable,
         DemuxEngine::Ir,
         DemuxEngine::Sharded,
+        DemuxEngine::Geom,
         DemuxEngine::Jit,
     ] {
         let ms = demux_cpu_ms_per_packet(engine);
@@ -305,6 +306,7 @@ pub fn report_ablations() -> Report {
             DemuxEngine::DecisionTable => "decision table (§7)",
             DemuxEngine::Ir => "IR threaded code + shared guards",
             DemuxEngine::Sharded => "sharded value-numbered set",
+            DemuxEngine::Geom => "geometric tuple-space classifier",
             DemuxEngine::Jit => "per-filter template JIT",
         };
         r.row(&[

@@ -1,10 +1,12 @@
 //! Writes `BENCH_demux.json`: the demux-scaling race between the
-//! flat-sequential, decision-table, flat-IR, sharded value-numbered, and
-//! (with the `jit` feature) template-JIT engines over growing
-//! multi-ethertype populations.
+//! flat-sequential, decision-table, flat-IR, sharded value-numbered,
+//! geometric tuple-space, and (with the `jit` feature) template-JIT
+//! engines over growing multi-ethertype populations, plus the mixed
+//! exact/range ladder to 100k filters and the insert/delete churn
+//! column for the two incremental engines.
 //!
 //! ```text
-//! cargo run -p pf-bench --release --bin bench_demux            # full sweep, 1..512
+//! cargo run -p pf-bench --release --bin bench_demux            # full sweep, 1..512 + 1k..100k ladder
 //! cargo run -p pf-bench --release --bin bench_demux -- --smoke # tiny CI sweep
 //! cargo run -p pf-bench --release --bin bench_demux -- --stdout
 //! cargo run -p pf-bench --release --bin bench_demux -- --out /tmp/demux.json
@@ -15,13 +17,20 @@ use pf_bench::{cli, demux_json};
 fn main() {
     let args = cli::parse_or_exit("bench_demux", true);
     let points = demux_json::sweep(args.smoke);
-    let json = demux_json::to_json(&points);
+    let (ladder, churn) = demux_json::range_sweep(args.smoke);
+    let json = demux_json::to_json(&points, &ladder, &churn);
     let Some(path) = args.out_path(demux_json::default_path()) else {
         print!("{json}");
         return;
     };
     std::fs::write(&path, &json).expect("write BENCH_demux.json");
-    println!("wrote {} ({} rows)", path.display(), points.len());
+    println!(
+        "wrote {} ({} rows, {} ladder rows, {} churn rows)",
+        path.display(),
+        points.len(),
+        ladder.len(),
+        churn.len()
+    );
     for p in &points {
         println!(
             "  {:>10} n={:<4} {:>10.1} ns/pkt  tests {:.2} fresh + {:.2} memo, {:.2} members",
@@ -31,6 +40,25 @@ fn main() {
             p.tests_evaluated_per_packet,
             p.tests_memoized_per_packet,
             p.filters_evaluated_per_packet,
+        );
+    }
+    println!("mixed exact/range ladder:");
+    for p in &ladder {
+        println!(
+            "  {:>10} n={:<6} {:>10.1} ns/pkt  {:.2} members, {:.2} ops, {:.2} probe nodes",
+            p.engine,
+            p.population,
+            p.ns_per_packet,
+            p.filters_evaluated_per_packet,
+            p.ops_executed_per_packet,
+            p.nodes_visited_per_packet,
+        );
+    }
+    println!("churn (remove+reinsert at standing population):");
+    for p in &churn {
+        println!(
+            "  {:>10} n={:<6} {:>10.1} ns/update over {} updates, {} rebuilds",
+            p.engine, p.population, p.ns_per_update, p.updates, p.rebuilds,
         );
     }
 }

@@ -89,6 +89,26 @@ pub fn pup_socket_filter(priority: u8, socket_hi: u16, socket_lo: u16) -> Filter
         .finish()
 }
 
+/// A figure-3-8-style *range* filter: accepts Pup packets whose low
+/// destination-socket word lies in `[lo, hi]` (inclusive), guarded by the
+/// ethertype test. The shape of a port-range rule — the case the paper's
+/// exact-match demultiplexers cannot index and the geometric classifier
+/// exists for. Each ordering compare feeds a `CNOR 0` ("reject
+/// immediately if the comparison came out false"), so the range is a
+/// *required*, early-exiting condition exactly like figure 3-9's CANDs.
+pub fn socket_range_filter(priority: u8, lo: u16, hi: u16) -> FilterProgram {
+    Assembler::new(priority)
+        .pushword(WORD_DSTSOCKET_LO)
+        .pushlit_op(BinaryOp::Ge, lo)
+        .pushzero_op(BinaryOp::Cnor)
+        .pushword(WORD_DSTSOCKET_LO)
+        .pushlit_op(BinaryOp::Le, hi)
+        .pushzero_op(BinaryOp::Cnor)
+        .pushword(WORD_ETHERTYPE)
+        .pushlit_op(BinaryOp::Eq, PUP_ETHERTYPE_3MB)
+        .finish()
+}
+
 /// A filter matching a single data-link type word — the "crude" kernel
 /// demultiplexing criterion of §2, expressed in the filter language.
 pub fn ethertype_filter(priority: u8, ethertype: u16) -> FilterProgram {

@@ -2,8 +2,9 @@
 //!
 //! Every rung of the workspace's execution ladder — checked interpreter,
 //! validated-program evaluator, compiled closures, decision-table set,
-//! threaded code, guard-sharing set, sharded value-numbered set, and
-//! (feature `jit`) the template JIT — answers the same question: *which
+//! threaded code, guard-sharing set, sharded value-numbered set,
+//! geometric (tuple-space) classifier, and (feature `jit`) the template
+//! JIT — answers the same question: *which
 //! filter, if any, accepts this packet?* [`FilterEngine`] makes that the
 //! whole API, so differential suites and bench ladders iterate a
 //! `Vec<Box<dyn FilterEngine>>` instead of hand-written per-engine match
@@ -11,6 +12,7 @@
 //! [`singleton_engines`].
 
 use crate::exec::IrFilter;
+use crate::geom::GeomSet;
 use crate::set::{IrFilterSet, ShardedVnSet};
 use pf_filter::compile::CompiledFilter;
 use pf_filter::dtree::FilterSet;
@@ -50,9 +52,9 @@ pub trait FilterEngine {
 /// ir, jit) appear only when the program validates; the decision-table
 /// set only under the default configuration (it has no config knob).
 ///
-/// The length is therefore: 4 surfaces for an invalid program under the
-/// default config (3 otherwise), and 7 — 8 with the `jit` feature — for
-/// a valid one under the default config (6/7 otherwise).
+/// The length is therefore: 5 surfaces for an invalid program under the
+/// default config (4 otherwise), and 8 — 9 with the `jit` feature — for
+/// a valid one under the default config (7/8 otherwise).
 pub fn singleton_engines(
     program: &FilterProgram,
     config: InterpConfig,
@@ -82,6 +84,9 @@ pub fn singleton_engines(
     let mut sharded = ShardedVnSet::with_config(config);
     sharded.insert(0, program.clone());
     engines.push(Box::new(ShardedEngine(sharded)));
+    let mut geom = GeomSet::with_config(config);
+    geom.insert(0, program.clone());
+    engines.push(Box::new(GeomEngine(geom)));
     #[cfg(feature = "jit")]
     if let Some(v) = &validated {
         engines.push(Box::new(JitEngine(crate::jit::JitFilter::from_validated(
@@ -94,9 +99,9 @@ pub fn singleton_engines(
 /// Number of surfaces [`singleton_engines`] yields for a valid program.
 pub fn singleton_surface_count(config: InterpConfig) -> usize {
     let base = if config == InterpConfig::default() {
-        7
+        8
     } else {
-        6
+        7
     };
     base + usize::from(cfg!(feature = "jit"))
 }
@@ -204,6 +209,26 @@ impl FilterEngine for ShardedEngine {
     }
 }
 
+struct GeomEngine(GeomSet);
+
+impl FilterEngine for GeomEngine {
+    fn name(&self) -> &'static str {
+        "geom"
+    }
+    fn matches(&mut self, packet: &[u8]) -> Option<u16> {
+        self.0
+            .first_match(PacketView::new(packet))
+            .map(|id| u16::try_from(id).unwrap_or(u16::MAX))
+    }
+    fn eval_batch(&mut self, packets: &[&[u8]]) -> Vec<Option<u16>> {
+        let views: Vec<PacketView<'_>> = packets.iter().map(|p| PacketView::new(p)).collect();
+        let (all, _) = self.0.matches_batch_with_stats(&views);
+        all.into_iter()
+            .map(|ids| ids.first().map(|&id| u16::try_from(id).unwrap_or(u16::MAX)))
+            .collect()
+    }
+}
+
 #[cfg(feature = "jit")]
 struct JitEngine(crate::jit::JitFilter);
 
@@ -281,6 +306,6 @@ mod tests {
         assert!(ValidatedProgram::new(prog.clone()).is_err());
         let engines = singleton_engines(&prog, InterpConfig::default());
         let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
-        assert_eq!(names, vec!["checked", "dtree", "ir-set", "sharded"]);
+        assert_eq!(names, vec!["checked", "dtree", "ir-set", "sharded", "geom"]);
     }
 }

@@ -52,6 +52,25 @@ pub(crate) enum TOp {
     GuardEqBr { word: u16, lit: u16, target: u32 },
     /// Fused guard: jump when `packet[word] != lit`, else fall through.
     GuardNeBr { word: u16, lit: u16, target: u32 },
+    /// Fused range guard: jump when `lo <= packet[word] <= hi`
+    /// (unsigned), else fall through. Produced by fusing an ordering
+    /// compare (`Lt`/`Le`/`Gt`/`Ge`) against a constant, and by merging
+    /// two adjacent one-sided tests into one two-sided `InRange` check.
+    GuardInBr {
+        word: u16,
+        lo: u16,
+        hi: u16,
+        target: u32,
+    },
+    /// Fused range guard: jump when `packet[word]` falls *outside*
+    /// `[lo, hi]`, else fall through. The reject-edge dual of
+    /// [`TOp::GuardInBr`], the shape a CAND chain of range tests lowers to.
+    GuardOutBr {
+        word: u16,
+        lo: u16,
+        hi: u16,
+        target: u32,
+    },
     /// Terminate with a fixed verdict.
     Return { accept: bool },
     /// Terminate accepting iff `regs[reg] != 0`.
@@ -287,6 +306,28 @@ impl IrFilter {
                         target as usize
                     };
                 }
+                TOp::GuardInBr {
+                    word,
+                    lo,
+                    hi,
+                    target,
+                } => {
+                    let inside = packet
+                        .word(usize::from(word))
+                        .is_some_and(|v| lo <= v && v <= hi);
+                    pc = if inside { target as usize } else { pc + 1 };
+                }
+                TOp::GuardOutBr {
+                    word,
+                    lo,
+                    hi,
+                    target,
+                } => {
+                    let inside = packet
+                        .word(usize::from(word))
+                        .is_some_and(|v| lo <= v && v <= hi);
+                    pc = if inside { pc + 1 } else { target as usize };
+                }
                 TOp::Return { accept } => return (accept, ops),
                 TOp::ReturnReg { reg } => return (regs[usize::from(reg)] != 0, ops),
             }
@@ -380,7 +421,9 @@ fn lower(ir: &IrProgram) -> Vec<TOp> {
                 | TOp::BranchIf { target, .. }
                 | TOp::BranchIfNot { target, .. }
                 | TOp::GuardEqBr { target, .. }
-                | TOp::GuardNeBr { target, .. } => {
+                | TOp::GuardNeBr { target, .. }
+                | TOp::GuardInBr { target, .. }
+                | TOp::GuardOutBr { target, .. } => {
                     *target = starts[*target as usize];
                 }
                 _ => {}
@@ -388,7 +431,98 @@ fn lower(ir: &IrProgram) -> Vec<TOp> {
             code.push(op);
         }
     }
+    loop {
+        let before = code.len();
+        merge_range_guards(&mut code);
+        if code.len() == before {
+            break;
+        }
+    }
     code
+}
+
+/// Merges an adjacent pair of same-word, same-target `GuardOutBr`s into a
+/// single two-sided range check — the shape a `GE cand LE` chain lowers
+/// to: each one-sided test becomes its own out-of-range bail, and the
+/// intersection of the two intervals is the `InRange` window. Only fires
+/// when no branch lands between the two (merging would change that path).
+fn merge_range_guards(code: &mut Vec<TOp>) {
+    use std::collections::HashSet;
+    let mut targets: HashSet<u32> = HashSet::new();
+    for op in code.iter() {
+        match *op {
+            TOp::Jump { target }
+            | TOp::BranchIf { target, .. }
+            | TOp::BranchIfNot { target, .. }
+            | TOp::GuardEqBr { target, .. }
+            | TOp::GuardNeBr { target, .. }
+            | TOp::GuardInBr { target, .. }
+            | TOp::GuardOutBr { target, .. } => {
+                targets.insert(target);
+            }
+            _ => {}
+        }
+    }
+    // Collapse pairs, recording how many instructions were dropped before
+    // each original index so surviving targets can be re-patched.
+    let mut out: Vec<TOp> = Vec::with_capacity(code.len());
+    let mut new_index = vec![0u32; code.len() + 1];
+    let mut i = 0usize;
+    while i < code.len() {
+        new_index[i] = out.len() as u32;
+        if let TOp::GuardOutBr {
+            word,
+            lo,
+            hi,
+            target,
+        } = code[i]
+        {
+            if let Some(&TOp::GuardOutBr {
+                word: w2,
+                lo: lo2,
+                hi: hi2,
+                target: t2,
+            }) = code.get(i + 1)
+            {
+                if w2 == word && t2 == target && !targets.contains(&((i + 1) as u32)) {
+                    let lo = lo.max(lo2);
+                    let hi = hi.min(hi2);
+                    new_index[i + 1] = out.len() as u32;
+                    if lo <= hi {
+                        out.push(TOp::GuardOutBr {
+                            word,
+                            lo,
+                            hi,
+                            target,
+                        });
+                    } else {
+                        // Empty intersection: always out of range.
+                        out.push(TOp::Jump { target });
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        out.push(code[i]);
+        i += 1;
+    }
+    new_index[code.len()] = out.len() as u32;
+    for op in out.iter_mut() {
+        match op {
+            TOp::Jump { target }
+            | TOp::BranchIf { target, .. }
+            | TOp::BranchIfNot { target, .. }
+            | TOp::GuardEqBr { target, .. }
+            | TOp::GuardNeBr { target, .. }
+            | TOp::GuardInBr { target, .. }
+            | TOp::GuardOutBr { target, .. } => {
+                *target = new_index[*target as usize];
+            }
+            _ => {}
+        }
+    }
+    *code = out;
 }
 
 /// Fuses the `LoadWord / Const / eq / branch` tail of a block into a
@@ -397,13 +531,23 @@ fn lower(ir: &IrProgram) -> Vec<TOp> {
 fn fuse_guards(chunks: &mut [Vec<TOp>], ir: &IrProgram) {
     let uses = register_use_counts(ir);
     let used_once = |r: u16| uses.get(usize::from(r)).is_some_and(|&c| c == 1);
-    // Registers with statically known values (single assignment makes the
-    // map global); lets a CSE-shared constant fuse without being removed.
+    // Registers with statically known values, and registers holding a
+    // packet word (single assignment makes both maps global); lets a
+    // CSE-shared constant or a CSE-shared load fuse without being removed
+    // — the dead-definition sweep below reclaims either once every
+    // consumer has been fused away.
     let mut const_val: HashMap<u16, u16> = HashMap::new();
+    let mut load_val: HashMap<u16, u16> = HashMap::new();
     for chunk in chunks.iter() {
         for op in chunk {
-            if let TOp::Const { dst, value } = *op {
-                const_val.insert(dst, value);
+            match *op {
+                TOp::Const { dst, value } => {
+                    const_val.insert(dst, value);
+                }
+                TOp::LoadWord { dst, index } => {
+                    load_val.insert(dst, index);
+                }
+                _ => {}
             }
         }
     }
@@ -412,7 +556,7 @@ fn fuse_guards(chunks: &mut [Vec<TOp>], ir: &IrProgram) {
         if k < 3 {
             continue;
         }
-        let (cond, target, jump_on_eq) = match chunk[k - 1] {
+        let (cond, target, jump_on_cond) = match chunk[k - 1] {
             TOp::BranchIf { cond, target } => (cond, target, true),
             TOp::BranchIfNot { cond, target } => (cond, target, false),
             _ => continue,
@@ -420,54 +564,136 @@ fn fuse_guards(chunks: &mut [Vec<TOp>], ir: &IrProgram) {
         if !used_once(cond) {
             continue;
         }
-        let TOp::Bin {
-            op: IrBinOp::Eq,
-            dst,
-            a,
-            b,
-        } = chunk[k - 2]
-        else {
+        let TOp::Bin { op, dst, a, b } = chunk[k - 2] else {
             continue;
         };
-        if dst != cond {
+        if dst != cond
+            || !matches!(
+                op,
+                IrBinOp::Eq | IrBinOp::Lt | IrBinOp::Le | IrBinOp::Gt | IrBinOp::Ge
+            )
+        {
             continue;
         }
-        // The compare's operands: one freshly loaded packet word, one
-        // constant (either adjacent and removable, or shared and kept).
-        let (word, lit, keep) = match chunk[k - 3] {
-            TOp::LoadWord { dst: rw, index } if used_once(rw) && (rw == a || rw == b) => {
-                let other = if rw == a { b } else { a };
-                let Some(&lit) = const_val.get(&other) else {
-                    continue;
-                };
-                let mut keep = k - 3;
-                if k >= 4 {
-                    if let TOp::Const { dst: rc, .. } = chunk[k - 4] {
-                        if rc == other && used_once(rc) {
-                            keep = k - 4;
-                        }
-                    }
-                }
-                (index, lit, keep)
-            }
-            TOp::Const { dst: rc, value } if used_once(rc) && (rc == a || rc == b) && k >= 4 => {
-                let other = if rc == a { b } else { a };
-                let TOp::LoadWord { dst: rw, index } = chunk[k - 4] else {
-                    continue;
-                };
-                if rw != other || !used_once(rw) {
-                    continue;
-                }
-                (index, value, k - 4)
-            }
+        // The compare's operands: one register holding a packet word, one
+        // holding a constant (each either single-use and removable, or
+        // shared and kept — kept definitions that lose their last
+        // consumer are reclaimed by the sweep below). `word_is_left`
+        // records whether the packet word was `T2` — the ordering
+        // operators are not symmetric.
+        let (word, lit, word_is_left) = match (
+            load_val.get(&a),
+            const_val.get(&b),
+            load_val.get(&b),
+            const_val.get(&a),
+        ) {
+            (Some(&w), Some(&l), _, _) => (w, l, true),
+            (_, _, Some(&w), Some(&l)) => (w, l, false),
             _ => continue,
         };
+        let fused = match op {
+            IrBinOp::Eq => {
+                if jump_on_cond {
+                    TOp::GuardEqBr { word, lit, target }
+                } else {
+                    TOp::GuardNeBr { word, lit, target }
+                }
+            }
+            _ => {
+                // Rewrite the ordering compare as an inclusive interval on
+                // the packet word. Literal-edge cases (a constantly-false
+                // compare) are left unfused; they are rare and correct as-is.
+                let interval = match (op, word_is_left) {
+                    (IrBinOp::Lt, true) | (IrBinOp::Gt, false) => {
+                        lit.checked_sub(1).map(|h| (0, h))
+                    }
+                    (IrBinOp::Le, true) | (IrBinOp::Ge, false) => Some((0, lit)),
+                    (IrBinOp::Gt, true) | (IrBinOp::Lt, false) => {
+                        lit.checked_add(1).map(|l| (l, u16::MAX))
+                    }
+                    (IrBinOp::Ge, true) | (IrBinOp::Le, false) => Some((lit, u16::MAX)),
+                    _ => unreachable!("ordering ops only"),
+                };
+                let Some((lo, hi)) = interval else {
+                    continue;
+                };
+                if jump_on_cond {
+                    TOp::GuardInBr {
+                        word,
+                        lo,
+                        hi,
+                        target,
+                    }
+                } else {
+                    TOp::GuardOutBr {
+                        word,
+                        lo,
+                        hi,
+                        target,
+                    }
+                }
+            }
+        };
+        // Drop the compare and branch; peel the trailing single-use
+        // definitions that fed only this window.
+        let mut keep = k - 2;
+        while keep > 0 {
+            match chunk[keep - 1] {
+                TOp::Const { dst, .. } | TOp::LoadWord { dst, .. }
+                    if (dst == a || dst == b) && used_once(dst) =>
+                {
+                    keep -= 1;
+                }
+                _ => break,
+            }
+        }
         chunk.truncate(keep);
-        chunk.push(if jump_on_eq {
-            TOp::GuardEqBr { word, lit, target }
-        } else {
-            TOp::GuardNeBr { word, lit, target }
-        });
+        chunk.push(fused);
+    }
+    sweep_dead_definitions(chunks);
+}
+
+/// Removes `Const`/`LoadWord` definitions no surviving instruction reads
+/// (to fixpoint): a load shared by several compares goes dead only once
+/// guard fusion has rewritten *every* consumer. Sound because both ops
+/// are pure and registers are single-assignment.
+fn sweep_dead_definitions(chunks: &mut [Vec<TOp>]) {
+    loop {
+        let mut read = std::collections::HashSet::new();
+        for chunk in chunks.iter() {
+            for op in chunk {
+                match *op {
+                    TOp::LoadInd { index, .. } => {
+                        read.insert(index);
+                    }
+                    TOp::Bin { a, b, .. } => {
+                        read.insert(a);
+                        read.insert(b);
+                    }
+                    TOp::BranchIf { cond, .. } | TOp::BranchIfNot { cond, .. } => {
+                        read.insert(cond);
+                    }
+                    TOp::ReturnReg { reg } => {
+                        read.insert(reg);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut removed = false;
+        for chunk in chunks.iter_mut() {
+            chunk.retain(|op| match *op {
+                TOp::Const { dst, .. } | TOp::LoadWord { dst, .. } => {
+                    let live = read.contains(&dst);
+                    removed |= !live;
+                    live
+                }
+                _ => true,
+            });
+        }
+        if !removed {
+            break;
+        }
     }
 }
 
@@ -538,6 +764,38 @@ mod tests {
         assert!(f.eval(PacketView::new(&pkt)));
         let pkt = samples::pup_packet_3mb(2, 0, 36, 1);
         assert!(!f.eval(PacketView::new(&pkt)));
+    }
+
+    #[test]
+    fn range_filter_fuses_to_single_merged_interval_guard() {
+        // GE 100 and LE 200 each fuse to a one-sided GuardOutBr; the
+        // post-lower peephole intersects them into one InRange check.
+        let f = IrFilter::compile(samples::socket_range_filter(10, 100, 200)).unwrap();
+        let outs: Vec<TOp> = f
+            .code
+            .iter()
+            .copied()
+            .filter(|o| matches!(o, TOp::GuardOutBr { .. } | TOp::GuardInBr { .. }))
+            .collect();
+        assert_eq!(outs.len(), 1, "{}", f.disassemble());
+        let TOp::GuardOutBr { word, lo, hi, .. } = outs[0] else {
+            panic!("expected GuardOutBr: {}", f.disassemble());
+        };
+        assert_eq!((word, lo, hi), (8, 100, 200), "{}", f.disassemble());
+        let checked = CheckedInterpreter::default();
+        let prog = samples::socket_range_filter(10, 100, 200);
+        for et in [2u16, 3] {
+            for sock in [0u16, 99, 100, 150, 200, 201, 65535] {
+                let pkt = samples::pup_packet_3mb(et, 0, sock, 1);
+                let view = PacketView::new(&pkt);
+                assert_eq!(
+                    f.eval(view),
+                    checked.eval(&prog, view),
+                    "et={et} sock={sock}"
+                );
+                assert_eq!(f.eval(view), et == 2 && (100..=200).contains(&sock));
+            }
+        }
     }
 
     #[test]

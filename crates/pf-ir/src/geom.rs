@@ -1,0 +1,1165 @@
+//! Geometric (tuple-space) packet classification: sublinear demux over
+//! mixed exact-match and *range* filter populations.
+//!
+//! [`ShardedVnSet`](crate::set::ShardedVnSet) indexes members by a single
+//! required word-*equality* literal — exactly right for the paper's
+//! figure 3-9 port demultiplexers, and useless for a port-*range* rule,
+//! which has no equality literal to key on. [`GeomSet`] generalizes the
+//! index geometrically: every member's compiled code is analyzed for the
+//! *required intervals* it imposes on packet words (`packet[w] ∈ [lo,hi]`
+//! — an equality test is just the degenerate interval `[lit,lit]`), and
+//! members are partitioned into **tuples** keyed by `(word, range-class)`.
+//! Each exact tuple is a sorted literal map; each range tuple is a sparse
+//! segment tree over the 16-bit word domain in which an interval occupies
+//! its O(log U) canonical nodes, so a *stabbing query* — "which intervals
+//! contain this packet's word value?" — walks one root-to-leaf path and
+//! reports exactly the covering members. A packet therefore probes
+//! O(#tuples · log U) index nodes plus the members its own bytes select,
+//! instead of O(n) members.
+//!
+//! Updates are incremental: an insert touches only the member's own tuple
+//! (O(log U) segment-tree nodes or one literal bucket), a remove
+//! tombstones the slot, and the slab is compacted — members re-keyed
+//! against fresh word statistics — only once tombstones outnumber live
+//! members. Inserts also report *conflicts* on the key tuple: how many
+//! existing intervals the new one overlaps, and whether one fully shadows
+//! the other at a priority that makes the narrower filter unable to win
+//! first-match (see [`GeomSet::overlap_count`]).
+//!
+//! Skipping a member not selected by its tuple is sound for the same
+//! reason sharding is: its compiled path *requires* the packet word to
+//! lie in the key interval, so a packet outside it cannot be accepted —
+//! *provided* the packet is long enough for the compiled path. Shorter
+//! packets take a slow path that walks every member, preserving the
+//! checked-fallback semantics; programs that fail validation run on the
+//! checked interpreter in the always-walked residue. Match results are
+//! priority-ordered with insertion-order ties, exactly like every other
+//! engine.
+
+use crate::exec::{IrFilter, TOp};
+use crate::ir::IrBinOp;
+use pf_filter::dtree::FilterId;
+use pf_filter::interp::{CheckedInterpreter, InterpConfig};
+use pf_filter::packet::PacketView;
+use pf_filter::program::FilterProgram;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap};
+
+/// A required constraint `packet[word] ∈ [lo, hi]` (inclusive, unsigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Packet word index the constraint reads.
+    pub word: u16,
+    /// Lowest accepted value.
+    pub lo: u16,
+    /// Highest accepted value.
+    pub hi: u16,
+}
+
+impl Interval {
+    /// Whether this is a degenerate (single-literal) interval.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    fn contains(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+}
+
+/// Counters from one whole-set evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GeomStats {
+    /// Members whose bodies (or fallbacks) were evaluated.
+    pub filters_evaluated: u32,
+    /// Members the tuple index let the packet skip outright.
+    pub filters_skipped: u32,
+    /// Tuple sub-structures probed (one literal map or one range tree).
+    pub tuples_probed: u32,
+    /// Index nodes visited across all probes (one per literal-map lookup,
+    /// one per segment-tree level) — the sublinearity witness: this grows
+    /// with tuple count and log of the domain, never with member count.
+    pub nodes_visited: u32,
+    /// Threaded-code (or fallback interpreter) instructions executed.
+    pub ops_executed: u32,
+}
+
+// ---------------------------------------------------------------------
+// Required-interval analysis over threaded code.
+// ---------------------------------------------------------------------
+
+/// The interval constraints `program` provably requires of any packet it
+/// accepts (`packet[word] ∈ [lo, hi]`), derived from its compiled
+/// threaded code under the default configuration.
+///
+/// Sound and conservative: every returned constraint holds for *every*
+/// accepted packet, and a program the pipeline cannot compile (or whose
+/// constraints it cannot resolve) yields an empty list — the analysis
+/// declines to help, it never lies. This is the soundness witness behind
+/// range-aware admission gating and RSS flow pinning in `pf-kernel`:
+/// equality is the degenerate `lo == hi` case, so consumers that need a
+/// definite word value can filter on [`Interval::is_exact`].
+pub fn required_constraints(program: &FilterProgram) -> Vec<Interval> {
+    IrFilter::compile(program.clone())
+        .map(|f| required_intervals(f.code()))
+        .unwrap_or_default()
+}
+
+/// The interval constraints a compiled member *must* satisfy to accept:
+/// atom `packet[w] ∈ [lo,hi]` is required iff no accepting return is
+/// reachable when the atom is pinned false. Sound and conservative — a
+/// [`TOp::ReturnReg`] of an unrelated register is treated as a possible
+/// accept, and compares the analysis cannot resolve contribute nothing.
+pub(crate) fn required_intervals(code: &[TOp]) -> Vec<Interval> {
+    // Single-assignment registers: one global resolution pass suffices.
+    let mut const_val: HashMap<u16, u16> = HashMap::new();
+    let mut load_val: HashMap<u16, u16> = HashMap::new();
+    for op in code {
+        match *op {
+            TOp::Const { dst, value } => {
+                const_val.insert(dst, value);
+            }
+            TOp::LoadWord { dst, index } => {
+                load_val.insert(dst, index);
+            }
+            _ => {}
+        }
+    }
+    let mut atoms: Vec<Interval> = Vec::new();
+    let mut atom_ids: HashMap<Interval, usize> = HashMap::new();
+    let mut reg_atom: HashMap<u16, usize> = HashMap::new();
+    let mut instr_atom: Vec<Option<usize>> = vec![None; code.len()];
+    for (pc, op) in code.iter().enumerate() {
+        let iv = match *op {
+            TOp::GuardEqBr { word, lit, .. } | TOp::GuardNeBr { word, lit, .. } => Some(Interval {
+                word,
+                lo: lit,
+                hi: lit,
+            }),
+            TOp::GuardInBr { word, lo, hi, .. } | TOp::GuardOutBr { word, lo, hi, .. } => {
+                Some(Interval { word, lo, hi })
+            }
+            TOp::Bin { op, a, b, .. } => {
+                let resolved = match (
+                    load_val.get(&a),
+                    const_val.get(&b),
+                    load_val.get(&b),
+                    const_val.get(&a),
+                ) {
+                    (Some(&w), Some(&l), _, _) => Some((w, l, true)),
+                    (_, _, Some(&w), Some(&l)) => Some((w, l, false)),
+                    _ => None,
+                };
+                resolved.and_then(|(w, l, word_is_left)| {
+                    let span = match (op, word_is_left) {
+                        (IrBinOp::Eq, _) => Some((l, l)),
+                        (IrBinOp::Lt, true) | (IrBinOp::Gt, false) => {
+                            l.checked_sub(1).map(|h| (0, h))
+                        }
+                        (IrBinOp::Le, true) | (IrBinOp::Ge, false) => Some((0, l)),
+                        (IrBinOp::Gt, true) | (IrBinOp::Lt, false) => {
+                            l.checked_add(1).map(|lo| (lo, u16::MAX))
+                        }
+                        (IrBinOp::Ge, true) | (IrBinOp::Le, false) => Some((l, u16::MAX)),
+                        _ => None,
+                    };
+                    span.map(|(lo, hi)| Interval { word: w, lo, hi })
+                })
+            }
+            _ => None,
+        };
+        if let Some(iv) = iv {
+            let id = *atom_ids.entry(iv).or_insert_with(|| {
+                atoms.push(iv);
+                atoms.len() - 1
+            });
+            instr_atom[pc] = Some(id);
+            if let TOp::Bin { dst, .. } = *op {
+                reg_atom.insert(dst, id);
+            }
+        }
+    }
+    (0..atoms.len())
+        .filter(|&aid| !accept_reachable_without(code, &instr_atom, &reg_atom, aid))
+        .map(|aid| atoms[aid])
+        .collect()
+}
+
+/// Whether any accepting return is reachable with atom `pinned` false.
+fn accept_reachable_without(
+    code: &[TOp],
+    instr_atom: &[Option<usize>],
+    reg_atom: &HashMap<u16, usize>,
+    pinned: usize,
+) -> bool {
+    let mut visited = vec![false; code.len()];
+    let mut stack = vec![0usize];
+    while let Some(pc) = stack.pop() {
+        if pc >= code.len() || visited[pc] {
+            continue;
+        }
+        visited[pc] = true;
+        let this = instr_atom[pc];
+        match code[pc] {
+            TOp::Const { .. } | TOp::LoadWord { .. } | TOp::LoadInd { .. } | TOp::Bin { .. } => {
+                stack.push(pc + 1)
+            }
+            TOp::Jump { target } => stack.push(target as usize),
+            TOp::BranchIf { cond, target } => {
+                if reg_atom.get(&cond) == Some(&pinned) {
+                    stack.push(pc + 1);
+                } else {
+                    stack.push(target as usize);
+                    stack.push(pc + 1);
+                }
+            }
+            TOp::BranchIfNot { cond, target } => {
+                if reg_atom.get(&cond) == Some(&pinned) {
+                    stack.push(target as usize);
+                } else {
+                    stack.push(target as usize);
+                    stack.push(pc + 1);
+                }
+            }
+            // Jump-on-true guards: pinned false falls through.
+            TOp::GuardEqBr { target, .. } | TOp::GuardInBr { target, .. } => {
+                if this == Some(pinned) {
+                    stack.push(pc + 1);
+                } else {
+                    stack.push(target as usize);
+                    stack.push(pc + 1);
+                }
+            }
+            // Jump-on-false guards: pinned false takes the jump.
+            TOp::GuardNeBr { target, .. } | TOp::GuardOutBr { target, .. } => {
+                if this == Some(pinned) {
+                    stack.push(target as usize);
+                } else {
+                    stack.push(target as usize);
+                    stack.push(pc + 1);
+                }
+            }
+            TOp::Return { accept } => {
+                if accept {
+                    return true;
+                }
+            }
+            TOp::ReturnReg { reg } => {
+                if reg_atom.get(&reg) != Some(&pinned) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// The sparse segment tree backing one range tuple.
+// ---------------------------------------------------------------------
+
+const ROOT: u32 = 1;
+const DOMAIN_HI: u32 = u16::MAX as u32;
+
+/// A sparse segment tree over the 16-bit word domain. An interval is
+/// stored in its O(log U) canonical nodes; a stabbing query for value `v`
+/// walks the root-to-leaf(`v`) path and reports each covering interval
+/// exactly once. Nodes are implicit heap indices, materialized in a hash
+/// map only when occupied, so memory is O(intervals · log U) regardless
+/// of the domain.
+#[derive(Debug, Default)]
+struct RangeTree {
+    nodes: HashMap<u32, Vec<u32>>,
+    /// Interval start → member slots, for output-sensitive overlap
+    /// enumeration: everything intersecting `[lo,hi]` either *starts*
+    /// inside it (this map) or covers `lo` (a stab).
+    starts: BTreeMap<u16, Vec<u32>>,
+    /// Entries inserted and not yet compacted away (tombstones included).
+    len: usize,
+}
+
+impl RangeTree {
+    fn insert(&mut self, lo: u16, hi: u16, slot: u32) {
+        self.len += 1;
+        self.starts.entry(lo).or_default().push(slot);
+        Self::cover(
+            &mut self.nodes,
+            ROOT,
+            0,
+            DOMAIN_HI,
+            u32::from(lo),
+            u32::from(hi),
+            slot,
+        );
+    }
+
+    fn cover(
+        nodes: &mut HashMap<u32, Vec<u32>>,
+        node: u32,
+        nlo: u32,
+        nhi: u32,
+        lo: u32,
+        hi: u32,
+        slot: u32,
+    ) {
+        if hi < nlo || nhi < lo {
+            return;
+        }
+        if lo <= nlo && nhi <= hi {
+            nodes.entry(node).or_default().push(slot);
+            return;
+        }
+        let mid = (nlo + nhi) / 2;
+        Self::cover(nodes, 2 * node, nlo, mid, lo, hi, slot);
+        Self::cover(nodes, 2 * node + 1, mid + 1, nhi, lo, hi, slot);
+    }
+
+    /// Collects every stored interval containing `v` into `out`; returns
+    /// the number of tree levels visited.
+    fn stab(&self, v: u16, out: &mut Vec<u32>) -> u32 {
+        let v = u32::from(v);
+        let (mut node, mut nlo, mut nhi) = (ROOT, 0u32, DOMAIN_HI);
+        let mut levels = 0;
+        loop {
+            levels += 1;
+            if let Some(list) = self.nodes.get(&node) {
+                out.extend_from_slice(list);
+            }
+            if nlo == nhi {
+                return levels;
+            }
+            let mid = (nlo + nhi) / 2;
+            if v <= mid {
+                node *= 2;
+                nhi = mid;
+            } else {
+                node = 2 * node + 1;
+                nlo = mid + 1;
+            }
+        }
+    }
+}
+
+/// One packet word's tuples: the exact (literal) class and the range
+/// class. Either may be empty; [`GeomSet::tuple_count`] counts occupied
+/// classes.
+#[derive(Debug, Default)]
+struct WordIndex {
+    exact: BTreeMap<u16, Vec<u32>>,
+    exact_len: usize,
+    range: RangeTree,
+}
+
+// ---------------------------------------------------------------------
+// The set.
+// ---------------------------------------------------------------------
+
+/// How a member is executed.
+#[derive(Debug)]
+enum GeomMemberKind {
+    /// Compiled to threaded code.
+    Compiled(IrFilter),
+    /// Failed validation; the checked interpreter defines its behavior.
+    Checked(FilterProgram),
+}
+
+#[derive(Debug)]
+struct GeomMember {
+    id: FilterId,
+    priority: u8,
+    seq: u64,
+    /// Every required interval the analysis proved — kept for re-keying
+    /// at compaction and for the word statistics.
+    atoms: Vec<Interval>,
+    /// The interval this member is indexed under (`None` = residue).
+    key: Option<Interval>,
+    kind: GeomMemberKind,
+}
+
+/// Below this population a compaction is too cheap to defer.
+const COMPACT_MIN: usize = 16;
+
+/// A geometric demultiplexing set over mixed exact and range filters.
+///
+/// # Examples
+///
+/// ```
+/// use pf_filter::packet::PacketView;
+/// use pf_filter::samples;
+/// use pf_ir::geom::GeomSet;
+///
+/// let mut set = GeomSet::new();
+/// set.insert(7, samples::pup_socket_filter(10, 0, 35));
+/// set.insert(9, samples::socket_range_filter(10, 40, 49));
+/// let pkt = samples::pup_packet_3mb(2, 0, 44, 1);
+/// assert_eq!(set.first_match(PacketView::new(&pkt)), Some(9));
+/// // One exact tuple and one range tuple, both on the socket word.
+/// assert_eq!(set.tuple_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct GeomSet {
+    config: InterpConfig,
+    next_seq: u64,
+    /// Member slab; `None` is a tombstone awaiting compaction.
+    slots: Vec<Option<GeomMember>>,
+    id_to_slot: HashMap<FilterId, u32>,
+    /// `(Reverse(priority), seq, slot)`, sorted — match order. Tombstoned
+    /// slots stay until compaction (their sort key is in the tuple).
+    order: Vec<(Reverse<u8>, u64, u32)>,
+    tuples: BTreeMap<u16, WordIndex>,
+    /// Members with no usable key, walked for every packet.
+    residue: Vec<u32>,
+    /// word → distinct required interval → refcount, over *all* atoms of
+    /// live members: the key-choice statistic (most-diverse word wins).
+    interval_refs: HashMap<u16, HashMap<(u16, u16), u32>>,
+    /// Packets shorter than this take the walk-everything slow path.
+    fast_min_words: usize,
+    live: usize,
+    dead: usize,
+    compactions: u64,
+    overlaps: u64,
+    shadows: u64,
+    /// Reused match-result buffer: evaluating a packet allocates nothing.
+    scratch: Vec<FilterId>,
+    /// Reused candidate-slot buffer.
+    cand: Vec<u32>,
+}
+
+impl GeomSet {
+    /// An empty set under the default configuration (classic dialect,
+    /// paper-style short circuits) — the kernel device's configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set under an explicit interpreter configuration.
+    pub fn with_config(config: InterpConfig) -> Self {
+        GeomSet {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Number of live filters in the set.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the set holds no live filters.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// How many members compiled to threaded code (the rest run on the
+    /// checked interpreter, in the residue).
+    pub fn compiled(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|m| matches!(m.kind, GeomMemberKind::Compiled(_)))
+            .count()
+    }
+
+    /// Occupied `(word, range-class)` tuples — what every packet probes.
+    pub fn tuple_count(&self) -> usize {
+        self.tuples
+            .values()
+            .map(|t| usize::from(t.exact_len > 0) + usize::from(t.range.len > 0))
+            .sum()
+    }
+
+    /// Members in no tuple, walked for every packet.
+    pub fn residue_len(&self) -> usize {
+        self.residue
+            .iter()
+            .filter(|&&s| self.slots[s as usize].is_some())
+            .count()
+    }
+
+    /// Tombstoned slots awaiting compaction.
+    pub fn tombstones(&self) -> usize {
+        self.dead
+    }
+
+    /// Slab/index compactions performed (each re-keys every member).
+    pub fn compaction_count(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Key-tuple interval overlaps observed across all inserts: each
+    /// counts one existing member whose key interval intersected a newly
+    /// inserted member's on the same word.
+    pub fn overlap_count(&self) -> u64 {
+        self.overlaps
+    }
+
+    /// Shadowing conflicts observed across all inserts: an overlap where
+    /// one interval fully contains the other *and* the containing filter
+    /// matches first (higher priority, or equal priority and earlier
+    /// insertion), so the narrower filter can never win first-match among
+    /// packets distinguished only by this word.
+    pub fn shadow_count(&self) -> u64 {
+        self.shadows
+    }
+
+    /// Inserts (or replaces) the filter for `id`.
+    pub fn insert(&mut self, id: FilterId, program: FilterProgram) {
+        self.remove(id);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let priority = program.priority();
+        let (kind, atoms) = match IrFilter::compile_with_config(program.clone(), self.config) {
+            Ok(filter) => {
+                let atoms = required_intervals(filter.code());
+                (GeomMemberKind::Compiled(filter), atoms)
+            }
+            Err(_) => (GeomMemberKind::Checked(program), Vec::new()),
+        };
+        for a in &atoms {
+            *self
+                .interval_refs
+                .entry(a.word)
+                .or_default()
+                .entry((a.lo, a.hi))
+                .or_insert(0) += 1;
+        }
+        let key = self.choose_key(&atoms);
+        if let Some(k) = key {
+            self.record_conflicts(k, priority);
+        }
+        let slot = self.slots.len() as u32;
+        let member = GeomMember {
+            id,
+            priority,
+            seq,
+            atoms,
+            key,
+            kind,
+        };
+        self.index_member(slot, &member);
+        self.slots.push(Some(member));
+        self.id_to_slot.insert(id, slot);
+        let entry = (Reverse(priority), seq, slot);
+        let at = self
+            .order
+            .partition_point(|e| (e.0, e.1) <= (entry.0, entry.1));
+        self.order.insert(at, entry);
+        self.live += 1;
+    }
+
+    /// Removes the filter for `id`; `true` if it was present.
+    ///
+    /// The slot is tombstoned — index buckets keep the stale entry, which
+    /// walks skip — and the slab is compacted (tombstones dropped, every
+    /// member re-keyed against fresh word statistics) only once
+    /// tombstones outnumber live members, so steady churn costs O(log U)
+    /// per operation rather than a full rebuild.
+    pub fn remove(&mut self, id: FilterId) -> bool {
+        let Some(slot) = self.id_to_slot.remove(&id) else {
+            return false;
+        };
+        let m = self.slots[slot as usize].take().expect("live slot");
+        self.live -= 1;
+        self.dead += 1;
+        for a in &m.atoms {
+            if let Some(word_refs) = self.interval_refs.get_mut(&a.word) {
+                if let Some(c) = word_refs.get_mut(&(a.lo, a.hi)) {
+                    *c -= 1;
+                    if *c == 0 {
+                        word_refs.remove(&(a.lo, a.hi));
+                    }
+                }
+            }
+        }
+        self.maybe_compact();
+        true
+    }
+
+    /// The key the statistics favor: the word carrying the most distinct
+    /// required intervals set-wide (the most discriminating), tie-broken
+    /// toward deeper header words and then narrower intervals.
+    fn choose_key(&self, atoms: &[Interval]) -> Option<Interval> {
+        atoms.iter().copied().max_by_key(|a| {
+            let diversity = self.interval_refs.get(&a.word).map_or(0, HashMap::len);
+            (diversity, a.word, Reverse(a.hi - a.lo))
+        })
+    }
+
+    fn index_member(&mut self, slot: u32, member: &GeomMember) {
+        match (member.key, &member.kind) {
+            (Some(k), GeomMemberKind::Compiled(filter)) => {
+                let idx = self.tuples.entry(k.word).or_default();
+                if k.is_exact() {
+                    idx.exact.entry(k.lo).or_default().push(slot);
+                    idx.exact_len += 1;
+                } else {
+                    idx.range.insert(k.lo, k.hi, slot);
+                }
+                self.fast_min_words = self.fast_min_words.max(filter.min_packet_words());
+            }
+            _ => self.residue.push(slot),
+        }
+    }
+
+    /// Counts overlap and shadowing conflicts between `key` and the live
+    /// intervals already indexed on the same word. Output-sensitive:
+    /// one literal-map range scan, one start-map range scan, one stab.
+    fn record_conflicts(&mut self, key: Interval, priority: u8) {
+        let Some(idx) = self.tuples.get(&key.word) else {
+            return;
+        };
+        let mut seen: Vec<u32> = Vec::new();
+        for (_, list) in idx.exact.range(key.lo..=key.hi) {
+            seen.extend_from_slice(list);
+        }
+        for (_, list) in idx.range.starts.range(key.lo..=key.hi) {
+            seen.extend_from_slice(list);
+        }
+        idx.range.stab(key.lo, &mut seen);
+        seen.sort_unstable();
+        seen.dedup();
+        for s in seen {
+            let Some(m) = self.slots[s as usize].as_ref() else {
+                continue;
+            };
+            let Some(ok) = m.key else { continue };
+            self.overlaps += 1;
+            // Shadowed in either direction: the containing interval's
+            // member matches first (new-over-old needs strictly higher
+            // priority; old-over-new wins priority ties by insertion).
+            let new_shadows_old = key.contains(&ok) && priority > m.priority;
+            let old_shadows_new = ok.contains(&key) && m.priority >= priority;
+            if new_shadows_old || old_shadows_new {
+                self.shadows += 1;
+            }
+        }
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.dead == 0 {
+            return;
+        }
+        let total = self.live + self.dead;
+        if total < COMPACT_MIN || self.dead > self.live {
+            self.compact();
+        }
+    }
+
+    /// Drops tombstones and rebuilds the index, re-keying every member
+    /// against the current word statistics (so a population whose
+    /// discriminating word drifted re-clusters on the better key).
+    fn compact(&mut self) {
+        self.compactions += 1;
+        let mut old_slots = std::mem::take(&mut self.slots);
+        let old_order = std::mem::take(&mut self.order);
+        self.tuples.clear();
+        self.residue.clear();
+        self.fast_min_words = 0;
+        self.dead = 0;
+        // `interval_refs` is already maintained incrementally and counts
+        // only live members; keys are re-chosen against it wholesale.
+        let mut members: Vec<GeomMember> = old_order
+            .into_iter()
+            .filter_map(|(_, _, s)| old_slots[s as usize].take())
+            .collect();
+        for m in &mut members {
+            m.key = self.choose_key(&m.atoms);
+        }
+        for (slot, m) in members.iter().enumerate() {
+            self.index_member(slot as u32, m);
+        }
+        self.order = members
+            .iter()
+            .enumerate()
+            .map(|(slot, m)| (Reverse(m.priority), m.seq, slot as u32))
+            .collect();
+        self.id_to_slot = members
+            .iter()
+            .enumerate()
+            .map(|(slot, m)| (m.id, slot as u32))
+            .collect();
+        self.slots = members.into_iter().map(Some).collect();
+    }
+
+    /// Ids of every filter accepting the packet, in match order (priority
+    /// descending, insertion order within a priority).
+    pub fn matches(&mut self, packet: PacketView<'_>) -> Vec<FilterId> {
+        self.matches_with_stats(packet).0.to_vec()
+    }
+
+    /// The first (highest-priority) accepting filter, if any.
+    pub fn first_match(&mut self, packet: PacketView<'_>) -> Option<FilterId> {
+        self.walk(packet, true).1.first().copied()
+    }
+
+    /// [`GeomSet::matches`] plus execution counters. The returned slice
+    /// borrows the set's reused scratch buffer — no per-packet
+    /// allocation — and is valid until the next evaluation.
+    pub fn matches_with_stats(&mut self, packet: PacketView<'_>) -> (&[FilterId], GeomStats) {
+        let (stats, ids) = self.walk(packet, false);
+        (ids, stats)
+    }
+
+    /// Gathers the candidate slots the tuple index selects for `packet`
+    /// into `cand`, sorted into match order. Fast-path only.
+    fn gather(
+        tuples: &BTreeMap<u16, WordIndex>,
+        residue: &[u32],
+        slots: &[Option<GeomMember>],
+        packet: PacketView<'_>,
+        cand: &mut Vec<u32>,
+        stats: &mut GeomStats,
+    ) {
+        cand.clear();
+        for (&word, idx) in tuples.iter() {
+            let Some(v) = packet.word(usize::from(word)) else {
+                continue;
+            };
+            if idx.exact_len > 0 {
+                stats.tuples_probed += 1;
+                stats.nodes_visited += 1;
+                if let Some(list) = idx.exact.get(&v) {
+                    cand.extend_from_slice(list);
+                }
+            }
+            if idx.range.len > 0 {
+                stats.tuples_probed += 1;
+                stats.nodes_visited += idx.range.stab(v, cand);
+            }
+        }
+        cand.extend_from_slice(residue);
+        cand.retain(|&s| slots[s as usize].is_some());
+        cand.sort_unstable_by_key(|&s| {
+            let m = slots[s as usize].as_ref().expect("retained live");
+            (Reverse(m.priority), m.seq)
+        });
+    }
+
+    fn walk(&mut self, packet: PacketView<'_>, stop_at_first: bool) -> (GeomStats, &[FilterId]) {
+        let Self {
+            slots,
+            order,
+            tuples,
+            residue,
+            fast_min_words,
+            live,
+            scratch,
+            cand,
+            config,
+            ..
+        } = self;
+        scratch.clear();
+        let mut stats = GeomStats::default();
+        if packet.word_len() >= *fast_min_words {
+            Self::gather(tuples, residue, slots, packet, cand, &mut stats);
+            for &s in cand.iter() {
+                let m = slots[s as usize].as_ref().expect("retained live");
+                if eval_member(m, packet, *config, &mut stats) {
+                    scratch.push(m.id);
+                    if stop_at_first {
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Short packet: the index says nothing about checked
+            // fallbacks, so walk every live member in match order.
+            for &(_, _, s) in order.iter() {
+                let Some(m) = slots[s as usize].as_ref() else {
+                    continue;
+                };
+                if eval_member(m, packet, *config, &mut stats) {
+                    scratch.push(m.id);
+                    if stop_at_first {
+                        break;
+                    }
+                }
+            }
+        }
+        stats.filters_skipped = *live as u32 - stats.filters_evaluated;
+        (stats, scratch)
+    }
+
+    /// [`GeomSet::matches`] over a batch of packets, with per-packet
+    /// counters. Verdicts are identical to calling `matches` per packet;
+    /// what the batch amortizes is the index probe — the candidate list
+    /// (and its probe counters) is computed once per *run* of packets
+    /// whose tuple-key words all agree, the common case under RSS
+    /// flow-grouped delivery.
+    pub fn matches_batch_with_stats(
+        &mut self,
+        packets: &[PacketView<'_>],
+    ) -> (Vec<Vec<FilterId>>, Vec<GeomStats>) {
+        let mut out = Vec::with_capacity(packets.len());
+        let mut out_stats = Vec::with_capacity(packets.len());
+        let words: Vec<u16> = self.tuples.keys().copied().collect();
+        let mut cached_key: Option<Vec<Option<u16>>> = None;
+        let mut cached_probe = (0u32, 0u32);
+        let mut key_buf: Vec<Option<u16>> = Vec::with_capacity(words.len());
+        for &packet in packets {
+            let mut stats = GeomStats::default();
+            let mut ids = Vec::new();
+            if packet.word_len() >= self.fast_min_words {
+                key_buf.clear();
+                key_buf.extend(words.iter().map(|&w| packet.word(usize::from(w))));
+                if cached_key.as_deref() != Some(key_buf.as_slice()) {
+                    let Self {
+                        slots,
+                        tuples,
+                        residue,
+                        cand,
+                        ..
+                    } = &mut *self;
+                    Self::gather(tuples, residue, slots, packet, cand, &mut stats);
+                    cached_probe = (stats.tuples_probed, stats.nodes_visited);
+                    cached_key = Some(key_buf.clone());
+                } else {
+                    // Same probe the scalar walk would have performed.
+                    stats.tuples_probed = cached_probe.0;
+                    stats.nodes_visited = cached_probe.1;
+                }
+                for &s in self.cand.iter() {
+                    let m = self.slots[s as usize].as_ref().expect("retained live");
+                    if eval_member(m, packet, self.config, &mut stats) {
+                        ids.push(m.id);
+                    }
+                }
+            } else {
+                for &(_, _, s) in self.order.iter() {
+                    let Some(m) = self.slots[s as usize].as_ref() else {
+                        continue;
+                    };
+                    if eval_member(m, packet, self.config, &mut stats) {
+                        ids.push(m.id);
+                    }
+                }
+            }
+            stats.filters_skipped = self.live as u32 - stats.filters_evaluated;
+            out.push(ids);
+            out_stats.push(stats);
+        }
+        (out, out_stats)
+    }
+}
+
+/// Evaluates one member. [`IrFilter::eval_with_stats`] routes packets
+/// shorter than the member's own static minimum to its checked fallback
+/// internally, so per-member semantics match every other engine.
+fn eval_member(
+    m: &GeomMember,
+    packet: PacketView<'_>,
+    config: InterpConfig,
+    stats: &mut GeomStats,
+) -> bool {
+    stats.filters_evaluated += 1;
+    match &m.kind {
+        GeomMemberKind::Checked(program) => {
+            let (accept, s) = CheckedInterpreter::new(config).eval_with_stats(program, packet);
+            stats.ops_executed += s.instructions;
+            accept
+        }
+        GeomMemberKind::Compiled(filter) => {
+            let (accept, s) = filter.eval_with_stats(packet);
+            stats.ops_executed += s.ops_executed;
+            accept
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::ShardedVnSet;
+    use pf_filter::program::Assembler;
+    use pf_filter::samples;
+    use pf_filter::word::BinaryOp;
+
+    fn pkt(sock: u16) -> Vec<u8> {
+        samples::pup_packet_3mb(2, 0, sock, 1)
+    }
+
+    #[test]
+    fn required_intervals_of_range_filter() {
+        let f = IrFilter::compile(samples::socket_range_filter(10, 100, 200)).unwrap();
+        let req = required_intervals(f.code());
+        assert!(
+            req.contains(&Interval {
+                word: 8,
+                lo: 100,
+                hi: 200
+            }),
+            "{req:?}"
+        );
+        assert!(
+            req.contains(&Interval {
+                word: 1,
+                lo: 2,
+                hi: 2
+            }),
+            "{req:?}"
+        );
+    }
+
+    #[test]
+    fn required_intervals_of_fig_3_9() {
+        let f = IrFilter::compile(samples::fig_3_9_pup_socket_35()).unwrap();
+        let req = required_intervals(f.code());
+        for (word, lit) in [(8u16, 35u16), (7, 0), (1, 2)] {
+            assert!(
+                req.contains(&Interval {
+                    word,
+                    lo: lit,
+                    hi: lit
+                }),
+                "missing ({word},{lit}): {req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accept_all_has_no_required_intervals() {
+        let f = IrFilter::compile(samples::accept_all(1)).unwrap();
+        assert!(required_intervals(f.code()).is_empty());
+    }
+
+    #[test]
+    fn range_tree_stab_reports_exactly_covering_intervals() {
+        let mut t = RangeTree::default();
+        t.insert(10, 20, 0);
+        t.insert(15, 30, 1);
+        t.insert(0, u16::MAX, 2);
+        t.insert(21, 21, 3);
+        for (v, expect) in [
+            (9u16, vec![2u32]),
+            (10, vec![0, 2]),
+            (17, vec![0, 1, 2]),
+            (21, vec![1, 2, 3]),
+            (31, vec![2]),
+            (u16::MAX, vec![2]),
+        ] {
+            let mut got = Vec::new();
+            t.stab(v, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, expect, "v={v}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_exacts_share_priority_order() {
+        let mut set = GeomSet::new();
+        set.insert(1, samples::pup_socket_filter(10, 0, 44)); // exact
+        set.insert(2, samples::socket_range_filter(20, 40, 49)); // range, higher prio
+        set.insert(3, samples::socket_range_filter(10, 0, u16::MAX)); // catch-all range
+        set.insert(4, samples::accept_all(1)); // residue
+        let p = pkt(44);
+        assert_eq!(set.matches(PacketView::new(&p)), vec![2, 1, 3, 4]);
+        assert_eq!(set.first_match(PacketView::new(&p)), Some(2));
+        let p = pkt(99);
+        assert_eq!(set.matches(PacketView::new(&p)), vec![3, 4]);
+    }
+
+    #[test]
+    fn index_skips_non_covering_members() {
+        let mut set = GeomSet::new();
+        for i in 0..32u16 {
+            set.insert(u32::from(i), samples::pup_socket_filter(10, 0, 100 + i));
+        }
+        for i in 0..32u16 {
+            let lo = 1000 + 10 * i;
+            set.insert(
+                u32::from(100 + i),
+                samples::socket_range_filter(10, lo, lo + 9),
+            );
+        }
+        let p = pkt(115);
+        let (ids, stats) = set.matches_with_stats(PacketView::new(&p));
+        assert_eq!(ids, vec![15]);
+        assert_eq!(stats.filters_evaluated, 1, "{stats:?}");
+        assert_eq!(stats.filters_skipped, 63, "{stats:?}");
+        let p = pkt(1155);
+        let (ids, stats) = set.matches_with_stats(PacketView::new(&p));
+        assert_eq!(ids, vec![115]);
+        assert_eq!(stats.filters_evaluated, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn agrees_with_sharded_set_on_mixed_population() {
+        let mut geom = GeomSet::new();
+        let mut sharded = ShardedVnSet::new();
+        let mut invalid = Assembler::new(15)
+            .pushword(0)
+            .pushlit_op(BinaryOp::Cor, 0x0102)
+            .finish()
+            .words()
+            .to_vec();
+        invalid.push(15 << 6);
+        let filters = [
+            (1u32, samples::pup_socket_filter(10, 0, 35)),
+            (2, samples::pup_socket_filter(10, 0, 44)),
+            (3, samples::socket_range_filter(10, 40, 60)),
+            (4, samples::socket_range_filter(20, 50, 55)),
+            (5, samples::fig_3_8_pup_type_range()),
+            (6, samples::ethertype_filter(5, 2)),
+            (7, samples::accept_all(1)),
+            (8, samples::reject_all(30)),
+            (9, FilterProgram::from_words(15, invalid)),
+        ];
+        for (id, f) in &filters {
+            geom.insert(*id, f.clone());
+            sharded.insert(*id, f.clone());
+        }
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for sock in [35u16, 40, 44, 52, 60, 61, 99] {
+            for et in [2u16, 3] {
+                frames.push(samples::pup_packet_3mb(et, 0, sock, 1));
+            }
+        }
+        frames.push(pkt(44)[..6].to_vec()); // truncated
+        frames.push(Vec::new()); // empty
+        for (i, f) in frames.iter().enumerate() {
+            let v = PacketView::new(f);
+            assert_eq!(geom.matches(v), sharded.matches(v), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn short_packets_walk_everything() {
+        let mut set = GeomSet::new();
+        set.insert(1, samples::pup_socket_filter(10, 0, 35));
+        set.insert(2, samples::socket_range_filter(10, 100, 200));
+        // Too short for word 8: must reject via fallback, not panic.
+        assert_eq!(set.first_match(PacketView::new(&[1, 2, 3, 4])), None);
+    }
+
+    #[test]
+    fn remove_tombstones_then_compaction_fires() {
+        let mut set = GeomSet::new();
+        for i in 0..32u16 {
+            set.insert(
+                u32::from(i),
+                samples::socket_range_filter(10, 100 * i, 100 * i + 50),
+            );
+        }
+        for i in 0..16u32 {
+            assert!(set.remove(i));
+        }
+        assert_eq!(set.compaction_count(), 0, "deferred while dead <= live");
+        assert_eq!(set.tombstones(), 16);
+        assert!(set.remove(16));
+        assert_eq!(set.compaction_count(), 1, "dead > live compacts");
+        assert_eq!(set.tombstones(), 0);
+        assert_eq!(set.len(), 15);
+        let p = pkt(2025);
+        assert_eq!(set.matches(PacketView::new(&p)), vec![20]);
+    }
+
+    #[test]
+    fn churn_is_incremental_no_compactions() {
+        let mut set = GeomSet::new();
+        for i in 0..64u16 {
+            set.insert(
+                u32::from(i),
+                samples::socket_range_filter(10, 100 * i, 100 * i + 50),
+            );
+        }
+        // Balanced remove+insert churn: tombstones never outnumber live.
+        for round in 0..60u16 {
+            let id = u32::from(round % 64);
+            assert!(set.remove(id));
+            let lo = 100 * (round % 64);
+            set.insert(id, samples::socket_range_filter(10, lo, lo + 50));
+        }
+        assert_eq!(set.compaction_count(), 0, "steady churn must not rebuild");
+        let p = pkt(2025);
+        assert_eq!(set.matches(PacketView::new(&p)), vec![20]);
+    }
+
+    #[test]
+    fn overlap_and_shadow_counters() {
+        let mut set = GeomSet::new();
+        set.insert(1, samples::socket_range_filter(10, 100, 200));
+        assert_eq!(set.overlap_count(), 0);
+        // Disjoint: no conflict.
+        set.insert(2, samples::socket_range_filter(10, 300, 400));
+        assert_eq!(set.overlap_count(), 0);
+        // Overlaps 1 without containment: overlap, no shadow.
+        set.insert(3, samples::socket_range_filter(10, 150, 250));
+        assert_eq!(set.overlap_count(), 1);
+        assert_eq!(set.shadow_count(), 0);
+        // Nested inside 1 at lower priority: 1 matches first everywhere
+        // in [120,130] — shadowed on this tuple.
+        set.insert(4, samples::socket_range_filter(5, 120, 130));
+        assert_eq!(set.overlap_count(), 2, "(3 vs 1) and (4 vs 1)");
+        assert_eq!(set.shadow_count(), 1);
+        // A higher-priority cover arriving later shadows the covered one.
+        set.insert(5, samples::socket_range_filter(30, 0, 1000));
+        assert!(set.shadow_count() >= 2, "{}", set.shadow_count());
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let mut set = GeomSet::new();
+        for (id, sock) in [(1u32, 35u16), (2, 44), (3, 55)] {
+            set.insert(id, samples::pup_socket_filter(10, 0, sock));
+        }
+        set.insert(4, samples::socket_range_filter(20, 40, 60));
+        set.insert(5, samples::accept_all(1));
+        let frames: Vec<Vec<u8>> = vec![
+            pkt(35),
+            pkt(44),
+            pkt(44), // same-key run: exercises the cached candidates
+            pkt(99),
+            pkt(55)[..6].to_vec(), // truncated: slow path
+            Vec::new(),            // empty frame
+        ];
+        let views: Vec<PacketView<'_>> = frames.iter().map(|f| PacketView::new(f)).collect();
+        let (batched, stats) = set.matches_batch_with_stats(&views);
+        for (i, v) in views.iter().enumerate() {
+            let (expect, expect_stats) = {
+                let (ids, s) = set.matches_with_stats(*v);
+                (ids.to_vec(), s)
+            };
+            assert_eq!(batched[i], expect, "packet {i} diverged");
+            assert_eq!(stats[i], expect_stats, "packet {i} stats diverged");
+        }
+    }
+
+    #[test]
+    fn replace_keeps_single_entry() {
+        let mut set = GeomSet::new();
+        set.insert(1, samples::socket_range_filter(10, 0, 100));
+        set.insert(1, samples::socket_range_filter(10, 200, 300));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.first_match(PacketView::new(&pkt(50))), None);
+        assert_eq!(set.first_match(PacketView::new(&pkt(250))), Some(1));
+    }
+
+    #[test]
+    fn probe_work_is_logarithmic_in_population() {
+        // The sublinearity witness: growing the population 16x must not
+        // grow per-packet index work (tuple probes are fixed by the
+        // tuple count; tree descent is fixed by the domain).
+        let mut small = GeomSet::new();
+        let mut big = GeomSet::new();
+        for i in 0..64u32 {
+            small.insert(
+                i,
+                samples::socket_range_filter(10, (i as u16) * 8, (i as u16) * 8 + 7),
+            );
+        }
+        for i in 0..1024u32 {
+            big.insert(
+                i,
+                samples::socket_range_filter(10, (i as u16) * 8, (i as u16) * 8 + 7),
+            );
+        }
+        let p = pkt(100);
+        let (_, s_small) = small.matches_with_stats(PacketView::new(&p));
+        let (_, s_big) = big.matches_with_stats(PacketView::new(&p));
+        assert_eq!(
+            s_small.nodes_visited, s_big.nodes_visited,
+            "{s_small:?} vs {s_big:?}"
+        );
+        assert_eq!(s_big.filters_evaluated, 1, "{s_big:?}");
+    }
+}

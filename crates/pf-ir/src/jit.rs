@@ -612,6 +612,35 @@ mod native {
                         };
                         a.branch(cc, target);
                     }
+                    TOp::GuardInBr {
+                        word,
+                        lo,
+                        hi,
+                        target,
+                    }
+                    | TOp::GuardOutBr {
+                        word,
+                        lo,
+                        hi,
+                        target,
+                    } => {
+                        // movzx eax, word [rdi+2w]; rol ax, 8
+                        a.put(&[0x0F, 0xB7, 0x87]);
+                        a.imm32(2 * u32::from(word));
+                        a.put(&[0x66, 0xC1, 0xC0, 0x08]);
+                        // Unsigned-span trick: v - lo <= hi - lo (as u32)
+                        // iff lo <= v <= hi.
+                        a.put(&[0x2D]); // sub eax, imm32
+                        a.imm32(u32::from(lo));
+                        a.put(&[0x3D]); // cmp eax, imm32
+                        a.imm32(u32::from(hi - lo));
+                        let cc: &[u8] = if matches!(op, TOp::GuardInBr { .. }) {
+                            &[0x0F, 0x86] // jbe
+                        } else {
+                            &[0x0F, 0x87] // ja
+                        };
+                        a.branch(cc, target);
+                    }
                     TOp::Return { accept } => a.epilogue(u32::from(accept)),
                     TOp::ReturnReg { reg } => {
                         a.cmp_slot_zero(2 * u32::from(reg));
@@ -864,6 +893,32 @@ mod native {
                             EQ
                         } else {
                             NE
+                        };
+                        a.bcond(cond, target);
+                    }
+                    TOp::GuardInBr {
+                        word,
+                        lo,
+                        hi,
+                        target,
+                    }
+                    | TOp::GuardOutBr {
+                        word,
+                        lo,
+                        hi,
+                        target,
+                    } => {
+                        a.load_packet_word(9, word);
+                        // Unsigned-span trick: v - lo <= hi - lo (as u32)
+                        // iff lo <= v <= hi.
+                        a.movz(10, lo);
+                        a.ins(0x4B00_0000 | (10 << 16) | (9 << 5) | 9); // sub w9, w9, w10
+                        a.movz(10, hi - lo);
+                        a.ins(0x6B00_001F | (10 << 16) | (9 << 5)); // cmp w9, w10
+                        let cond = if matches!(op, TOp::GuardInBr { .. }) {
+                            LS
+                        } else {
+                            HI
                         };
                         a.bcond(cond, target);
                     }

@@ -43,6 +43,13 @@
 //!    x86-64 or aarch64 code in an mmap'd W^X buffer; programs or
 //!    platforms the emitter cannot handle fall back to the threaded
 //!    engine per filter, invisibly to callers.
+//! 7. **Classify geometrically** ([`geom::GeomSet`], the ninth surface)
+//!    — members are indexed by the *interval* constraints their compiled
+//!    code provably requires (`packet[w] ∈ [lo,hi]`; equality is the
+//!    degenerate case), partitioned into `(word, range-class)` tuples
+//!    with a sparse segment tree per range tuple, so port-*range* rules —
+//!    which have no equality literal to shard on — still demultiplex in
+//!    O(#tuples · log U) index work instead of O(n) member walks.
 //!
 //! Semantics are pinned to the checked interpreter: translation consumes
 //! only validated programs, runtime faults (out-of-bounds indirect loads,
@@ -56,6 +63,7 @@
 
 pub mod engine;
 pub mod exec;
+pub mod geom;
 pub mod ir;
 #[cfg(feature = "jit")]
 pub mod jit;
@@ -66,6 +74,7 @@ pub mod vn;
 
 pub use engine::{singleton_engines, singleton_surface_count, FilterEngine};
 pub use exec::{IrEvalStats, IrFilter};
+pub use geom::{required_constraints, GeomSet, GeomStats, Interval};
 #[cfg(feature = "jit")]
 pub use jit::JitFilter;
 pub use set::{IrFilterSet, IrSetStats, ShardedVnSet};

@@ -30,6 +30,7 @@ use std::collections::HashMap;
 /// Runs the full pass pipeline in place.
 pub fn optimize(program: &mut IrProgram) {
     fold_and_reuse(program);
+    invert_zero_eq_branches(program);
     thread_branches(program);
     remove_dead_blocks(program);
     eliminate_dead_code(program);
@@ -180,6 +181,73 @@ fn same_operand_identity(op: IrBinOp, a: Reg, b: Reg) -> Option<u16> {
         IrBinOp::Xor | IrBinOp::Sub => 0,
         _ => return None,
     })
+}
+
+/// Rewrites `branch (x == 0) ? A : B` into `branch x ? B : A`.
+///
+/// Every short-circuit operator translates to an `Eq` feeding a branch,
+/// so a comparison result conjoined via `CNOR 0` — the idiom a *range*
+/// test (`GE lo`, `LE hi`) must use, since the short-circuit operators
+/// themselves only test equality — reaches its branch through a
+/// redundant compare-with-zero. Dropping it exposes the ordering compare
+/// directly to the guard-fusion pass in [`crate::exec`], which is what
+/// turns a port-range filter into fused interval guards. Sound
+/// unconditionally (`x == 0` nonzero exactly when `x` is zero), but
+/// applied only when `x` is itself an *ordering* compare: inverting a
+/// plain `packet[w] == 0` test would strip a perfectly fusable equality
+/// guard (the `PUSHZERO | CAND` idiom of figure 3-9). The orphaned `Eq`
+/// and `Const 0` fall to dead-code elimination.
+fn invert_zero_eq_branches(program: &mut IrProgram) {
+    // Single assignment: one global definition map suffices, and any
+    // operand of an op dominating a branch dominates the branch too.
+    let mut konst: HashMap<Reg, u16> = HashMap::new();
+    let mut eq_def: HashMap<Reg, (Reg, Reg)> = HashMap::new();
+    let mut ordering_result: Vec<Reg> = Vec::new();
+    for b in &program.blocks {
+        for op in &b.ops {
+            match *op {
+                Op::Const { dst, value } => {
+                    konst.insert(dst, value);
+                }
+                Op::Bin { dst, op, a, b } => {
+                    if op == IrBinOp::Eq {
+                        eq_def.insert(dst, (a, b));
+                    }
+                    if matches!(op, IrBinOp::Lt | IrBinOp::Le | IrBinOp::Gt | IrBinOp::Ge) {
+                        ordering_result.push(dst);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for block in &mut program.blocks {
+        if let Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+        } = block.term
+        {
+            let Some(&(a, b)) = eq_def.get(&cond) else {
+                continue;
+            };
+            let other = if konst.get(&b) == Some(&0) {
+                a
+            } else if konst.get(&a) == Some(&0) {
+                b
+            } else {
+                continue;
+            };
+            if !ordering_result.contains(&other) {
+                continue;
+            }
+            block.term = Terminator::Branch {
+                cond: other,
+                if_true: if_false,
+                if_false: if_true,
+            };
+        }
+    }
 }
 
 /// Retargets control transfers through empty forwarding blocks and
@@ -464,6 +532,24 @@ mod tests {
         let ir = optimized(p);
         assert_eq!(ir.blocks.len(), 1, "reject block unreachable: {ir}");
         assert_eq!(ir.blocks[0].term, Terminator::Return(true));
+    }
+
+    #[test]
+    fn cnor_zero_wrapper_compare_is_inverted_away() {
+        // Each `GE/LE … CNOR 0` must branch on the ordering compare
+        // itself; the Eq-with-zero wrapper and its constant die as dead
+        // code, leaving exactly three compares (ge, le, terminal eq).
+        let ir = optimized(samples::socket_range_filter(10, 100, 200));
+        let mut ops: Vec<IrBinOp> = Vec::new();
+        for b in &ir.blocks {
+            for op in &b.ops {
+                if let Op::Bin { op, .. } = op {
+                    ops.push(*op);
+                }
+            }
+        }
+        ops.sort_by_key(|o| format!("{o:?}"));
+        assert_eq!(ops, vec![IrBinOp::Eq, IrBinOp::Ge, IrBinOp::Le], "{ir}");
     }
 
     #[test]

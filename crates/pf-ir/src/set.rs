@@ -415,6 +415,13 @@ pub struct ShardedVnSet {
     shards: HashMap<u16, Vec<usize>>,
     /// Member indices walked for every packet (ascending).
     residue: Vec<usize>,
+    /// word → (members requiring a test on it, literal → refcount):
+    /// the exact shard-word statistic, maintained incrementally so an
+    /// insert or remove re-scores one member, not the whole population.
+    word_stats: HashMap<u16, (u32, HashMap<u16, u32>)>,
+    /// Full index repartitions performed (see
+    /// [`ShardedVnSet::repartition_count`]).
+    repartitions: u64,
     /// Packets shorter than this (in words) take the slow path that walks
     /// all members: a sharded member's compiled-path requirement says
     /// nothing about its short-packet checked fallback.
@@ -526,7 +533,20 @@ impl ShardedVnSet {
         self.residue.len()
     }
 
+    /// Full index repartitions performed. A repartition re-homes every
+    /// member and happens only when the *discriminating word itself*
+    /// flips (the population's shape changed) — steady insert/remove
+    /// churn on a stable population must never trigger one.
+    pub fn repartition_count(&self) -> u64 {
+        self.repartitions
+    }
+
     /// Inserts (or replaces) the filter for `id`.
+    ///
+    /// Index maintenance is incremental: the member's required tests
+    /// adjust the persistent word statistics, and unless the best
+    /// discriminating word flipped (which forces a counted repartition),
+    /// only the member's own shard is touched.
     pub fn insert(&mut self, id: FilterId, program: FilterProgram) {
         self.remove(id);
         let seq = self.next_seq;
@@ -547,6 +567,9 @@ impl ShardedVnSet {
             }
             Err(_) => VnMemberKind::Checked(program),
         };
+        if let VnMemberKind::Compiled { required, .. } = &kind {
+            score_insert(&mut self.word_stats, required);
+        }
         let member = VnMember {
             id,
             priority,
@@ -557,7 +580,24 @@ impl ShardedVnSet {
             (m.priority, std::cmp::Reverse(m.seq)) >= (priority, std::cmp::Reverse(seq))
         });
         self.members.insert(at, member);
-        self.rebuild_index();
+        if self.best_word() != self.shard_word {
+            self.repartition();
+        } else {
+            // Later members' indices all shifted up by one.
+            for v in self.shards.values_mut() {
+                for x in v.iter_mut() {
+                    if *x >= at {
+                        *x += 1;
+                    }
+                }
+            }
+            for x in self.residue.iter_mut() {
+                if *x >= at {
+                    *x += 1;
+                }
+            }
+            self.place(at);
+        }
     }
 
     /// Removes the filter for `id`; `true` if it was present.
@@ -565,18 +605,96 @@ impl ShardedVnSet {
     /// Table compaction is *deferred*: a remove strands its private tests
     /// as dead entries (harmless — never consulted, memo never touched)
     /// and the table is only compacted once dead entries outnumber live
-    /// ones. Remove/insert churn therefore costs O(members) per remove
-    /// for the index rebuild, not a full table rebuild plus a remap of
-    /// every member's program each time.
+    /// ones. Index maintenance is incremental: the member leaves its own
+    /// shard, and a full repartition happens only if the discriminating
+    /// word flipped.
     pub fn remove(&mut self, id: FilterId) -> bool {
-        let before = self.members.len();
-        self.members.retain(|m| m.id != id);
-        let removed = before != self.members.len();
-        if removed {
-            self.maybe_gc();
-            self.rebuild_index();
+        let Some(p) = self.members.iter().position(|m| m.id == id) else {
+            return false;
+        };
+        let member = self.members.remove(p);
+        if let VnMemberKind::Compiled { required, .. } = &member.kind {
+            score_remove(&mut self.word_stats, required);
         }
-        removed
+        self.maybe_gc();
+        if self.best_word() != self.shard_word {
+            self.repartition();
+        } else {
+            self.unplace(p, &member);
+            for v in self.shards.values_mut() {
+                for x in v.iter_mut() {
+                    if *x > p {
+                        *x -= 1;
+                    }
+                }
+            }
+            for x in self.residue.iter_mut() {
+                if *x > p {
+                    *x -= 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// The word the statistics currently favor: required by the most
+    /// members, ties broken toward more distinct literals, then the
+    /// lowest word — identical to what a from-scratch rebuild picks.
+    fn best_word(&self) -> Option<u16> {
+        self.word_stats
+            .iter()
+            .map(|(&word, (count, lits))| (word, *count, lits.len()))
+            .max_by_key(|&(word, count, lits)| (count, lits, std::cmp::Reverse(word)))
+            .map(|(word, ..)| word)
+    }
+
+    /// Homes the member at index `at` (just inserted; all other indices
+    /// already adjusted) into its shard or the residue.
+    fn place(&mut self, at: usize) {
+        let m = &self.members[at];
+        if let (
+            VnMemberKind::Compiled {
+                filter, required, ..
+            },
+            Some(d),
+        ) = (&m.kind, self.shard_word)
+        {
+            if let Some(&(_, lit)) = required.iter().find(|&&(word, _)| word == d) {
+                let v = self.shards.entry(lit).or_default();
+                let pos = v.partition_point(|&x| x < at);
+                v.insert(pos, at);
+                self.fast_min_words = self.fast_min_words.max(filter.min_packet_words());
+                return;
+            }
+        }
+        let pos = self.residue.partition_point(|&x| x < at);
+        self.residue.insert(pos, at);
+    }
+
+    /// Removes index `p` (the just-removed `member`'s old home) from its
+    /// shard or the residue. `fast_min_words` is left as-is — possibly
+    /// conservatively high, which only routes more packets to the
+    /// walk-everything slow path; a repartition recomputes it exactly.
+    fn unplace(&mut self, p: usize, member: &VnMember) {
+        if let (VnMemberKind::Compiled { required, .. }, Some(d)) = (&member.kind, self.shard_word)
+        {
+            if let Some(&(_, lit)) = required.iter().find(|&&(word, _)| word == d) {
+                if let Some(v) = self.shards.get_mut(&lit) {
+                    let pos = v.partition_point(|&x| x < p);
+                    if v.get(pos) == Some(&p) {
+                        v.remove(pos);
+                    }
+                    if v.is_empty() {
+                        self.shards.remove(&lit);
+                    }
+                }
+                return;
+            }
+        }
+        let pos = self.residue.partition_point(|&x| x < p);
+        if self.residue.get(pos) == Some(&p) {
+            self.residue.remove(pos);
+        }
     }
 
     /// Compacts the shared table if the dead-test ratio crossed the
@@ -607,32 +725,15 @@ impl ShardedVnSet {
         }
     }
 
-    /// Recomputes the shard index: picks the packet word the most members
-    /// require a test on (ties broken toward more distinct literals, then
-    /// the lowest word) and partitions members by their literal for it.
-    fn rebuild_index(&mut self) {
+    /// Rebuilds the shard index from scratch against the (incrementally
+    /// maintained) word statistics: adopts the current best word and
+    /// re-homes every member. Only runs when the discriminating word
+    /// flips — the counted, amortized event.
+    fn repartition(&mut self) {
+        self.repartitions += 1;
         self.shards.clear();
         self.residue.clear();
-        // Candidate discriminating words, scored over required tests.
-        let mut words: HashMap<u16, (u32, HashSet<u16>)> = HashMap::new();
-        for m in &self.members {
-            if let VnMemberKind::Compiled { required, .. } = &m.kind {
-                let mut seen = HashSet::new();
-                for &(word, lit) in required {
-                    let entry = words.entry(word).or_default();
-                    if seen.insert(word) {
-                        entry.0 += 1;
-                    }
-                    entry.1.insert(lit);
-                }
-            }
-        }
-        let mut candidates: Vec<(u16, u32, usize)> = words
-            .into_iter()
-            .map(|(word, (count, lits))| (word, count, lits.len()))
-            .collect();
-        candidates.sort_by_key(|&(word, count, lits)| (std::cmp::Reverse((count, lits)), word));
-        self.shard_word = candidates.first().map(|&(word, ..)| word);
+        self.shard_word = self.best_word();
         self.fast_min_words = 0;
         for (i, m) in self.members.iter().enumerate() {
             let sharded = match (&m.kind, self.shard_word) {
@@ -872,6 +973,44 @@ impl ShardedVnSet {
     }
 }
 
+/// Adds one member's required tests to the word statistics: the member
+/// count bumps once per distinct word, the literal refcount once per
+/// `(word, literal)` pair (distinct within a member by interning).
+fn score_insert(stats: &mut HashMap<u16, (u32, HashMap<u16, u32>)>, required: &[(u16, u16)]) {
+    let mut seen = HashSet::new();
+    for &(word, lit) in required {
+        let entry = stats.entry(word).or_default();
+        if seen.insert(word) {
+            entry.0 += 1;
+        }
+        *entry.1.entry(lit).or_insert(0) += 1;
+    }
+}
+
+/// Exact inverse of [`score_insert`]; words and literals no member
+/// requires any more drop out entirely, so `best_word` sees the same
+/// statistics a from-scratch rescore would compute.
+fn score_remove(stats: &mut HashMap<u16, (u32, HashMap<u16, u32>)>, required: &[(u16, u16)]) {
+    let mut seen = HashSet::new();
+    for &(word, lit) in required {
+        let Some(entry) = stats.get_mut(&word) else {
+            continue;
+        };
+        if seen.insert(word) {
+            entry.0 -= 1;
+        }
+        if let Some(c) = entry.1.get_mut(&lit) {
+            *c -= 1;
+            if *c == 0 {
+                entry.1.remove(&lit);
+            }
+        }
+        if entry.0 == 0 {
+            stats.remove(&word);
+        }
+    }
+}
+
 /// Evaluates one sharded-set member, sharing test verdicts through the
 /// set's memoized table.
 fn eval_vn_member(
@@ -1091,6 +1230,64 @@ mod tests {
         // Still correct after the compaction remap.
         let p = pkt(163);
         assert_eq!(set.matches(PacketView::new(&p)), vec![63]);
+    }
+
+    #[test]
+    fn sharded_churn_never_repartitions() {
+        // The satellite regression this pins: insert and remove used to
+        // rebuild the whole shard index (rescoring every member's
+        // required tests) on *every* mutation. With incremental word
+        // statistics, steady churn on a stable population touches only
+        // the mutated member's shard; a full repartition happens only
+        // when the discriminating word itself flips.
+        let mut set = ShardedVnSet::new();
+        for i in 0..64u16 {
+            set.insert(u32::from(i), samples::pup_socket_filter(10, 0, 100 + i));
+        }
+        // Build settles quickly: first insert adopts a word, the second
+        // flips to the socket word once its literals diversify, then the
+        // remaining 62 inserts extend shards in place.
+        let after_build = set.repartition_count();
+        assert!(after_build <= 2, "build settles the word early");
+        for round in 0..80u16 {
+            let id = u32::from(round % 64);
+            assert!(set.remove(id));
+            set.insert(id, samples::pup_socket_filter(10, 0, 100 + (round % 64)));
+        }
+        assert_eq!(
+            set.repartition_count(),
+            after_build,
+            "churn must not repartition"
+        );
+        assert_eq!(set.shard_word(), Some(8));
+        assert_eq!(set.shard_count(), 64);
+        let p = pkt(137);
+        assert_eq!(set.matches(PacketView::new(&p)), vec![37]);
+    }
+
+    #[test]
+    fn discriminator_flip_repartitions_once() {
+        // Four socket filters key the index on word 8; piling on
+        // ethertype-only filters makes word 1 the majority requirement,
+        // which must flip the shard word (matching a fresh rebuild) via
+        // exactly one repartition at the crossing point.
+        let mut set = ShardedVnSet::new();
+        for i in 0..4u16 {
+            set.insert(u32::from(i), samples::pup_socket_filter(10, 0, 100 + i));
+        }
+        assert_eq!(set.shard_word(), Some(8));
+        let before = set.repartition_count();
+        for i in 0..8u16 {
+            set.insert(u32::from(100 + i), samples::ethertype_filter(10, 10 + i));
+        }
+        assert_eq!(set.shard_word(), Some(1), "ethertype now discriminates");
+        assert_eq!(
+            set.repartition_count(),
+            before + 1,
+            "one flip, one repartition"
+        );
+        let p = samples::pup_packet_3mb(12, 0, 999, 1);
+        assert_eq!(set.matches(PacketView::new(&p)), vec![102]);
     }
 
     #[test]

@@ -172,6 +172,17 @@ pub(crate) enum VnOp {
     /// Terminate accepting iff the shared test's verdict holds (the
     /// value-numbered `load / compare / return` tail).
     TestRet { test: u32 },
+    /// Fused range branch carried through from the threaded code: jump
+    /// when `packet[word] ∈ [lo, hi]` equals `jump_on_in`. Range tests are
+    /// *not* interned — the table memoizes equality verdicts only — so
+    /// this executes directly, exactly like the guard it came from.
+    RangeBr {
+        word: u16,
+        lo: u16,
+        hi: u16,
+        target: u32,
+        jump_on_in: bool,
+    },
     /// Terminate with a fixed verdict.
     Return { accept: bool },
     /// Terminate accepting iff `regs[reg] != 0`.
@@ -353,7 +364,9 @@ pub(crate) fn value_number(filter: &IrFilter, table: &mut TestTable) -> VnProgra
             | TOp::BranchIf { target, .. }
             | TOp::BranchIfNot { target, .. }
             | TOp::GuardEqBr { target, .. }
-            | TOp::GuardNeBr { target, .. } => targeted[target as usize] = true,
+            | TOp::GuardNeBr { target, .. }
+            | TOp::GuardInBr { target, .. }
+            | TOp::GuardOutBr { target, .. } => targeted[target as usize] = true,
             TOp::Const { dst, value } => {
                 const_val.insert(dst, value);
             }
@@ -459,6 +472,30 @@ pub(crate) fn value_number(filter: &IrFilter, table: &mut TestTable) -> VnProgra
                 target,
                 jump_on: false,
             },
+            TOp::GuardInBr {
+                word,
+                lo,
+                hi,
+                target,
+            } => VnOp::RangeBr {
+                word,
+                lo,
+                hi,
+                target,
+                jump_on_in: true,
+            },
+            TOp::GuardOutBr {
+                word,
+                lo,
+                hi,
+                target,
+            } => VnOp::RangeBr {
+                word,
+                lo,
+                hi,
+                target,
+                jump_on_in: false,
+            },
             TOp::Return { accept } => VnOp::Return { accept },
             TOp::ReturnReg { reg } => match tail.get(&i) {
                 Some(&test) => VnOp::TestRet { test },
@@ -471,7 +508,8 @@ pub(crate) fn value_number(filter: &IrFilter, table: &mut TestTable) -> VnProgra
             VnOp::Jump { target }
             | VnOp::BranchIf { target, .. }
             | VnOp::BranchIfNot { target, .. }
-            | VnOp::TestBr { target, .. } => *target = new_index[*target as usize],
+            | VnOp::TestBr { target, .. }
+            | VnOp::RangeBr { target, .. } => *target = new_index[*target as usize],
             _ => {}
         }
     }
@@ -563,6 +601,23 @@ pub(crate) fn eval_vn(
                     pc + 1
                 };
             }
+            VnOp::RangeBr {
+                word,
+                lo,
+                hi,
+                target,
+                jump_on_in,
+            } => {
+                stats.ops_executed += 1;
+                let inside = packet
+                    .word(usize::from(word))
+                    .is_some_and(|v| lo <= v && v <= hi);
+                pc = if inside == jump_on_in {
+                    target as usize
+                } else {
+                    pc + 1
+                };
+            }
             VnOp::TestRet { test } => return table.check(test, packet, stats),
             VnOp::Return { accept } => {
                 stats.ops_executed += 1;
@@ -609,7 +664,9 @@ fn accept_reachable_without(prog: &VnProgram, t: u32) -> bool {
             | VnOp::LoadInd { .. }
             | VnOp::Bin { .. } => stack.push(pc + 1),
             VnOp::Jump { target } => stack.push(target as usize),
-            VnOp::BranchIf { target, .. } | VnOp::BranchIfNot { target, .. } => {
+            VnOp::BranchIf { target, .. }
+            | VnOp::BranchIfNot { target, .. }
+            | VnOp::RangeBr { target, .. } => {
                 stack.push(target as usize);
                 stack.push(pc + 1);
             }

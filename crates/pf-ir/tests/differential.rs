@@ -1,8 +1,9 @@
 //! Deterministic differential verification: every execution surface in
 //! the workspace — checked interpreter, validated fast interpreter,
 //! compiled micro-ops, the decision-table set, the IR threaded-code
-//! engine, the flat IR filter set, the sharded value-numbered set, and
-//! (feature `jit`) the template JIT — must be observationally identical.
+//! engine, the flat IR filter set, the sharded value-numbered set, the
+//! geometric range classifier, and (feature `jit`) the template JIT —
+//! must be observationally identical.
 //! The surfaces come from [`pf_ir::engine::singleton_engines`], so a new
 //! engine is pinned here by registering one [`pf_ir::FilterEngine`] impl.
 //!
@@ -20,7 +21,7 @@ use pf_filter::validate::ValidatedProgram;
 use pf_filter::word::{BinaryOp, Instr, StackAction};
 use pf_ir::engine::{singleton_engines, singleton_surface_count};
 use pf_ir::set::{IrFilterSet, ShardedVnSet};
-use pf_ir::IrFilter;
+use pf_ir::{GeomSet, IrFilter};
 use pf_sim::rng::SplitMix64;
 
 const ACTIONS: [StackAction; 8] = [
@@ -473,6 +474,88 @@ fn sharded_set_survives_churn() {
         let view = PacketView::new(&pkt);
         assert_eq!(set.matches(view), fresh.matches(view), "step {step}");
     }
+}
+
+/// Seeded churn for the geometric classifier: a mixed exact/range
+/// population under inserts, removals (tombstones), and the compactions
+/// they trigger stays equivalent to the checked interpreter, to a
+/// from-scratch rebuild, and to itself across the scalar and batched
+/// entry points. Interval-tree surgery is where a stale tombstone or a
+/// mis-merged segment would surface.
+#[test]
+fn geom_set_survives_churn() {
+    let mut rng = SplitMix64::new(0x9e0_37a7e);
+    let checked = CheckedInterpreter::default();
+    let mut live: Vec<(u32, FilterProgram)> = Vec::new();
+    let mut set = GeomSet::new();
+    for step in 0..200u64 {
+        if !live.is_empty() && rng.chance(0.4) {
+            let at = rng.below(live.len() as u64) as usize;
+            let (fid, _) = live.remove(at);
+            assert!(set.remove(fid));
+        } else {
+            let fid = step as u32;
+            let f = match rng.below(4) {
+                0 => {
+                    let lo = 20 + rng.below(30) as u16;
+                    samples::socket_range_filter(rng.below(30) as u8, lo, lo + rng.below(20) as u16)
+                }
+                1 => samples::pup_socket_filter(rng.below(30) as u8, 0, 20 + rng.below(40) as u16),
+                2 => samples::ethertype_filter(rng.below(30) as u8, rng.below(6) as u16),
+                _ => FilterProgram::from_words(7, random_words(&mut rng)),
+            };
+            set.insert(fid, f.clone());
+            live.push((fid, f));
+        }
+        assert_eq!(set.len(), live.len(), "step {step}");
+        if step % 20 != 0 {
+            continue;
+        }
+        let mut fresh = GeomSet::new();
+        for (fid, f) in &live {
+            fresh.insert(*fid, f.clone());
+        }
+        assert_eq!(set.tuple_count(), fresh.tuple_count(), "step {step}");
+        assert_eq!(set.residue_len(), fresh.residue_len(), "step {step}");
+        let batch: Vec<Vec<u8>> = (0..8)
+            .map(|_| {
+                samples::pup_packet_3mb(
+                    rng.below(6) as u16,
+                    0,
+                    20 + rng.below(44) as u16,
+                    rng.below(120) as u8,
+                )
+            })
+            .collect();
+        let views: Vec<PacketView<'_>> = batch.iter().map(|p| PacketView::new(p)).collect();
+        let (batched, stats) = set.matches_batch_with_stats(&views);
+        for (i, view) in views.iter().enumerate() {
+            let expect: Vec<u32> = {
+                let mut order: Vec<usize> = (0..live.len()).collect();
+                order.sort_by_key(|&j| std::cmp::Reverse(live[j].1.priority()));
+                order
+                    .into_iter()
+                    .filter(|&j| checked.eval(&live[j].1, *view))
+                    .map(|j| live[j].0)
+                    .collect()
+            };
+            assert_eq!(
+                set.matches(*view),
+                expect,
+                "step {step} pkt {i}: vs checked"
+            );
+            assert_eq!(batched[i], expect, "step {step} pkt {i}: batch vs checked");
+            assert_eq!(fresh.matches(*view), expect, "step {step} pkt {i}: fresh");
+            assert!(
+                stats[i].filters_evaluated as usize + stats[i].filters_skipped as usize
+                    >= expect.len(),
+                "step {step} pkt {i}: stats account for every match"
+            );
+        }
+    }
+    // Churn with a 40% removal rate must actually have exercised the
+    // tombstone path and at least one compaction.
+    assert!(set.compaction_count() > 0, "compaction never fired");
 }
 
 /// Re-inserting under a live id replaces the old program without leaking

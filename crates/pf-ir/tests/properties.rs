@@ -5,19 +5,19 @@
 // `tests/differential.rs`.
 #![cfg(feature = "proptest-tests")]
 
-//! Property-based five-engine agreement: checked interpreter, validated
-//! fast interpreter, compiled micro-ops, IR threaded code, and the IR
-//! filter set are observationally identical on arbitrary programs and
-//! packets.
+//! Property-based engine agreement: checked interpreter, validated fast
+//! interpreter, compiled micro-ops, IR threaded code, the IR filter set,
+//! and the geometric classifier are observationally identical on
+//! arbitrary programs and packets.
 
 use pf_filter::compile::CompiledFilter;
 use pf_filter::interp::{CheckedInterpreter, Dialect, InterpConfig, ShortCircuitStyle};
 use pf_filter::packet::PacketView;
-use pf_filter::program::FilterProgram;
+use pf_filter::program::{Assembler, FilterProgram};
 use pf_filter::validate::ValidatedProgram;
 use pf_filter::word::{BinaryOp, Instr, StackAction};
 use pf_ir::set::IrFilterSet;
-use pf_ir::IrFilter;
+use pf_ir::{GeomSet, IrFilter};
 use proptest::prelude::*;
 
 fn any_stack_action() -> impl Strategy<Value = StackAction> {
@@ -74,6 +74,36 @@ fn packet_bytes() -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(any::<u8>(), 0..128)
 }
 
+/// A random figure-3-8-style *range* program: one to three
+/// `lo <= packet[w] <= hi` constraints, each ordering compare feeding a
+/// `CNOR 0` (reject immediately when false), closed by an equality
+/// guard — the shape `samples::socket_range_filter` pins down, with
+/// every word, bound, and literal randomized.
+fn range_member() -> impl Strategy<Value = FilterProgram> {
+    (
+        prop::collection::vec((0u8..10, any::<u16>(), any::<u16>()), 1..4),
+        0u8..10,
+        any::<u16>(),
+        0u8..30,
+    )
+        .prop_map(|(ranges, guard_word, guard_lit, prio)| {
+            let mut a = Assembler::new(prio);
+            for (w, x, y) in ranges {
+                let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+                a = a
+                    .pushword(w)
+                    .pushlit_op(BinaryOp::Ge, lo)
+                    .pushzero_op(BinaryOp::Cnor)
+                    .pushword(w)
+                    .pushlit_op(BinaryOp::Le, hi)
+                    .pushzero_op(BinaryOp::Cnor);
+            }
+            a.pushword(guard_word)
+                .pushlit_op(BinaryOp::Eq, guard_lit)
+                .finish()
+        })
+}
+
 proptest! {
     /// If a program validates, the IR engine (and everything below it)
     /// agrees with the checked interpreter; if it does not validate, the
@@ -125,5 +155,44 @@ proptest! {
             .map(|&i| filters[i].0)
             .collect();
         prop_assert_eq!(set.matches(view), expect);
+    }
+
+    /// The validator accepts the range-program shape, and the checked
+    /// interpreter, the threaded code, and the geometric classifier all
+    /// agree on it — scalar and batched, on arbitrary packets, including
+    /// short ones that force the classifier's fallback.
+    #[test]
+    fn geom_agrees_on_random_range_programs(
+        members in prop::collection::vec(range_member(), 1..6),
+        pkts in prop::collection::vec(packet_bytes(), 1..8),
+    ) {
+        let checked = CheckedInterpreter::default();
+        let mut set = GeomSet::new();
+        for (i, f) in members.iter().enumerate() {
+            prop_assert!(
+                ValidatedProgram::new(f.clone()).is_ok(),
+                "range shape validates"
+            );
+            let ir = IrFilter::compile(f.clone()).expect("validated, so compiles");
+            set.insert(i as u32, f.clone());
+            for p in &pkts {
+                let view = PacketView::new(p);
+                prop_assert_eq!(ir.eval(view), checked.eval(f, view), "ir vs checked");
+            }
+        }
+        let mut order: Vec<usize> = (0..members.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(members[i].priority()));
+        let views: Vec<PacketView<'_>> = pkts.iter().map(|p| PacketView::new(p)).collect();
+        let (batch, _) = set.matches_batch_with_stats(&views);
+        for (p, batched) in pkts.iter().zip(batch) {
+            let view = PacketView::new(p);
+            let expect: Vec<u32> = order
+                .iter()
+                .filter(|&&i| checked.eval(&members[i], view))
+                .map(|&i| i as u32)
+                .collect();
+            prop_assert_eq!(set.matches(view), expect.clone(), "geom scalar");
+            prop_assert_eq!(batched, expect, "geom batch");
+        }
     }
 }

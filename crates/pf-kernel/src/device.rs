@@ -35,9 +35,10 @@ use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
 use pf_filter::validate::ValidatedProgram;
 use pf_filter::word::{BinaryOp, Instr, StackAction};
+use pf_ir::geom::{required_constraints, GeomSet};
 use pf_ir::set::{IrFilterSet, ShardedVnSet};
 use pf_sim::time::SimTime;
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The per-port member the [`DemuxEngine::Jit`] engine maintains. With the
 /// `jit` feature it is pf-ir's template JIT (native code where the emitter
@@ -81,6 +82,15 @@ pub enum DemuxEngine {
     /// per packet) and a packet walks only the members its discriminating
     /// word selects. Accepts every filter program, like `Ir`.
     Sharded,
+    /// The geometric (tuple-space) classifier: members indexed by the
+    /// interval constraints their compiled code provably requires
+    /// (`packet[word] ∈ [lo, hi]`; equality is the degenerate case),
+    /// partitioned into `(word, range-class)` tuples with a sparse
+    /// segment tree per range tuple. Port-*range* rules — which have no
+    /// equality literal to shard on — still demultiplex in
+    /// O(#tuples · log U) index work. Accepts every filter program,
+    /// like `Ir` and `Sharded`.
+    Geom,
     /// Each filter compiled to straight-line native code by pf-ir's
     /// template JIT (cargo feature `jit`), walked in priority order like
     /// the sequential loop. Members the emitter refuses — and the whole
@@ -137,10 +147,13 @@ pub struct AdmissionQuota {
 /// arriving frame with at most one packet-word probe (no filter runs) and
 /// sheds best-effort traffic at the NIC when its port's token bucket is
 /// empty. Classification uses each filter's *admission signature* — a
-/// leading `packet[word] == literal` test whose failure rejects the packet
-/// (a `CAND` comparison, or a single-test `EQ` program). Filters without a
-/// signature, and packets matching no signature, are never shed at the
-/// gate; the filter ladder remains the arbiter for them.
+/// packet word the filter provably requires to fall in an interval
+/// (`packet[word] ∈ [lo, hi]`): syntactically, a leading
+/// `packet[word] == literal` `CAND` test (or single-test `EQ` program),
+/// and for range filters the compiled code's required-interval analysis.
+/// Filters without a signature, and packets matching no signature, are
+/// never shed at the gate; the filter ladder remains the arbiter for
+/// them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionConfig {
     /// Ports whose filter priority is at or above this are *protected*:
@@ -219,7 +232,10 @@ impl TokenBucket {
 struct GateEntry {
     port: PortIdx,
     word: u8,
-    literal: u16,
+    /// Inclusive admitted interval for `packet[word]`; an exact-literal
+    /// signature is the degenerate `lo == hi` case.
+    lo: u16,
+    hi: u16,
     protected: bool,
     bucket: TokenBucket,
 }
@@ -260,6 +276,27 @@ pub(crate) fn admission_signature(f: &FilterProgram) -> Option<(u8, u16)> {
         _ => None,
     }
 }
+
+/// A filter's candidate *interval* admission signatures: every packet
+/// word its compiled code provably constrains to `[lo, hi]` (inclusive)
+/// in order to accept. Each is a sound shedding witness — a packet the
+/// filter accepts must satisfy it — so port-*range* filters, which have
+/// no leading equality literal for [`admission_signature`], still get
+/// gate entries. Trivial (full-domain) intervals and words outside the
+/// gate's one-byte index are dropped.
+pub(crate) fn admission_candidates(f: &FilterProgram) -> Vec<(u8, u16, u16)> {
+    required_constraints(f)
+        .into_iter()
+        .filter(|iv| iv.word <= u16::from(u8::MAX) && (iv.lo, iv.hi) != (0, u16::MAX))
+        .map(|iv| (iv.word as u8, iv.lo, iv.hi))
+        .collect()
+}
+
+/// One port's gate-key candidates while the admission gate rebuilds: the
+/// syntactic exact signature widened to a `(word, lo, hi)` interval (if
+/// any), plus every provably required interval from
+/// [`admission_candidates`].
+type GateCandidate = (PortIdx, Option<(u8, u16, u16)>, Vec<(u8, u16, u16)>);
 
 /// A pending blocked read on a port.
 #[derive(Debug)]
@@ -379,6 +416,20 @@ pub struct EngineStats {
     pub sharded_shard_count: usize,
     /// Value-numbered tests shared between members; sharded engine only.
     pub sharded_shared_tests: usize,
+    /// `(word, range-class)` tuples in the geometric index; geom engine
+    /// only.
+    pub geom_tuple_count: usize,
+    /// Members with no provable interval constraint, walked on every
+    /// packet; geom engine only.
+    pub geom_residue: usize,
+    /// Same-word interval overlaps detected across insertions (two
+    /// members whose required intervals on the indexed word intersect);
+    /// geom engine only.
+    pub geom_overlaps: u64,
+    /// Shadowing conflicts detected across insertions (a member whose
+    /// indexed interval is contained in an equal-or-higher-priority
+    /// member's); geom engine only.
+    pub geom_shadows: u64,
     /// Open ports whose filters are quarantined (served by the checked
     /// interpreter under every engine).
     pub quarantined_ports: usize,
@@ -432,6 +483,9 @@ pub struct PfDevice {
     /// The sharded value-numbered set, maintained when the sharded engine
     /// is selected (keyed by port index).
     sharded: Option<ShardedVnSet>,
+    /// The geometric tuple-space classifier, maintained when the geom
+    /// engine is selected (keyed by port index).
+    geom: Option<GeomSet>,
     /// The JIT-compiled members in demux order, maintained when the JIT
     /// engine is selected.
     jit_members: Option<Vec<(PortIdx, JitMember)>>,
@@ -471,6 +525,7 @@ impl PfDevice {
             table: None,
             ir_set: None,
             sharded: None,
+            geom: None,
             jit_members: None,
             jit_force_fallback: false,
             interp: CheckedInterpreter::default(),
@@ -563,7 +618,10 @@ impl PfDevice {
         };
         let view = PacketView::new(packet);
         for e in &mut state.entries {
-            if view.word(usize::from(e.word)) != Some(e.literal) {
+            let covered = view
+                .word(usize::from(e.word))
+                .is_some_and(|w| e.lo <= w && w <= e.hi);
+            if !covered {
                 continue;
             }
             if e.protected || e.bucket.admit(now) {
@@ -578,17 +636,53 @@ impl PfDevice {
     /// Rebuilds the gate's per-port entries (after open/close/bind/quota
     /// changes), carrying over bucket fill for ports whose quota is
     /// unchanged so a rebind cannot mint free burst capacity.
+    ///
+    /// (See [`GateCandidate`] for the per-port intermediate shape.)
+    ///
+    /// Each port contributes one entry. The syntactic equality signature
+    /// is preferred when present (it is the leading test the program
+    /// itself sheds on); a filter without one — a port-range filter —
+    /// falls back to its provably required intervals, choosing the word
+    /// with the most distinct intervals across the whole gate (the
+    /// geometric classifier's diversity score: a word that distinguishes
+    /// ports classifies better than a narrow guard they all share), then
+    /// the narrowest interval, then the lowest word.
     fn rebuild_gate(&mut self) {
         let Some(AdmissionState { config, entries }) = self.admission.take() else {
             return;
         };
-        let mut rebuilt = Vec::new();
+        let mut cands: Vec<GateCandidate> = Vec::new();
         for &idx in &self.order {
-            let p = &self.ports[idx];
-            let Some(f) = &p.filter else { continue };
-            let Some((word, literal)) = admission_signature(f) else {
+            let Some(f) = &self.ports[idx].filter else {
                 continue;
             };
+            let exact = admission_signature(f).map(|(w, l)| (w, l, l));
+            let ranged = admission_candidates(f);
+            if exact.is_some() || !ranged.is_empty() {
+                cands.push((idx, exact, ranged));
+            }
+        }
+        let mut diversity: HashMap<u8, HashSet<(u16, u16)>> = HashMap::new();
+        for (_, exact, ranged) in &cands {
+            for &(w, lo, hi) in exact.iter().chain(ranged) {
+                diversity.entry(w).or_default().insert((lo, hi));
+            }
+        }
+        let mut rebuilt = Vec::new();
+        for (idx, exact, ranged) in cands {
+            let chosen = exact.or_else(|| {
+                ranged.into_iter().max_by_key(|&(w, lo, hi)| {
+                    (
+                        diversity.get(&w).map_or(0, HashSet::len),
+                        core::cmp::Reverse(hi - lo),
+                        core::cmp::Reverse(w),
+                    )
+                })
+            });
+            let Some((word, lo, hi)) = chosen else {
+                continue;
+            };
+            let p = &self.ports[idx];
             let quota = p.quota.unwrap_or(config.default_quota);
             let bucket = entries
                 .iter()
@@ -597,7 +691,8 @@ impl PfDevice {
             rebuilt.push(GateEntry {
                 port: idx,
                 word,
-                literal,
+                lo,
+                hi,
                 protected: p.priority() >= config.protected_priority,
                 bucket,
             });
@@ -622,6 +717,10 @@ impl PfDevice {
             ir_shared_tests: self.ir_set.as_ref().map_or(0, |s| s.shared_tests()),
             sharded_shard_count: self.sharded.as_ref().map_or(0, |s| s.shard_count()),
             sharded_shared_tests: self.sharded.as_ref().map_or(0, |s| s.shared_tests()),
+            geom_tuple_count: self.geom.as_ref().map_or(0, |g| g.tuple_count()),
+            geom_residue: self.geom.as_ref().map_or(0, |g| g.residue_len()),
+            geom_overlaps: self.geom.as_ref().map_or(0, |g| g.overlap_count()),
+            geom_shadows: self.geom.as_ref().map_or(0, |g| g.shadow_count()),
             quarantined_ports: self
                 .order
                 .iter()
@@ -639,6 +738,7 @@ impl PfDevice {
         self.table = None;
         self.ir_set = None;
         self.sharded = None;
+        self.geom = None;
         self.jit_members = None;
         self.rebuild_engine_state();
     }
@@ -694,6 +794,21 @@ impl PfDevice {
         self.sharded = Some(set);
     }
 
+    fn rebuild_geom(&mut self) {
+        let mut set = GeomSet::new();
+        // Same demux-order insertion (and quarantine exclusion) as
+        // `rebuild_table`.
+        for &idx in &self.order {
+            if self.ports[idx].quarantined.is_some() {
+                continue;
+            }
+            if let Some(f) = &self.ports[idx].filter {
+                set.insert(idx as u32, f.clone());
+            }
+        }
+        self.geom = Some(set);
+    }
+
     /// Compiles one port's validated filter into a JIT-engine member,
     /// honoring the forced-fallback test hook.
     #[cfg(feature = "jit")]
@@ -740,6 +855,7 @@ impl PfDevice {
             DemuxEngine::DecisionTable => self.rebuild_table(),
             DemuxEngine::Ir => self.rebuild_ir_set(),
             DemuxEngine::Sharded => self.rebuild_sharded(),
+            DemuxEngine::Geom => self.rebuild_geom(),
             DemuxEngine::Jit => self.rebuild_jit(),
         }
     }
@@ -891,6 +1007,7 @@ impl PfDevice {
             DemuxEngine::DecisionTable => return self.demux_table(packet),
             DemuxEngine::Ir => return self.demux_ir(packet),
             DemuxEngine::Sharded => return self.demux_sharded(packet),
+            DemuxEngine::Geom => return self.demux_geom(packet),
             DemuxEngine::Jit => return self.demux_jit(packet),
         }
         if self.adaptive && self.demux_ops.is_multiple_of(REORDER_INTERVAL) {
@@ -957,6 +1074,23 @@ impl PfDevice {
             }
             DemuxEngine::Sharded => {
                 let set = self.sharded.as_mut().expect("sharded engine selected");
+                let views: Vec<PacketView<'_>> =
+                    packets.iter().map(|p| PacketView::new(p)).collect();
+                let (all, stats) = set.matches_batch_with_stats(&views);
+                all.into_iter()
+                    .zip(stats)
+                    .map(|(matches, s)| {
+                        let mut out = DemuxOutcome {
+                            ir_ops: s.ops_executed,
+                            ..Default::default()
+                        };
+                        self.deliver_matches(matches.into_iter().map(|id| id as PortIdx), &mut out);
+                        out
+                    })
+                    .collect()
+            }
+            DemuxEngine::Geom => {
+                let set = self.geom.as_mut().expect("geom engine selected");
                 let views: Vec<PacketView<'_>> =
                     packets.iter().map(|p| PacketView::new(p)).collect();
                 let (all, stats) = set.matches_batch_with_stats(&views);
@@ -1154,6 +1288,35 @@ impl PfDevice {
         }
         for &id in matches {
             let idx = id as PortIdx;
+            out.accepted.push(idx);
+            if !self.ports[idx].config.deliver_to_lower {
+                break;
+            }
+        }
+        for &idx in &out.accepted {
+            self.ports[idx].accepts += 1;
+        }
+        out
+    }
+
+    /// Geometric demultiplexing: probe the tuple-space index (walking only
+    /// the members whose required intervals cover the packet's words), then
+    /// walk the priority-ordered matches applying the §3.2 deliver-to-lower
+    /// rule.
+    fn demux_geom(&mut self, packet: &[u8]) -> DemuxOutcome {
+        let quarantined = self.any_quarantined();
+        let set = self.geom.as_mut().expect("geom engine selected");
+        let (matches, stats) = set.matches_with_stats(PacketView::new(packet));
+        let matched: Vec<PortIdx> = matches.iter().map(|&id| id as PortIdx).collect();
+        let mut out = DemuxOutcome {
+            ir_ops: stats.ops_executed,
+            ..Default::default()
+        };
+        if quarantined {
+            self.merge_quarantined(&matched, packet, &mut out);
+            return out;
+        }
+        for &idx in &matched {
             out.accepted.push(idx);
             if !self.ports[idx].config.deliver_to_lower {
                 break;
@@ -1426,6 +1589,7 @@ mod tests {
             DemuxEngine::DecisionTable,
             DemuxEngine::Ir,
             DemuxEngine::Sharded,
+            DemuxEngine::Geom,
             DemuxEngine::Jit,
         ] {
             let build = || {
@@ -1590,6 +1754,7 @@ mod tests {
             DemuxEngine::DecisionTable,
             DemuxEngine::Ir,
             DemuxEngine::Sharded,
+            DemuxEngine::Geom,
             DemuxEngine::Jit,
         ] {
             let mut d = PfDevice::new();
@@ -1852,6 +2017,75 @@ mod tests {
         let consumer = d.open((ProcId(1), Fd(0)));
         d.set_filter(consumer, samples::pup_socket_filter(10, 0, 35));
         d.set_engine(DemuxEngine::Sharded);
+        let out = d.demux(&pkt(35));
+        assert_eq!(out.accepted, vec![monitor, consumer]);
+    }
+
+    #[test]
+    fn geom_engine_agrees_with_sequential() {
+        let filters = vec![
+            samples::pup_socket_filter(10, 0, 35),
+            samples::socket_range_filter(10, 100, 200),
+            samples::accept_all(5),
+            samples::fig_3_8_pup_type_range(),
+        ];
+        for sock in [35u16, 44, 99, 100, 150, 200, 201] {
+            let mut seq = dev_with(filters.clone());
+            seq.set_adaptive_reorder(false);
+            let mut geo = dev_with(filters.clone());
+            geo.set_adaptive_reorder(false);
+            geo.set_engine(DemuxEngine::Geom);
+            let p = pkt(sock);
+            assert_eq!(
+                seq.demux(&p).accepted,
+                geo.demux(&p).accepted,
+                "sock={sock}"
+            );
+        }
+    }
+
+    #[test]
+    fn geom_engine_reports_tuples_and_conflicts() {
+        let mut d = dev_with(vec![
+            samples::socket_range_filter(10, 100, 200),
+            samples::socket_range_filter(5, 150, 250),
+        ]);
+        d.set_engine(DemuxEngine::Geom);
+        let stats = d.engine_stats();
+        assert_eq!(stats.engine, DemuxEngine::Geom);
+        assert!(stats.geom_tuple_count >= 1, "socket word indexed");
+        assert_eq!(stats.geom_residue, 0, "both members have constraints");
+        assert_eq!(stats.geom_overlaps, 1, "[100,200] meets [150,250]");
+        assert_eq!(stats.geom_shadows, 0);
+        let out = d.demux(&pkt(150));
+        assert_eq!(out.accepted, vec![0], "higher priority wins the overlap");
+        assert!(
+            out.applied.is_empty(),
+            "geom engine does not itemize applications"
+        );
+        assert!(out.ir_ops > 0, "threaded-code work is accounted");
+    }
+
+    #[test]
+    fn geom_engine_tracks_filter_rebinding_and_close() {
+        let mut d = dev_with(vec![samples::socket_range_filter(10, 100, 200)]);
+        d.set_engine(DemuxEngine::Geom);
+        assert!(d.demux(&pkt(250)).accepted.is_empty());
+        d.set_filter(0, samples::socket_range_filter(10, 240, 260));
+        assert_eq!(d.demux(&pkt(250)).accepted, vec![0]);
+        d.close(0);
+        assert!(d.demux(&pkt(250)).accepted.is_empty());
+    }
+
+    #[test]
+    fn geom_engine_respects_deliver_to_lower() {
+        let mut d = PfDevice::new();
+        let monitor = d.open((ProcId(0), Fd(0)));
+        d.set_filter(monitor, samples::accept_all(30));
+        d.port_mut(monitor).config.deliver_to_lower = true;
+        let consumer = d.open((ProcId(1), Fd(0)));
+        d.set_filter(consumer, samples::socket_range_filter(10, 30, 40));
+        d.set_engine(DemuxEngine::Geom);
         let out = d.demux(&pkt(35));
         assert_eq!(out.accepted, vec![monitor, consumer]);
     }
@@ -2161,6 +2395,59 @@ mod tests {
         );
         assert_eq!(sig(&samples::accept_all(10)), None);
         assert_eq!(sig(&samples::reject_all(10)), None);
+    }
+
+    #[test]
+    fn admission_candidates_cover_range_filters() {
+        // No leading equality literal, so the syntactic signature fails…
+        let f = samples::socket_range_filter(10, 100, 200);
+        assert_eq!(admission_signature(&f), None);
+        // …but the required-interval analysis still yields sound
+        // witnesses: the socket range and the ethertype guard.
+        let cands = admission_candidates(&f);
+        assert!(cands.contains(&(8, 100, 200)), "socket interval: {cands:?}");
+        assert!(cands.contains(&(1, 2, 2)), "ethertype guard: {cands:?}");
+        assert!(admission_candidates(&samples::accept_all(10)).is_empty());
+    }
+
+    #[test]
+    fn admission_gate_sheds_range_filter_traffic_to_the_right_port() {
+        let mut d = PfDevice::builder()
+            .admission_control(AdmissionConfig {
+                protected_priority: 255,
+                default_quota: AdmissionQuota {
+                    rate_pps: 0,
+                    burst: 1,
+                },
+            })
+            .build();
+        // Two port-range filters share the ethertype guard; the gate must
+        // classify on the socket word (two distinct intervals) so each
+        // port's overload is charged to that port, not the first entry.
+        let low = d.open((ProcId(0), Fd(0)));
+        d.set_filter(low, samples::socket_range_filter(10, 100, 200));
+        let high = d.open((ProcId(1), Fd(0)));
+        d.set_filter(high, samples::socket_range_filter(10, 300, 400));
+        let now = SimTime::ZERO;
+        assert_eq!(d.admit(&pkt(150), now), AdmissionVerdict::Admit);
+        assert_eq!(
+            d.admit(&pkt(150), now),
+            AdmissionVerdict::Shed { port: low },
+            "burst spent, attributed to the low-range port"
+        );
+        assert_eq!(
+            d.admit(&pkt(350), now),
+            AdmissionVerdict::Admit,
+            "the high-range port still has its own burst"
+        );
+        assert_eq!(
+            d.admit(&pkt(350), now),
+            AdmissionVerdict::Shed { port: high }
+        );
+        // A socket outside both ranges matches no signature: never shed.
+        assert_eq!(d.admit(&pkt(250), now), AdmissionVerdict::Admit);
+        assert_eq!(d.port(low).admission_drops, 1);
+        assert_eq!(d.port(high).admission_drops, 1);
     }
 
     /// Satellite: DropOldest on a quarantined-filter port must evict from

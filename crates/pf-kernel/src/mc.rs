@@ -24,15 +24,21 @@
 //!
 //! # Filter sharding soundness
 //!
-//! A filter is *pinned* to one core only when two facts line up: its
-//! admission signature (`crate::device::admission_signature`) proves that
-//! every packet it accepts carries `packet[word] == literal`, and the RSS
-//! hash covers exactly that word — so every such packet steers to the one
-//! queue whose core holds the filter. Packets too short to carry the word
-//! cannot match the filter either (an out-of-packet `PUSHWORD` rejects),
-//! so short frames are safe wherever they land. Any filter that fails the
-//! test is *replicated* to every core instead: correctness never depends
-//! on the hash, only the pinning optimization does.
+//! A filter is *pinned* to one core only when every RSS-hashed word is
+//! provably pinned to a single value by the filter: the syntactic
+//! admission signature (`crate::device::admission_signature`) supplies
+//! `packet[word] == literal` for leading equality tests, and the compiled
+//! code's required-interval analysis (`pf_ir::geom::required_constraints`)
+//! supplies the same witness for equality guards buried in multi-word or
+//! range programs (a required interval with `lo == hi`). When each hashed
+//! word carries such a witness, every accepting packet hashes identically
+//! and steers to the one queue whose core holds the filter. Packets too
+//! short to carry a required word cannot match the filter either (an
+//! out-of-packet load rejects), so short frames are safe wherever they
+//! land. A *range* constraint on a hashed word never pins (different
+//! in-range values hash to different queues), and any filter that fails
+//! the test is *replicated* to every core instead: correctness never
+//! depends on the hash, only the pinning optimization does.
 
 use crate::device::{admission_signature, AdmissionVerdict, DemuxEngine, PfDevice, PortIdx};
 use crate::types::{Fd, ProcId};
@@ -40,6 +46,7 @@ use crate::world::OverloadConfig;
 use crate::AdmissionConfig;
 use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
+use pf_ir::geom::required_constraints;
 use pf_sim::cost::CostModel;
 use pf_sim::counters::Counters;
 use pf_sim::cpu::CpuPool;
@@ -330,26 +337,53 @@ impl McPipeline {
         handle
     }
 
-    /// Where `program` may live: pinned iff its admission signature's
-    /// word is exactly what the RSS hash covers.
+    /// Where `program` may live: pinned iff every RSS-hashed word is
+    /// provably pinned to one value by the filter (see the module docs).
     fn placement_of(&self, program: &FilterProgram) -> Placement {
         if self.config.cores == 1 {
             return Placement::Pinned { core: 0 };
         }
-        if let Some((word, literal)) = admission_signature(program) {
-            if self.config.rss.hash_words == [u16::from(word)] {
-                // Steer a synthetic frame carrying the signature word; all
-                // matching packets hash identically (the hash reads only
-                // that word).
-                let len = 2 * (usize::from(word) + 1);
-                let mut synthetic = vec![0u8; len];
-                synthetic[len - 2] = (literal >> 8) as u8;
-                synthetic[len - 1] = (literal & 0xFF) as u8;
-                let core = self.config.rss.steer(&synthetic);
-                return Placement::Pinned { core };
+        if self.config.rss.hash_words.is_empty() {
+            return Placement::Replicated;
+        }
+        // Each hashed word needs an equality witness: the syntactic
+        // admission signature, or an exact required interval from the
+        // compiled code's analysis (which also finds equality guards
+        // buried in multi-word and range programs). A *range* constraint
+        // never pins — different in-range values hash apart.
+        let syntactic = admission_signature(program);
+        let required = required_constraints(program);
+        let exact_literal = |w: u16| -> Option<u16> {
+            if let Some((sw, lit)) = syntactic {
+                if u16::from(sw) == w {
+                    return Some(lit);
+                }
+            }
+            required
+                .iter()
+                .find(|iv| iv.word == w && iv.is_exact())
+                .map(|iv| iv.lo)
+        };
+        let mut pins: Vec<(u16, u16)> = Vec::new();
+        for &w in &self.config.rss.hash_words {
+            match exact_literal(w) {
+                Some(lit) => pins.push((w, lit)),
+                None => return Placement::Replicated,
             }
         }
-        Placement::Replicated
+        // Steer a synthetic frame carrying every hashed word's pinned
+        // literal; all matching packets hash identically (the hash reads
+        // only those words, and a matching packet must carry each).
+        let max_word = pins.iter().map(|&(w, _)| w).max().expect("non-empty");
+        let len = 2 * (usize::from(max_word) + 1);
+        let mut synthetic = vec![0u8; len];
+        for (w, lit) in pins {
+            let off = 2 * usize::from(w);
+            synthetic[off] = (lit >> 8) as u8;
+            synthetic[off + 1] = (lit & 0xFF) as u8;
+        }
+        let core = self.config.rss.steer(&synthetic);
+        Placement::Pinned { core }
     }
 
     fn open_on(&mut self, core: usize, handle: usize, program: &FilterProgram) -> PortIdx {
@@ -701,6 +735,14 @@ impl McPipeline {
                     let c = costs.filter_instr.times(u64::from(out.ir_ops));
                     self.pool.charge(core, "pf:sharded", t, c);
                 }
+                DemuxEngine::Geom => {
+                    let tuples = self.workers[origin].device.engine_stats().geom_tuple_count;
+                    let probe = costs.geom_probe.times((tuples as u64).max(1));
+                    self.pool.charge(core, "pf:geom", t, probe);
+                    self.workers[core].counters.filter_instructions += u64::from(out.ir_ops);
+                    let c = costs.filter_instr.times(u64::from(out.ir_ops));
+                    self.pool.charge(core, "pf:geom", t, c);
+                }
                 DemuxEngine::Jit => {
                     let c = costs.jit_eval.times(u64::from(out.jit_filters.max(1)));
                     self.pool.charge(core, "pf:jit", t, c);
@@ -862,6 +904,72 @@ mod tests {
         // A filter without a signature on the hashed word replicates.
         let h = pl.add_filter(samples::accept_all(1));
         assert_eq!(pl.placement(h), Placement::Replicated);
+    }
+
+    #[test]
+    fn interval_analysis_pins_multi_word_and_guarded_filters() {
+        // Hash *both* socket words: the syntactic signature covers only
+        // the low word, but the high word's `PUSHZERO CAND` is an exact
+        // required constraint, so the compiled analysis pins the pair —
+        // the old single-word rule had to replicate this.
+        let mut cfg = McConfig::single_core(DemuxEngine::Geom);
+        cfg.cores = 4;
+        cfg.rss = RssConfig::multi_queue(4, vec![u16::from(samples::WORD_DSTSOCKET_HI), SOCK_WORD]);
+        let mut pl = McPipeline::new(cfg.clone());
+        let h = pl.add_filter(samples::pup_socket_filter(10, 0, 35));
+        let Placement::Pinned { core } = pl.placement(h) else {
+            panic!("multi-word equality filter must pin");
+        };
+        assert_eq!(core, cfg.rss.steer(&pkt(35)));
+
+        // A range filter pins when the hash reads its equality *guard*
+        // (every accepted packet carries ethertype == 2)…
+        let mut cfg = McConfig::single_core(DemuxEngine::Geom);
+        cfg.cores = 4;
+        cfg.rss = RssConfig::multi_queue(4, vec![u16::from(samples::WORD_ETHERTYPE)]);
+        let mut pl = McPipeline::new(cfg.clone());
+        let h = pl.add_filter(samples::socket_range_filter(10, 100, 200));
+        let Placement::Pinned { core } = pl.placement(h) else {
+            panic!("ethertype guard is an exact required constraint");
+        };
+        assert_eq!(core, cfg.rss.steer(&pkt(150)));
+
+        // …but never when the hash reads the *ranged* word: different
+        // in-range values hash to different queues.
+        let mut cfg = McConfig::single_core(DemuxEngine::Geom);
+        cfg.cores = 4;
+        cfg.rss = RssConfig::multi_queue(4, vec![SOCK_WORD]);
+        let mut pl = McPipeline::new(cfg);
+        let h = pl.add_filter(samples::socket_range_filter(10, 100, 200));
+        assert_eq!(pl.placement(h), Placement::Replicated);
+    }
+
+    #[test]
+    fn geom_engine_delivers_range_flows_across_cores() {
+        // Port-range filters replicate under a socket-word hash; the geom
+        // engine's delivery totals must match the single-core run anyway.
+        let ranges: [(u16, u16); 4] = [(100, 120), (200, 260), (300, 310), (400, 480)];
+        let socks: Vec<u16> = vec![105, 115, 210, 250, 305, 410, 470, 999];
+        let arrivals = steady_arrivals(240, 3_000, &socks);
+        let mut totals = Vec::new();
+        for cores in [1usize, 4] {
+            let mut cfg = McConfig::single_core(DemuxEngine::Geom);
+            cfg.cores = cores;
+            cfg.rss = if cores == 1 {
+                RssConfig::single_queue()
+            } else {
+                RssConfig::multi_queue(cores, vec![SOCK_WORD])
+            };
+            let mut pl = McPipeline::new(cfg);
+            for &(lo, hi) in &ranges {
+                pl.add_filter(samples::socket_range_filter(10, lo, hi));
+            }
+            let report = pl.run(arrivals.clone());
+            totals.push(report.total);
+        }
+        assert_eq!(totals[0].packets_delivered, totals[1].packets_delivered);
+        assert_eq!(totals[0].drops_no_match, totals[1].drops_no_match);
+        assert!(totals[0].drops_no_match > 0, "sock 999 matches nothing");
     }
 
     #[test]

@@ -795,6 +795,18 @@ impl World {
                     let cost = h.costs.filter_cost(outcome.ir_ops);
                     h.cpu.charge("pf:sharded", now, cost);
                 }
+                DemuxEngine::Geom => {
+                    // One index probe per `(word, range-class)` tuple —
+                    // O(log U) segment-tree work, independent of member
+                    // count — plus the threaded-code ops of the members
+                    // the index could not rule out.
+                    let tuples = h.device.engine_stats().geom_tuple_count as u64;
+                    let probe = h.costs.geom_probe.times(tuples.max(1));
+                    h.cpu.charge("pf:geom", now, probe);
+                    h.counters.filter_instructions += u64::from(outcome.ir_ops);
+                    let cost = h.costs.filter_cost(outcome.ir_ops);
+                    h.cpu.charge("pf:geom", now, cost);
+                }
                 DemuxEngine::Jit => {
                     // Native straight-line code has no per-instruction
                     // dispatch; each member walked is one flat evaluation.

@@ -143,6 +143,7 @@ proptest! {
         let mut tab = build(DemuxEngine::DecisionTable);
         let mut ir = build(DemuxEngine::Ir);
         let mut sharded = build(DemuxEngine::Sharded);
+        let mut geom = build(DemuxEngine::Geom);
         let mut jit = build(DemuxEngine::Jit);
         for (et, sock, ptype) in traffic {
             let pkt = samples::pup_packet_3mb(et, 0, sock, ptype);
@@ -161,6 +162,11 @@ proptest! {
                 sharded.demux(&pkt).accepted,
                 expect.clone(),
                 "sharded: et={} sock={} type={}", et, sock, ptype
+            );
+            prop_assert_eq!(
+                geom.demux(&pkt).accepted,
+                expect.clone(),
+                "geom: et={} sock={} type={}", et, sock, ptype
             );
             prop_assert_eq!(
                 jit.demux(&pkt).accepted,

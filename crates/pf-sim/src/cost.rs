@@ -109,6 +109,12 @@ pub struct CostModel {
     /// `filter_setup`, so batching is a pure amortization, never a
     /// discount.
     pub batch_dispatch: SimDuration,
+    /// One geometric-classifier tuple probe: a hash on the tuple key plus
+    /// a logarithmic descent of that tuple's interval structure. Charged
+    /// per probed tuple per packet — dearer than a flat decision-table
+    /// hash probe (`dtree_probe`) because of the descent, far cheaper
+    /// than interpreting a member filter.
+    pub geom_probe: SimDuration,
 }
 
 impl CostModel {
@@ -143,6 +149,7 @@ impl CostModel {
             mc_wakeup: SimDuration::from_micros(150),
             queue_steal: SimDuration::from_micros(60),
             batch_dispatch: SimDuration::from_micros(50),
+            geom_probe: SimDuration::from_micros(30),
         }
     }
 
@@ -256,6 +263,17 @@ mod tests {
         assert!(m.mc_wakeup < m.context_switch);
         assert!(m.mc_wakeup > m.rss_hash);
         assert!(m.queue_steal < m.driver_rx);
+    }
+
+    #[test]
+    fn geom_probe_sits_between_dtree_and_interpretation() {
+        // A tuple probe is a hash plus a log-depth descent: costlier than
+        // the decision table's flat hash probe, but a probed tuple must be
+        // far cheaper than interpreting even one short member filter —
+        // that gap is the whole point of the geometric classifier.
+        let m = CostModel::microvax_ii();
+        assert!(m.geom_probe > m.dtree_probe);
+        assert!(m.geom_probe < m.filter_cost(1));
     }
 
     #[test]

@@ -40,6 +40,16 @@ mc_json="$(mktemp)"
 cargo run -p pf-bench --release --bin bench_mc -- --smoke --out "$mc_json" > /dev/null
 python3 -m json.tool "$mc_json" > /dev/null
 rm -f "$mc_json"
+# Demux-scaling invariants: the smoke run carries sweep-internal asserts
+# (geom beats sharded-VN on the range-heavy ladder, stays within 2x on
+# pure-exact populations, sublinear probe growth up the ladder, churn
+# compactions amortized); same temp-path treatment, and the artifact —
+# rows + range_rows + churn_rows — must parse as JSON.
+echo "==> cargo run -p pf-bench --release --bin bench_demux -- --smoke --out <tmp>"
+demux_json="$(mktemp)"
+cargo run -p pf-bench --release --bin bench_demux -- --smoke --out "$demux_json" > /dev/null
+python3 -m json.tool "$demux_json" > /dev/null
+rm -f "$demux_json"
 
 if [[ "${1:-}" == "--benches" ]]; then
     run cargo bench --workspace --features criterion-benches --no-run
