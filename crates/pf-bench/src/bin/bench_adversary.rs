@@ -1,0 +1,58 @@
+//! Writes `BENCH_adversary.json`: the adversarial-traffic campaign.
+//! State-machine workload generators shape hostile flows against each
+//! defense mechanism — RSS collision floods, admission-signature
+//! mimicry, quota-gamed bursts, geom overlap bombs, monitor-evading
+//! shaping — and every family runs against both the undefended and the
+//! hardened build. Every collapse and every recovery claim is an
+//! `assert!`, so a zero exit *is* the campaign's proof.
+//!
+//! ```text
+//! cargo run -p pf-bench --release --bin bench_adversary            # full sweep
+//! cargo run -p pf-bench --release --bin bench_adversary -- --smoke # tiny CI sweep
+//! cargo run -p pf-bench --release --bin bench_adversary -- --stdout
+//! cargo run -p pf-bench --release --bin bench_adversary -- --seed 0xC0FFEE
+//! ```
+
+use pf_bench::{adversary, cli};
+
+fn main() {
+    let args = cli::parse_or_exit("bench_adversary", true);
+    if args.cores.is_some() || args.batch.is_some() {
+        eprintln!(
+            "bench_adversary: the RSS-collision family fixes its core count \
+             (core/batch sweeps live in bench_mc)"
+        );
+        std::process::exit(2);
+    }
+    let report = adversary::sweep(args.smoke, args.seed.unwrap_or(adversary::DEFAULT_SEED));
+    let json = adversary::to_json(&report);
+    let Some(path) = args.out_path(adversary::default_path()) else {
+        print!("{json}");
+        return;
+    };
+    std::fs::write(&path, &json).expect("write BENCH_adversary.json");
+    println!(
+        "wrote {} ({} rows, capacity {} pps, wanted {} pps, seed {:#x})",
+        path.display(),
+        report.rows.len(),
+        report.capacity_pps,
+        report.wanted_pps,
+        report.seed
+    );
+    for p in &report.rows {
+        println!(
+            "  {:>15} {:>10}  goodput/coverage {:>5.3}  p99 {:>8} us  \
+             drops adm/ring/q {:>6}/{:>6}/{:>6}  shed {:>6}  resig {:>2}  capped {:>7}",
+            p.family,
+            p.mode,
+            p.goodput_ratio,
+            p.p99_latency_us,
+            p.drops_admission,
+            p.drops_interface,
+            p.drops_queue_full,
+            p.drops_mimicry_shed,
+            p.gate_resignatures,
+            p.candidates_capped
+        );
+    }
+}

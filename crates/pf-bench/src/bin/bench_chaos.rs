@@ -15,7 +15,7 @@ use pf_bench::{chaos, cli};
 
 fn main() {
     let args = cli::parse_or_exit("bench_chaos", true);
-    let report = chaos::sweep(args.smoke);
+    let report = chaos::sweep(args.smoke, args.seed.unwrap_or(chaos::DEFAULT_SEED));
     let json = chaos::to_json(&report);
     let Some(path) = args.out_path(chaos::default_path()) else {
         print!("{json}");

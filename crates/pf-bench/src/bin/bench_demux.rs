@@ -18,7 +18,7 @@ fn main() {
     let args = cli::parse_or_exit("bench_demux", true);
     let points = demux_json::sweep(args.smoke);
     let (ladder, churn) = demux_json::range_sweep(args.smoke);
-    let json = demux_json::to_json(&points, &ladder, &churn);
+    let json = demux_json::to_json(&points, &ladder, &churn, args.seed.unwrap_or(0));
     let Some(path) = args.out_path(demux_json::default_path()) else {
         print!("{json}");
         return;

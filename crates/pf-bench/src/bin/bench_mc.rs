@@ -15,7 +15,12 @@ use pf_bench::{cli, mc};
 
 fn main() {
     let args = cli::parse_or_exit("bench_mc", true);
-    let report = mc::sweep(args.smoke, args.cores.as_deref(), args.batch.as_deref());
+    let report = mc::sweep(
+        args.smoke,
+        args.cores.as_deref(),
+        args.batch.as_deref(),
+        args.seed.unwrap_or(0),
+    );
     let json = mc::to_json(&report);
     let Some(path) = args.out_path(mc::default_path()) else {
         print!("{json}");

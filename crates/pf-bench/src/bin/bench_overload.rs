@@ -37,7 +37,7 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let report = overload::sweep(args.smoke);
+    let report = overload::sweep(args.smoke, args.seed.unwrap_or(overload::DEFAULT_SEED));
     let json = overload::to_json(&report);
     let Some(path) = args.out_path(overload::default_path()) else {
         print!("{json}");

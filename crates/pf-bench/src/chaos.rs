@@ -40,6 +40,12 @@ use std::collections::VecDeque;
 /// that a blackout terminates quickly.
 pub const MAX_RETRIES: u32 = 32;
 
+/// Default campaign base seed (the value the committed artifact was
+/// produced under); `--seed` overrides it. Scenario sub-seeds are
+/// derived from the base so the default reproduces the artifact
+/// bit-for-bit while any other base reshuffles every scenario.
+pub const DEFAULT_SEED: u64 = 0xC4A0_0000;
+
 /// Per-delivery fault probabilities for the byte channel.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ChaosFaults {
@@ -594,6 +600,8 @@ pub struct ChaosPoint {
 /// kernel-degradation scenarios.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
+    /// Base seed the campaign ran under (recorded for replay).
+    pub seed: u64,
     /// Protocol sweep rows.
     pub rows: Vec<ChaosPoint>,
     /// Engine-agreement tally (disagreements must be zero).
@@ -608,7 +616,11 @@ pub struct ChaosReport {
 /// of retransmissions; every engine agrees on damaged packets; the
 /// kernel degrades per policy. A violated invariant panics with the
 /// offending seed, so a completed sweep *is* the zero-panic proof.
-pub fn sweep(smoke: bool) -> ChaosReport {
+pub fn sweep(smoke: bool, base_seed: u64) -> ChaosReport {
+    // XOR-mixing against the default keeps every historic sub-seed
+    // intact when `base_seed == DEFAULT_SEED` and reshuffles all of them
+    // coherently otherwise.
+    let mix = base_seed ^ DEFAULT_SEED;
     let losses: &[f64] = if smoke {
         &[0.0, 0.1, 0.3]
     } else {
@@ -620,7 +632,7 @@ pub fn sweep(smoke: bool) -> ChaosReport {
         (6_000, 6, 3_000)
     };
     let mut rows = Vec::new();
-    let mut seed = 0xC4A0_0000u64;
+    let mut seed = base_seed;
     for &loss in losses {
         // Two mixes per loss level: loss alone, and loss plus the rest of
         // the spectrum.
@@ -668,7 +680,7 @@ pub fn sweep(smoke: bool) -> ChaosReport {
         loss: 1.0,
         ..Default::default()
     };
-    let bsp = run_bsp(0xB1AC_0001, blackout, 200);
+    let bsp = run_bsp(0xB1AC_0001 ^ mix, blackout, 200);
     assert!(
         bsp.gave_up && !bsp.delivered,
         "bsp blackout must give up: {bsp:?}"
@@ -682,7 +694,7 @@ pub fn sweep(smoke: bool) -> ChaosReport {
         faults: blackout,
         run: bsp,
     });
-    let vmtp = run_vmtp(0xB1AC_0002, blackout, 1, 100);
+    let vmtp = run_vmtp(0xB1AC_0002 ^ mix, blackout, 1, 100);
     assert!(
         vmtp.gave_up && !vmtp.delivered,
         "vmtp blackout must give up: {vmtp:?}"
@@ -697,14 +709,14 @@ pub fn sweep(smoke: bool) -> ChaosReport {
         run: vmtp,
     });
 
-    let engines = engine_agreement(0xE6E1_5EED, if smoke { 8 } else { 40 });
+    let engines = engine_agreement(0xE6E1_5EED ^ mix, if smoke { 8 } else { 40 });
     assert_eq!(
         engines.disagreements, 0,
         "engines disagreed on damaged packets: {engines:?}"
     );
     assert!(engines.verdicts > 0);
 
-    let kernel = kernel_degradation(0xDE6_0001);
+    let kernel = kernel_degradation(0xDE6_0001 ^ mix);
     assert_eq!(kernel.quarantined_ports, 2, "{kernel:?}");
     assert!(kernel.quarantine_accepts > 0, "{kernel:?}");
     assert!(kernel.compiled_accepts > 0, "{kernel:?}");
@@ -715,6 +727,7 @@ pub fn sweep(smoke: bool) -> ChaosReport {
     assert_eq!(kernel.drop_oldest_drops, 6, "{kernel:?}");
 
     ChaosReport {
+        seed: base_seed,
         rows,
         engines,
         kernel,
@@ -738,6 +751,7 @@ pub fn to_json(report: &ChaosReport) -> String {
          seeded fault channel (loss/corruption/truncation/reorder/duplication), plus \
          engine-agreement and kernel-degradation scenarios\",\n",
     );
+    s.push_str(&format!("  \"seed\": {},\n", report.seed));
     s.push_str("  \"rows\": [\n");
     for (i, p) in report.rows.iter().enumerate() {
         s.push_str(&format!(
@@ -883,7 +897,7 @@ mod tests {
 
     #[test]
     fn smoke_sweep_holds_every_invariant() {
-        let report = sweep(true);
+        let report = sweep(true, DEFAULT_SEED);
         // 3 losses x 2 mixes x 2 protocols + 2 blackout rows.
         assert_eq!(report.rows.len(), 14);
         let json = to_json(&report);

@@ -30,6 +30,21 @@ pub struct BenchArgs {
     /// Batch sizes to sweep (`--batch 1,8,32,128`); `None` leaves the
     /// binary's default sweep in place.
     pub batch: Option<Vec<usize>>,
+    /// Campaign seed (`--seed <u64>`, decimal or `0x`-hex); `None` keeps
+    /// the binary's fixed default. Every campaign records the seed it ran
+    /// under in its JSON artifact, so any row is reproducible from the
+    /// record alone.
+    pub seed: Option<u64>,
+}
+
+/// Parses a `--seed` value: decimal, or hex with an `0x`/`0X` prefix.
+fn parse_seed(value: &str) -> Result<u64, String> {
+    let v = value.trim();
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("--seed must be a u64 (decimal or 0x-hex), got `{value}`"))
 }
 
 /// Parses a `--cores`/`--batch` style comma-separated list of positive
@@ -94,11 +109,15 @@ where
                 Some(v) => out.batch = Some(parse_count_list("--batch", &v)?),
                 None => return Err("--batch requires a list (e.g. --batch 1,8,32,128)".into()),
             },
+            "--seed" => match it.next() {
+                Some(v) => out.seed = Some(parse_seed(&v)?),
+                None => return Err("--seed requires a value (e.g. --seed 0xC0FFEE)".into()),
+            },
             other => {
                 let smoke = if accepts_smoke { "--smoke, " } else { "" };
                 return Err(format!(
                     "unknown argument `{other}` (valid flags: {smoke}--stdout, --out <path>, \
-                     --cores <list>, --batch <list>)"
+                     --cores <list>, --batch <list>, --seed <u64>)"
                 ));
             }
         }
@@ -115,7 +134,8 @@ pub fn parse_or_exit(bin: &str, accepts_smoke: bool) -> BenchArgs {
             let smoke = if accepts_smoke { "[--smoke] " } else { "" };
             eprintln!("{bin}: {e}");
             eprintln!(
-                "usage: {bin} {smoke}[--stdout] [--out <path>] [--cores <list>] [--batch <list>]"
+                "usage: {bin} {smoke}[--stdout] [--out <path>] [--cores <list>] [--batch <list>] \
+                 [--seed <u64>]"
             );
             std::process::exit(2);
         }
@@ -190,6 +210,18 @@ mod tests {
         );
         assert!(try_parse(args(&["--cores"]), true).is_err(), "missing list");
         assert!(try_parse(args(&["--batch", ""]), true).is_err(), "empty");
+    }
+
+    #[test]
+    fn parses_seed_in_decimal_and_hex() {
+        let a = try_parse(args(&["--seed", "12345"]), true).unwrap();
+        assert_eq!(a.seed, Some(12345));
+        let a = try_parse(args(&["--seed", "0xC0FFEE"]), false).unwrap();
+        assert_eq!(a.seed, Some(0xC0FFEE));
+        assert_eq!(try_parse(args(&[]), true).unwrap().seed, None);
+        let e = try_parse(args(&["--seed", "lucky"]), true).unwrap_err();
+        assert!(e.contains("--seed") && e.contains("`lucky`"), "{e}");
+        assert!(try_parse(args(&["--seed"]), true).is_err(), "missing value");
     }
 
     #[test]

@@ -581,8 +581,17 @@ fn fmt_f64(x: f64) -> String {
 /// Renders the sweep, the mixed exact/range ladder, and the churn
 /// column as one JSON document (hand-rolled: the build is hermetic, no
 /// serde).
-pub fn to_json(points: &[DemuxPoint], ladder: &[RangePoint], churn: &[ChurnPoint]) -> String {
+pub fn to_json(
+    points: &[DemuxPoint],
+    ladder: &[RangePoint],
+    churn: &[ChurnPoint],
+    seed: u64,
+) -> String {
     let mut s = String::from("{\n  \"experiment\": \"demux_scaling\",\n");
+    // This campaign draws no randomness (populations and traffic are
+    // pinned); the seed is recorded so every BENCH_*.json carries the
+    // same replay field.
+    s.push_str(&format!("  \"seed\": {seed},\n"));
     s.push_str("  \"unit\": \"ns/packet, wall clock\",\n");
     s.push_str(
         "  \"workload\": \"multi-ethertype population (8 ethertypes x n/8 sockets), \
@@ -832,7 +841,8 @@ mod tests {
             ns_per_update: 900.0,
             rebuilds: 1,
         }];
-        let json = to_json(&points, &ladder, &churn);
+        let json = to_json(&points, &ladder, &churn, 7);
+        assert!(json.contains("\"seed\": 7"));
         assert!(json.contains("\"engine\": \"sharded\""));
         assert!(json.contains("\"population\": 16"));
         assert!(json.contains("\"ns_per_packet\": 123.46"));

@@ -29,6 +29,7 @@
 //! `break_even` / `ablations` binaries.
 
 pub mod ablations;
+pub mod adversary;
 pub mod breakeven;
 pub mod chaos;
 pub mod cli;

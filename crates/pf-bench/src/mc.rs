@@ -202,6 +202,11 @@ pub fn run_cell(
 /// The whole campaign.
 #[derive(Debug, Clone)]
 pub struct McReportTable {
+    /// Seed recorded for artifact provenance. This campaign draws no
+    /// randomness (arrivals and steering are fully pinned), so the seed
+    /// does not change results; it is recorded so every BENCH_*.json
+    /// carries the same replay field.
+    pub seed: u64,
     /// Flow population (pinned socket filters).
     pub population: u16,
     /// Frames offered per cell.
@@ -228,7 +233,12 @@ impl McReportTable {
 /// offending cell. `cores`/`batches` override the default sweeps (the
 /// scaling asserts need {1, 4} and {1, 32}; sweeps without them skip the
 /// corresponding gate).
-pub fn sweep(smoke: bool, cores: Option<&[usize]>, batches: Option<&[usize]>) -> McReportTable {
+pub fn sweep(
+    smoke: bool,
+    cores: Option<&[usize]>,
+    batches: Option<&[usize]>,
+    seed: u64,
+) -> McReportTable {
     let default_cores: &[usize] = if smoke { &[1, 4] } else { &CORES };
     let default_batches: &[usize] = if smoke { &[1, 32] } else { &BATCHES };
     let cores = cores.unwrap_or(default_cores);
@@ -245,6 +255,7 @@ pub fn sweep(smoke: bool, cores: Option<&[usize]>, batches: Option<&[usize]>) ->
         }
     }
     let report = McReportTable {
+        seed,
         population: POPULATION,
         frames,
         rows,
@@ -329,8 +340,8 @@ pub fn to_json(report: &McReportTable) -> String {
          cores, engine batch sizes, and demux engines\",\n",
     );
     s.push_str(&format!(
-        "  \"population\": {},\n  \"frames_per_cell\": {},\n",
-        report.population, report.frames
+        "  \"seed\": {},\n  \"population\": {},\n  \"frames_per_cell\": {},\n",
+        report.seed, report.population, report.frames
     ));
     s.push_str("  \"rows\": [\n");
     for (i, p) in report.rows.iter().enumerate() {
@@ -420,7 +431,7 @@ mod tests {
 
     #[test]
     fn smoke_sweep_holds_every_invariant() {
-        let report = sweep(true, None, None);
+        let report = sweep(true, None, None, 0);
         // 1 engine x 2 core counts x 2 batch sizes.
         assert_eq!(report.rows.len(), 4);
         let json = to_json(&report);

@@ -40,6 +40,10 @@ pub const JUNK_SOCK: u16 = 99;
 /// NIC receive-ring capacity used by every cell (hardware is held
 /// constant across tiers; only the software armor varies).
 pub const NIC_RING: usize = 256;
+
+/// Default campaign seed (the value the committed artifact was produced
+/// under); `--seed` overrides it.
+pub const DEFAULT_SEED: u64 = 0x0E11_0AD5;
 /// Per-packet application cost of consuming one wanted packet.
 pub const CONSUME: SimDuration = SimDuration::from_micros(200);
 
@@ -276,15 +280,17 @@ pub struct OverloadPoint {
 }
 
 /// Runs one (engine, armor, offered-multiple) cell for `duration` of
-/// simulated time and returns its measurements. Fully deterministic.
+/// simulated time and returns its measurements. Fully deterministic for
+/// a given `seed` (the world's fault/arrival randomness source).
 pub fn run_cell(
     engine: DemuxEngine,
     engine_label: &'static str,
     armor: Armor,
     mult: f64,
     duration: SimDuration,
+    seed: u64,
 ) -> OverloadPoint {
-    let mut w = World::new(0x0E11_0AD5);
+    let mut w = World::new(seed);
     let seg = w.add_segment(Medium::experimental_3mb(), FaultModel::default());
     let host = w.add_host("bob", seg, 0x0B, CostModel::microvax_ii());
     w.set_nic_capacity(host, NIC_RING);
@@ -357,6 +363,8 @@ pub fn run_cell(
 /// The whole campaign.
 #[derive(Debug, Clone)]
 pub struct OverloadReport {
+    /// Seed every cell's [`World`] ran under (recorded for replay).
+    pub seed: u64,
     /// Nominal unarmored capacity the multipliers are anchored to.
     pub capacity_pps: u64,
     /// Wanted-stream rate.
@@ -383,7 +391,7 @@ impl OverloadReport {
 /// its 1× value (the livelock cliff), shedding moves drops from
 /// after-demux to the NIC, and armor buys back useful-work fraction at
 /// saturation. A violated invariant panics with the offending cell.
-pub fn sweep(smoke: bool) -> OverloadReport {
+pub fn sweep(smoke: bool, seed: u64) -> OverloadReport {
     let mults: &[f64] = if smoke {
         &[1.0, 8.0]
     } else {
@@ -398,11 +406,12 @@ pub fn sweep(smoke: bool) -> OverloadReport {
     for (engine, label) in ENGINES {
         for armor in Armor::ALL {
             for &mult in mults {
-                rows.push(run_cell(engine, label, armor, mult, duration));
+                rows.push(run_cell(engine, label, armor, mult, duration, seed));
             }
         }
     }
     let report = OverloadReport {
+        seed,
         capacity_pps: capacity_pps(),
         wanted_pps: wanted_pps(),
         duration,
@@ -472,6 +481,7 @@ pub fn to_json(report: &OverloadReport) -> String {
          offered at 0.5x-8x of unarmored receive capacity, across armor tiers \
          {none, polling, shedding, full} and demux engines {dtree, sharded, jit}\",\n",
     );
+    s.push_str(&format!("  \"seed\": {},\n", report.seed));
     s.push_str(&format!(
         "  \"capacity_pps\": {},\n  \"wanted_pps\": {},\n  \"duration_ms\": {},\n",
         report.capacity_pps,
@@ -545,8 +555,22 @@ mod tests {
     #[test]
     fn cells_are_deterministic() {
         let d = SimDuration::from_millis(300);
-        let a = run_cell(DemuxEngine::Sharded, "sharded", Armor::Full, 4.0, d);
-        let b = run_cell(DemuxEngine::Sharded, "sharded", Armor::Full, 4.0, d);
+        let a = run_cell(
+            DemuxEngine::Sharded,
+            "sharded",
+            Armor::Full,
+            4.0,
+            d,
+            DEFAULT_SEED,
+        );
+        let b = run_cell(
+            DemuxEngine::Sharded,
+            "sharded",
+            Armor::Full,
+            4.0,
+            d,
+            DEFAULT_SEED,
+        );
         assert_eq!(a.goodput_pps, b.goodput_pps);
         assert_eq!(a.drops_admission, b.drops_admission);
         assert_eq!(a.p99_latency_us, b.p99_latency_us);
@@ -554,7 +578,7 @@ mod tests {
 
     #[test]
     fn smoke_sweep_holds_every_invariant() {
-        let report = sweep(true);
+        let report = sweep(true, DEFAULT_SEED);
         // 3 engines x 4 tiers x 2 multiples.
         assert_eq!(report.rows.len(), 24);
         let json = to_json(&report);

@@ -423,6 +423,14 @@ pub struct GeomSet {
     scratch: Vec<FilterId>,
     /// Reused candidate-slot buffer.
     cand: Vec<u32>,
+    /// Optional bound on candidates evaluated per packet. Under a
+    /// wide-overlap population a hostile probe can select nearly every
+    /// member; the cap keeps per-packet evaluation bounded by pruning the
+    /// candidate list *after* the priority sort, so only the
+    /// lowest-priority (latest-inserted) candidates are shed.
+    candidate_cap: Option<usize>,
+    /// Candidates pruned by the cap, cumulative over all evaluations.
+    candidates_capped: u64,
 }
 
 impl GeomSet {
@@ -500,6 +508,26 @@ impl GeomSet {
     /// packets distinguished only by this word.
     pub fn shadow_count(&self) -> u64 {
         self.shadows
+    }
+
+    /// Bounds candidates evaluated per packet to `cap` (`None` removes
+    /// the bound — the default). The candidate list is pruned *after* the
+    /// priority sort, so the cap sheds only the lowest-priority /
+    /// latest-inserted candidates: a first-match winner among the top
+    /// `cap` candidates is unaffected; members beyond the cap are
+    /// deliberately not evaluated (their would-be matches are shed).
+    pub fn set_candidate_cap(&mut self, cap: Option<usize>) {
+        self.candidate_cap = cap;
+    }
+
+    /// The configured per-packet candidate bound, if any.
+    pub fn candidate_cap(&self) -> Option<usize> {
+        self.candidate_cap
+    }
+
+    /// Candidates pruned by the cap, cumulative over all evaluations.
+    pub fn candidates_capped(&self) -> u64 {
+        self.candidates_capped
     }
 
     /// Inserts (or replaces) the filter for `id`.
@@ -701,7 +729,9 @@ impl GeomSet {
     }
 
     /// Gathers the candidate slots the tuple index selects for `packet`
-    /// into `cand`, sorted into match order. Fast-path only.
+    /// into `cand`, sorted into match order, then prunes to `cap` if one
+    /// is set (highest-priority candidates survive). Returns how many
+    /// candidates the cap shed. Fast-path only.
     fn gather(
         tuples: &BTreeMap<u16, WordIndex>,
         residue: &[u32],
@@ -709,7 +739,8 @@ impl GeomSet {
         packet: PacketView<'_>,
         cand: &mut Vec<u32>,
         stats: &mut GeomStats,
-    ) {
+        cap: Option<usize>,
+    ) -> u64 {
         cand.clear();
         for (&word, idx) in tuples.iter() {
             let Some(v) = packet.word(usize::from(word)) else {
@@ -733,6 +764,14 @@ impl GeomSet {
             let m = slots[s as usize].as_ref().expect("retained live");
             (Reverse(m.priority), m.seq)
         });
+        match cap {
+            Some(cap) if cand.len() > cap => {
+                let pruned = cand.len() - cap;
+                cand.truncate(cap);
+                pruned as u64
+            }
+            _ => 0,
+        }
     }
 
     fn walk(&mut self, packet: PacketView<'_>, stop_at_first: bool) -> (GeomStats, &[FilterId]) {
@@ -746,12 +785,22 @@ impl GeomSet {
             scratch,
             cand,
             config,
+            candidate_cap,
+            candidates_capped,
             ..
         } = self;
         scratch.clear();
         let mut stats = GeomStats::default();
         if packet.word_len() >= *fast_min_words {
-            Self::gather(tuples, residue, slots, packet, cand, &mut stats);
+            *candidates_capped += Self::gather(
+                tuples,
+                residue,
+                slots,
+                packet,
+                cand,
+                &mut stats,
+                *candidate_cap,
+            );
             for &s in cand.iter() {
                 let m = slots[s as usize].as_ref().expect("retained live");
                 if eval_member(m, packet, *config, &mut stats) {
@@ -795,6 +844,7 @@ impl GeomSet {
         let words: Vec<u16> = self.tuples.keys().copied().collect();
         let mut cached_key: Option<Vec<Option<u16>>> = None;
         let mut cached_probe = (0u32, 0u32);
+        let mut cached_pruned = 0u64;
         let mut key_buf: Vec<Option<u16>> = Vec::with_capacity(words.len());
         for &packet in packets {
             let mut stats = GeomStats::default();
@@ -808,9 +858,18 @@ impl GeomSet {
                         tuples,
                         residue,
                         cand,
+                        candidate_cap,
                         ..
                     } = &mut *self;
-                    Self::gather(tuples, residue, slots, packet, cand, &mut stats);
+                    cached_pruned = Self::gather(
+                        tuples,
+                        residue,
+                        slots,
+                        packet,
+                        cand,
+                        &mut stats,
+                        *candidate_cap,
+                    );
                     cached_probe = (stats.tuples_probed, stats.nodes_visited);
                     cached_key = Some(key_buf.clone());
                 } else {
@@ -818,6 +877,7 @@ impl GeomSet {
                     stats.tuples_probed = cached_probe.0;
                     stats.nodes_visited = cached_probe.1;
                 }
+                self.candidates_capped += cached_pruned;
                 for &s in self.cand.iter() {
                     let m = self.slots[s as usize].as_ref().expect("retained live");
                     if eval_member(m, packet, self.config, &mut stats) {
@@ -1161,5 +1221,42 @@ mod tests {
             "{s_small:?} vs {s_big:?}"
         );
         assert_eq!(s_big.filters_evaluated, 1, "{s_big:?}");
+    }
+
+    #[test]
+    fn candidate_cap_bounds_wide_overlap_evaluation() {
+        // An overlap bomb: 40 nested ranges that all contain the probe
+        // point, so the index can rule nothing out and evaluation, not
+        // probing, dominates.
+        let mut set = GeomSet::new();
+        for i in 0..40u32 {
+            let w = i as u16;
+            set.insert(i, samples::socket_range_filter(10, 1000 + w, 3000 - w));
+        }
+        assert!(set.overlap_count() > 0, "nested inserts overlap");
+        assert!(
+            set.shadow_count() > 0,
+            "narrower later inserts are shadowed"
+        );
+        let p = pkt(2000);
+        let (_, undefended) = set.matches_with_stats(PacketView::new(&p));
+        assert_eq!(undefended.filters_evaluated, 40, "{undefended:?}");
+        // The mitigation: cap candidates per packet; the priority-sorted
+        // pruning keeps the first-match winner (earliest seq at equal
+        // priority) and bounds evaluation.
+        set.set_candidate_cap(Some(8));
+        let (_, capped) = set.matches_with_stats(PacketView::new(&p));
+        assert!(capped.filters_evaluated <= 8, "{capped:?}");
+        assert_eq!(set.candidates_capped(), 32);
+        assert_eq!(set.first_match(PacketView::new(&p)), Some(0));
+        // The batch path prunes identically (and counts per packet).
+        let before = set.candidates_capped();
+        let views = [PacketView::new(&p), PacketView::new(&p)];
+        let (ids, stats) = set.matches_batch_with_stats(&views);
+        assert!(stats.iter().all(|s| s.filters_evaluated <= 8));
+        assert_eq!(ids[0].first(), Some(&0));
+        // 32 pruned for each of the two packets (the cached key-run
+        // replays the probe's pruning per packet).
+        assert_eq!(set.candidates_capped() - before, 64);
     }
 }

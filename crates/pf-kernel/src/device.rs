@@ -37,6 +37,7 @@ use pf_filter::validate::ValidatedProgram;
 use pf_filter::word::{BinaryOp, Instr, StackAction};
 use pf_ir::geom::{required_constraints, GeomSet};
 use pf_ir::set::{IrFilterSet, ShardedVnSet};
+use pf_sim::rng::SplitMix64;
 use pf_sim::time::SimTime;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -162,12 +163,28 @@ pub struct AdmissionConfig {
     /// Token bucket applied to every unprotected (best-effort) port that
     /// has no per-port override ([`PfDevice::set_port_quota`]).
     pub default_quota: AdmissionQuota,
+    /// Mimicry defense: after this many gate-admitted frames attributed
+    /// to a protected entry matched *no* filter
+    /// ([`PfDevice::note_unmatched_admit`]), the entry re-selects its
+    /// signature — it starts verifying every other word the protected
+    /// filter provably requires, and sheds covered frames that fail the
+    /// verification ([`AdmissionVerdict::ShedMimic`]). `None` (the
+    /// default) disables re-selection; the gate behaves classically.
+    pub mimicry_threshold: Option<u32>,
+    /// Quota-gaming defense: a per-boot key that jitters every token
+    /// bucket's *accumulation cap* per refill epoch (the cap walks
+    /// pseudorandomly in `[burst/8, burst/2]`, keyed by this value, the
+    /// port, and the epoch). Steady traffic at or under `rate_pps` is
+    /// unaffected; on/off bursts tuned to the full-refill period lose
+    /// most of their burst. `None` (the default) keeps the classic
+    /// fixed-burst bucket.
+    pub refill_jitter_key: Option<u64>,
 }
 
 impl Default for AdmissionConfig {
     /// Protect the top quarter of the priority space; give best-effort
     /// ports a generous default quota (shedding should require real
-    /// overload, not a burst).
+    /// overload, not a burst). Both adversary defenses start disabled.
     fn default() -> Self {
         AdmissionConfig {
             protected_priority: 192,
@@ -175,6 +192,8 @@ impl Default for AdmissionConfig {
                 rate_pps: 2_000,
                 burst: 64,
             },
+            mimicry_threshold: None,
+            refill_jitter_key: None,
         }
     }
 }
@@ -189,6 +208,15 @@ pub enum AdmissionVerdict {
         /// The best-effort port whose empty bucket shed the frame.
         port: PortIdx,
     },
+    /// Shed the frame at the NIC as a signature mimic: it wore a
+    /// protected port's (re-selected) admission signature but failed a
+    /// word the protected filter provably requires, and no other gate
+    /// entry claimed it. Only possible after
+    /// [`AdmissionConfig::mimicry_threshold`] triggered a re-selection.
+    ShedMimic {
+        /// The protected port whose signature the frame mimicked.
+        port: PortIdx,
+    },
 }
 
 /// Micro-tokens per token (integer token-bucket arithmetic stays exact
@@ -200,6 +228,10 @@ struct TokenBucket {
     quota: AdmissionQuota,
     micro_tokens: u64,
     last_refill: SimTime,
+    /// Refill jitter `(boot key, port salt)`
+    /// ([`AdmissionConfig::refill_jitter_key`]); `None` keeps the classic
+    /// fixed-burst cap.
+    jitter: Option<(u64, u64)>,
 }
 
 impl TokenBucket {
@@ -208,7 +240,30 @@ impl TokenBucket {
             quota,
             micro_tokens: quota.burst * MICRO_TOKENS,
             last_refill: SimTime::ZERO,
+            jitter: None,
         }
+    }
+
+    /// The accumulation cap in effect at `now`: the full burst, or — with
+    /// jitter on — a keyed pseudorandom walk over `[burst/8, burst/2]`,
+    /// re-sampled once per full-refill period. An attacker who knows the
+    /// quota but not the boot key cannot predict how much burst any
+    /// silent period banks.
+    fn burst_cap(&self, now: SimTime) -> u64 {
+        let Some((key, salt)) = self.jitter else {
+            return self.quota.burst;
+        };
+        let period_ns = (self
+            .quota
+            .burst
+            .saturating_mul(1_000_000_000)
+            .checked_div(self.quota.rate_pps.max(1)))
+        .unwrap_or(u64::MAX)
+        .max(1);
+        let epoch = now.as_nanos() / period_ns;
+        let lo = (self.quota.burst / 8).max(1);
+        let hi = (self.quota.burst / 2).max(lo);
+        lo + SplitMix64::new(key ^ salt.rotate_left(32) ^ epoch).next_u64() % (hi - lo + 1)
     }
 
     /// Refills for the time since the last call and takes one token if
@@ -218,7 +273,7 @@ impl TokenBucket {
         self.last_refill = now;
         let gained = (u128::from(self.quota.rate_pps) * u128::from(elapsed_ns) / 1_000) as u64;
         self.micro_tokens = (self.micro_tokens.saturating_add(gained))
-            .min(self.quota.burst.saturating_mul(MICRO_TOKENS));
+            .min(self.burst_cap(now).saturating_mul(MICRO_TOKENS));
         if self.micro_tokens >= MICRO_TOKENS {
             self.micro_tokens -= MICRO_TOKENS;
             true
@@ -238,6 +293,13 @@ struct GateEntry {
     hi: u16,
     protected: bool,
     bucket: TokenBucket,
+    /// Re-selected signature: further `(word, lo, hi)` constraints the
+    /// protected filter provably requires, verified before this entry
+    /// admits. Empty until mimicry pressure triggers re-selection.
+    verify: Vec<(u8, u16, u16)>,
+    /// Gate-admitted frames attributed to this entry that matched no
+    /// filter — the mimicry-pressure statistic driving re-selection.
+    mimicry_misses: u32,
 }
 
 #[derive(Debug)]
@@ -246,6 +308,10 @@ struct AdmissionState {
     /// Gate entries in demux (priority) order, one per open port whose
     /// filter has an extractable signature.
     entries: Vec<GateEntry>,
+    /// Frames shed as signature mimics, cumulative.
+    mimicry_sheds: u64,
+    /// Gate-signature re-selections performed, cumulative.
+    gate_resignatures: u64,
 }
 
 /// Extracts a filter's admission signature: the leading
@@ -438,6 +504,14 @@ pub struct EngineStats {
     pub jit_compiled: usize,
     /// JIT-engine members serving the threaded-code fallback.
     pub jit_fallback: usize,
+    /// Frames shed at the gate as signature mimics (adversarial-drop
+    /// attribution; never folded into `drops_admission`).
+    pub drops_mimicry_shed: u64,
+    /// Gate-signature re-selections performed under mimicry pressure.
+    pub gate_resignature_events: u64,
+    /// Geom candidates pruned by the per-packet candidate cap
+    /// ([`PfDevice::set_geom_candidate_cap`]); geom engine only.
+    pub geom_candidates_capped: u64,
 }
 
 /// The outcome of demultiplexing one received packet.
@@ -503,6 +577,9 @@ pub struct PfDevice {
     default_overflow: OverflowPolicy,
     /// The pre-demux admission gate, when enabled.
     admission: Option<AdmissionState>,
+    /// Per-packet candidate bound applied to the geom engine
+    /// ([`GeomSet::set_candidate_cap`]); survives engine rebuilds.
+    geom_candidate_cap: Option<usize>,
 }
 
 impl Default for PfDevice {
@@ -532,6 +609,7 @@ impl PfDevice {
             budget: None,
             default_overflow: OverflowPolicy::default(),
             admission: None,
+            geom_candidate_cap: None,
         }
     }
 
@@ -586,6 +664,8 @@ impl PfDevice {
         self.admission = config.map(|config| AdmissionState {
             config,
             entries: Vec::new(),
+            mimicry_sheds: 0,
+            gate_resignatures: 0,
         });
         self.rebuild_gate();
     }
@@ -617,6 +697,7 @@ impl PfDevice {
             return AdmissionVerdict::Admit;
         };
         let view = PacketView::new(packet);
+        let mut mimic: Option<PortIdx> = None;
         for e in &mut state.entries {
             let covered = view
                 .word(usize::from(e.word))
@@ -624,13 +705,82 @@ impl PfDevice {
             if !covered {
                 continue;
             }
+            if e.protected && !e.verify.is_empty() {
+                let verified = e.verify.iter().all(|&(w, lo, hi)| {
+                    view.word(usize::from(w))
+                        .is_some_and(|v| lo <= v && v <= hi)
+                });
+                if !verified {
+                    // Wears this protected entry's primary signature but
+                    // fails a word the protected filter provably requires:
+                    // a suspected mimic. Let a later entry claim the frame;
+                    // shed it only if none does.
+                    mimic.get_or_insert(e.port);
+                    continue;
+                }
+            }
             if e.protected || e.bucket.admit(now) {
                 return AdmissionVerdict::Admit;
             }
             self.ports[e.port].admission_drops += 1;
             return AdmissionVerdict::Shed { port: e.port };
         }
+        if let Some(port) = mimic {
+            state.mimicry_sheds += 1;
+            return AdmissionVerdict::ShedMimic { port };
+        }
         AdmissionVerdict::Admit
+    }
+
+    /// Reports that a gate-admitted frame went on to match *no* filter —
+    /// the feedback signal behind gate-signature re-selection. The first
+    /// protected entry whose primary signature covers the frame takes a
+    /// mimicry-pressure mark; once the marks reach
+    /// [`AdmissionConfig::mimicry_threshold`], the entry re-selects its
+    /// signature to also verify every other word the protected filter
+    /// provably requires. Returns whether this call performed a
+    /// re-selection. No-op (and `false`) when the gate is off, the
+    /// threshold is `None`, no protected entry covers the frame, or the
+    /// protected filter requires no other word (a single-word signature
+    /// cannot be strengthened — an honest residual weakness).
+    pub fn note_unmatched_admit(&mut self, packet: &[u8]) -> bool {
+        let Some(state) = &mut self.admission else {
+            return false;
+        };
+        let Some(threshold) = state.config.mimicry_threshold else {
+            return false;
+        };
+        let view = PacketView::new(packet);
+        for i in 0..state.entries.len() {
+            let e = &state.entries[i];
+            if !e.protected {
+                continue;
+            }
+            let covered = view
+                .word(usize::from(e.word))
+                .is_some_and(|w| e.lo <= w && w <= e.hi);
+            if !covered {
+                continue;
+            }
+            let (port, word) = (e.port, e.word);
+            state.entries[i].mimicry_misses += 1;
+            if state.entries[i].mimicry_misses >= threshold && state.entries[i].verify.is_empty() {
+                let Some(f) = &self.ports[port].filter else {
+                    return false;
+                };
+                let verify: Vec<(u8, u16, u16)> = admission_candidates(f)
+                    .into_iter()
+                    .filter(|&(w, _, _)| w != word)
+                    .collect();
+                if !verify.is_empty() {
+                    state.entries[i].verify = verify;
+                    state.gate_resignatures += 1;
+                    return true;
+                }
+            }
+            return false;
+        }
+        false
     }
 
     /// Rebuilds the gate's per-port entries (after open/close/bind/quota
@@ -648,7 +798,13 @@ impl PfDevice {
     /// ports classifies better than a narrow guard they all share), then
     /// the narrowest interval, then the lowest word.
     fn rebuild_gate(&mut self) {
-        let Some(AdmissionState { config, entries }) = self.admission.take() else {
+        let Some(AdmissionState {
+            config,
+            entries,
+            mimicry_sheds,
+            gate_resignatures,
+        }) = self.admission.take()
+        else {
             return;
         };
         let mut cands: Vec<GateCandidate> = Vec::new();
@@ -684,10 +840,17 @@ impl PfDevice {
             };
             let p = &self.ports[idx];
             let quota = p.quota.unwrap_or(config.default_quota);
-            let bucket = entries
-                .iter()
-                .find(|e| e.port == idx && e.bucket.quota == quota)
+            let prior = entries.iter().find(|e| e.port == idx);
+            let mut bucket = prior
+                .filter(|e| e.bucket.quota == quota)
                 .map_or_else(|| TokenBucket::new(quota), |e| e.bucket);
+            bucket.jitter = config.refill_jitter_key.map(|key| (key, idx as u64));
+            // A re-selected signature is only meaningful relative to the
+            // primary word it strengthens: carry it (and the pressure
+            // marks) over iff the chosen word is unchanged.
+            let (verify, mimicry_misses) = prior
+                .filter(|e| e.word == word)
+                .map_or((Vec::new(), 0), |e| (e.verify.clone(), e.mimicry_misses));
             rebuilt.push(GateEntry {
                 port: idx,
                 word,
@@ -695,11 +858,15 @@ impl PfDevice {
                 hi,
                 protected: p.priority() >= config.protected_priority,
                 bucket,
+                verify,
+                mimicry_misses,
             });
         }
         self.admission = Some(AdmissionState {
             config,
             entries: rebuilt,
+            mimicry_sheds,
+            gate_resignatures,
         });
     }
 
@@ -728,6 +895,9 @@ impl PfDevice {
                 .count(),
             jit_compiled,
             jit_fallback,
+            drops_mimicry_shed: self.admission.as_ref().map_or(0, |s| s.mimicry_sheds),
+            gate_resignature_events: self.admission.as_ref().map_or(0, |s| s.gate_resignatures),
+            geom_candidates_capped: self.geom.as_ref().map_or(0, |g| g.candidates_capped()),
         }
     }
 
@@ -796,6 +966,7 @@ impl PfDevice {
 
     fn rebuild_geom(&mut self) {
         let mut set = GeomSet::new();
+        set.set_candidate_cap(self.geom_candidate_cap);
         // Same demux-order insertion (and quarantine exclusion) as
         // `rebuild_table`.
         for &idx in &self.order {
@@ -807,6 +978,23 @@ impl PfDevice {
             }
         }
         self.geom = Some(set);
+    }
+
+    /// Bounds candidates evaluated per packet under the geom engine
+    /// (`None` removes the bound — the default). The cap prunes the
+    /// priority-sorted candidate list, so only the lowest-priority
+    /// candidates are shed; the overlap-bomb mitigation for hostile
+    /// wide-overlap filter populations. Inert under every other engine.
+    pub fn set_geom_candidate_cap(&mut self, cap: Option<usize>) {
+        self.geom_candidate_cap = cap;
+        if let Some(g) = &mut self.geom {
+            g.set_candidate_cap(cap);
+        }
+    }
+
+    /// The configured geom per-packet candidate bound, if any.
+    pub fn geom_candidate_cap(&self) -> Option<usize> {
+        self.geom_candidate_cap
     }
 
     /// Compiles one port's validated filter into a JIT-engine member,
@@ -1404,6 +1592,7 @@ pub struct PfDeviceBuilder {
     overflow: OverflowPolicy,
     jit_force_fallback: bool,
     admission: Option<AdmissionConfig>,
+    geom_candidate_cap: Option<usize>,
 }
 
 impl Default for PfDeviceBuilder {
@@ -1417,6 +1606,7 @@ impl Default for PfDeviceBuilder {
             overflow: OverflowPolicy::default(),
             jit_force_fallback: false,
             admission: None,
+            geom_candidate_cap: None,
         }
     }
 }
@@ -1461,6 +1651,13 @@ impl PfDeviceBuilder {
         self
     }
 
+    /// Bounds candidates evaluated per packet under the geom engine
+    /// ([`PfDevice::set_geom_candidate_cap`]).
+    pub fn geom_candidate_cap(mut self, cap: Option<usize>) -> Self {
+        self.geom_candidate_cap = cap;
+        self
+    }
+
     /// Builds the device.
     pub fn build(self) -> PfDevice {
         let mut d = PfDevice::new();
@@ -1468,6 +1665,7 @@ impl PfDeviceBuilder {
         d.budget = self.budget;
         d.default_overflow = self.overflow;
         d.jit_force_fallback = self.jit_force_fallback;
+        d.geom_candidate_cap = self.geom_candidate_cap;
         d.set_engine(self.engine);
         d.set_admission_control(self.admission);
         d
@@ -2265,6 +2463,7 @@ mod tests {
             .admission_control(AdmissionConfig {
                 protected_priority: 100,
                 default_quota: tight_quota(),
+                ..Default::default()
             })
             .build();
         let vip = d.open((ProcId(0), Fd(0)));
@@ -2296,6 +2495,7 @@ mod tests {
                     rate_pps: 1_000,
                     burst: 1,
                 },
+                ..Default::default()
             })
             .build();
         let p = d.open((ProcId(0), Fd(0)));
@@ -2322,6 +2522,7 @@ mod tests {
                     rate_pps: 0,
                     burst: 0,
                 },
+                ..Default::default()
             })
             .build();
         // accept_all has no admission signature: the gate cannot attribute
@@ -2340,6 +2541,7 @@ mod tests {
             .admission_control(AdmissionConfig {
                 protected_priority: 255,
                 default_quota: tight_quota(),
+                ..Default::default()
             })
             .build();
         let p = d.open((ProcId(0), Fd(0)));
@@ -2366,6 +2568,7 @@ mod tests {
             .admission_control(AdmissionConfig {
                 protected_priority: 255,
                 default_quota: tight_quota(),
+                ..Default::default()
             })
             .build();
         let p = d.open((ProcId(0), Fd(0)));
@@ -2419,6 +2622,7 @@ mod tests {
                     rate_pps: 0,
                     burst: 1,
                 },
+                ..Default::default()
             })
             .build();
         // Two port-range filters share the ethertype guard; the gate must
@@ -2448,6 +2652,95 @@ mod tests {
         assert_eq!(d.admit(&pkt(250), now), AdmissionVerdict::Admit);
         assert_eq!(d.port(low).admission_drops, 1);
         assert_eq!(d.port(high).admission_drops, 1);
+    }
+
+    #[test]
+    fn mimicry_pressure_resignatures_the_gate_and_sheds_mimics() {
+        let mut d = PfDevice::builder()
+            .admission_control(AdmissionConfig {
+                protected_priority: 192,
+                default_quota: tight_quota(),
+                mimicry_threshold: Some(3),
+                ..Default::default()
+            })
+            .build();
+        let vip = d.open((ProcId(0), Fd(0)));
+        d.set_filter(vip, samples::pup_socket_filter(200, 0, 35));
+        // A mimic wears the protected signature word (socket-lo == 35)
+        // under the wrong ethertype: the gate's one-word probe admits it,
+        // the filter rejects it.
+        let mimic = samples::pup_packet_3mb(9, 0, 35, 1);
+        let now = SimTime::ZERO;
+        for i in 0..3 {
+            assert_eq!(d.admit(&mimic, now), AdmissionVerdict::Admit);
+            assert!(d.demux(&mimic).accepted.is_empty());
+            let resigned = d.note_unmatched_admit(&mimic);
+            assert_eq!(resigned, i == 2, "re-selects exactly at the threshold");
+        }
+        assert_eq!(d.engine_stats().gate_resignature_events, 1);
+        // Hardened: the mimic now fails the verified ethertype word and
+        // is shed at the NIC, attributed as a mimicry drop…
+        assert_eq!(
+            d.admit(&mimic, now),
+            AdmissionVerdict::ShedMimic { port: vip }
+        );
+        assert_eq!(d.engine_stats().drops_mimicry_shed, 1);
+        // …while genuine protected traffic still admits unconditionally,
+        // and the port's quota counters never saw the mimics.
+        assert_eq!(d.admit(&pkt(35), now), AdmissionVerdict::Admit);
+        assert!(!d.demux(&pkt(35)).accepted.is_empty());
+        assert_eq!(d.port(vip).admission_drops, 0);
+    }
+
+    #[test]
+    fn mimicry_threshold_off_keeps_the_classic_gate() {
+        let mut d = PfDevice::builder()
+            .admission_control(AdmissionConfig {
+                protected_priority: 192,
+                default_quota: tight_quota(),
+                ..Default::default()
+            })
+            .build();
+        let vip = d.open((ProcId(0), Fd(0)));
+        d.set_filter(vip, samples::pup_socket_filter(200, 0, 35));
+        let mimic = samples::pup_packet_3mb(9, 0, 35, 1);
+        for _ in 0..32 {
+            assert_eq!(d.admit(&mimic, SimTime::ZERO), AdmissionVerdict::Admit);
+            assert!(!d.note_unmatched_admit(&mimic), "defense disarmed");
+        }
+        assert_eq!(d.engine_stats().gate_resignature_events, 0);
+        assert_eq!(d.engine_stats().drops_mimicry_shed, 0);
+    }
+
+    #[test]
+    fn refill_jitter_caps_banked_burst_unpredictably() {
+        let burst_after_idle = |jitter: Option<u64>| {
+            let mut d = PfDevice::builder()
+                .admission_control(AdmissionConfig {
+                    protected_priority: 255,
+                    default_quota: AdmissionQuota {
+                        rate_pps: 1_000,
+                        burst: 64,
+                    },
+                    refill_jitter_key: jitter,
+                    ..Default::default()
+                })
+                .build();
+            let p = d.open((ProcId(0), Fd(0)));
+            d.set_filter(p, samples::pup_socket_filter(10, 0, 35));
+            // A long silence banks the full burst; then fire back-to-back
+            // (no refill between probes: rate × 0 elapsed).
+            let now = SimTime(10_000_000_000);
+            (0..128)
+                .filter(|_| d.admit(&pkt(35), now) == AdmissionVerdict::Admit)
+                .count()
+        };
+        assert_eq!(burst_after_idle(None), 64, "classic bucket banks it all");
+        let jittered = burst_after_idle(Some(0xB007_5EED));
+        assert!(
+            (8..=32).contains(&jittered),
+            "jittered cap stays in [burst/8, burst/2], got {jittered}"
+        );
     }
 
     /// Satellite: DropOldest on a quarantined-filter port must evict from

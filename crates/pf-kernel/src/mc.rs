@@ -92,6 +92,20 @@ impl RssConfig {
         }
     }
 
+    /// A multi-queue front end whose hash key is derived from a per-boot
+    /// seed (forced odd, like the default key). With the well-known
+    /// default key an adversary can precompute flows that all steer to
+    /// one queue and pile a whole flood onto one core; a keyed boot seed
+    /// makes the queue assignment unpredictable from outside the host.
+    /// Single-queue steering ([`RssConfig::steer`]) never consults the
+    /// key, so `queues == 1` stays bit-identical to the classic path
+    /// under any seed.
+    pub fn keyed(queues: usize, hash_words: Vec<u16>, boot_seed: u64) -> Self {
+        let mut cfg = Self::multi_queue(queues, hash_words);
+        cfg.key = pf_sim::rng::SplitMix64::new(boot_seed).next_u64() | 1;
+        cfg
+    }
+
     /// The Toeplitz-like hash over the configured words of `frame`.
     ///
     /// Each present word is mixed with a key schedule derived by rotating
@@ -568,11 +582,14 @@ impl McPipeline {
             let mut admitted = Vec::with_capacity(frames.len());
             for f in frames {
                 self.pool.charge(core, "pf:admit", t, costs.admission_probe);
-                let verdict = self.workers[f.origin].device.admit(&f.bytes, t);
-                if let AdmissionVerdict::Shed { .. } = verdict {
-                    self.workers[core].counters.drops_admission += 1;
-                } else {
-                    admitted.push(f);
+                match self.workers[f.origin].device.admit(&f.bytes, t) {
+                    AdmissionVerdict::Shed { .. } => {
+                        self.workers[core].counters.drops_admission += 1;
+                    }
+                    AdmissionVerdict::ShedMimic { .. } => {
+                        self.workers[core].counters.drops_mimicry_shed += 1;
+                    }
+                    AdmissionVerdict::Admit => admitted.push(f),
                 }
             }
             frames = admitted;
@@ -762,6 +779,13 @@ impl McPipeline {
             self.workers[core].counters.filters_quarantined += u64::from(out.newly_quarantined);
             if out.accepted.is_empty() {
                 self.workers[core].counters.drops_no_match += 1;
+                // Same mimicry-pressure feedback as the single-core world:
+                // an admitted frame no filter wanted.
+                if self.config.admission.is_some()
+                    && self.workers[origin].device.note_unmatched_admit(&f.bytes)
+                {
+                    self.workers[core].counters.gate_resignature_events += 1;
+                }
                 continue;
             }
             for &idx in &out.accepted {
@@ -819,6 +843,8 @@ fn add_counters(a: Counters, b: Counters) -> Counters {
     s.cross_core_wakeups += b.cross_core_wakeups;
     s.queue_steals += b.queue_steals;
     s.batches_executed += b.batches_executed;
+    s.drops_mimicry_shed += b.drops_mimicry_shed;
+    s.gate_resignature_events += b.gate_resignature_events;
     s
 }
 
@@ -886,6 +912,36 @@ mod tests {
             assert_eq!(rss.steer(&pkt(sock)), 0);
         }
         assert_eq!(rss.steer(&[]), 0);
+    }
+
+    #[test]
+    fn rss_keyed_seeds_change_steering() {
+        let a = RssConfig::keyed(4, vec![SOCK_WORD], 0x0A);
+        let b = RssConfig::keyed(4, vec![SOCK_WORD], 0x0B);
+        assert_ne!(a.key, b.key, "distinct boot seeds derive distinct keys");
+        let flows: Vec<Vec<u8>> = (0..64u16).map(|s| pkt(100 + s)).collect();
+        let steer_a: Vec<usize> = flows.iter().map(|f| a.steer(f)).collect();
+        let steer_b: Vec<usize> = flows.iter().map(|f| b.steer(f)).collect();
+        assert_ne!(steer_a, steer_b, "same flow set, two seeds: new steering");
+        // Each seed is still a valid, flow-stable front end.
+        for (f, &q) in flows.iter().zip(&steer_a) {
+            assert!(q < 4);
+            assert_eq!(a.steer(f), q);
+        }
+    }
+
+    #[test]
+    fn rss_keyed_single_queue_is_bit_identical_to_classic() {
+        // The key is never consulted at queues == 1: steering matches the
+        // classic single-queue path for every frame, any seed.
+        let classic = RssConfig::single_queue();
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let keyed = RssConfig::keyed(1, vec![SOCK_WORD], seed);
+            for sock in 0..50u16 {
+                assert_eq!(keyed.steer(&pkt(sock)), classic.steer(&pkt(sock)));
+            }
+            assert_eq!(keyed.steer(&[]), 0);
+        }
     }
 
     #[test]

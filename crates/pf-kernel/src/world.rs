@@ -405,6 +405,13 @@ impl World {
         self.hosts[host.0].device.set_admission_control(config);
     }
 
+    /// Bounds candidates evaluated per packet under a host's geom engine
+    /// ([`PfDevice::set_geom_candidate_cap`]): the overlap-bomb
+    /// mitigation. Inert under every other engine.
+    pub fn set_geom_candidate_cap(&mut self, host: HostId, cap: Option<usize>) {
+        self.hosts[host.0].device.set_geom_candidate_cap(cap);
+    }
+
     /// Enables or disables the §3.2 adaptive reordering of equal-priority
     /// filters on a host's packet-filter device (an ablation knob; on by
     /// default).
@@ -685,9 +692,18 @@ impl World {
             if h.device.admission_control().is_some() {
                 let c = h.costs.admission_probe;
                 h.cpu.charge("pf:admit", now, c);
-                if let AdmissionVerdict::Shed { .. } = h.device.admit(&frame, now) {
-                    h.counters.drops_admission += 1;
-                    return false;
+                match h.device.admit(&frame, now) {
+                    AdmissionVerdict::Shed { .. } => {
+                        h.counters.drops_admission += 1;
+                        return false;
+                    }
+                    AdmissionVerdict::ShedMimic { .. } => {
+                        // Attributed separately: an adversarial drop, not
+                        // quota exhaustion.
+                        h.counters.drops_mimicry_shed += 1;
+                        return false;
+                    }
+                    AdmissionVerdict::Admit => {}
                 }
             }
         }
@@ -832,7 +848,14 @@ impl World {
             h.counters.filters_quarantined += u64::from(outcome.newly_quarantined);
         }
         if outcome.accepted.is_empty() {
-            self.hosts[host.0].counters.drops_no_match += 1;
+            let h = &mut self.hosts[host.0];
+            h.counters.drops_no_match += 1;
+            // Feed the gate's mimicry-pressure statistic: this frame was
+            // admitted (possibly on a protected signature) yet matched no
+            // filter. Drives gate-signature re-selection when armed.
+            if h.device.admission_control().is_some() && h.device.note_unmatched_admit(&frame) {
+                h.counters.gate_resignature_events += 1;
+            }
             return;
         }
         for idx in outcome.accepted {

@@ -26,6 +26,22 @@ pub struct Captured {
     pub dropped_before: u64,
 }
 
+/// The hardened capture predicate for monitoring one endpoint: the
+/// endpoint's *own* filter, re-prioritized for the monitor port.
+///
+/// A monitor that approximates the endpoint with a *stricter* filter
+/// (extra header constraints the endpoint never checks — the classic
+/// figure-3-9 shape watching a lenient socket listener) can be evaded:
+/// traffic shaped to satisfy the endpoint but violate the approximation
+/// reaches the endpoint uncaptured. Capturing with the endpoint's own
+/// predicate closes that gap by construction — the monitor accepts
+/// exactly what the endpoint accepts. (It does *not* defend against the
+/// converse: traffic the endpoint itself rejects was never the
+/// monitor's to see.)
+pub fn covering_filter(endpoint: &FilterProgram, priority: u8) -> FilterProgram {
+    endpoint.clone().with_priority(priority)
+}
+
 /// A capture process.
 ///
 /// By default it captures everything ("sufficient performance to record
@@ -211,5 +227,110 @@ mod tests {
         w.spawn(a, Box::new(Mixed));
         w.run();
         assert_eq!(w.app_ref::<CaptureApp>(m, cap).unwrap().captured(), 3);
+    }
+
+    #[test]
+    fn covering_filter_closes_the_capture_evasion_gap() {
+        use pf_filter::program::Assembler;
+        use pf_filter::word::BinaryOp;
+
+        // The endpoint is lenient: it checks only the destination-socket
+        // word. The classic monitoring mistake is approximating it with
+        // the stricter figure-3-9 filter, whose extra ethertype and
+        // socket-hi constraints the endpoint never enforces.
+        let endpoint_filter = Assembler::new(10)
+            .pushword(8)
+            .pushlit_op(BinaryOp::Eq, 35)
+            .finish();
+
+        struct CountApp {
+            filter: FilterProgram,
+            got: usize,
+        }
+        impl App for CountApp {
+            fn start(&mut self, k: &mut ProcCtx<'_>) {
+                let fd = k.pf_open();
+                k.pf_set_filter(fd, self.filter.clone());
+                k.pf_configure(
+                    fd,
+                    PortConfig {
+                        read_mode: ReadMode::Batch,
+                        max_queue: 64,
+                        ..Default::default()
+                    },
+                );
+                k.pf_read(fd);
+            }
+            fn on_packets(&mut self, fd: Fd, packets: Vec<RecvPacket>, k: &mut ProcCtx<'_>) {
+                self.got += packets.len();
+                k.pf_read(fd);
+            }
+            fn on_read_error(&mut self, fd: Fd, _err: ReadError, k: &mut ProcCtx<'_>) {
+                k.pf_read(fd);
+            }
+        }
+
+        /// Shaped traffic: every variant satisfies the lenient endpoint;
+        /// only the first and last satisfy the strict approximation.
+        struct Shaper;
+        impl App for Shaper {
+            fn start(&mut self, k: &mut ProcCtx<'_>) {
+                let fd = k.pf_open();
+                let mut variants = vec![
+                    pf_filter::samples::pup_packet_3mb(2, 0, 35, 1), // standard
+                    pf_filter::samples::pup_packet_3mb(9, 0, 35, 1), // ethertype-shaped
+                    pf_filter::samples::pup_packet_3mb(2, 7, 35, 1), // socket-hi-shaped
+                    pf_filter::samples::pup_packet_3mb_with_data(2, 1, 0, 35, 1, &[0u8; 40]), // padded
+                ];
+                for v in &mut variants {
+                    v[0] = 0x0B; // address the endpoint host
+                    let _ = k.pf_write(fd, v);
+                }
+            }
+        }
+
+        let mut w = World::new(24);
+        let seg = w.add_segment(Medium::experimental_3mb(), FaultModel::default());
+        let a = w.add_host("shaper", seg, 0x0A, CostModel::microvax_ii());
+        let b = w.add_host("endpoint", seg, 0x0B, CostModel::microvax_ii());
+        let m = w.add_host("monitor", seg, 0x0C, CostModel::microvax_ii());
+        let ep = w.spawn(
+            b,
+            Box::new(CountApp {
+                filter: endpoint_filter.clone(),
+                got: 0,
+            }),
+        );
+        let strict = w.spawn(
+            m,
+            Box::new(CaptureApp::with_filter(
+                pf_filter::samples::pup_socket_filter(200, 0, 35),
+                100,
+            )),
+        );
+        let covering = w.spawn(
+            m,
+            Box::new(CaptureApp::with_filter(
+                covering_filter(&endpoint_filter, 190),
+                100,
+            )),
+        );
+        w.spawn(a, Box::new(Shaper));
+        w.run();
+        assert_eq!(
+            w.app_ref::<CountApp>(b, ep).unwrap().got,
+            4,
+            "the endpoint accepts every shaped variant"
+        );
+        assert_eq!(
+            w.app_ref::<CaptureApp>(m, strict).unwrap().captured(),
+            2,
+            "the strict approximation is evaded (coverage 0.5)"
+        );
+        assert_eq!(
+            w.app_ref::<CaptureApp>(m, covering).unwrap().captured(),
+            4,
+            "the covering filter sees exactly what the endpoint sees"
+        );
     }
 }

@@ -141,6 +141,22 @@ pub fn parse(medium: &Medium, frame: &[u8]) -> Result<Header, FrameError> {
     })
 }
 
+/// Pads a frame in place with zero bytes to `total_len`, clamped to the
+/// medium's maximum packet size; frames already that long are unchanged.
+/// Returns how many bytes were appended.
+///
+/// The data-link header and every existing word are untouched, so
+/// word-offset filters demultiplex the padded frame identically — which
+/// is exactly why padding alone does not evade them; only
+/// length-sensitive consumers (and per-byte costs) see the difference.
+/// Adversarial traffic shaping pads to probe both.
+pub fn pad(medium: &Medium, frame: &mut Vec<u8>, total_len: usize) -> usize {
+    let target = total_len.min(medium.max_packet).max(frame.len());
+    let added = target - frame.len();
+    frame.resize(target, 0);
+    added
+}
+
 /// The payload portion of a frame (after the data-link header).
 ///
 /// # Errors
@@ -175,6 +191,24 @@ mod tests {
             }
         );
         assert_eq!(payload(&m, &f).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn padding_grows_payload_without_touching_the_header() {
+        let m = Medium::experimental_3mb();
+        let mut f = build(&m, 0x0B, 0x0C, 2, &[1, 2, 3]).unwrap();
+        let h = parse(&m, &f).unwrap();
+        assert_eq!(pad(&m, &mut f, 64), 57);
+        assert_eq!(f.len(), 64);
+        assert_eq!(parse(&m, &f).unwrap(), h, "header survives padding");
+        let p = payload(&m, &f).unwrap();
+        assert_eq!(&p[..3], &[1, 2, 3]);
+        assert!(p[3..].iter().all(|&b| b == 0));
+        // Already long enough: no-op. Over the MTU: clamped.
+        assert_eq!(pad(&m, &mut f, 10), 0);
+        assert_eq!(f.len(), 64);
+        pad(&m, &mut f, usize::MAX);
+        assert_eq!(f.len(), m.max_packet);
     }
 
     #[test]

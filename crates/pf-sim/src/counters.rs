@@ -73,6 +73,15 @@ pub struct Counters {
     pub queue_steals: u64,
     /// Batched engine evaluations launched (each covers 1..=batch frames).
     pub batches_executed: u64,
+    /// Frames shed at the NIC as signature mimics: they wore a protected
+    /// port's admission signature but failed a word the protected filter
+    /// provably requires. Kept separate from `drops_admission` — these
+    /// are adversarial drops, not quota exhaustion.
+    pub drops_mimicry_shed: u64,
+    /// Gate-signature re-selections: a protected gate entry under
+    /// mimicry pressure widened its signature to verify the filter's
+    /// remaining required words.
+    pub gate_resignature_events: u64,
 }
 
 impl Counters {
@@ -123,6 +132,8 @@ impl Sub for Counters {
             cross_core_wakeups: self.cross_core_wakeups - rhs.cross_core_wakeups,
             queue_steals: self.queue_steals - rhs.queue_steals,
             batches_executed: self.batches_executed - rhs.batches_executed,
+            drops_mimicry_shed: self.drops_mimicry_shed - rhs.drops_mimicry_shed,
+            gate_resignature_events: self.gate_resignature_events - rhs.gate_resignature_events,
         }
     }
 }
@@ -162,10 +173,15 @@ impl fmt::Display for Counters {
             "overload armor:      {} poll batches, {} mode switches, {} backpressure signals",
             self.poll_batches, self.rx_mode_switches, self.backpressure_signals
         )?;
-        write!(
+        writeln!(
             f,
             "multi-core:          {} steered, {} cross-core wakeups, {} steals, {} batches",
             self.frames_steered, self.cross_core_wakeups, self.queue_steals, self.batches_executed
+        )?;
+        write!(
+            f,
+            "adversary armor:     {} mimics shed, {} gate re-signatures",
+            self.drops_mimicry_shed, self.gate_resignature_events
         )
     }
 }

@@ -50,6 +50,19 @@ demux_json="$(mktemp)"
 cargo run -p pf-bench --release --bin bench_demux -- --smoke --out "$demux_json" > /dev/null
 python3 -m json.tool "$demux_json" > /dev/null
 rm -f "$demux_json"
+# Adversarial-traffic campaign invariants: every family's undefended row
+# must collapse and its hardened row must hold goodput/coverage — the
+# collapse and recovery claims are sweep-internal asserts, so the run
+# itself is the proof. Same temp-path treatment; artifact must parse.
+echo "==> cargo run -p pf-bench --release --bin bench_adversary -- --smoke --out <tmp>"
+adversary_json="$(mktemp)"
+cargo run -p pf-bench --release --bin bench_adversary -- --smoke --out "$adversary_json" > /dev/null
+python3 -m json.tool "$adversary_json" > /dev/null
+rm -f "$adversary_json"
+# Structured fuzzing (>= 10k seeded iterations per target: word decoder,
+# validator, every execution engine, geom churn) — hermetic but too slow
+# for the default `cargo test`, so it rides its own feature.
+run cargo test -p pf-ir --release --features fuzz-tests -q
 
 if [[ "${1:-}" == "--benches" ]]; then
     run cargo bench --workspace --features criterion-benches --no-run
