@@ -22,6 +22,7 @@ use pf_net::segment::FaultModel;
 use pf_sim::cost::CostModel;
 use pf_sim::rng::SplitMix64;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 use std::hint::black_box;
 use std::time::Instant;
 

@@ -50,6 +50,7 @@ use pf_net::segment::FaultModel;
 use pf_sim::cost::CostModel;
 use pf_sim::rng::SplitMix64;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 
 /// Default campaign seed (the value the committed artifact was produced
 /// under); `--seed` overrides it.
@@ -764,7 +765,9 @@ fn run_rss_collision(hardened: bool, smoke: bool, seed: u64) -> AdversaryPoint {
     arrivals.extend(attack);
     arrivals.sort_by_key(|(t, _)| t.0);
 
-    let report = pl.run(arrivals);
+    pl.schedule_arrivals(arrivals);
+    SimClock::run(&mut pl);
+    let report = pl.report();
     // Only the wanted filter exists, so every delivery is a wanted one.
     let delivered = report.total.packets_delivered;
     AdversaryPoint {

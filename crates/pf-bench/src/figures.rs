@@ -20,6 +20,7 @@ use pf_proto::stream::{TcpBulkReceiver, TcpBulkSender};
 use pf_sim::cost::CostModel;
 use pf_sim::counters::Counters;
 use pf_sim::time::SimTime;
+use pf_sim::SimClock;
 
 /// Per-packet overhead events for one demultiplexing mode.
 #[derive(Debug, Clone, Copy)]

@@ -20,9 +20,13 @@
 //!
 //! [`ablations`] additionally measures the §3.2/§7 design-choice knobs
 //! (adaptive reordering, priority assignment, write batching), [`chaos`]
-//! runs the fault-injection campaign (`BENCH_chaos.json`), and
-//! [`overload`] runs the saturation campaign (`BENCH_overload.json`):
-//! offered load to 8× capacity across the overload-armor tiers.
+//! runs the fault-injection campaign (`BENCH_chaos.json`), [`overload`]
+//! runs the saturation campaign (`BENCH_overload.json`): offered load to
+//! 8× capacity across the overload-armor tiers. [`flowgen`] synthesizes
+//! flow-level workloads (Poisson/Pareto arrivals, elephants and mice,
+//! incast, routing churn) and [`netbench`] drives them across routed
+//! multi-segment topologies for the internet-scale campaign
+//! (`BENCH_net.json`).
 //!
 //! Run `cargo run -p pf-bench --release --bin paper-report` for everything
 //! at once, or the individual `table_*` / `figures` / `section_6_1` /
@@ -35,7 +39,9 @@ pub mod chaos;
 pub mod cli;
 pub mod demux_json;
 pub mod figures;
+pub mod flowgen;
 pub mod mc;
+pub mod netbench;
 pub mod overload;
 pub mod profile61;
 pub mod recvcost;

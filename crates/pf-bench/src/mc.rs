@@ -32,6 +32,7 @@ use pf_kernel::mc::{McConfig, McPipeline, Placement, RssConfig};
 use pf_kernel::world::OverloadConfig;
 use pf_kernel::DemuxEngine;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 
 /// Pinned single-socket flows in the population (the batching gate is
 /// stated at population ≥ 128, so the campaign runs exactly there).
@@ -174,7 +175,9 @@ pub fn run_cell(
 
     let arrivals = burst(n);
     let offered = arrivals.len() as u64;
-    let report = pl.run(arrivals);
+    pl.schedule_arrivals(arrivals);
+    SimClock::run(&mut pl);
+    let report = pl.report();
     let makespan = report.finish.saturating_since(SimTime::ZERO);
     let busy_ns: u64 = report.busy.iter().map(|b| b.as_nanos()).sum();
     let delivered = report.total.packets_delivered;

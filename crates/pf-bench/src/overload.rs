@@ -32,6 +32,7 @@ use pf_net::medium::Medium;
 use pf_net::segment::FaultModel;
 use pf_sim::cost::CostModel;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 
 /// Destination socket of the wanted (high-priority, protected) stream.
 pub const WANTED_SOCK: u16 = 35;

@@ -27,6 +27,7 @@ use pf_proto::tcp::Segment;
 use pf_sim::cost::CostModel;
 use pf_sim::rng::SplitMix64;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 
 /// Packets in the synthetic profiling trace (the paper's 1.3 M scaled to
 /// a laptop-friendly count; per-packet averages are what matter).

@@ -12,6 +12,7 @@ use pf_sim::cost::CostModel;
 use pf_sim::counters::Counters;
 use pf_sim::rng::SplitMix64;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 
 /// Where demultiplexing happens (§6.5's comparison).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -20,6 +20,7 @@ use pf_net::medium::Medium;
 use pf_net::segment::FaultModel;
 use pf_proto::ip::{KernelIp, IP_HEADER, UDP_HEADER};
 use pf_sim::cost::CostModel;
+use pf_sim::SimClock;
 
 /// Number of packets sent per measurement.
 const COUNT: usize = 200;

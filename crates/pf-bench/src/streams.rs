@@ -22,6 +22,7 @@ use pf_proto::pup::PupAddr;
 use pf_proto::stream::{TcpBulkReceiver, TcpBulkSender};
 use pf_sim::cost::CostModel;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 
 const TOTAL: usize = 512 * 1024;
 const RUN_CAP: SimTime = SimTime(900 * 1_000_000_000);

@@ -27,6 +27,7 @@ use pf_proto::telnet::{
 };
 use pf_sim::cost::CostModel;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 
 const CHARS: usize = 8_000;
 const RUN_CAP: SimTime = SimTime(300 * 1_000_000_000);

@@ -21,6 +21,7 @@ use pf_proto::vmtp_kernel::{KVmtpClient, KVmtpServer, KernelVmtp};
 use pf_proto::vmtp_user::{DemuxProcess, VmtpUserClient, VmtpUserServer, Workload};
 use pf_sim::cost::CostModel;
 use pf_sim::time::SimTime;
+use pf_sim::SimClock;
 
 const SERVER_ENTITY: u32 = 0x20;
 const CLIENT_ENTITY: u32 = 0x10;

@@ -29,8 +29,11 @@ pub use device::{
 };
 pub use kproto::KernelProtocol;
 pub use mc::{McConfig, McPipeline, McReport, Placement, RssConfig};
+pub use pf_sim::SimClock;
 pub use types::{
-    BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket, SockId,
-    TimerId,
+    BlockPolicy, Fd, HostId, PipeId, PortConfig, ProcId, ReadError, ReadMode, RecvPacket, RouterId,
+    SockId, TimerId,
 };
-pub use world::{KernelCtx, OverloadConfig, ProcCtx, SendError, World, DEFAULT_NIC_CAPACITY};
+pub use world::{
+    KernelCtx, OverloadConfig, ProcCtx, RouterCounters, SendError, World, DEFAULT_NIC_CAPACITY,
+};

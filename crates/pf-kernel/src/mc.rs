@@ -47,6 +47,7 @@ use crate::AdmissionConfig;
 use pf_filter::packet::PacketView;
 use pf_filter::program::FilterProgram;
 use pf_ir::geom::required_constraints;
+use pf_sim::clock::SimClock;
 use pf_sim::cost::CostModel;
 use pf_sim::counters::Counters;
 use pf_sim::cpu::CpuPool;
@@ -286,6 +287,10 @@ pub struct McPipeline {
     /// Home core per (core, device-port): where deliveries consume.
     home: Vec<Vec<usize>>,
     latencies: Vec<SimDuration>,
+    /// Latest scheduled arrival (the time-ordering assertion).
+    last_arrival: SimTime,
+    /// Virtual time of the last serviced step (the pipeline's clock).
+    clock: SimTime,
 }
 
 impl McPipeline {
@@ -320,6 +325,8 @@ impl McPipeline {
             workers,
             ports: Vec::new(),
             latencies: Vec::new(),
+            last_arrival: SimTime::ZERO,
+            clock: SimTime::ZERO,
             config,
         }
     }
@@ -423,27 +430,30 @@ impl McPipeline {
         &self.workers[core].counters
     }
 
-    /// Drives a time-ordered arrival schedule through the pipeline to
-    /// completion and reports per-core counters, busy time, and delivery
-    /// latencies. Arrival times must be non-decreasing.
-    pub fn run(&mut self, arrivals: Vec<(SimTime, Vec<u8>)>) -> McReport {
-        self.latencies.clear();
-        // NIC steering: hardware classifies each frame to a queue as it
-        // arrives; the hash cost is charged to the owning core when the
-        // frame is serviced (the model keeps all costs on CPUs).
-        let mut last = SimTime::ZERO;
+    /// Schedules one frame's arrival at the NIC front end. The hardware
+    /// steers it to its receive queue immediately (DMA costs nothing on a
+    /// CPU; the hash cost is charged to the owning core at service time).
+    /// Arrival times must be non-decreasing across calls.
+    pub fn schedule_arrival(&mut self, t: SimTime, frame: Vec<u8>) {
+        assert!(t >= self.last_arrival, "arrivals must be time-ordered");
+        self.last_arrival = t;
+        let q = self.config.rss.steer(&frame);
+        if q != 0 {
+            self.workers[q].counters.frames_steered += 1;
+        }
+        self.workers[q].arrivals.push_back((t, frame));
+    }
+
+    /// Schedules a time-ordered batch of arrivals.
+    pub fn schedule_arrivals(&mut self, arrivals: impl IntoIterator<Item = (SimTime, Vec<u8>)>) {
         for (t, frame) in arrivals {
-            assert!(t >= last, "arrivals must be time-ordered");
-            last = t;
-            let q = self.config.rss.steer(&frame);
-            if q != 0 {
-                self.workers[q].counters.frames_steered += 1;
-            }
-            self.workers[q].arrivals.push_back((t, frame));
+            self.schedule_arrival(t, frame);
         }
-        while let Some((t, core)) = self.next_step() {
-            self.step(core, t);
-        }
+    }
+
+    /// Snapshot of per-core counters, busy time, makespan, and delivery
+    /// latencies accumulated so far.
+    pub fn report(&self) -> McReport {
         let per_core: Vec<Counters> = self.workers.iter().map(|w| w.counters).collect();
         let mut total = Counters::new();
         for c in &per_core {
@@ -462,6 +472,21 @@ impl McPipeline {
             latencies: self.latencies.clone(),
             per_core,
         }
+    }
+
+    /// Drives a time-ordered arrival schedule through the pipeline to
+    /// completion and reports per-core counters, busy time, and delivery
+    /// latencies. Arrival times must be non-decreasing.
+    #[deprecated(
+        since = "0.1.0",
+        note = "schedule arrivals with `schedule_arrivals`, drive the pipeline \
+                with `pf_sim::SimClock::run`, then snapshot with `report`"
+    )]
+    pub fn run(&mut self, arrivals: Vec<(SimTime, Vec<u8>)>) -> McReport {
+        self.latencies.clear();
+        self.schedule_arrivals(arrivals);
+        SimClock::run(self);
+        self.report()
     }
 
     /// The next `(time, core)` to service: the earliest core with frames
@@ -523,7 +548,7 @@ impl McPipeline {
     /// One service step for `core` at time `t`: consume ripe handoffs,
     /// admit arrivals, run armor transitions, drain one batch through the
     /// device, deliver.
-    fn step(&mut self, core: usize, t: SimTime) {
+    fn service_step(&mut self, core: usize, t: SimTime) {
         self.consume_handoffs(core, t);
         self.admit_arrivals(core, t);
         if self.workers[core].ring.is_empty() {
@@ -813,6 +838,32 @@ impl McPipeline {
     }
 }
 
+/// The unified run-loop: scheduled arrivals drain through worker service
+/// steps in virtual-time order (earliest ready core, ties to the lowest),
+/// exactly as the old inherent drive loop did. The deprecated inherent
+/// [`McPipeline::run`] shadows [`SimClock::run`] for method-call syntax,
+/// so call the trait form (`SimClock::run(&mut pl)`) to drain.
+impl SimClock for McPipeline {
+    fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.next_step().map(|(t, _)| t)
+    }
+
+    fn step(&mut self) -> bool {
+        match self.next_step() {
+            Some((t, core)) => {
+                self.clock = self.clock.max(t);
+                self.service_step(core, t);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 /// Element-wise sum of two counter sets (the inverse of the `Sub` impl).
 fn add_counters(a: Counters, b: Counters) -> Counters {
     // Exploit `b - zero = b`: build the sum field-by-field via Sub's
@@ -1020,7 +1071,9 @@ mod tests {
             for &(lo, hi) in &ranges {
                 pl.add_filter(samples::socket_range_filter(10, lo, hi));
             }
-            let report = pl.run(arrivals.clone());
+            pl.schedule_arrivals(arrivals.clone());
+            SimClock::run(&mut pl);
+            let report = pl.report();
             totals.push(report.total);
         }
         assert_eq!(totals[0].packets_delivered, totals[1].packets_delivered);
@@ -1047,7 +1100,9 @@ mod tests {
             for &s in &socks {
                 pl.add_filter(samples::pup_socket_filter(10, 0, s));
             }
-            let report = pl.run(arrivals.clone());
+            pl.schedule_arrivals(arrivals.clone());
+            SimClock::run(&mut pl);
+            let report = pl.report();
             totals.push(report.total);
         }
         assert_eq!(totals[0].packets_received, 400);
@@ -1068,7 +1123,9 @@ mod tests {
         let costs = cfg.costs.clone();
         let mut pl = McPipeline::new(cfg);
         pl.add_filter(samples::pup_socket_filter(10, 0, 35));
-        let report = pl.run(vec![(SimTime::ZERO, pkt(35))]);
+        pl.schedule_arrival(SimTime::ZERO, pkt(35));
+        SimClock::run(&mut pl);
+        let report = pl.report();
         assert_eq!(report.total.packets_delivered, 1);
         let p = pl.pool.core(0).profiler();
         let ops = report.total.filter_instructions;
@@ -1093,7 +1150,9 @@ mod tests {
             let arrivals: Vec<(SimTime, Vec<u8>)> = (0..64)
                 .map(|i| (SimTime::ZERO, pkt(socks[i % 8])))
                 .collect();
-            let report = pl.run(arrivals);
+            pl.schedule_arrivals(arrivals);
+            SimClock::run(&mut pl);
+            let report = pl.report();
             let dispatches = pl.pool.core(0).profiler().stats("pf:dispatch").calls;
             results.push((report.total.packets_delivered, dispatches, report.finish));
         }
@@ -1118,7 +1177,9 @@ mod tests {
         // capacity), all four flows.
         let socks: Vec<u16> = (100..104).collect();
         let arrivals = steady_arrivals(2000, 1, &socks);
-        let report = pl.run(arrivals);
+        pl.schedule_arrivals(arrivals);
+        SimClock::run(&mut pl);
+        let report = pl.report();
         assert!(report.total.rx_mode_switches >= 2, "both cores switch");
         assert!(report.total.poll_batches > 0);
         assert_eq!(
@@ -1152,7 +1213,9 @@ mod tests {
             t += 5_000_000;
         }
         assert!(off_core0 > 0, "some flows must steer off core 0");
-        let report = pl.run(arrivals);
+        pl.schedule_arrivals(arrivals);
+        SimClock::run(&mut pl);
+        let report = pl.report();
         assert_eq!(report.total.packets_delivered, 32);
         assert_eq!(report.total.cross_core_wakeups, off_core0);
     }
@@ -1176,7 +1239,9 @@ mod tests {
             pl.add_filter(samples::pup_socket_filter(10, 0, s));
         }
         let arrivals = steady_arrivals(64, 1, &socks);
-        let report = pl.run(arrivals);
+        pl.schedule_arrivals(arrivals);
+        SimClock::run(&mut pl);
+        let report = pl.report();
         assert!(report.total.queue_steals > 0, "idle core must steal");
         assert_eq!(report.total.packets_delivered, 64, "no frame lost");
         // Both cores did real demux work.
@@ -1194,11 +1259,32 @@ mod tests {
         let mut pl = McPipeline::new(cfg);
         pl.add_filter(samples::pup_socket_filter(10, 0, 35));
         let arrivals = steady_arrivals(100, 100, &[35]);
-        let report = pl.run(arrivals);
+        pl.schedule_arrivals(arrivals);
+        SimClock::run(&mut pl);
+        let report = pl.report();
         assert_eq!(report.latencies.len(), 100);
         let p50 = report.latency_quantile(0.5);
         let p99 = report.latency_quantile(0.99);
         assert!(p50 <= p99);
         assert!(p99 > SimDuration::ZERO);
+    }
+
+    /// Pins the deprecated one-shot shim to the new schedule/run/report
+    /// triple for the one release both forms coexist.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_matches_schedule_then_clock_run() {
+        let arrivals = steady_arrivals(50, 10, &[35]);
+        let mut old = McPipeline::new(McConfig::single_core(DemuxEngine::Sharded));
+        old.add_filter(samples::pup_socket_filter(10, 0, 35));
+        let via_shim = old.run(arrivals.clone());
+        let mut new = McPipeline::new(McConfig::single_core(DemuxEngine::Sharded));
+        new.add_filter(samples::pup_socket_filter(10, 0, 35));
+        new.schedule_arrivals(arrivals);
+        SimClock::run(&mut new);
+        let via_clock = new.report();
+        assert_eq!(via_shim.total, via_clock.total);
+        assert_eq!(via_shim.finish, via_clock.finish);
+        assert_eq!(via_shim.latencies, via_clock.latencies);
     }
 }

@@ -6,6 +6,11 @@ use pf_sim::time::{SimDuration, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HostId(pub usize);
 
+/// A simulated router node (a kernel-resident packet switch with no user
+/// processes, forwarding between its attached segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouterId(pub usize);
+
 /// A simulated user process on some host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcId(pub usize);

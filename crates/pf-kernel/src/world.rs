@@ -20,17 +20,19 @@ use crate::device::{
 use crate::kproto::KernelProtocol;
 use crate::types::{
     BlockPolicy, Fd, HostId, PipeId, PortConfig, PortStats, ProcId, ReadError, ReadMode,
-    RecvPacket, SockId, TimerId,
+    RecvPacket, RouterId, SockId, TimerId,
 };
 use pf_filter::program::FilterProgram;
 use pf_net::frame;
 use pf_net::medium::Medium;
-use pf_net::segment::{FaultModel, Network, SegmentId, StationId};
+use pf_net::segment::{Delivery, FaultModel, Network, SegmentId, StationId};
+use pf_net::topology::{Forwarder, ForwarderStats, Route};
+use pf_sim::clock::SimClock;
 use pf_sim::cost::CostModel;
 use pf_sim::counters::Counters;
 use pf_sim::cpu::Cpu;
 use pf_sim::profile::Profiler;
-use pf_sim::queue::{EventHandle, EventQueue};
+use pf_sim::queue::{EventHandle, EventQueue, QueueBackend};
 use pf_sim::time::{SimDuration, SimTime};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
@@ -155,6 +157,16 @@ enum Event {
     },
     /// A polled drain pass on a host whose receive path is in polling mode.
     PollTick { host: HostId },
+    /// A frame injected for transmission from a host's NIC at a scheduled
+    /// time (the flow-generator entry point).
+    Transmit { host: HostId, frame: Vec<u8> },
+    /// A frame has fully arrived at one of a router's interfaces and
+    /// awaits the forwarding decision.
+    RouterForward {
+        router: RouterId,
+        iface: usize,
+        frame: Vec<u8>,
+    },
     /// A backpressure notification reaching the owner of a port whose
     /// queue crossed its high-water mark.
     Backpressure {
@@ -242,23 +254,67 @@ impl Host {
     }
 }
 
-/// The simulation: network, hosts, processes, and the event loop.
+/// Who owns a network station: a host's NIC or one router interface.
+#[derive(Debug, Clone, Copy)]
+enum StationOwner {
+    Host(usize),
+    Router { router: usize, iface: usize },
+}
+
+/// One simulated router: a kernel-resident packet switch whose forwarding
+/// plane is supplied through [`pf_net::topology::Forwarder`]. A router has
+/// a CPU (forwarding decisions cost `CostModel::ip_forward`) and one
+/// station per attached segment, each serialized independently for
+/// transmission — store-and-forward latency falls out of the event loop.
+struct Router {
+    name: String,
+    stations: Vec<StationId>,
+    forwarder: Box<dyn Forwarder>,
+    cpu: Cpu,
+    costs: CostModel,
+    counters: RouterCounters,
+    /// Per-interface NIC availability (transmit serialization).
+    tx_free_at: Vec<SimTime>,
+}
+
+/// Event-loop-level counters for one router (the forwarding plane keeps
+/// its own [`ForwarderStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterCounters {
+    /// Frames that arrived at any of the router's interfaces.
+    pub frames_in: u64,
+    /// Frames transmitted out of any interface.
+    pub frames_out: u64,
+}
+
+/// The simulation: network, hosts, routers, processes, and the event loop.
 pub struct World {
     events: EventQueue<Event>,
     net: Network,
     hosts: Vec<Host>,
-    /// `StationId.0` → host index.
-    station_host: Vec<usize>,
+    routers: Vec<Router>,
+    /// `StationId.0` → owning host or router interface.
+    station_owner: Vec<StationOwner>,
 }
 
 impl World {
     /// Creates an empty world with a deterministic network seed.
     pub fn new(seed: u64) -> Self {
+        Self::with_queue_backend(seed, QueueBackend::default())
+    }
+
+    /// Creates an empty world with an explicit event-queue backend.
+    ///
+    /// Every backend pops events in the identical (time, scheduling
+    /// sequence) order, so simulation results do not depend on this
+    /// choice — only wall-clock performance does.
+    pub fn with_queue_backend(seed: u64, backend: QueueBackend) -> Self {
         World {
-            events: EventQueue::new(),
+            events: EventQueue::with_backend(backend),
             net: Network::new(seed),
             hosts: Vec::new(),
-            station_host: Vec::new(),
+            routers: Vec::new(),
+            station_owner: Vec::new(),
         }
     }
 
@@ -275,10 +331,10 @@ impl World {
         addr: u64,
         costs: CostModel,
     ) -> HostId {
-        let station = self.net.attach(segment, addr);
-        debug_assert_eq!(station.0, self.station_host.len());
+        let station = self.net.add_station(segment, addr);
+        debug_assert_eq!(station.0, self.station_owner.len());
         let id = HostId(self.hosts.len());
-        self.station_host.push(id.0);
+        self.station_owner.push(StationOwner::Host(id.0));
         self.hosts.push(Host {
             name: name.into(),
             station,
@@ -301,6 +357,42 @@ impl World {
             tx_free_at: SimTime::ZERO,
             next_timer: 0,
             timer_events: HashMap::new(),
+        });
+        id
+    }
+
+    /// Adds a router with one station per `(segment, link address)` pair,
+    /// running `forwarder` as its kernel-resident forwarding plane. Each
+    /// forwarding decision costs `costs.ip_forward` on the router's CPU;
+    /// each interface transmits serially like a host NIC.
+    pub fn add_router(
+        &mut self,
+        name: impl Into<String>,
+        ifaces: Vec<(SegmentId, u64)>,
+        forwarder: Box<dyn Forwarder>,
+        costs: CostModel,
+    ) -> RouterId {
+        assert!(!ifaces.is_empty(), "a router needs at least one interface");
+        let id = RouterId(self.routers.len());
+        let mut stations = Vec::with_capacity(ifaces.len());
+        for (iface, (segment, addr)) in ifaces.into_iter().enumerate() {
+            let station = self.net.add_station(segment, addr);
+            debug_assert_eq!(station.0, self.station_owner.len());
+            self.station_owner.push(StationOwner::Router {
+                router: id.0,
+                iface,
+            });
+            stations.push(station);
+        }
+        let tx_free_at = vec![SimTime::ZERO; stations.len()];
+        self.routers.push(Router {
+            name: name.into(),
+            stations,
+            forwarder,
+            cpu: Cpu::new(),
+            costs,
+            counters: RouterCounters::default(),
+            tx_free_at,
         });
         id
     }
@@ -353,6 +445,33 @@ impl World {
     /// A host's configured name.
     pub fn host_name(&self, host: HostId) -> &str {
         &self.hosts[host.0].name
+    }
+
+    /// A router's configured name.
+    pub fn router_name(&self, router: RouterId) -> &str {
+        &self.routers[router.0].name
+    }
+
+    /// A router's event-loop counters.
+    pub fn router_counters(&self, router: RouterId) -> RouterCounters {
+        self.routers[router.0].counters
+    }
+
+    /// A router's forwarding-plane statistics.
+    pub fn router_stats(&self, router: RouterId) -> ForwarderStats {
+        self.routers[router.0].forwarder.stats()
+    }
+
+    /// A router's CPU (for utilization queries).
+    pub fn router_cpu(&self, router: RouterId) -> &Cpu {
+        &self.routers[router.0].cpu
+    }
+
+    /// Installs or replaces one route in a router's forwarding plane
+    /// (routing churn, from the control plane's point of view). Returns
+    /// whether the forwarder accepted the update.
+    pub fn update_route(&mut self, router: RouterId, route: Route) -> bool {
+        self.routers[router.0].forwarder.update_route(route)
     }
 
     /// Sets a host's NIC receive-ring capacity.
@@ -464,24 +583,11 @@ impl World {
             .schedule(at, Event::FrameArrival { host, frame });
     }
 
-    /// Runs until the event queue is empty; returns the final time.
-    pub fn run(&mut self) -> SimTime {
-        while let Some((t, ev)) = self.events.pop() {
-            self.dispatch(t, ev);
-        }
-        self.events.now()
-    }
-
-    /// Runs until the queue is empty or the next event is after `deadline`.
-    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(t) = self.events.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (t, ev) = self.events.pop().expect("peeked");
-            self.dispatch(t, ev);
-        }
-        self.events.now()
+    /// Schedules `frame` for transmission from `host`'s NIC at time `at`:
+    /// the flow-generator entry point. The driver transmit cost is charged
+    /// at `at`; the NIC serializes with any concurrent sends.
+    pub fn send_frame_at(&mut self, host: HostId, frame: Vec<u8>, at: SimTime) {
+        self.events.schedule(at, Event::Transmit { host, frame });
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
@@ -557,6 +663,17 @@ impl World {
                 self.invoke_proto(host, proto, |p, k| p.on_timer(token, k));
             }
             Event::PollTick { host } => self.poll_tick(host, now),
+            Event::Transmit { host, frame } => {
+                let h = &mut self.hosts[host.0];
+                let cost = h.costs.driver_tx_cost(frame.len());
+                let done = h.cpu.charge("kern:if-output", now, cost);
+                self.transmit_frame(host, &frame, done);
+            }
+            Event::RouterForward {
+                router,
+                iface,
+                frame,
+            } => self.router_forward(router, iface, frame, now),
             Event::Backpressure {
                 host,
                 proc,
@@ -987,22 +1104,76 @@ impl World {
     }
 
     /// Shared transmit path: serializes on the host's NIC and fans the
-    /// frame out as arrival events at the receiving hosts.
+    /// frame out as arrival events at the receiving stations.
     fn transmit_frame(&mut self, host: HostId, frame: &[u8], earliest: SimTime) {
         let h = &mut self.hosts[host.0];
         let start = earliest.max(h.tx_free_at);
         let (done, deliveries) = self.net.transmit(h.station, frame, start);
         h.tx_free_at = done;
         h.counters.packets_sent += 1;
+        self.fan_out(deliveries);
+    }
+
+    /// Schedules each delivery at its owning station: hosts take a
+    /// `FrameArrival` (the driver receive path), router interfaces take a
+    /// `RouterForward` (the forwarding path).
+    fn fan_out(&mut self, deliveries: Vec<Delivery>) {
         for d in deliveries {
-            let target = HostId(self.station_host[d.station.0]);
-            self.events.schedule(
-                d.arrival,
-                Event::FrameArrival {
-                    host: target,
+            let event = match self.station_owner[d.station.0] {
+                StationOwner::Host(h) => Event::FrameArrival {
+                    host: HostId(h),
                     frame: d.frame,
                 },
-            );
+                StationOwner::Router { router, iface } => Event::RouterForward {
+                    router: RouterId(router),
+                    iface,
+                    frame: d.frame,
+                },
+            };
+            self.events.schedule(d.arrival, event);
+        }
+    }
+
+    /// The router receive-and-forward path: charge the forwarding decision
+    /// on the router's CPU, ask the forwarding plane where the frame goes,
+    /// and transmit each output serialized on its interface.
+    fn router_forward(&mut self, router: RouterId, iface: usize, frame: Vec<u8>, now: SimTime) {
+        let r = &mut self.routers[router.0];
+        r.counters.frames_in += 1;
+        let cost = r.costs.ip_forward;
+        let decided = r.cpu.charge("ip:forward", now, cost);
+        let outs = r.forwarder.forward(iface, &frame);
+        for (out_iface, out_frame) in outs {
+            let r = &mut self.routers[router.0];
+            let start = decided.max(r.tx_free_at[out_iface]);
+            let station = r.stations[out_iface];
+            let (done, deliveries) = self.net.transmit(station, &out_frame, start);
+            let r = &mut self.routers[router.0];
+            r.tx_free_at[out_iface] = done;
+            r.counters.frames_out += 1;
+            self.fan_out(deliveries);
+        }
+    }
+}
+
+/// The unified run-loop: [`SimClock::run`] and [`SimClock::run_until`]
+/// drive the world exactly as the old inherent methods did.
+impl SimClock for World {
+    fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    fn step(&mut self) -> bool {
+        match self.events.pop() {
+            Some((t, ev)) => {
+                self.dispatch(t, ev);
+                true
+            }
+            None => false,
         }
     }
 }
@@ -1291,13 +1462,13 @@ impl ProcCtx<'_> {
     /// Puts this host's interface in promiscuous mode (network monitors).
     pub fn set_promiscuous(&mut self, on: bool) {
         let station = self.world.hosts[self.host.0].station;
-        self.world.net.set_promiscuous(station, on);
+        self.world.net.station(station).set_promiscuous(on);
     }
 
     /// Joins an Ethernet multicast group (the V-system's group IPC).
     pub fn join_multicast(&mut self, group: u64) {
         let station = self.world.hosts[self.host.0].station;
-        self.world.net.join_multicast(station, group);
+        self.world.net.station(station).join_multicast(group);
     }
 
     /// Sets a one-shot timer; [`App::on_timer`] fires with `token`.

@@ -22,6 +22,7 @@ use pf_net::medium::Medium;
 use pf_net::segment::FaultModel;
 use pf_sim::cost::CostModel;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 
 fn one_host_world() -> (World, pf_kernel::types::HostId) {
     let mut w = World::new(42);

@@ -15,6 +15,7 @@ use pf_net::medium::Medium;
 use pf_net::segment::FaultModel;
 use pf_sim::cost::CostModel;
 use pf_sim::time::{SimDuration, SimTime};
+use pf_sim::SimClock;
 
 /// A process that opens a port, binds a filter, and keeps reading.
 struct Receiver {

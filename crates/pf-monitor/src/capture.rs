@@ -141,6 +141,7 @@ mod tests {
     use pf_proto::bsp_app::{BspReceiverApp, BspSenderApp};
     use pf_proto::pup::PupAddr;
     use pf_sim::cost::CostModel;
+    use pf_sim::SimClock;
 
     /// A BSP transfer between two hosts, with a monitor on a third.
     fn monitored_transfer() -> (

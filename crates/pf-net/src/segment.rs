@@ -190,12 +190,14 @@ impl Network {
         self.segments[segment.0].faults = faults;
     }
 
-    /// Attaches a station with link address `addr` to a segment.
+    /// Attaches a station with link address `addr` to a segment and
+    /// returns its id; use [`Network::station`] for the handle carrying
+    /// the per-station operations (promiscuous mode, multicast groups).
     ///
     /// # Panics
     ///
     /// Panics if the segment id is unknown.
-    pub fn attach(&mut self, segment: SegmentId, addr: u64) -> StationId {
+    pub fn add_station(&mut self, segment: SegmentId, addr: u64) -> StationId {
         assert!(segment.0 < self.segments.len(), "unknown segment");
         let id = StationId(self.stations.len());
         self.stations.push(Station {
@@ -208,6 +210,21 @@ impl Network {
         id
     }
 
+    /// A borrow-handle for one station, carrying the per-station surface
+    /// that used to live as free methods on `Network`.
+    pub fn station(&mut self, id: StationId) -> StationHandle<'_> {
+        assert!(id.0 < self.stations.len(), "unknown station");
+        StationHandle { net: self, id }
+    }
+
+    /// Deprecated spelling of [`Network::add_station`].
+    #[deprecated(
+        note = "use `Network::add_station` (and `Network::station` for per-station operations)"
+    )]
+    pub fn attach(&mut self, segment: SegmentId, addr: u64) -> StationId {
+        self.add_station(segment, addr)
+    }
+
     /// The medium of the segment a station is attached to.
     pub fn medium_of(&self, station: StationId) -> &Medium {
         &self.segments[self.stations[station.0].segment.0].medium
@@ -218,23 +235,25 @@ impl Network {
         self.stations[station.0].addr
     }
 
-    /// Puts a station in (or out of) promiscuous mode — it then receives
-    /// every frame on its segment, as a network monitor's interface does.
+    /// Deprecated: use [`Network::station`] and
+    /// [`StationHandle::set_promiscuous`].
+    #[deprecated(note = "use `net.station(id).set_promiscuous(on)`")]
     pub fn set_promiscuous(&mut self, station: StationId, on: bool) {
-        self.stations[station.0].promiscuous = on;
+        self.station(station).set_promiscuous(on);
     }
 
-    /// Subscribes a station to a multicast group address.
+    /// Deprecated: use [`Network::station`] and
+    /// [`StationHandle::join_multicast`].
+    #[deprecated(note = "use `net.station(id).join_multicast(group)`")]
     pub fn join_multicast(&mut self, station: StationId, group: u64) {
-        let s = &mut self.stations[station.0];
-        if !s.multicast.contains(&group) {
-            s.multicast.push(group);
-        }
+        self.station(station).join_multicast(group);
     }
 
-    /// Leaves a multicast group.
+    /// Deprecated: use [`Network::station`] and
+    /// [`StationHandle::leave_multicast`].
+    #[deprecated(note = "use `net.station(id).leave_multicast(group)`")]
     pub fn leave_multicast(&mut self, station: StationId, group: u64) {
-        self.stations[station.0].multicast.retain(|g| *g != group);
+        self.station(station).leave_multicast(group);
     }
 
     /// Frames transmitted on a segment so far.
@@ -353,6 +372,72 @@ impl Network {
     }
 }
 
+/// Mutable handle to one attached station.
+///
+/// Returned by [`Network::station`] (and, for deployed topologies, by
+/// the topology layer); carries the per-station operations that used to
+/// be free methods on [`Network`]:
+///
+/// ```
+/// use pf_net::medium::Medium;
+/// use pf_net::segment::{FaultModel, Network};
+///
+/// let mut net = Network::new(0);
+/// let seg = net.add_segment(Medium::standard_10mb(), FaultModel::default());
+/// let id = net.add_station(seg, 0x11);
+/// net.station(id).set_promiscuous(true);
+/// net.station(id).join_multicast(0x0180_0000_0001);
+/// assert_eq!(net.station(id).addr(), 0x11);
+/// ```
+pub struct StationHandle<'a> {
+    net: &'a mut Network,
+    id: StationId,
+}
+
+impl StationHandle<'_> {
+    /// The station's id (stable across the life of the network).
+    pub fn id(&self) -> StationId {
+        self.id
+    }
+
+    /// The segment this station is attached to.
+    pub fn segment(&self) -> SegmentId {
+        self.net.stations[self.id.0].segment
+    }
+
+    /// The station's link address.
+    pub fn addr(&self) -> u64 {
+        self.net.stations[self.id.0].addr
+    }
+
+    /// The medium of the segment this station is attached to.
+    pub fn medium(&self) -> &Medium {
+        self.net.medium_of(self.id)
+    }
+
+    /// Puts the station in (or out of) promiscuous mode — it then
+    /// receives every frame on its segment, as a network monitor's
+    /// interface does.
+    pub fn set_promiscuous(&mut self, on: bool) {
+        self.net.stations[self.id.0].promiscuous = on;
+    }
+
+    /// Subscribes the station to a multicast group address.
+    pub fn join_multicast(&mut self, group: u64) {
+        let s = &mut self.net.stations[self.id.0];
+        if !s.multicast.contains(&group) {
+            s.multicast.push(group);
+        }
+    }
+
+    /// Leaves a multicast group.
+    pub fn leave_multicast(&mut self, group: u64) {
+        self.net.stations[self.id.0]
+            .multicast
+            .retain(|g| *g != group);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,9 +446,9 @@ mod tests {
     fn net_with_three_stations() -> (Network, SegmentId, StationId, StationId, StationId) {
         let mut net = Network::new(1);
         let seg = net.add_segment(Medium::experimental_3mb(), FaultModel::default());
-        let a = net.attach(seg, 0x0A);
-        let b = net.attach(seg, 0x0B);
-        let c = net.attach(seg, 0x0C);
+        let a = net.add_station(seg, 0x0A);
+        let b = net.add_station(seg, 0x0B);
+        let c = net.add_station(seg, 0x0C);
         (net, seg, a, b, c)
     }
 
@@ -392,7 +477,7 @@ mod tests {
     #[test]
     fn promiscuous_station_sees_everything() {
         let (mut net, _, a, b, c) = net_with_three_stations();
-        net.set_promiscuous(c, true);
+        net.station(c).set_promiscuous(true);
         let m = *net.medium_of(a);
         let f = build(&m, 0x0B, 0x0A, 2, &[]).unwrap();
         let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
@@ -416,11 +501,11 @@ mod tests {
     fn multicast_on_10mb() {
         let mut net = Network::new(1);
         let seg = net.add_segment(Medium::standard_10mb(), FaultModel::default());
-        let a = net.attach(seg, 0x0200_0000_000A);
-        let b = net.attach(seg, 0x0200_0000_000B);
-        let c = net.attach(seg, 0x0200_0000_000C);
+        let a = net.add_station(seg, 0x0200_0000_000A);
+        let b = net.add_station(seg, 0x0200_0000_000B);
+        let c = net.add_station(seg, 0x0200_0000_000C);
         let group = 0x0100_0000_0077u64;
-        net.join_multicast(b, group);
+        net.station(b).join_multicast(group);
         let m = *net.medium_of(a);
         let f = build(&m, group, net.addr_of(a), 0x0800, &[]).unwrap();
         let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
@@ -428,7 +513,7 @@ mod tests {
         assert_eq!(deliveries[0].station, b);
         let _ = c;
         // After leaving, nobody receives.
-        net.leave_multicast(b, group);
+        net.station(b).leave_multicast(group);
         let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
         assert!(deliveries.is_empty());
     }
@@ -443,8 +528,8 @@ mod tests {
                 ..FaultModel::default()
             },
         );
-        let a = net.attach(seg, 1);
-        let _b = net.attach(seg, 2);
+        let a = net.add_station(seg, 1);
+        let _b = net.add_station(seg, 2);
         let m = *net.medium_of(a);
         let f = build(&m, 2, 1, 2, &[]).unwrap();
         let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
@@ -463,8 +548,8 @@ mod tests {
                 ..FaultModel::default()
             },
         );
-        let a = net.attach(seg, 1);
-        let b = net.attach(seg, 2);
+        let a = net.add_station(seg, 1);
+        let b = net.add_station(seg, 2);
         let m = *net.medium_of(a);
         let f = build(&m, 2, 1, 2, &[]).unwrap();
         let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
@@ -489,8 +574,8 @@ mod tests {
                     ..FaultModel::default()
                 },
             );
-            let a = net.attach(seg, 1);
-            let _b = net.attach(seg, 2);
+            let a = net.add_station(seg, 1);
+            let _b = net.add_station(seg, 2);
             let m = *net.medium_of(a);
             let f = build(&m, 2, 1, 2, &[0; 32]).unwrap();
             let mut pattern = Vec::new();
@@ -513,8 +598,8 @@ mod tests {
                 ..FaultModel::default()
             },
         );
-        let a = net.attach(seg, 1);
-        let _b = net.attach(seg, 2);
+        let a = net.add_station(seg, 1);
+        let _b = net.add_station(seg, 2);
         let m = *net.medium_of(a);
         let f = build(&m, 2, 1, 2, &[0xAA; 64]).unwrap();
         for _ in 0..20 {
@@ -542,8 +627,8 @@ mod tests {
                 ..FaultModel::default()
             },
         );
-        let a = net.attach(seg, 1);
-        let _b = net.attach(seg, 2);
+        let a = net.add_station(seg, 1);
+        let _b = net.add_station(seg, 2);
         let m = *net.medium_of(a);
         let f = build(&m, 2, 1, 2, &[7; 40]).unwrap();
         for _ in 0..20 {
@@ -567,8 +652,8 @@ mod tests {
                 ..FaultModel::default()
             },
         );
-        let a = net.attach(seg, 1);
-        let _b = net.attach(seg, 2);
+        let a = net.add_station(seg, 1);
+        let _b = net.add_station(seg, 2);
         let m = *net.medium_of(a);
         let f = build(&m, 2, 1, 2, &[]).unwrap();
         let (done, deliveries) = net.transmit(a, &f, SimTime::ZERO);
@@ -589,8 +674,8 @@ mod tests {
                 ..FaultModel::default()
             },
         );
-        let a = net.attach(seg, 1);
-        let _b = net.attach(seg, 2);
+        let a = net.add_station(seg, 1);
+        let _b = net.add_station(seg, 2);
         let m = *net.medium_of(a);
         let f = build(&m, 2, 1, 2, &[]).unwrap();
         let (_, d) = net.transmit(a, &f, SimTime::ZERO);
@@ -622,8 +707,8 @@ mod tests {
                     ..FaultModel::default()
                 },
             );
-            let a = net.attach(seg, 1);
-            let _b = net.attach(seg, 2);
+            let a = net.add_station(seg, 1);
+            let _b = net.add_station(seg, 2);
             let m = *net.medium_of(a);
             let f = build(&m, 2, 1, 2, &[]).unwrap();
             for _ in 0..2000 {
@@ -646,11 +731,40 @@ mod tests {
         let mut net = Network::new(1);
         let s1 = net.add_segment(Medium::experimental_3mb(), FaultModel::default());
         let s2 = net.add_segment(Medium::experimental_3mb(), FaultModel::default());
-        let a = net.attach(s1, 1);
-        let _b = net.attach(s2, 1); // same address, different wire
+        let a = net.add_station(s1, 1);
+        let _b = net.add_station(s2, 1); // same address, different wire
         let m = *net.medium_of(a);
         let f = build(&m, 1, 1, 2, &[]).unwrap();
         let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
         assert!(deliveries.is_empty(), "no cross-segment delivery");
+    }
+
+    /// The one-PR deprecation shims must stay behaviorally identical to
+    /// the `StationHandle` surface they forward to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_station_shims_still_work() {
+        let group = 0x0100_0000_0001u64;
+        let mut net = Network::new(9);
+        let seg = net.add_segment(Medium::standard_10mb(), FaultModel::default());
+        let a = net.attach(seg, 1);
+        let b = net.attach(seg, 2);
+        let snoop = net.attach(seg, 3);
+        net.set_promiscuous(snoop, true);
+        net.join_multicast(b, group);
+        let m = *net.medium_of(a);
+        let f = build(&m, group, 1, 2, &[]).unwrap();
+        let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        let mut who: Vec<usize> = deliveries.iter().map(|d| d.station.0).collect();
+        who.sort_unstable();
+        assert_eq!(
+            who,
+            vec![b.0, snoop.0],
+            "multicast member + promiscuous snoop"
+        );
+        net.leave_multicast(b, group);
+        let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
+        let who: Vec<usize> = deliveries.iter().map(|d| d.station.0).collect();
+        assert_eq!(who, vec![snoop.0], "after leave only the snoop hears it");
     }
 }

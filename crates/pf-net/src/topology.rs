@@ -1,0 +1,650 @@
+//! Multi-segment topologies: hosts and routers wired into an internet.
+//!
+//! A [`Topology`] is a *plan*: nodes (hosts and routers), links between
+//! them (each link becomes one [`Network`] segment), deterministic
+//! IP/link addressing, and shortest-path forwarding tables computed at
+//! build time. The plan is substrate-agnostic — `pf-net` can
+//! [`instantiate`](Topology::instantiate) it into a bare [`Network`] for
+//! link-layer tests, and `pf-proto` deploys it into a full `World` with
+//! kernel-resident IP routers (`pf_proto::router`).
+//!
+//! ## Addressing
+//!
+//! Link *l* becomes the /24 subnet `10.⌊l/256⌋.(l mod 256).0`; the *k*-th
+//! member of the link gets host byte `k + 1` and link-layer address
+//! `k + 1` on that segment (link addresses only need to be unique per
+//! segment; `0` is avoided because it is the experimental medium's
+//! broadcast address). IPs are globally unique, so the topology carries
+//! one static ARP map from IP to link address.
+//!
+//! ## Forwarding
+//!
+//! Each router gets a [`RouteTable`] of longest-prefix-match routes
+//! computed by a deterministic multi-source BFS per destination subnet
+//! (hosts do not forward; a frame's first hop is its LAN's
+//! lowest-indexed router). The table is static data — the *execution*
+//! of forwarding (TTL decrement, re-encapsulation, cost accounting)
+//! lives behind the [`Forwarder`] trait so the kernel simulation can
+//! plug in the IP implementation without `pf-net` depending on it.
+
+use std::collections::HashMap;
+
+use crate::medium::Medium;
+use crate::segment::{FaultModel, Network, SegmentId, StationHandle, StationId};
+
+/// Identifies a node (host or router) within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifies a link (one shared segment) within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// What a node does with frames that are not addressed to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// End system: sources and sinks traffic, never forwards.
+    Host,
+    /// Packet switch: runs a [`Forwarder`] over its interfaces.
+    Router,
+}
+
+/// One node's attachment to one link.
+#[derive(Debug, Clone, Copy)]
+pub struct Interface {
+    /// The link this interface sits on.
+    pub link: LinkId,
+    /// The interface's IP address (globally unique).
+    pub ip: u32,
+    /// The interface's link-layer address (unique per segment).
+    pub eth: u64,
+}
+
+/// A longest-prefix-match route entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Network prefix (host bits zero).
+    pub prefix: u32,
+    /// Prefix length in bits (0..=32).
+    pub len: u8,
+    /// Which of the owning node's interfaces the packet leaves on.
+    pub iface: usize,
+    /// IP of the next-hop router, or `None` when the destination subnet
+    /// is directly attached (deliver straight to the destination's
+    /// link address).
+    pub next_hop: Option<u32>,
+}
+
+fn prefix_mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+/// A static longest-prefix-match forwarding table.
+///
+/// Entries are kept sorted longest-prefix-first so [`lookup`]
+/// (RouteTable::lookup) is a first-match scan — fine for the tens of
+/// routes a simulated router carries.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+}
+
+impl RouteTable {
+    /// An empty table (every lookup misses).
+    pub fn new() -> Self {
+        RouteTable { routes: Vec::new() }
+    }
+
+    /// Inserts a route, replacing any existing entry with the same
+    /// prefix and length. Returns `true` when an entry was replaced.
+    pub fn set(&mut self, route: Route) -> bool {
+        debug_assert_eq!(
+            route.prefix & prefix_mask(route.len),
+            route.prefix,
+            "host bits must be zero in a route prefix"
+        );
+        if let Some(r) = self
+            .routes
+            .iter_mut()
+            .find(|r| r.prefix == route.prefix && r.len == route.len)
+        {
+            *r = route;
+            return true;
+        }
+        // Longest prefix first; equal lengths by prefix for determinism.
+        let key = |r: &Route| (std::cmp::Reverse(r.len), r.prefix);
+        let pos = self.routes.partition_point(|r| key(r) < key(&route));
+        self.routes.insert(pos, route);
+        false
+    }
+
+    /// The most specific route matching `dst`, if any.
+    pub fn lookup(&self, dst: u32) -> Option<&Route> {
+        self.routes
+            .iter()
+            .find(|r| dst & prefix_mask(r.len) == r.prefix)
+    }
+
+    /// All routes, longest prefix first.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+}
+
+/// Counters a [`Forwarder`] keeps about its own drops and successes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwarderStats {
+    /// Frames re-emitted on an outgoing interface.
+    pub forwarded: u64,
+    /// Packets dropped because the TTL reached zero.
+    pub ttl_expired: u64,
+    /// Packets dropped for lack of a matching route (or unresolvable
+    /// next hop).
+    pub no_route: u64,
+    /// Frames dropped because they were not well-formed routable
+    /// packets (bad encapsulation, non-IP ethertype, parse errors).
+    pub not_routable: u64,
+}
+
+/// The forwarding plane of a router node.
+///
+/// The kernel simulation hands every frame arriving on a router's
+/// interface to `forward`, charges the router CPU, and transmits
+/// whatever comes back. Returning an empty vector drops the frame
+/// (TTL expiry, no route, unparseable). The IP implementation lives in
+/// `pf_proto::router`; `pf-net` only defines the boundary.
+pub trait Forwarder {
+    /// Process one received frame; returns `(out_interface, out_frame)`
+    /// pairs to transmit.
+    fn forward(&mut self, iface: usize, frame: &[u8]) -> Vec<(usize, Vec<u8>)>;
+
+    /// Drop/success counters (zero by default).
+    fn stats(&self) -> ForwarderStats {
+        ForwarderStats::default()
+    }
+
+    /// Replace a route at runtime (routing churn). Returns `false` when
+    /// the forwarder does not support route updates.
+    fn update_route(&mut self, route: Route) -> bool {
+        let _ = route;
+        false
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    name: String,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+struct LinkSpec {
+    members: Vec<NodeId>,
+    medium: Medium,
+    faults: FaultModel,
+}
+
+/// Incremental builder for a [`Topology`]; see [`Topology::builder`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<NodeSpec>,
+    links: Vec<LinkSpec>,
+}
+
+impl TopologyBuilder {
+    /// Adds an end system.
+    pub fn host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name.into(), NodeKind::Host)
+    }
+
+    /// Adds a packet switch.
+    pub fn router(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name.into(), NodeKind::Router)
+    }
+
+    fn add_node(&mut self, name: String, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeSpec { name, kind });
+        id
+    }
+
+    /// Adds a point-to-point link (a two-station segment).
+    pub fn link(&mut self, a: NodeId, b: NodeId, medium: Medium, faults: FaultModel) -> LinkId {
+        self.lan(&[a, b], medium, faults)
+    }
+
+    /// Adds a shared multi-drop segment joining all `members`.
+    pub fn lan(&mut self, members: &[NodeId], medium: Medium, faults: FaultModel) -> LinkId {
+        assert!(members.len() >= 2, "a link needs at least two members");
+        for m in members {
+            assert!(m.0 < self.nodes.len(), "unknown node {:?}", m);
+        }
+        if medium.addr_len == 1 {
+            assert!(
+                members.len() <= 254,
+                "one-byte link addresses limit a segment to 254 stations"
+            );
+        }
+        let id = LinkId(self.links.len());
+        self.links.push(LinkSpec {
+            members: members.to_vec(),
+            medium,
+            faults,
+        });
+        id
+    }
+
+    /// Assigns addresses, computes every router's shortest-path route
+    /// table, and freezes the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host is on zero or multiple links (end systems have
+    /// exactly one interface) or a router has no links.
+    pub fn build(self) -> Topology {
+        let mut ifaces: Vec<Vec<Interface>> = vec![Vec::new(); self.nodes.len()];
+        let mut arp = HashMap::new();
+        for (l, link) in self.links.iter().enumerate() {
+            let subnet = subnet_of(LinkId(l));
+            for (k, member) in link.members.iter().enumerate() {
+                let ip = subnet | (k as u32 + 1);
+                let eth = k as u64 + 1;
+                ifaces[member.0].push(Interface {
+                    link: LinkId(l),
+                    ip,
+                    eth,
+                });
+                arp.insert(ip, eth);
+            }
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            match node.kind {
+                NodeKind::Host => assert_eq!(
+                    ifaces[n].len(),
+                    1,
+                    "host {:?} must sit on exactly one link",
+                    node.name
+                ),
+                NodeKind::Router => {
+                    assert!(!ifaces[n].is_empty(), "router {:?} has no links", node.name)
+                }
+            }
+        }
+        let routes = compute_routes(&self.nodes, &self.links, &ifaces);
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+            ifaces,
+            routes,
+            arp,
+        }
+    }
+}
+
+fn subnet_of(link: LinkId) -> u32 {
+    let l = link.0 as u32;
+    (10 << 24) | ((l >> 8) << 16) | ((l & 0xFF) << 8)
+}
+
+/// Per-destination-subnet multi-source BFS over the router graph.
+/// Deterministic: frontier and adjacency are walked in index order, and
+/// the first (shortest, lowest-index) parent wins.
+fn compute_routes(
+    nodes: &[NodeSpec],
+    links: &[LinkSpec],
+    ifaces: &[Vec<Interface>],
+) -> Vec<RouteTable> {
+    let mut tables = vec![RouteTable::new(); nodes.len()];
+    let iface_on = |n: usize, l: LinkId| -> Option<(usize, &Interface)> {
+        ifaces[n].iter().enumerate().find(|(_, i)| i.link == l)
+    };
+    for (dst_l, _) in links.iter().enumerate() {
+        let dst_link = LinkId(dst_l);
+        let subnet = subnet_of(dst_link);
+        let mut dist: Vec<Option<u32>> = vec![None; nodes.len()];
+        let mut frontier: Vec<usize> = Vec::new();
+        // Routers directly on the destination link deliver directly.
+        for m in &links[dst_l].members {
+            if nodes[m.0].kind == NodeKind::Router {
+                let (idx, _) = iface_on(m.0, dst_link).expect("member has iface");
+                tables[m.0].set(Route {
+                    prefix: subnet,
+                    len: 24,
+                    iface: idx,
+                    next_hop: None,
+                });
+                dist[m.0] = Some(0);
+                frontier.push(m.0);
+            }
+        }
+        frontier.sort_unstable();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for vi in &ifaces[v] {
+                    for u in &links[vi.link.0].members {
+                        let u = u.0;
+                        if u == v || nodes[u].kind != NodeKind::Router || dist[u].is_some() {
+                            continue;
+                        }
+                        let (uidx, _) = iface_on(u, vi.link).expect("member has iface");
+                        tables[u].set(Route {
+                            prefix: subnet,
+                            len: 24,
+                            iface: uidx,
+                            next_hop: Some(vi.ip),
+                        });
+                        dist[u] = Some(dist[v].expect("in frontier") + 1);
+                        next.push(u);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+    }
+    tables
+}
+
+/// A frozen network plan; see the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<NodeSpec>,
+    links: Vec<LinkSpec>,
+    ifaces: Vec<Vec<Interface>>,
+    routes: Vec<RouteTable>,
+    arp: HashMap<u32, u64>,
+}
+
+impl Topology {
+    /// Starts an empty plan.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Number of nodes (hosts + routers).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links (segments).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The node's display name.
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Whether the node forwards.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.0].kind
+    }
+
+    /// All node ids of a given kind, in index order.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&n| self.nodes[n].kind == kind)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// The node's interfaces in attachment order.
+    pub fn interfaces(&self, node: NodeId) -> &[Interface] {
+        &self.ifaces[node.0]
+    }
+
+    /// A host's (single) IP address; for routers, the first interface's.
+    pub fn ip(&self, node: NodeId) -> u32 {
+        self.ifaces[node.0][0].ip
+    }
+
+    /// The /24 subnet a link was assigned.
+    pub fn subnet(&self, link: LinkId) -> u32 {
+        subnet_of(link)
+    }
+
+    /// A link's members, in attachment order.
+    pub fn members(&self, link: LinkId) -> &[NodeId] {
+        &self.links[link.0].members
+    }
+
+    /// A link's medium.
+    pub fn medium(&self, link: LinkId) -> &Medium {
+        &self.links[link.0].medium
+    }
+
+    /// A link's fault model.
+    pub fn faults(&self, link: LinkId) -> &FaultModel {
+        &self.links[link.0].faults
+    }
+
+    /// A node's computed route table (empty for hosts).
+    pub fn route_table(&self, node: NodeId) -> &RouteTable {
+        &self.routes[node.0]
+    }
+
+    /// The global static ARP map (IP → per-segment link address).
+    pub fn arp(&self) -> &HashMap<u32, u64> {
+        &self.arp
+    }
+
+    /// Where a frame from `node` to `dst_ip` goes on the wire first:
+    /// `(interface index, destination link address)`. Direct for
+    /// on-subnet destinations, otherwise the LAN's lowest-indexed
+    /// router. `None` when the destination is unreachable from here.
+    pub fn first_hop(&self, node: NodeId, dst_ip: u32) -> Option<(usize, u64)> {
+        for (idx, i) in self.ifaces[node.0].iter().enumerate() {
+            if dst_ip & 0xFFFF_FF00 == subnet_of(i.link) {
+                return Some((idx, *self.arp.get(&dst_ip)?));
+            }
+        }
+        // Off-subnet: hand to the first router on our first link.
+        let (idx, i) = (0, self.ifaces[node.0].first()?);
+        let gw = self.links[i.link.0]
+            .members
+            .iter()
+            .find(|m| m.0 != node.0 && self.nodes[m.0].kind == NodeKind::Router)?;
+        let gw_iface = self.ifaces[gw.0].iter().find(|gi| gi.link == i.link)?;
+        Some((idx, gw_iface.eth))
+    }
+
+    /// Materializes the plan into `net`: one segment per link, one
+    /// station per interface, in index order. The returned map gives
+    /// [`StationHandle`]s for every station.
+    pub fn instantiate(&self, net: &mut Network) -> InstantiatedTopology {
+        let segments: Vec<SegmentId> = self
+            .links
+            .iter()
+            .map(|l| net.add_segment(l.medium, l.faults))
+            .collect();
+        let stations: Vec<Vec<StationId>> = self
+            .ifaces
+            .iter()
+            .map(|ifs| {
+                ifs.iter()
+                    .map(|i| net.add_station(segments[i.link.0], i.eth))
+                    .collect()
+            })
+            .collect();
+        InstantiatedTopology { segments, stations }
+    }
+}
+
+/// Id map produced by [`Topology::instantiate`].
+#[derive(Debug, Clone)]
+pub struct InstantiatedTopology {
+    /// Segment id per link, in link order.
+    pub segments: Vec<SegmentId>,
+    /// Station ids per node, in interface order.
+    pub stations: Vec<Vec<StationId>>,
+}
+
+impl InstantiatedTopology {
+    /// The [`StationHandle`] for one node interface.
+    pub fn station<'a>(
+        &self,
+        net: &'a mut Network,
+        node: NodeId,
+        iface: usize,
+    ) -> StationHandle<'a> {
+        net.station(self.stations[node.0][iface])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Medium {
+        Medium::standard_10mb()
+    }
+
+    fn f() -> FaultModel {
+        FaultModel::default()
+    }
+
+    #[test]
+    fn lpm_prefers_the_longest_prefix() {
+        let mut t = RouteTable::new();
+        t.set(Route {
+            prefix: 0,
+            len: 0,
+            iface: 0,
+            next_hop: None,
+        });
+        t.set(Route {
+            prefix: 0x0A01_0000,
+            len: 16,
+            iface: 1,
+            next_hop: None,
+        });
+        t.set(Route {
+            prefix: 0x0A01_0200,
+            len: 24,
+            iface: 2,
+            next_hop: None,
+        });
+        assert_eq!(t.lookup(0x0A01_0203).unwrap().iface, 2, "/24 wins");
+        assert_eq!(t.lookup(0x0A01_0503).unwrap().iface, 1, "/16 next");
+        assert_eq!(t.lookup(0x0B00_0001).unwrap().iface, 0, "default last");
+    }
+
+    #[test]
+    fn set_replaces_same_prefix_routes() {
+        let mut t = RouteTable::new();
+        let r = Route {
+            prefix: 0x0A00_0100,
+            len: 24,
+            iface: 0,
+            next_hop: None,
+        };
+        assert!(!t.set(r));
+        assert!(t.set(Route { iface: 3, ..r }));
+        assert_eq!(t.routes().len(), 1);
+        assert_eq!(t.lookup(0x0A00_0101).unwrap().iface, 3);
+    }
+
+    #[test]
+    fn line_topology_routes_toward_the_far_lan() {
+        // h1 — r1 — r2 — h2 : three links, two routers.
+        let mut b = Topology::builder();
+        let h1 = b.host("h1");
+        let r1 = b.router("r1");
+        let r2 = b.router("r2");
+        let h2 = b.host("h2");
+        let l0 = b.link(h1, r1, m(), f());
+        let _l1 = b.link(r1, r2, m(), f());
+        let l2 = b.link(r2, h2, m(), f());
+        let t = b.build();
+
+        // r1 reaches h2's subnet through r2, one hop away.
+        let route = t.route_table(r1).lookup(t.ip(h2)).expect("route");
+        assert_eq!(route.len, 24);
+        let next = route.next_hop.expect("not directly attached");
+        let r2_on_l1 = t.interfaces(r2).iter().find(|i| i.link.0 == 1).unwrap();
+        assert_eq!(next, r2_on_l1.ip);
+        // r2 delivers h2's subnet directly.
+        let direct = t.route_table(r2).lookup(t.ip(h2)).expect("route");
+        assert_eq!(direct.next_hop, None);
+        assert_eq!(t.subnet(l2) | 2, t.ip(h2));
+
+        // h1's first hop toward h2 is r1's address on the shared LAN.
+        let (iface, eth) = t.first_hop(h1, t.ip(h2)).expect("reachable");
+        assert_eq!(iface, 0);
+        let r1_on_l0 = t.interfaces(r1).iter().find(|i| i.link == l0).unwrap();
+        assert_eq!(eth, r1_on_l0.eth);
+        // On-subnet destinations resolve straight to the peer.
+        let (_, direct_eth) = t.first_hop(h1, t.ip(r1)).expect("on subnet");
+        assert_eq!(direct_eth, r1_on_l0.eth);
+    }
+
+    #[test]
+    fn addressing_is_unique_and_deterministic() {
+        let mut b = Topology::builder();
+        let r = b.router("r");
+        let hosts: Vec<NodeId> = (0..5).map(|i| b.host(format!("h{i}"))).collect();
+        let mut members = vec![r];
+        members.extend(&hosts);
+        b.lan(&members, m(), f());
+        let t = b.build();
+        let mut ips: Vec<u32> = (0..t.node_count()).map(|n| t.ip(NodeId(n))).collect();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), 6, "every interface IP is unique");
+        assert_eq!(t.ip(r), (10 << 24) | 1, "first member gets host byte 1");
+    }
+
+    #[test]
+    fn instantiate_attaches_stations_with_plan_addresses() {
+        let mut b = Topology::builder();
+        let h1 = b.host("h1");
+        let r = b.router("r");
+        let h2 = b.host("h2");
+        b.lan(&[h1, r], m(), f());
+        b.lan(&[r, h2], m(), f());
+        let t = b.build();
+        let mut net = Network::new(0);
+        let inst = t.instantiate(&mut net);
+        assert_eq!(inst.segments.len(), 2);
+        assert_eq!(inst.stations[r.0].len(), 2, "router has two stations");
+        let mut station = inst.station(&mut net, h1, 0);
+        assert_eq!(station.addr(), t.interfaces(h1)[0].eth);
+        station.set_promiscuous(true);
+        station.join_multicast(0x80);
+    }
+
+    #[test]
+    fn ring_routes_are_shortest_path() {
+        // Four routers in a ring; each with one host LAN.
+        let mut b = Topology::builder();
+        let routers: Vec<NodeId> = (0..4).map(|i| b.router(format!("r{i}"))).collect();
+        let hosts: Vec<NodeId> = (0..4).map(|i| b.host(format!("h{i}"))).collect();
+        for i in 0..4 {
+            b.link(routers[i], routers[(i + 1) % 4], m(), f());
+        }
+        let lans: Vec<LinkId> = (0..4)
+            .map(|i| b.lan(&[routers[i], hosts[i]], m(), f()))
+            .collect();
+        let t = b.build();
+        // r0 to h1's LAN: one hop via r1 (not two hops the other way).
+        let r = t.route_table(routers[0]).lookup(t.ip(hosts[1])).unwrap();
+        let next = r.next_hop.expect("one hop away");
+        assert!(t.interfaces(routers[1]).iter().any(|i| i.ip == next));
+        // r0 to its own LAN: direct.
+        assert_eq!(
+            t.route_table(routers[0])
+                .lookup(t.ip(hosts[0]))
+                .unwrap()
+                .next_hop,
+            None
+        );
+        let _ = lans;
+    }
+}

@@ -170,6 +170,7 @@ mod tests {
     use pf_net::segment::FaultModel;
     use pf_sim::cost::CostModel;
     use pf_sim::time::SimTime;
+    use pf_sim::SimClock;
 
     #[test]
     fn body_round_trip() {

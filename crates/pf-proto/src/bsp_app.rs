@@ -396,6 +396,7 @@ mod tests {
     use pf_kernel::world::World;
     use pf_net::segment::FaultModel;
     use pf_sim::cost::CostModel;
+    use pf_sim::SimClock;
 
     fn setup(
         payload_len: usize,

@@ -189,6 +189,7 @@ mod tests {
     use pf_kernel::world::World;
     use pf_net::segment::FaultModel;
     use pf_sim::cost::CostModel;
+    use pf_sim::SimClock;
 
     fn echo_world(loss: f64) -> (World, pf_kernel::types::HostId, pf_kernel::types::HostId) {
         let mut w = World::new(31);

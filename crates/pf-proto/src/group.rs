@@ -180,6 +180,7 @@ mod tests {
     use pf_kernel::world::World;
     use pf_net::segment::FaultModel;
     use pf_sim::cost::CostModel;
+    use pf_sim::SimClock;
 
     #[test]
     fn message_round_trip() {

@@ -12,6 +12,9 @@
 //! * [`ip`] / [`tcp`] / [`stream`] — the kernel-resident IP/UDP/TCP-lite
 //!   stack and its bulk-stream workloads (figure 3-2, §6.1, table 6-6);
 //! * [`arp`] / [`rarp`] — kernel ARP and the §5.3 user-level RARP;
+//! * [`router`] — the static-routed IP forwarding plane for
+//!   `pf_net::Topology` routers, plus the glue deploying a topology
+//!   into a `World`;
 //! * [`telnet`] — the remote-terminal character streams of table 6-7.
 //!
 //! Protocol state machines are pure (effect-emitting) wherever a protocol
@@ -27,6 +30,7 @@ pub mod group;
 pub mod ip;
 pub mod pup;
 pub mod rarp;
+pub mod router;
 pub mod stream;
 pub mod tcp;
 pub mod telnet;

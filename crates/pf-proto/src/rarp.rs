@@ -194,6 +194,7 @@ mod tests {
     use pf_net::medium::Medium;
     use pf_net::segment::FaultModel;
     use pf_sim::cost::CostModel;
+    use pf_sim::SimClock;
 
     fn world_with_server(loss: f64) -> (World, pf_kernel::types::HostId, pf_kernel::types::HostId) {
         let mut w = World::new(5);

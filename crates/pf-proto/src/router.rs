@@ -1,0 +1,322 @@
+//! The IP forwarding plane for topology routers, and the glue that
+//! deploys a `pf_net::Topology` into a running `World`.
+//!
+//! `pf-net` defines the [`Forwarder`] boundary but deliberately knows
+//! nothing about IP; this module supplies the implementation using the
+//! same wire codecs as the kernel-resident stack ([`crate::ip`]):
+//! decapsulate, TTL-check and decrement, longest-prefix-match against a
+//! static [`RouteTable`], resolve the next hop through the topology's
+//! static ARP map, and re-encapsulate on the outgoing medium. A router
+//! node in the `World` charges `CostModel::ip_forward` per hop and
+//! serializes transmissions per interface, so store-and-forward latency
+//! and per-link bandwidth are modeled end to end.
+
+use std::collections::HashMap;
+
+use pf_kernel::{HostId, RouterId, World};
+use pf_net::medium::Medium;
+use pf_net::topology::{Forwarder, ForwarderStats, NodeKind, Route, RouteTable, Topology};
+use pf_net::{frame, SegmentId};
+use pf_sim::CostModel;
+
+use crate::ip::{decode_ip, encode_ip, IP_ETHERTYPE};
+
+/// One router interface as the forwarding plane sees it.
+#[derive(Debug, Clone)]
+pub struct RouterIface {
+    /// Medium of the attached segment (frames are re-encapsulated for
+    /// it on the way out).
+    pub medium: Medium,
+    /// The interface's own link-layer address (used as the source of
+    /// forwarded frames).
+    pub eth: u64,
+    /// The interface's IP address.
+    pub ip: u32,
+}
+
+/// A static-routed IP forwarder: the packet-switch half of the
+/// kernel-resident IP stack.
+#[derive(Debug)]
+pub struct IpRouter {
+    ifaces: Vec<RouterIface>,
+    table: RouteTable,
+    /// Static IP → link-address map covering every next hop and every
+    /// directly-attached destination.
+    arp: HashMap<u32, u64>,
+    stats: ForwarderStats,
+}
+
+impl IpRouter {
+    /// Builds a forwarder from explicit interfaces, routes, and ARP
+    /// entries.
+    pub fn new(ifaces: Vec<RouterIface>, table: RouteTable, arp: HashMap<u32, u64>) -> Self {
+        IpRouter {
+            ifaces,
+            table,
+            arp,
+            stats: ForwarderStats::default(),
+        }
+    }
+
+    /// Builds the forwarder for one router node of a topology, with the
+    /// node's computed route table and the global ARP map.
+    pub fn for_node(topo: &Topology, node: pf_net::NodeId) -> Self {
+        assert_eq!(topo.kind(node), NodeKind::Router, "node is not a router");
+        let ifaces = topo
+            .interfaces(node)
+            .iter()
+            .map(|i| RouterIface {
+                medium: *topo.medium(i.link),
+                eth: i.eth,
+                ip: i.ip,
+            })
+            .collect();
+        IpRouter::new(ifaces, topo.route_table(node).clone(), topo.arp().clone())
+    }
+
+    /// The current route table (longest prefix first).
+    pub fn route_table(&self) -> &RouteTable {
+        &self.table
+    }
+}
+
+impl Forwarder for IpRouter {
+    fn forward(&mut self, iface: usize, frame_bytes: &[u8]) -> Vec<(usize, Vec<u8>)> {
+        let in_medium = self.ifaces[iface].medium;
+        let Ok(h) = frame::parse(&in_medium, frame_bytes) else {
+            self.stats.not_routable += 1;
+            return Vec::new();
+        };
+        if h.ethertype != IP_ETHERTYPE {
+            self.stats.not_routable += 1;
+            return Vec::new();
+        }
+        let Ok(body) = frame::payload(&in_medium, frame_bytes) else {
+            self.stats.not_routable += 1;
+            return Vec::new();
+        };
+        let Some((ih, payload)) = decode_ip(body) else {
+            self.stats.not_routable += 1;
+            return Vec::new();
+        };
+        // RFC 791 discipline: a packet arriving with TTL <= 1 cannot be
+        // forwarded another hop.
+        if ih.ttl <= 1 {
+            self.stats.ttl_expired += 1;
+            return Vec::new();
+        }
+        let Some(route) = self.table.lookup(ih.dst).copied() else {
+            self.stats.no_route += 1;
+            return Vec::new();
+        };
+        let next_ip = route.next_hop.unwrap_or(ih.dst);
+        let Some(&next_eth) = self.arp.get(&next_ip) else {
+            self.stats.no_route += 1;
+            return Vec::new();
+        };
+        let mut out_ih = ih;
+        out_ih.ttl -= 1;
+        let packet = encode_ip(&out_ih, payload);
+        let out = &self.ifaces[route.iface];
+        let Ok(out_frame) = frame::build(&out.medium, next_eth, out.eth, IP_ETHERTYPE, &packet)
+        else {
+            self.stats.not_routable += 1;
+            return Vec::new();
+        };
+        self.stats.forwarded += 1;
+        vec![(route.iface, out_frame)]
+    }
+
+    fn stats(&self) -> ForwarderStats {
+        self.stats
+    }
+
+    fn update_route(&mut self, route: Route) -> bool {
+        self.table.set(route);
+        true
+    }
+}
+
+/// Ids handed back by [`deploy`], indexed by topology node/link.
+#[derive(Debug, Clone)]
+pub struct DeployedTopology {
+    /// Segment id per topology link, in link order.
+    pub segments: Vec<SegmentId>,
+    /// Host id per node (`None` for router nodes).
+    pub hosts: Vec<Option<HostId>>,
+    /// Router id per node (`None` for host nodes).
+    pub routers: Vec<Option<RouterId>>,
+}
+
+impl DeployedTopology {
+    /// The host id of a topology node known to be a host.
+    pub fn host(&self, node: pf_net::NodeId) -> HostId {
+        self.hosts[node.0].expect("node is a host")
+    }
+
+    /// The router id of a topology node known to be a router.
+    pub fn router(&self, node: pf_net::NodeId) -> RouterId {
+        self.routers[node.0].expect("node is a router")
+    }
+}
+
+/// Materializes a [`Topology`] into `world`: one segment per link, one
+/// host per host node (station on its LAN), and one router per router
+/// node running an [`IpRouter`] over all its interfaces.
+pub fn deploy(topo: &Topology, world: &mut World, costs: &CostModel) -> DeployedTopology {
+    let segments: Vec<SegmentId> = (0..topo.link_count())
+        .map(|l| {
+            let link = pf_net::LinkId(l);
+            world.add_segment(*topo.medium(link), *topo.faults(link))
+        })
+        .collect();
+    let mut hosts = vec![None; topo.node_count()];
+    let mut routers = vec![None; topo.node_count()];
+    for n in 0..topo.node_count() {
+        let node = pf_net::NodeId(n);
+        match topo.kind(node) {
+            NodeKind::Host => {
+                let i = topo.interfaces(node)[0];
+                hosts[n] =
+                    Some(world.add_host(topo.name(node), segments[i.link.0], i.eth, costs.clone()));
+            }
+            NodeKind::Router => {
+                let stations: Vec<(SegmentId, u64)> = topo
+                    .interfaces(node)
+                    .iter()
+                    .map(|i| (segments[i.link.0], i.eth))
+                    .collect();
+                routers[n] = Some(world.add_router(
+                    topo.name(node),
+                    stations,
+                    Box::new(IpRouter::for_node(topo, node)),
+                    costs.clone(),
+                ));
+            }
+        }
+    }
+    DeployedTopology {
+        segments,
+        hosts,
+        routers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::IpHeader;
+    use pf_net::segment::FaultModel;
+
+    fn one_hop_router() -> (IpRouter, Medium) {
+        let m = Medium::standard_10mb();
+        let mut table = RouteTable::new();
+        table.set(Route {
+            prefix: 0x0A00_0200,
+            len: 24,
+            iface: 1,
+            next_hop: None,
+        });
+        let mut arp = HashMap::new();
+        arp.insert(0x0A00_0202u32, 0x22u64);
+        let r = IpRouter::new(
+            vec![
+                RouterIface {
+                    medium: m,
+                    eth: 0x11,
+                    ip: 0x0A00_0101,
+                },
+                RouterIface {
+                    medium: m,
+                    eth: 0x12,
+                    ip: 0x0A00_0201,
+                },
+            ],
+            table,
+            arp,
+        );
+        (r, m)
+    }
+
+    fn ip_frame(m: &Medium, dst_eth: u64, ttl: u8, dst_ip: u32) -> Vec<u8> {
+        let packet = encode_ip(
+            &IpHeader {
+                proto: 17,
+                ttl,
+                src: 0x0A00_0102,
+                dst: dst_ip,
+                total_len: 0,
+            },
+            b"payload",
+        );
+        frame::build(m, dst_eth, 0x33, IP_ETHERTYPE, &packet).unwrap()
+    }
+
+    #[test]
+    fn forwards_with_ttl_decrement_and_rewritten_link_header() {
+        let (mut r, m) = one_hop_router();
+        let f = ip_frame(&m, 0x11, 30, 0x0A00_0202);
+        let out = r.forward(0, &f);
+        assert_eq!(out.len(), 1);
+        let (iface, of) = &out[0];
+        assert_eq!(*iface, 1);
+        let h = frame::parse(&m, of).unwrap();
+        assert_eq!(h.dst, 0x22, "delivered to the destination's eth");
+        assert_eq!(h.src, 0x12, "sourced from the out interface");
+        let (ih, payload) = decode_ip(frame::payload(&m, of).unwrap()).unwrap();
+        assert_eq!(ih.ttl, 29, "TTL decremented");
+        assert_eq!(payload, b"payload");
+        assert_eq!(r.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn drops_on_ttl_expiry_and_missing_route() {
+        let (mut r, m) = one_hop_router();
+        assert!(r.forward(0, &ip_frame(&m, 0x11, 1, 0x0A00_0202)).is_empty());
+        assert_eq!(r.stats().ttl_expired, 1);
+        assert!(r
+            .forward(0, &ip_frame(&m, 0x11, 30, 0x0B00_0001))
+            .is_empty());
+        assert_eq!(r.stats().no_route, 1);
+        // Non-IP traffic is not routable.
+        let junk = frame::build(&m, 0x11, 0x33, 0x0806, b"arp?").unwrap();
+        assert!(r.forward(0, &junk).is_empty());
+        assert_eq!(r.stats().not_routable, 1);
+    }
+
+    #[test]
+    fn update_route_redirects_traffic() {
+        let (mut r, m) = one_hop_router();
+        assert!(r.update_route(Route {
+            prefix: 0x0A00_0200,
+            len: 24,
+            iface: 0,
+            next_hop: Some(0x0A00_0102),
+        }));
+        let mut arp = HashMap::new();
+        arp.insert(0x0A00_0102u32, 0x33u64);
+        r.arp.extend(arp);
+        let out = r.forward(0, &ip_frame(&m, 0x11, 30, 0x0A00_0202));
+        assert_eq!(out[0].0, 0, "rerouted out the updated interface");
+    }
+
+    #[test]
+    fn for_node_builds_from_topology_tables() {
+        let mut b = Topology::builder();
+        let h1 = b.host("h1");
+        let r1 = b.router("r1");
+        let r2 = b.router("r2");
+        let h2 = b.host("h2");
+        b.link(h1, r1, Medium::standard_10mb(), FaultModel::default());
+        b.link(r1, r2, Medium::standard_10mb(), FaultModel::default());
+        b.link(r2, h2, Medium::standard_10mb(), FaultModel::default());
+        let t = b.build();
+        let mut fwd = IpRouter::for_node(&t, r1);
+        let m = Medium::standard_10mb();
+        let first_hop_eth = t.interfaces(r1)[0].eth;
+        let f = ip_frame(&m, first_hop_eth, 30, t.ip(h2));
+        let out = fwd.forward(0, &f);
+        assert_eq!(out.len(), 1, "r1 forwards toward r2");
+        assert_eq!(out[0].0, 1, "out the r1–r2 link");
+    }
+}

@@ -201,6 +201,7 @@ mod tests {
     use pf_net::medium::Medium;
     use pf_net::segment::FaultModel;
     use pf_sim::cost::CostModel;
+    use pf_sim::SimClock;
 
     fn tcp_world(faults: FaultModel) -> (World, HostId, HostId) {
         let mut w = World::new(31);

@@ -264,6 +264,7 @@ mod tests {
     use pf_net::segment::FaultModel;
     use pf_sim::cost::CostModel;
     use pf_sim::time::SimTime;
+    use pf_sim::SimClock;
 
     const CHARS: usize = 4_000;
 

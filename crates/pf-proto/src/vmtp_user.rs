@@ -555,6 +555,7 @@ mod tests {
     use pf_kernel::world::World;
     use pf_net::segment::FaultModel;
     use pf_sim::cost::CostModel;
+    use pf_sim::SimClock;
 
     const SERVER_ENTITY: u32 = 0x20;
     const CLIENT_ENTITY: u32 = 0x10;

@@ -115,6 +115,10 @@ pub struct CostModel {
     /// hash probe (`dtree_probe`) because of the descent, far cheaper
     /// than interpreting a member filter.
     pub geom_probe: SimDuration,
+    /// One routed IP forward on a gateway node: header validation, TTL
+    /// decrement, route lookup, and re-encapsulation — the switching half
+    /// of `ip_input` without the socket-layer delivery work.
+    pub ip_forward: SimDuration,
 }
 
 impl CostModel {
@@ -150,6 +154,7 @@ impl CostModel {
             queue_steal: SimDuration::from_micros(60),
             batch_dispatch: SimDuration::from_micros(50),
             geom_probe: SimDuration::from_micros(30),
+            ip_forward: SimDuration::from_micros(250),
         }
     }
 
@@ -274,6 +279,8 @@ mod tests {
         let m = CostModel::microvax_ii();
         assert!(m.geom_probe > m.dtree_probe);
         assert!(m.geom_probe < m.filter_cost(1));
+        // Forwarding skips the socket-layer half of input processing.
+        assert!(m.ip_forward < m.ip_input);
     }
 
     #[test]

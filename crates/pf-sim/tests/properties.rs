@@ -1,0 +1,66 @@
+// Property suites need the external `proptest` crate; the default build is
+// hermetic (offline), so this whole file is gated behind a feature. See the
+// crate manifest for how to restore the dev-dependency.
+#![cfg(feature = "proptest-tests")]
+
+//! Property-based differential test: the calendar-queue backend and the
+//! reference `BinaryHeap` backend must pop identical `(time, value)`
+//! streams under arbitrary schedule/cancel/peek/pop interleavings.
+
+use pf_sim::queue::{EventQueue, QueueBackend};
+use pf_sim::time::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule(u64),
+    Cancel(usize),
+    Peek,
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..1 << 24).prop_map(Op::Schedule),
+        1 => (0usize..4096).prop_map(Op::Cancel),
+        1 => Just(Op::Peek),
+        2 => Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn calendar_and_heap_agree(ops in prop::collection::vec(op_strategy(), 1..600)) {
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+        let mut handles = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Schedule(at) => {
+                    let hc = cal.schedule(SimTime(at), i);
+                    let hh = heap.schedule(SimTime(at), i);
+                    handles.push((hc, hh));
+                }
+                Op::Cancel(k) => {
+                    if !handles.is_empty() {
+                        let (hc, hh) = handles.swap_remove(k % handles.len());
+                        prop_assert_eq!(cal.cancel(hc), heap.cancel(hh));
+                    }
+                }
+                Op::Peek => prop_assert_eq!(cal.peek_time(), heap.peek_time()),
+                Op::Pop => prop_assert_eq!(cal.pop(), heap.pop()),
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.now(), heap.now());
+        }
+        // Drain: the remaining streams must match exactly, in both the
+        // timestamp and the schedule-order tie-break.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@ use packet_filter::proto::bsp_app::{BspReceiverApp, BspSenderApp};
 use packet_filter::proto::echo::{EchoClient, EchoServer};
 use packet_filter::proto::pup::PupAddr;
 use packet_filter::sim::cost::CostModel;
+use packet_filter::SimClock;
 
 fn main() {
     // Parse the filter from argv (default: capture everything). The

@@ -18,6 +18,7 @@ use packet_filter::proto::bsp::BspConfig;
 use packet_filter::proto::bsp_app::{BspReceiverApp, BspSenderApp};
 use packet_filter::proto::pup::PupAddr;
 use packet_filter::sim::cost::CostModel;
+use packet_filter::SimClock;
 
 fn main() {
     let mut w = World::new(7);

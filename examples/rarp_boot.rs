@@ -14,6 +14,7 @@ use packet_filter::net::segment::FaultModel;
 use packet_filter::proto::rarp::{RarpClient, RarpServer};
 use packet_filter::sim::cost::CostModel;
 use packet_filter::sim::time::SimTime;
+use packet_filter::SimClock;
 use std::collections::HashMap;
 
 fn main() {

@@ -12,6 +12,7 @@ use packet_filter::proto::vmtp_kernel::{KVmtpClient, KVmtpServer, KernelVmtp};
 use packet_filter::proto::vmtp_user::{VmtpUserClient, VmtpUserServer, Workload};
 use packet_filter::sim::cost::CostModel;
 use packet_filter::sim::time::SimTime;
+use packet_filter::SimClock;
 
 const SERVER_ENTITY: u32 = 0x20;
 const CLIENT_ENTITY: u32 = 0x10;

@@ -59,6 +59,15 @@ adversary_json="$(mktemp)"
 cargo run -p pf-bench --release --bin bench_adversary -- --smoke --out "$adversary_json" > /dev/null
 python3 -m json.tool "$adversary_json" > /dev/null
 rm -f "$adversary_json"
+# Internet-scale topology campaign invariants: exact routed delivery per
+# host, bit-identical histories across queue backends, calendar >= heap
+# throughput at dense pending populations — all sweep-internal asserts.
+# Same temp-path treatment; artifact must parse.
+echo "==> cargo run -p pf-bench --release --bin bench_net -- --smoke --out <tmp>"
+net_json="$(mktemp)"
+cargo run -p pf-bench --release --bin bench_net -- --smoke --out "$net_json" > /dev/null
+python3 -m json.tool "$net_json" > /dev/null
+rm -f "$net_json"
 # Structured fuzzing (>= 10k seeded iterations per target: word decoder,
 # validator, every execution engine, geom churn) — hermetic but too slow
 # for the default `cargo test`, so it rides its own feature.

@@ -53,3 +53,6 @@ pub use pf_sim as sim;
 // surfaces generically.
 pub use pf_ir::{singleton_engines, singleton_surface_count, FilterEngine};
 pub use pf_kernel::{DemuxEngine, EngineStats, PfDevice, PfDeviceBuilder};
+// The one run-loop: `World`, `McPipeline`, and any other clocked model
+// drive through this trait.
+pub use pf_sim::SimClock;

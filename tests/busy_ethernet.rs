@@ -23,6 +23,7 @@ use packet_filter::proto::vmtp_kernel::{KVmtpClient, KVmtpServer};
 use packet_filter::proto::vmtp_user::Workload;
 use packet_filter::sim::cost::CostModel;
 use packet_filter::sim::time::SimTime;
+use packet_filter::SimClock;
 use std::collections::HashMap;
 
 #[test]

@@ -20,6 +20,7 @@ use packet_filter::proto::pup::PupAddr;
 use packet_filter::proto::stream::{TcpBulkReceiver, TcpBulkSender};
 use packet_filter::sim::cost::CostModel;
 use packet_filter::sim::time::SimTime;
+use packet_filter::SimClock;
 
 /// A process that uses *both* access paths: a UDP kernel socket and a
 /// packet-filter port, on the same host.

@@ -16,6 +16,7 @@ use packet_filter::proto::vmtp_kernel::{KVmtpClient, KVmtpServer, KernelVmtp};
 use packet_filter::proto::vmtp_user::{VmtpUserClient, VmtpUserServer, Workload};
 use packet_filter::sim::cost::CostModel;
 use packet_filter::sim::time::SimTime;
+use packet_filter::SimClock;
 
 #[test]
 fn monitored_bsp_transfer_with_loss() {

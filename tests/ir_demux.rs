@@ -16,6 +16,7 @@ use packet_filter::proto::ip::{encode_ip, encode_udp, IpHeader, KernelIp, PROTO_
 use packet_filter::proto::pup::PupAddr;
 use packet_filter::sim::cost::CostModel;
 use packet_filter::sim::time::SimTime;
+use packet_filter::SimClock;
 
 #[test]
 fn bsp_transfer_with_loss_under_ir_engine() {
