@@ -38,6 +38,7 @@ pub mod breakeven;
 pub mod chaos;
 pub mod cli;
 pub mod demux_json;
+pub mod fabric;
 pub mod figures;
 pub mod flowgen;
 pub mod mc;

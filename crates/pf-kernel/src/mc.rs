@@ -474,21 +474,6 @@ impl McPipeline {
         }
     }
 
-    /// Drives a time-ordered arrival schedule through the pipeline to
-    /// completion and reports per-core counters, busy time, and delivery
-    /// latencies. Arrival times must be non-decreasing.
-    #[deprecated(
-        since = "0.1.0",
-        note = "schedule arrivals with `schedule_arrivals`, drive the pipeline \
-                with `pf_sim::SimClock::run`, then snapshot with `report`"
-    )]
-    pub fn run(&mut self, arrivals: Vec<(SimTime, Vec<u8>)>) -> McReport {
-        self.latencies.clear();
-        self.schedule_arrivals(arrivals);
-        SimClock::run(self);
-        self.report()
-    }
-
     /// The next `(time, core)` to service: the earliest core with frames
     /// ringed or arriving or handoffs to consume (ties to the lowest
     /// core), or an idle thief when stealing is enabled and a sibling
@@ -840,9 +825,9 @@ impl McPipeline {
 
 /// The unified run-loop: scheduled arrivals drain through worker service
 /// steps in virtual-time order (earliest ready core, ties to the lowest),
-/// exactly as the old inherent drive loop did. The deprecated inherent
-/// [`McPipeline::run`] shadows [`SimClock::run`] for method-call syntax,
-/// so call the trait form (`SimClock::run(&mut pl)`) to drain.
+/// exactly as the old inherent drive loop did. Drive with
+/// `SimClock::run(&mut pl)` (or plain `pl.run()` now that the deprecated
+/// inherent shim is gone).
 impl SimClock for McPipeline {
     fn now(&self) -> SimTime {
         self.clock
@@ -1269,22 +1254,25 @@ mod tests {
         assert!(p99 > SimDuration::ZERO);
     }
 
-    /// Pins the deprecated one-shot shim to the new schedule/run/report
-    /// triple for the one release both forms coexist.
+    /// Migrated from the removed `McPipeline::run` shim's pinning test:
+    /// the schedule/run/report triple is deterministic — two identical
+    /// pipelines driven through `SimClock::run` produce identical
+    /// reports (what the shim equivalence used to witness).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_matches_schedule_then_clock_run() {
+    fn schedule_then_clock_run_is_deterministic() {
         let arrivals = steady_arrivals(50, 10, &[35]);
-        let mut old = McPipeline::new(McConfig::single_core(DemuxEngine::Sharded));
-        old.add_filter(samples::pup_socket_filter(10, 0, 35));
-        let via_shim = old.run(arrivals.clone());
-        let mut new = McPipeline::new(McConfig::single_core(DemuxEngine::Sharded));
-        new.add_filter(samples::pup_socket_filter(10, 0, 35));
-        new.schedule_arrivals(arrivals);
-        SimClock::run(&mut new);
-        let via_clock = new.report();
-        assert_eq!(via_shim.total, via_clock.total);
-        assert_eq!(via_shim.finish, via_clock.finish);
-        assert_eq!(via_shim.latencies, via_clock.latencies);
+        let drive = |arrivals: Vec<(SimTime, Vec<u8>)>| {
+            let mut pl = McPipeline::new(McConfig::single_core(DemuxEngine::Sharded));
+            pl.add_filter(samples::pup_socket_filter(10, 0, 35));
+            pl.schedule_arrivals(arrivals);
+            SimClock::run(&mut pl);
+            pl.report()
+        };
+        let a = drive(arrivals.clone());
+        let b = drive(arrivals);
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.latencies.len(), 50, "every arrival was delivered");
     }
 }

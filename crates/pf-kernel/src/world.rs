@@ -167,6 +167,14 @@ enum Event {
         iface: usize,
         frame: Vec<u8>,
     },
+    /// A scheduled router crash or recovery takes effect (routing-plane
+    /// fault injection).
+    RouterState { router: RouterId, up: bool },
+    /// A scheduled link outage or restoration takes effect.
+    LinkState { segment: SegmentId, up: bool },
+    /// A router's periodic forwarder tick (liveness probing, protocol
+    /// timers); rescheduled every `Forwarder::tick_interval`.
+    RouterTick { router: RouterId },
     /// A backpressure notification reaching the owner of a port whose
     /// queue crossed its high-water mark.
     Backpressure {
@@ -275,6 +283,13 @@ struct Router {
     counters: RouterCounters,
     /// Per-interface NIC availability (transmit serialization).
     tx_free_at: Vec<SimTime>,
+    /// Fail-stop state: while down the router forwards nothing, emits
+    /// nothing, and its forwarder sees no ticks. Forwarder state
+    /// survives the outage (fail-stop with stable storage).
+    up: bool,
+    /// Cached `Forwarder::tick_interval` (the tick keeps rescheduling
+    /// itself through outages so recovery needs no re-arming).
+    tick_interval: Option<SimDuration>,
 }
 
 /// Event-loop-level counters for one router (the forwarding plane keeps
@@ -285,6 +300,9 @@ pub struct RouterCounters {
     pub frames_in: u64,
     /// Frames transmitted out of any interface.
     pub frames_out: u64,
+    /// Frames that arrived while the router was crashed and were
+    /// silently dropped (a dead router blackholes, it does not NAK).
+    pub frames_dropped_down: u64,
 }
 
 /// The simulation: network, hosts, routers, processes, and the event loop.
@@ -385,6 +403,7 @@ impl World {
             stations.push(station);
         }
         let tx_free_at = vec![SimTime::ZERO; stations.len()];
+        let tick_interval = forwarder.tick_interval();
         self.routers.push(Router {
             name: name.into(),
             stations,
@@ -393,7 +412,14 @@ impl World {
             costs,
             counters: RouterCounters::default(),
             tx_free_at,
+            up: true,
+            tick_interval,
         });
+        if let Some(interval) = tick_interval {
+            let now = self.events.now();
+            self.events
+                .schedule(now + interval, Event::RouterTick { router: id });
+        }
         id
     }
 
@@ -472,6 +498,42 @@ impl World {
     /// whether the forwarder accepted the update.
     pub fn update_route(&mut self, router: RouterId, route: Route) -> bool {
         self.routers[router.0].forwarder.update_route(route)
+    }
+
+    /// Crashes (`up = false`) or recovers (`up = true`) a router
+    /// immediately. A crashed router silently drops every arriving frame
+    /// and its forwarder receives no ticks; forwarder state survives the
+    /// outage.
+    pub fn set_router_up(&mut self, router: RouterId, up: bool) {
+        self.routers[router.0].up = up;
+    }
+
+    /// Whether a router is currently up.
+    pub fn router_up(&self, router: RouterId) -> bool {
+        self.routers[router.0].up
+    }
+
+    /// Sets a segment's administrative link state immediately (see
+    /// [`Network::set_link_state`]).
+    pub fn set_link_state(&mut self, segment: SegmentId, up: bool) {
+        self.net.set_link_state(segment, up);
+    }
+
+    /// Schedules a router crash or recovery at virtual time `at`
+    /// (routing-plane fault injection).
+    pub fn schedule_router_state(&mut self, router: RouterId, up: bool, at: SimTime) {
+        self.events.schedule(at, Event::RouterState { router, up });
+    }
+
+    /// Schedules a link outage or restoration at virtual time `at`.
+    pub fn schedule_link_state(&mut self, segment: SegmentId, up: bool, at: SimTime) {
+        self.events.schedule(at, Event::LinkState { segment, up });
+    }
+
+    /// A segment's fault-injection tally (losses, duplicates,
+    /// corruptions, partition and link-down drops).
+    pub fn segment_faults(&self, segment: SegmentId) -> pf_net::segment::FaultCounters {
+        self.net.faults_on(segment)
     }
 
     /// Sets a host's NIC receive-ring capacity.
@@ -674,6 +736,13 @@ impl World {
                 iface,
                 frame,
             } => self.router_forward(router, iface, frame, now),
+            Event::RouterState { router, up } => {
+                self.routers[router.0].up = up;
+            }
+            Event::LinkState { segment, up } => {
+                self.net.set_link_state(segment, up);
+            }
+            Event::RouterTick { router } => self.router_tick(router, now),
             Event::Backpressure {
                 host,
                 proc,
@@ -1136,13 +1205,74 @@ impl World {
 
     /// The router receive-and-forward path: charge the forwarding decision
     /// on the router's CPU, ask the forwarding plane where the frame goes,
-    /// and transmit each output serialized on its interface.
+    /// and transmit each output serialized on its interface. A crashed
+    /// router silently drops the frame without charging anything (its CPU
+    /// is not executing).
+    ///
+    /// Resilience work the forwarding plane did while handling the frame
+    /// is priced by diffing its [`ForwarderStats`] around the call:
+    /// control-frame processing costs `lsu_process` each and a triggered
+    /// route recomputation costs `route_recompute`, on top of the
+    /// unconditional `ip_forward` decision.
     fn router_forward(&mut self, router: RouterId, iface: usize, frame: Vec<u8>, now: SimTime) {
         let r = &mut self.routers[router.0];
+        if !r.up {
+            r.counters.frames_dropped_down += 1;
+            return;
+        }
         r.counters.frames_in += 1;
         let cost = r.costs.ip_forward;
-        let decided = r.cpu.charge("ip:forward", now, cost);
+        let mut decided = r.cpu.charge("ip:forward", now, cost);
+        let before = r.forwarder.stats();
         let outs = r.forwarder.forward(iface, &frame);
+        let after = r.forwarder.stats();
+        let control = after.control_in - before.control_in;
+        if control > 0 {
+            let c = r.costs.lsu_process.times(control);
+            decided = r.cpu.charge("ip:control", now, c);
+        }
+        let recomputes = after.reconvergences - before.reconvergences;
+        if recomputes > 0 {
+            let c = r.costs.route_recompute.times(recomputes);
+            decided = r.cpu.charge("ip:reconverge", now, c);
+        }
+        self.router_transmit(router, decided, outs);
+    }
+
+    /// One periodic forwarder tick: reschedules itself unconditionally
+    /// (so outages need no re-arming), then — if the router is up — runs
+    /// the forwarding plane's timer work, charges the probing and
+    /// recomputation it did (stats diff, as in `router_forward`), and
+    /// transmits whatever control frames it emitted.
+    fn router_tick(&mut self, router: RouterId, now: SimTime) {
+        let Some(interval) = self.routers[router.0].tick_interval else {
+            return;
+        };
+        self.events
+            .schedule(now + interval, Event::RouterTick { router });
+        let r = &mut self.routers[router.0];
+        if !r.up {
+            return;
+        }
+        let before = r.forwarder.stats();
+        let outs = r.forwarder.tick(now);
+        let after = r.forwarder.stats();
+        let mut decided = now;
+        let hellos = after.hellos_sent - before.hellos_sent;
+        if hellos > 0 {
+            let c = r.costs.hello_emit.times(hellos);
+            decided = r.cpu.charge("ip:hello", now, c);
+        }
+        let recomputes = after.reconvergences - before.reconvergences;
+        if recomputes > 0 {
+            let c = r.costs.route_recompute.times(recomputes);
+            decided = r.cpu.charge("ip:reconverge", now, c);
+        }
+        self.router_transmit(router, decided, outs);
+    }
+
+    /// Transmits forwarder outputs, each serialized on its interface.
+    fn router_transmit(&mut self, router: RouterId, decided: SimTime, outs: Vec<(usize, Vec<u8>)>) {
         for (out_iface, out_frame) in outs {
             let r = &mut self.routers[router.0];
             let start = decided.max(r.tx_free_at[out_iface]);

@@ -11,11 +11,13 @@
 //! hosts and routers (the forwarding plane itself plugs in through
 //! [`topology::Forwarder`]; the IP implementation lives in `pf-proto`).
 
+pub mod fabric;
 pub mod frame;
 pub mod medium;
 pub mod segment;
 pub mod topology;
 
+pub use fabric::{FabricAction, FabricEvent, FabricSchedule};
 pub use frame::{FrameError, Header};
 pub use medium::{Medium, MediumKind};
 pub use segment::{

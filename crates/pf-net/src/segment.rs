@@ -111,6 +111,9 @@ pub struct FaultCounters {
     pub partition_events: u64,
     /// Deliveries suppressed because the segment was partitioned.
     pub partition_drops: u64,
+    /// Deliveries suppressed because the link was administratively down
+    /// (routing-plane fault injection; see [`Network::set_link_state`]).
+    pub link_down_drops: u64,
 }
 
 /// One frame arriving at one station.
@@ -143,6 +146,9 @@ struct Segment {
     /// The segment drops every delivery until this instant (transient
     /// partition fault).
     partition_until: SimTime,
+    /// Administrative link state: while `false`, every delivery on the
+    /// segment is dropped and no fault draws are consumed.
+    up: bool,
 }
 
 /// A collection of Ethernet segments and the stations attached to them.
@@ -178,6 +184,7 @@ impl Network {
             propagation: SimDuration::from_micros(5),
             stations: Vec::new(),
             partition_until: SimTime::ZERO,
+            up: true,
         });
         self.transmitted.push(0);
         self.faults.push(FaultCounters::default());
@@ -188,6 +195,20 @@ impl Network {
     /// mid-experiment). Counters and partition state are kept.
     pub fn set_faults(&mut self, segment: SegmentId, faults: FaultModel) {
         self.segments[segment.0].faults = faults;
+    }
+
+    /// Sets a segment's administrative link state. While down, every
+    /// delivery on the segment is dropped (counted in
+    /// [`FaultCounters::link_down_drops`]) and *no* fault-model draws
+    /// are consumed, so seeded fault patterns on other segments — and on
+    /// this one after it comes back — are unaffected by the outage.
+    pub fn set_link_state(&mut self, segment: SegmentId, up: bool) {
+        self.segments[segment.0].up = up;
+    }
+
+    /// A segment's administrative link state.
+    pub fn link_up(&self, segment: SegmentId) -> bool {
+        self.segments[segment.0].up
     }
 
     /// Attaches a station with link address `addr` to a segment and
@@ -217,14 +238,6 @@ impl Network {
         StationHandle { net: self, id }
     }
 
-    /// Deprecated spelling of [`Network::add_station`].
-    #[deprecated(
-        note = "use `Network::add_station` (and `Network::station` for per-station operations)"
-    )]
-    pub fn attach(&mut self, segment: SegmentId, addr: u64) -> StationId {
-        self.add_station(segment, addr)
-    }
-
     /// The medium of the segment a station is attached to.
     pub fn medium_of(&self, station: StationId) -> &Medium {
         &self.segments[self.stations[station.0].segment.0].medium
@@ -233,27 +246,6 @@ impl Network {
     /// The link address of a station.
     pub fn addr_of(&self, station: StationId) -> u64 {
         self.stations[station.0].addr
-    }
-
-    /// Deprecated: use [`Network::station`] and
-    /// [`StationHandle::set_promiscuous`].
-    #[deprecated(note = "use `net.station(id).set_promiscuous(on)`")]
-    pub fn set_promiscuous(&mut self, station: StationId, on: bool) {
-        self.station(station).set_promiscuous(on);
-    }
-
-    /// Deprecated: use [`Network::station`] and
-    /// [`StationHandle::join_multicast`].
-    #[deprecated(note = "use `net.station(id).join_multicast(group)`")]
-    pub fn join_multicast(&mut self, station: StationId, group: u64) {
-        self.station(station).join_multicast(group);
-    }
-
-    /// Deprecated: use [`Network::station`] and
-    /// [`StationHandle::leave_multicast`].
-    #[deprecated(note = "use `net.station(id).leave_multicast(group)`")]
-    pub fn leave_multicast(&mut self, station: StationId, group: u64) {
-        self.station(station).leave_multicast(group);
     }
 
     /// Frames transmitted on a segment so far.
@@ -294,6 +286,29 @@ impl Network {
         let receivers: Vec<StationId> = seg.stations.clone();
         let faults = seg.faults;
         let propagation = seg.propagation;
+
+        // An administratively-down link consumes no fault draws at all:
+        // the transmitter still holds the wire for the frame time, every
+        // would-be delivery is counted and dropped, and the seeded fault
+        // pattern resumes exactly where it left off once the link heals.
+        if !seg.up {
+            for rcv in receivers {
+                if rcv == station {
+                    continue;
+                }
+                let r = &self.stations[rcv.0];
+                let wants = r.promiscuous
+                    || header.is_some_and(|h| {
+                        h.dst == r.addr
+                            || medium.is_broadcast(h.dst)
+                            || (medium.is_multicast(h.dst) && r.multicast.contains(&h.dst))
+                    });
+                if wants {
+                    self.faults[seg_id.0].link_down_drops += 1;
+                }
+            }
+            return (tx_done, out);
+        }
 
         // Fault application follows the draw order documented at the module
         // level; changing the order or adding a draw changes every seeded
@@ -739,19 +754,20 @@ mod tests {
         assert!(deliveries.is_empty(), "no cross-segment delivery");
     }
 
-    /// The one-PR deprecation shims must stay behaviorally identical to
-    /// the `StationHandle` surface they forward to.
+    /// Migrated from the removed one-PR deprecation shims
+    /// (`Network::attach/set_promiscuous/join_multicast/leave_multicast`):
+    /// the `StationHandle` surface covers the same multicast + snoop
+    /// scenario the shims were pinned against.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_station_shims_still_work() {
+    fn station_handle_surface_covers_former_shims() {
         let group = 0x0100_0000_0001u64;
         let mut net = Network::new(9);
         let seg = net.add_segment(Medium::standard_10mb(), FaultModel::default());
-        let a = net.attach(seg, 1);
-        let b = net.attach(seg, 2);
-        let snoop = net.attach(seg, 3);
-        net.set_promiscuous(snoop, true);
-        net.join_multicast(b, group);
+        let a = net.add_station(seg, 1);
+        let b = net.add_station(seg, 2);
+        let snoop = net.add_station(seg, 3);
+        net.station(snoop).set_promiscuous(true);
+        net.station(b).join_multicast(group);
         let m = *net.medium_of(a);
         let f = build(&m, group, 1, 2, &[]).unwrap();
         let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
@@ -762,9 +778,53 @@ mod tests {
             vec![b.0, snoop.0],
             "multicast member + promiscuous snoop"
         );
-        net.leave_multicast(b, group);
+        net.station(b).leave_multicast(group);
         let (_, deliveries) = net.transmit(a, &f, SimTime::ZERO);
         let who: Vec<usize> = deliveries.iter().map(|d| d.station.0).collect();
         assert_eq!(who, vec![snoop.0], "after leave only the snoop hears it");
+    }
+
+    #[test]
+    fn link_down_drops_everything_and_consumes_no_draws() {
+        let faults = FaultModel {
+            loss: 0.3,
+            duplication: 0.2,
+            corruption: 0.2,
+            ..FaultModel::default()
+        };
+        // Reference pattern: 20 transmits on an always-up link.
+        let pattern = |downs: &[usize]| {
+            let mut net = Network::new(77);
+            let seg = net.add_segment(Medium::experimental_3mb(), faults);
+            let a = net.add_station(seg, 1);
+            let _b = net.add_station(seg, 2);
+            let m = *net.medium_of(a);
+            let f = build(&m, 2, 1, 2, &[0; 16]).unwrap();
+            let mut got = Vec::new();
+            for i in 0..20 {
+                let down = downs.contains(&i);
+                net.set_link_state(seg, !down);
+                let (_, d) = net.transmit(a, &f, SimTime::ZERO);
+                if down {
+                    assert!(d.is_empty(), "down link delivers nothing");
+                } else {
+                    got.push(d.len());
+                }
+            }
+            (got, net.faults_on(seg).link_down_drops)
+        };
+        let (up_pattern, none_dropped) = pattern(&[]);
+        assert_eq!(none_dropped, 0);
+        // Interleave outages: the surviving transmits must see the exact
+        // same seeded fault pattern, because the down transmits consumed
+        // no draws.
+        let (with_outages, dropped) = pattern(&[3, 4, 11]);
+        assert_eq!(dropped, 3, "one accepting receiver per down transmit");
+        assert_eq!(with_outages.len(), 17);
+        assert_eq!(
+            with_outages[..],
+            up_pattern[..with_outages.len()],
+            "surviving transmits replay the same seeded draws"
+        );
     }
 }

@@ -27,8 +27,11 @@
 //! lives behind the [`Forwarder`] trait so the kernel simulation can
 //! plug in the IP implementation without `pf-net` depending on it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use pf_sim::time::{SimDuration, SimTime};
+
+use crate::fabric::FabricSchedule;
 use crate::medium::Medium;
 use crate::segment::{FaultModel, Network, SegmentId, StationHandle, StationId};
 
@@ -135,7 +138,9 @@ impl RouteTable {
     }
 }
 
-/// Counters a [`Forwarder`] keeps about its own drops and successes.
+/// Counters a [`Forwarder`] keeps about its own drops and successes,
+/// plus the resilience-plane tallies a hardened forwarder maintains
+/// (all zero for plain static forwarders).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ForwarderStats {
     /// Frames re-emitted on an outgoing interface.
@@ -148,6 +153,26 @@ pub struct ForwarderStats {
     /// Frames dropped because they were not well-formed routable
     /// packets (bad encapsulation, non-IP ethertype, parse errors).
     pub not_routable: u64,
+    /// Neighbor-liveness hellos emitted.
+    pub hellos_sent: u64,
+    /// Routing-control frames received and consumed (hellos + updates).
+    pub control_in: u64,
+    /// Neighbor routers declared dead after a missed dead-interval.
+    pub neighbors_lost: u64,
+    /// Dead neighbors heard from again.
+    pub neighbors_recovered: u64,
+    /// Route entries switched to a precomputed loop-free backup at the
+    /// instant a neighbor died (fast local failover, before any
+    /// recomputation).
+    pub failovers: u64,
+    /// Route-table entries changed by reconvergence (installed, revised,
+    /// or withdrawn) — the campaign's bounded-churn counter.
+    pub route_churn: u64,
+    /// Triggered route recomputations over the residual topology.
+    pub reconvergences: u64,
+    /// Sim-time in nanoseconds of the most recent route-table change
+    /// (zero when the table never changed) — the convergence clock.
+    pub last_route_change_ns: u64,
 }
 
 /// The forwarding plane of a router node.
@@ -173,6 +198,22 @@ pub trait Forwarder {
         let _ = route;
         false
     }
+
+    /// Periodic work (liveness probing, protocol timers). The kernel
+    /// simulation calls this every [`tick_interval`](Forwarder::tick_interval)
+    /// while the router is up; returned `(out_interface, out_frame)`
+    /// pairs are transmitted like forwarded traffic. The default
+    /// forwarder is purely reactive and emits nothing.
+    fn tick(&mut self, now: SimTime) -> Vec<(usize, Vec<u8>)> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// How often [`tick`](Forwarder::tick) wants to run; `None` (the
+    /// default) disables ticking entirely.
+    fn tick_interval(&self) -> Option<SimDuration> {
+        None
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -193,6 +234,7 @@ struct LinkSpec {
 pub struct TopologyBuilder {
     nodes: Vec<NodeSpec>,
     links: Vec<LinkSpec>,
+    fabric: FabricSchedule,
 }
 
 impl TopologyBuilder {
@@ -238,6 +280,14 @@ impl TopologyBuilder {
         id
     }
 
+    /// Attaches a routing-plane fault schedule to the plan. Deployments
+    /// that honor schedules (e.g. `pf_proto::router::deploy`) replay it
+    /// against the running world; the bare [`Network`] substrate from
+    /// [`Topology::instantiate`] ignores it.
+    pub fn fabric(&mut self, schedule: FabricSchedule) {
+        self.fabric = schedule;
+    }
+
     /// Assigns addresses, computes every router's shortest-path route
     /// table, and freezes the plan.
     ///
@@ -274,13 +324,15 @@ impl TopologyBuilder {
                 }
             }
         }
-        let routes = compute_routes(&self.nodes, &self.links, &ifaces);
+        let (routes, backups) = compute_routes(&self.nodes, &self.links, &ifaces, &|_, _| false);
         Topology {
             nodes: self.nodes,
             links: self.links,
             ifaces,
             routes,
+            backups,
             arp,
+            fabric: self.fabric,
         }
     }
 }
@@ -290,15 +342,27 @@ fn subnet_of(link: LinkId) -> u32 {
     (10 << 24) | ((l >> 8) << 16) | ((l & 0xFF) << 8)
 }
 
-/// Per-destination-subnet multi-source BFS over the router graph.
+/// Per-destination-subnet multi-source BFS over the router graph,
+/// skipping `blocked` router-router adjacencies (the residual graph).
 /// Deterministic: frontier and adjacency are walked in index order, and
 /// the first (shortest, lowest-index) parent wins.
+///
+/// Besides the primary tables this also derives *backup* tables: for a
+/// router at BFS distance `d ≥ 1`, the backup next-hop is the next
+/// downhill parent in priority order — a *different* neighbor router at
+/// distance `d − 1`. Because both primary and backup strictly decrease
+/// the distance to the destination, any mixture of routers using
+/// primaries and routers using backups is loop-free (each hop is
+/// strictly downhill); equal-distance alternates are deliberately never
+/// used, because two equal-cost neighbors may point at each other.
 fn compute_routes(
     nodes: &[NodeSpec],
     links: &[LinkSpec],
     ifaces: &[Vec<Interface>],
-) -> Vec<RouteTable> {
+    blocked: &dyn Fn(NodeId, NodeId) -> bool,
+) -> (Vec<RouteTable>, Vec<RouteTable>) {
     let mut tables = vec![RouteTable::new(); nodes.len()];
+    let mut backups = vec![RouteTable::new(); nodes.len()];
     let iface_on = |n: usize, l: LinkId| -> Option<(usize, &Interface)> {
         ifaces[n].iter().enumerate().find(|(_, i)| i.link == l)
     };
@@ -328,7 +392,11 @@ fn compute_routes(
                 for vi in &ifaces[v] {
                     for u in &links[vi.link.0].members {
                         let u = u.0;
-                        if u == v || nodes[u].kind != NodeKind::Router || dist[u].is_some() {
+                        if u == v
+                            || nodes[u].kind != NodeKind::Router
+                            || dist[u].is_some()
+                            || blocked(NodeId(v), NodeId(u))
+                        {
                             continue;
                         }
                         let (uidx, _) = iface_on(u, vi.link).expect("member has iface");
@@ -347,8 +415,50 @@ fn compute_routes(
             next.dedup();
             frontier = next;
         }
+        // Backup next-hops: walk each reached router's downhill parents
+        // in the same priority order the BFS used (parent index, then
+        // the parent's interface order) — the first is the primary, the
+        // first with a *different* parent node becomes the backup.
+        for u in 0..nodes.len() {
+            let Some(d) = dist[u] else { continue };
+            if d == 0 {
+                continue; // directly attached: no downhill alternate
+            }
+            let mut primary_parent: Option<usize> = None;
+            'scan: for v in 0..nodes.len() {
+                if dist[v] != Some(d - 1) || nodes[v].kind != NodeKind::Router {
+                    continue;
+                }
+                for vi in &ifaces[v] {
+                    if !links[vi.link.0].members.contains(&NodeId(u))
+                        || blocked(NodeId(v), NodeId(u))
+                    {
+                        continue;
+                    }
+                    match primary_parent {
+                        None => {
+                            primary_parent = Some(v);
+                            // A second link to the same parent is not a
+                            // useful backup against that parent dying.
+                            break;
+                        }
+                        Some(p) if p != v => {
+                            let (uidx, _) = iface_on(u, vi.link).expect("member has iface");
+                            backups[u].set(Route {
+                                prefix: subnet,
+                                len: 24,
+                                iface: uidx,
+                                next_hop: Some(vi.ip),
+                            });
+                            break 'scan;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
     }
-    tables
+    (tables, backups)
 }
 
 /// A frozen network plan; see the module docs for the model.
@@ -358,7 +468,9 @@ pub struct Topology {
     links: Vec<LinkSpec>,
     ifaces: Vec<Vec<Interface>>,
     routes: Vec<RouteTable>,
+    backups: Vec<RouteTable>,
     arp: HashMap<u32, u64>,
+    fabric: FabricSchedule,
 }
 
 impl Topology {
@@ -428,6 +540,42 @@ impl Topology {
     /// A node's computed route table (empty for hosts).
     pub fn route_table(&self, node: NodeId) -> &RouteTable {
         &self.routes[node.0]
+    }
+
+    /// A node's precomputed loop-free backup next-hops: for every
+    /// destination subnet the router reaches at BFS distance `d ≥ 1`,
+    /// the next strictly-downhill parent through a *different* neighbor
+    /// router, when one exists. Installing a backup entry over the
+    /// primary still moves every packet strictly closer to the
+    /// destination, so mixed primary/backup forwarding cannot loop.
+    pub fn backup_route_table(&self, node: NodeId) -> &RouteTable {
+        &self.backups[node.0]
+    }
+
+    /// Recomputes every node's shortest-path table on the residual
+    /// graph with the given undirected router-router adjacencies
+    /// removed (a dead router is expressed as all of its adjacencies;
+    /// a dead link as the pair of routers it joined). Destinations with
+    /// no surviving path simply get no route.
+    pub fn routes_avoiding(&self, blocked_pairs: &[(NodeId, NodeId)]) -> Vec<RouteTable> {
+        let norm = |a: NodeId, b: NodeId| (a.0.min(b.0), a.0.max(b.0));
+        let set: HashSet<(usize, usize)> = blocked_pairs.iter().map(|&(a, b)| norm(a, b)).collect();
+        let blocked = move |a: NodeId, b: NodeId| set.contains(&norm(a, b));
+        compute_routes(&self.nodes, &self.links, &self.ifaces, &blocked).0
+    }
+
+    /// The plan's routing-plane fault schedule (empty unless set via
+    /// [`TopologyBuilder::fabric`]).
+    pub fn fabric_schedule(&self) -> &FabricSchedule {
+        &self.fabric
+    }
+
+    /// Returns the plan with `schedule` attached — for callers that
+    /// obtain a finished [`Topology`] from a shape helper and want to
+    /// bolt a fault schedule on afterwards.
+    pub fn with_fabric(mut self, schedule: FabricSchedule) -> Self {
+        self.fabric = schedule;
+        self
     }
 
     /// The global static ARP map (IP → per-segment link address).
@@ -646,5 +794,83 @@ mod tests {
             None
         );
         let _ = lans;
+    }
+
+    /// Four routers in a ring, each with one host LAN.
+    fn ring4() -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+        let mut b = Topology::builder();
+        let routers: Vec<NodeId> = (0..4).map(|i| b.router(format!("r{i}"))).collect();
+        let hosts: Vec<NodeId> = (0..4).map(|i| b.host(format!("h{i}"))).collect();
+        for i in 0..4 {
+            b.link(routers[i], routers[(i + 1) % 4], m(), f());
+        }
+        for i in 0..4 {
+            b.lan(&[routers[i], hosts[i]], m(), f());
+        }
+        (b.build(), routers, hosts)
+    }
+
+    fn ip_of(t: &Topology, node: NodeId, hop: Option<u32>) -> bool {
+        t.interfaces(node).iter().any(|i| Some(i.ip) == hop)
+    }
+
+    #[test]
+    fn backup_next_hops_are_strictly_downhill_alternates() {
+        let (t, routers, hosts) = ring4();
+        // r2 reaches h0's LAN at distance 2 through two downhill
+        // parents (r1 and r3, both at distance 1): primary is the
+        // lower-indexed r1, backup the alternate r3.
+        let dst = t.ip(hosts[0]);
+        let prim = t.route_table(routers[2]).lookup(dst).expect("primary");
+        let back = t
+            .backup_route_table(routers[2])
+            .lookup(dst)
+            .expect("backup");
+        assert_ne!(prim.next_hop, back.next_hop);
+        assert!(ip_of(&t, routers[1], prim.next_hop), "primary via r1");
+        assert!(ip_of(&t, routers[3], back.next_hop), "backup via r3");
+        // r0 sits one hop from h1's LAN and its only distance-0
+        // neighbor there is r1: no strictly-downhill alternate exists
+        // (the equal-cost detour via r3 is deliberately not offered).
+        assert!(t
+            .backup_route_table(routers[0])
+            .lookup(t.ip(hosts[1]))
+            .is_none());
+    }
+
+    #[test]
+    fn routes_avoiding_reroutes_around_dead_adjacencies() {
+        let (t, routers, hosts) = ring4();
+        let dst = t.ip(hosts[1]);
+        // With the r0–r1 adjacency dead, r0 reaches h1's LAN the long
+        // way around, next hop r3.
+        let residual = t.routes_avoiding(&[(routers[0], routers[1])]);
+        let r = residual[routers[0].0].lookup(dst).expect("rerouted");
+        assert!(ip_of(&t, routers[3], r.next_hop), "detour via r3");
+        // With *all* of r1's adjacencies dead (a dead router), nobody
+        // else has a route to its LAN — no path is honestly no route.
+        let dead_r1 = [(routers[0], routers[1]), (routers[1], routers[2])];
+        let residual = t.routes_avoiding(&dead_r1);
+        for r in [routers[0], routers[2], routers[3]] {
+            assert!(residual[r.0].lookup(dst).is_none(), "{r:?} has no path");
+        }
+        // r1 itself still delivers its directly-attached LAN.
+        assert!(residual[routers[1].0].lookup(dst).is_some());
+    }
+
+    #[test]
+    fn fabric_schedule_rides_the_plan() {
+        use crate::fabric::{FabricAction, FabricSchedule};
+        let mut b = Topology::builder();
+        let h = b.host("h");
+        let r = b.router("r");
+        b.link(h, r, m(), f());
+        let mut sched = FabricSchedule::new();
+        sched.router_outage(r, SimTime(100), Some(SimTime(200)));
+        b.fabric(sched);
+        let t = b.build();
+        let ev = t.fabric_schedule().events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].action, FabricAction::RouterDown(r));
     }
 }

@@ -75,7 +75,7 @@ proptest! {
             Medium::experimental_3mb(),
             FaultModel { loss, ..FaultModel::default() },
         );
-        let stations: Vec<_> = (0..n_hosts).map(|i| net.attach(seg, i as u64 + 1)).collect();
+        let stations: Vec<_> = (0..n_hosts).map(|i| net.add_station(seg, i as u64 + 1)).collect();
         let m = Medium::experimental_3mb();
         let f = frame::build(&m, dst_idx as u64 + 1, 1, 2, &[0; 10]).unwrap();
         let (_, deliveries) = net.transmit(stations[0], &f, SimTime::ZERO);
@@ -93,7 +93,7 @@ proptest! {
     ) {
         let mut net = Network::new(seed);
         let seg = net.add_segment(Medium::experimental_3mb(), FaultModel::default());
-        let stations: Vec<_> = (0..n_hosts).map(|i| net.attach(seg, i as u64 + 1)).collect();
+        let stations: Vec<_> = (0..n_hosts).map(|i| net.add_station(seg, i as u64 + 1)).collect();
         let m = Medium::experimental_3mb();
         let f = frame::build(&m, m.broadcast, 1, 2, &[]).unwrap();
         let (_, deliveries) = net.transmit(stations[0], &f, SimTime::ZERO);

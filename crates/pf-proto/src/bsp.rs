@@ -306,12 +306,16 @@ impl SenderMachine {
                     if !self.inflight.is_empty() || self.end_seq.is_some() {
                         self.arm(&mut fx);
                     }
-                } else if acked_to < self.next_seq {
-                    // A re-ack of old data: the receiver may be missing
-                    // something, or this may be the echo of a duplicate we
-                    // ourselves retransmitted. Only a *third* consecutive
-                    // stale ack goes back and resends — reacting to every
-                    // one amplifies without bound.
+                } else if acked_to == self.base && acked_to < self.next_seq {
+                    // A re-ack of exactly the current base: the receiver
+                    // may be missing the base segment, or this may be the
+                    // echo of a duplicate we ourselves retransmitted. Only
+                    // a *third* consecutive stale ack goes back and
+                    // resends — reacting to every one amplifies without
+                    // bound. Acks older than the base carry no signal at
+                    // all: a path switch mid-transfer (fabric failover)
+                    // reorders in-flight acks, and an ack overtaken by a
+                    // newer one is evidence of rerouting, not of loss.
                     self.dup_acks += 1;
                     if self.dup_acks >= 3 {
                         self.dup_acks = 0;
@@ -764,6 +768,97 @@ mod machine_tests {
             .collect();
         assert_eq!(resent, vec![1, 2]);
         assert_eq!(s.stats.retransmits, 2);
+    }
+
+    #[test]
+    fn reordered_stale_acks_are_not_loss_evidence() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig {
+            window: 4,
+            segment: 10,
+            ..Default::default()
+        };
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let _ = s.connect();
+        let _ = s.on_pup(&Pup::new(types::BSP_OPEN, 0, sa, ra, Vec::new()));
+        let _ = s.offer(&[7u8; 40]);
+        assert_eq!(s.inflight(), 4);
+        // The cumulative ack for 1..3 arrives first; the per-segment acks
+        // it overtook (a path switch reordered them) straggle in after.
+        let ack = |n: u32| Pup::new(types::BSP_ACK, n, ra, sa, Vec::new());
+        let _ = s.on_pup(&ack(3));
+        for old in [2u32, 1, 2, 1, 2, 1] {
+            let _ = s.on_pup(&ack(old));
+        }
+        assert_eq!(
+            s.stats.retransmits, 0,
+            "overtaken acks are rerouting evidence, not loss evidence"
+        );
+        // Re-acks of the *current* base still mean the base is missing:
+        // the third one goes back and resends.
+        for _ in 0..3 {
+            let _ = s.on_pup(&ack(3));
+        }
+        assert!(s.stats.retransmits > 0, "true dup-ack signal still fires");
+        assert_eq!(s.stats.giveups, 0);
+    }
+
+    /// A transfer that survives a mid-stream path switch: at the flip
+    /// point every queued packet in both directions is duplicated and
+    /// the copies delivered in reverse order (old path drains late while
+    /// the new path races ahead). The stream must complete with no
+    /// give-up.
+    #[test]
+    fn transfer_survives_path_switch_reordering() {
+        let (sa, ra) = addrs();
+        let cfg = BspConfig {
+            window: 4,
+            segment: 100,
+            ..Default::default()
+        };
+        let payload: Vec<u8> = (0..2_000u32).map(|i| (i % 241) as u8).collect();
+        let mut s = SenderMachine::new(sa, ra, cfg);
+        let mut r = ReceiverMachine::new(ra);
+        let mut delivered = Vec::new();
+        let mut to_recv: VecDeque<Pup> = VecDeque::new();
+        let mut to_send: VecDeque<Pup> = VecDeque::new();
+        let handle = |fx: Vec<Effect>, out: &mut VecDeque<Pup>, delivered: &mut Vec<u8>| {
+            for e in fx {
+                match e {
+                    Effect::Send(p) => out.push_back(p),
+                    Effect::Deliver(d) => delivered.extend(d),
+                    _ => {}
+                }
+            }
+        };
+        handle(s.connect(), &mut to_recv, &mut delivered);
+        handle(s.offer(&payload), &mut to_recv, &mut delivered);
+        handle(s.finish(), &mut to_recv, &mut delivered);
+        let mut steps = 0u32;
+        let mut flipped = false;
+        while !(s.is_closed() && to_recv.is_empty() && to_send.is_empty()) {
+            steps += 1;
+            assert!(steps < 100_000, "machine livelock");
+            if steps == 10 && !flipped {
+                flipped = true;
+                let reroute = |q: &mut VecDeque<Pup>| {
+                    let dup: Vec<Pup> = q.iter().rev().cloned().collect();
+                    q.extend(dup);
+                };
+                reroute(&mut to_recv);
+                reroute(&mut to_send);
+            }
+            if let Some(p) = to_recv.pop_front() {
+                handle(r.on_pup(&p), &mut to_send, &mut delivered);
+            }
+            if let Some(p) = to_send.pop_front() {
+                handle(s.on_pup(&p), &mut to_recv, &mut delivered);
+            }
+        }
+        assert!(flipped, "the path switch actually happened");
+        assert_eq!(delivered, payload, "exact stream despite dup + reorder");
+        assert_eq!(s.stats.giveups, 0);
+        assert!(r.is_closed());
     }
 
     #[test]

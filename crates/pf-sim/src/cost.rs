@@ -119,6 +119,18 @@ pub struct CostModel {
     /// decrement, route lookup, and re-encapsulation — the switching half
     /// of `ip_input` without the socket-layer delivery work.
     pub ip_forward: SimDuration,
+    /// Emitting one neighbor-liveness hello on a router interface:
+    /// building and queueing a tiny control frame. Probing must be far
+    /// cheaper than forwarding, or the cure costs more than the disease.
+    pub hello_emit: SimDuration,
+    /// Processing one received routing-control frame (hello bookkeeping
+    /// or a link-state update: sequence check, adjacency-map update,
+    /// re-flood decision).
+    pub lsu_process: SimDuration,
+    /// One triggered route recomputation over the residual topology —
+    /// the expensive, rare event of the resilience plane (a full
+    /// shortest-path pass, dearer than any single forward).
+    pub route_recompute: SimDuration,
 }
 
 impl CostModel {
@@ -155,6 +167,9 @@ impl CostModel {
             batch_dispatch: SimDuration::from_micros(50),
             geom_probe: SimDuration::from_micros(30),
             ip_forward: SimDuration::from_micros(250),
+            hello_emit: SimDuration::from_micros(20),
+            lsu_process: SimDuration::from_micros(80),
+            route_recompute: SimDuration::from_micros(2_000),
         }
     }
 
@@ -281,6 +296,20 @@ mod tests {
         assert!(m.geom_probe < m.filter_cost(1));
         // Forwarding skips the socket-layer half of input processing.
         assert!(m.ip_forward < m.ip_input);
+    }
+
+    #[test]
+    fn resilience_costs_keep_probing_cheap_and_recompute_rare_but_dear() {
+        // A hello is a tiny fixed-format frame: much cheaper than a
+        // forward, or steady-state probing would dominate the router.
+        // Control-frame processing sits between a hello and a forward,
+        // and a full route recomputation — the rare, triggered event —
+        // must dwarf any single forward so convergence shows up as a
+        // visible CPU spike rather than free magic.
+        let m = CostModel::microvax_ii();
+        assert!(m.hello_emit < m.lsu_process);
+        assert!(m.lsu_process < m.ip_forward);
+        assert!(m.route_recompute > m.ip_forward.times(4));
     }
 
     #[test]

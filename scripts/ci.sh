@@ -68,10 +68,23 @@ net_json="$(mktemp)"
 cargo run -p pf-bench --release --bin bench_net -- --smoke --out "$net_json" > /dev/null
 python3 -m json.tool "$net_json" > /dev/null
 rm -f "$net_json"
+# Fabric-chaos campaign invariants: exact undefended blackhole
+# accounting, hardened >=99% surviving-path recovery inside a
+# diameter-aware convergence bound, zero TTL loops, bounded route
+# churn, backend-identical histories under faults — all sweep-internal
+# asserts. Same temp-path treatment; artifact must parse.
+echo "==> cargo run -p pf-bench --release --bin bench_fabric -- --smoke --out <tmp>"
+fabric_json="$(mktemp)"
+cargo run -p pf-bench --release --bin bench_fabric -- --smoke --out "$fabric_json" > /dev/null
+python3 -m json.tool "$fabric_json" > /dev/null
+rm -f "$fabric_json"
 # Structured fuzzing (>= 10k seeded iterations per target: word decoder,
-# validator, every execution engine, geom churn) — hermetic but too slow
-# for the default `cargo test`, so it rides its own feature.
+# validator, every execution engine, geom churn; frame codec and fault
+# schedules; the admission gate under config churn) — hermetic but too
+# slow for the default `cargo test`, so it rides its own feature.
 run cargo test -p pf-ir --release --features fuzz-tests -q
+run cargo test -p pf-net --release --features fuzz-tests -q
+run cargo test -p pf-kernel --release --features fuzz-tests -q
 
 if [[ "${1:-}" == "--benches" ]]; then
     run cargo bench --workspace --features criterion-benches --no-run
